@@ -1,0 +1,116 @@
+package ampcgraph
+
+import (
+	"testing"
+
+	"ampcgraph/internal/gen"
+	"ampcgraph/internal/seq"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 0)
+	g := b.Build()
+
+	misRes, err := MIS(g, Config{Machines: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsMaximalIndependentSet(g, misRes.InMIS) {
+		t.Fatal("facade MIS not maximal")
+	}
+
+	mmRes, err := MaximalMatching(g, Config{Machines: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsMaximalMatching(g, mmRes.Matching) {
+		t.Fatal("facade matching not maximal")
+	}
+
+	ccRes, err := ConnectedComponents(g, Config{Machines: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccRes.NumComponents != 1 {
+		t.Fatalf("components = %d, want 1", ccRes.NumComponents)
+	}
+}
+
+func TestFacadeWeightedPipeline(t *testing.T) {
+	g := FromWeightedEdges(4, []WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 5}, {U: 2, V: 3, W: 1}, {U: 3, V: 0, W: 5},
+	})
+	msfRes, err := MinimumSpanningForest(g, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msfRes.TotalWeight != 7 {
+		t.Fatalf("msf weight %v, want 7", msfRes.TotalWeight)
+	}
+
+	mwm, err := ApproxMaxWeightMatching(g, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mwm.Matching.Size() == 0 {
+		t.Fatal("weighted matching empty")
+	}
+
+	labels, _, err := SingleLinkageClustering(g, Config{Seed: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] {
+		t.Fatalf("clustering did not merge the light edges: %v", labels)
+	}
+	if labels[0] == labels[2] {
+		t.Fatalf("clustering merged across the heavy edges: %v", labels)
+	}
+}
+
+func TestFacadeCycleAndCover(t *testing.T) {
+	cyc, err := OneVsTwoCycle(gen.TwoCycles(500), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc.SingleCycle {
+		t.Fatal("two cycles misclassified")
+	}
+
+	g := gen.PreferentialAttachment(200, 3, 4)
+	vc, err := ApproxVertexCover(g, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsVertexCover(g, vc.Cover) {
+		t.Fatal("not a vertex cover")
+	}
+
+	apx, err := ApproxMaximumMatching(g, Config{Seed: 4}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsMatching(g, apx.Matching) {
+		t.Fatal("approx maximum matching invalid")
+	}
+}
+
+func TestFacadeStatsExposed(t *testing.T) {
+	g := gen.PreferentialAttachment(300, 3, 5)
+	res, err := MIS(g, Config{Machines: 4, EnableCache: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shuffles != 1 || res.Stats.Rounds == 0 || res.Stats.KVBytesTotal == 0 {
+		t.Fatalf("stats not populated: %+v", res.Stats)
+	}
+	st := ComputeStats(g)
+	if st.Nodes != 300 {
+		t.Fatalf("graph stats wrong: %+v", st)
+	}
+}

@@ -1,0 +1,35 @@
+package ampcgraph
+
+// Helpers shared by the ablation benchmarks in bench_test.go.  They live in a
+// separate file so the benchmark file stays a readable, per-experiment index.
+
+import (
+	"strconv"
+
+	corecycle "ampcgraph/internal/core/cycle"
+	coremis "ampcgraph/internal/core/mis"
+	"ampcgraph/internal/gen"
+)
+
+func byBudgetName(v int) string { return strconv.Itoa(v) }
+
+func benchGraph() *Graph {
+	d, _ := gen.DatasetByName("OK")
+	return d.Build(1, 1)
+}
+
+func benchWeightedGraph() *Graph {
+	return gen.DegreeProportionalWeights(benchGraph())
+}
+
+func benchCycleGraph() *Graph {
+	return gen.TwoCycles(60_000)
+}
+
+func misTruncated(g *Graph, cfg Config) (*MISResult, error) {
+	return coremis.RunTruncated(g, cfg)
+}
+
+func cycleWithProbability(g *Graph, cfg Config, p float64) (*CycleResult, error) {
+	return corecycle.RunWithProbability(g, cfg, p)
+}

@@ -1,0 +1,59 @@
+// Command ampcbench regenerates the tables and figures of the paper's
+// evaluation (Section 5) on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	ampcbench -experiment table3
+//	ampcbench -experiment figure5 -datasets OK,TW -machines 16
+//	ampcbench -experiment all
+//
+// Each experiment prints a text table whose rows mirror the corresponding
+// table or figure of the paper; EXPERIMENTS.md records how the shapes compare
+// with the published numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ampcgraph/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run: "+strings.Join(bench.AllExperiments(), ", ")+", or 'all'")
+		datasets   = flag.String("datasets", "", "comma-separated dataset names (default: all of OK,TW,FS,CW,HL)")
+		scale      = flag.Int("scale", 1, "dataset scale multiplier")
+		seed       = flag.Int64("seed", 1, "random seed")
+		machines   = flag.Int("machines", 8, "number of AMPC machines")
+		threads    = flag.Int("threads", 4, "threads per AMPC machine")
+		threshold  = flag.Int("mpc-threshold", 2000, "in-memory switch-over threshold (edges) for the MPC baselines")
+	)
+	flag.Parse()
+
+	opts := bench.Options{
+		Scale:        *scale,
+		Seed:         *seed,
+		Machines:     *machines,
+		Threads:      *threads,
+		MPCThreshold: *threshold,
+	}
+	if *datasets != "" {
+		opts.Datasets = strings.Split(*datasets, ",")
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = bench.AllExperiments()
+	}
+	for _, name := range names {
+		rep, err := bench.RunByName(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ampcbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep.String())
+	}
+}

@@ -1,0 +1,425 @@
+// Package ampc implements the Adaptive Massively Parallel Computation (AMPC)
+// runtime of Section 2 of the paper.
+//
+// An AMPC computation runs on P machines, each with S = Θ(n^ε) local space.
+// Computation proceeds in rounds; in round i every machine may issue up to
+// O(S) reads against the distributed hash table written in round i-1 and up
+// to O(S) writes into the hash table of round i.  This package provides:
+//
+//   - Config: machines, ε / space budget, per-machine threads, caching, and
+//     the key-value latency model (RDMA / TCP / DRAM, for Table 4);
+//   - Runtime: creates the DHTs (D0, D1, ...), runs rounds over machine
+//     goroutines, and accounts rounds, shuffles, key-value traffic, maximum
+//     per-machine query load and both wall-clock and simulated time;
+//   - Ctx: the per-machine handle through which algorithm code reads and
+//     writes the hash tables.
+//
+// Shuffles are the expensive dataflow steps of the host framework (Table 3
+// counts them); algorithms report them explicitly with RecordShuffle so that
+// the AMPC-versus-MPC comparison of the paper can be reproduced exactly.
+package ampc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ampcgraph/internal/dht"
+	"ampcgraph/internal/simtime"
+)
+
+// Config configures an AMPC runtime.  The zero value is usable: it defaults
+// to 4 machines, 1 thread per machine, ε = 0.5, caching disabled and the
+// RDMA latency model.
+type Config struct {
+	// Machines is the number of machines P.
+	Machines int
+	// Epsilon is the space exponent ε in S = n^ε.
+	Epsilon float64
+	// SpacePerMachine overrides the n^ε space budget when positive.
+	SpacePerMachine int
+	// Threads is the number of worker threads per machine (the
+	// multithreading optimization of §5.3).
+	Threads int
+	// EnableCache turns on per-machine caching of key-value lookups and of
+	// algorithm-level query results (the caching optimization of §5.3).
+	EnableCache bool
+	// Model is the key-value store latency model.
+	Model simtime.CostModel
+	// Shards is the number of key-value store shards.
+	Shards int
+	// Replicate enables synchronous replication inside the hash tables so
+	// that injected shard failures do not lose data (fault tolerance, §2).
+	Replicate bool
+	// Seed drives all hash-based randomness.
+	Seed int64
+}
+
+// WithDefaults returns a copy of c with unset fields replaced by defaults.
+func (c Config) WithDefaults() Config {
+	if c.Machines <= 0 {
+		c.Machines = 4
+	}
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Epsilon <= 0 || c.Epsilon >= 1 {
+		c.Epsilon = 0.5
+	}
+	if c.Model.Name == "" {
+		c.Model = simtime.RDMA()
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4 * c.Machines
+	}
+	return c
+}
+
+// SpaceBudget returns the per-machine space/query budget S for an input of
+// size n: SpacePerMachine when set, otherwise ⌈n^ε⌉ (at least 16 so that tiny
+// test graphs still make progress).
+func (c Config) SpaceBudget(n int) int {
+	if c.SpacePerMachine > 0 {
+		return c.SpacePerMachine
+	}
+	if n <= 0 {
+		return 16
+	}
+	s := int(math.Ceil(math.Pow(float64(n), c.Epsilon)))
+	if s < 16 {
+		s = 16
+	}
+	return s
+}
+
+// PhaseStat records the cost of one named phase of an algorithm (the
+// breakdowns plotted in Figures 5, 6 and 7).
+type PhaseStat struct {
+	Name         string
+	Wall         time.Duration
+	Sim          time.Duration
+	Shuffles     int
+	ShuffleBytes int64
+	KVBytes      int64
+}
+
+// Stats aggregates everything the paper measures about an AMPC execution.
+type Stats struct {
+	Rounds            int
+	Shuffles          int
+	ShuffleBytes      int64
+	KVReads           int64
+	KVWrites          int64
+	KVBytesRead       int64
+	KVBytesWritten    int64
+	KVBytesTotal      int64
+	CacheHits         int64
+	CacheMisses       int64
+	MaxMachineQueries int64
+	Wall              time.Duration
+	Sim               time.Duration
+	Phases            []PhaseStat
+}
+
+// Runtime executes AMPC computations.
+type Runtime struct {
+	cfg   Config
+	clock *simtime.Clock
+
+	mu         sync.Mutex
+	stores     []*dht.Store
+	stats      Stats
+	phaseStack []phaseFrame
+	started    time.Time
+}
+
+type phaseFrame struct {
+	name         string
+	start        time.Time
+	simStart     time.Duration
+	shuffles     int
+	shuffleBytes int64
+	kvBytes      int64
+}
+
+// New returns a runtime with the given configuration.
+func New(cfg Config) *Runtime {
+	r := &Runtime{cfg: cfg.WithDefaults(), clock: &simtime.Clock{}, started: time.Now()}
+	return r
+}
+
+// Config returns the effective (defaulted) configuration.
+func (r *Runtime) Config() Config { return r.cfg }
+
+// Clock returns the simulated clock.
+func (r *Runtime) Clock() *simtime.Clock { return r.clock }
+
+// NewStore creates and registers the next distributed hash table (D0, D1, …).
+func (r *Runtime) NewStore(name string) *dht.Store {
+	s := dht.NewStore(name, dht.Options{
+		Shards:    r.cfg.Shards,
+		Replicate: r.cfg.Replicate,
+	})
+	r.mu.Lock()
+	r.stores = append(r.stores, s)
+	r.mu.Unlock()
+	return s
+}
+
+// RecordShuffle records one shuffle of the host dataflow framework moving
+// approximately bytes bytes, charging the simulated clock for the fixed
+// shuffle overhead plus the per-byte cost.
+func (r *Runtime) RecordShuffle(name string, bytes int64) {
+	r.mu.Lock()
+	r.stats.Shuffles++
+	r.stats.ShuffleBytes += bytes
+	if n := len(r.phaseStack); n > 0 {
+		r.phaseStack[n-1].shuffles++
+		r.phaseStack[n-1].shuffleBytes += bytes
+	}
+	r.mu.Unlock()
+	r.clock.Charge(r.cfg.Model.ShuffleFixed)
+	r.clock.Charge(time.Duration(bytes) * r.cfg.Model.ShufflePerByte)
+}
+
+// Phase runs fn as a named, timed phase.  Phases may nest; statistics are
+// attributed to the innermost phase.
+func (r *Runtime) Phase(name string, fn func() error) error {
+	r.mu.Lock()
+	r.phaseStack = append(r.phaseStack, phaseFrame{
+		name:     name,
+		start:    time.Now(),
+		simStart: r.clock.Elapsed(),
+		kvBytes:  r.kvBytesLocked(),
+	})
+	r.mu.Unlock()
+
+	err := fn()
+
+	r.mu.Lock()
+	frame := r.phaseStack[len(r.phaseStack)-1]
+	r.phaseStack = r.phaseStack[:len(r.phaseStack)-1]
+	r.stats.Phases = append(r.stats.Phases, PhaseStat{
+		Name:         frame.name,
+		Wall:         time.Since(frame.start),
+		Sim:          r.clock.Elapsed() - frame.simStart,
+		Shuffles:     frame.shuffles,
+		ShuffleBytes: frame.shuffleBytes,
+		KVBytes:      r.kvBytesLocked() - frame.kvBytes,
+	})
+	r.mu.Unlock()
+	return err
+}
+
+func (r *Runtime) kvBytesLocked() int64 {
+	var total int64
+	for _, s := range r.stores {
+		total += s.TotalBytes()
+	}
+	return total
+}
+
+// Stats returns a snapshot of the execution statistics accumulated so far.
+func (r *Runtime) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.Phases = append([]PhaseStat(nil), r.stats.Phases...)
+	for _, s := range r.stores {
+		ds := s.Stats()
+		st.KVReads += ds.Reads
+		st.KVWrites += ds.Writes
+		st.KVBytesRead += ds.BytesRead
+		st.KVBytesWritten += ds.BytesWritten
+	}
+	st.KVBytesTotal = st.KVBytesRead + st.KVBytesWritten
+	st.Wall = time.Since(r.started)
+	st.Sim = r.clock.Elapsed()
+	return st
+}
+
+// Ctx is the handle through which a machine accesses the hash tables during a
+// round.  A Ctx is shared by all threads of one machine and is safe for
+// concurrent use.
+type Ctx struct {
+	// Machine is the machine index in [0, Machines).
+	Machine int
+	rt      *Runtime
+	read    *dht.Store
+	cache   *dht.Cache
+
+	queries atomic.Int64
+	writes  atomic.Int64
+	compute atomic.Int64
+	latency atomic.Int64 // accumulated latency in nanoseconds
+}
+
+// Config returns the runtime configuration (space budgets, seed, ...).
+func (c *Ctx) Config() Config { return c.rt.cfg }
+
+// Lookup reads key from the round's input hash table.  With caching enabled
+// the per-machine cache is consulted first; a hit costs DRAM latency instead
+// of a network round trip.
+func (c *Ctx) Lookup(key uint64) ([]byte, bool, error) {
+	if c.read == nil {
+		return nil, false, fmt.Errorf("ampc: round has no input store")
+	}
+	c.queries.Add(1)
+	if c.cache != nil {
+		before := c.cache.Misses()
+		v, ok, err := c.cache.Get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if c.cache.Misses() == before {
+			// Served locally.
+			c.latency.Add(int64(simtime.DRAM().LookupLatency))
+		} else {
+			c.latency.Add(int64(c.rt.cfg.Model.LookupLatency))
+		}
+		return v, ok, nil
+	}
+	v, ok, err := c.read.Get(key)
+	if err != nil {
+		return nil, false, err
+	}
+	c.latency.Add(int64(c.rt.cfg.Model.LookupLatency))
+	return v, ok, nil
+}
+
+// Write stores a key-value pair into the given output hash table.
+func (c *Ctx) Write(out *dht.Store, key uint64, value []byte) error {
+	c.writes.Add(1)
+	c.latency.Add(int64(c.rt.cfg.Model.WriteLatency))
+	return out.Put(key, value)
+}
+
+// Emit appends a record under key in the given output hash table (multi-value
+// semantics).
+func (c *Ctx) Emit(out *dht.Store, key uint64, value []byte) error {
+	c.writes.Add(1)
+	c.latency.Add(int64(c.rt.cfg.Model.WriteLatency))
+	return out.Append(key, value)
+}
+
+// ChargeCompute records that the machine performed n units of local
+// computation (vertex visits, edge scans, ...).
+func (c *Ctx) ChargeCompute(n int) {
+	if n > 0 {
+		c.compute.Add(int64(n))
+	}
+}
+
+// Queries returns the number of lookups issued by this machine so far in the
+// current round; algorithms use it to respect the O(S) communication bound.
+func (c *Ctx) Queries() int64 { return c.queries.Load() }
+
+// Round describes one AMPC round: Items work items are distributed over the
+// machines, every machine runs Body for each of its items, reading from Read
+// (the hash table written in the previous round).
+type Round struct {
+	// Name identifies the round in statistics and error messages.
+	Name string
+	// Items is the number of work items (usually vertices).
+	Items int
+	// Read is the input hash table; it is frozen for the duration of the
+	// round.  May be nil for rounds that only compute locally.
+	Read *dht.Store
+	// Body processes one work item on the machine owning it.
+	Body func(ctx *Ctx, item int) error
+}
+
+// Run executes one AMPC round.  Work item i is assigned to machine
+// i mod Machines; each machine processes its items with Threads concurrent
+// workers sharing one Ctx.  The simulated duration of the round is the
+// maximum over machines of (compute + key-value latency / Threads), modeling
+// the fact that multithreading hides lookup latency but not computation.
+func (r *Runtime) Run(round Round) error {
+	cfg := r.cfg
+	if round.Read != nil {
+		round.Read.Freeze()
+	}
+	r.mu.Lock()
+	r.stats.Rounds++
+	r.mu.Unlock()
+
+	ctxs := make([]*Ctx, cfg.Machines)
+	for m := range ctxs {
+		ctxs[m] = &Ctx{Machine: m, rt: r, read: round.Read}
+		if cfg.EnableCache && round.Read != nil {
+			ctxs[m].cache = dht.NewCache(round.Read)
+		}
+	}
+
+	var firstErr error
+	var errMu sync.Mutex
+	recordErr := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for m := 0; m < cfg.Machines; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			ctx := ctxs[m]
+			// Items owned by this machine: m, m+P, m+2P, ...
+			work := make(chan int, cfg.Threads)
+			var tw sync.WaitGroup
+			for t := 0; t < cfg.Threads; t++ {
+				tw.Add(1)
+				go func() {
+					defer tw.Done()
+					for item := range work {
+						if err := round.Body(ctx, item); err != nil {
+							recordErr(fmt.Errorf("ampc: round %q item %d: %w", round.Name, item, err))
+						}
+					}
+				}()
+			}
+			for item := m; item < round.Items; item += cfg.Machines {
+				work <- item
+			}
+			close(work)
+			tw.Wait()
+		}(m)
+	}
+	wg.Wait()
+
+	// Simulated round time: slowest machine, with latency divided by the
+	// thread count (threads overlap lookups), plus the round-spawn overhead.
+	var slowest time.Duration
+	var maxQueries, cacheHits, cacheMisses int64
+	for _, ctx := range ctxs {
+		compute := time.Duration(ctx.compute.Load()) * cfg.Model.ComputePerItem
+		lat := time.Duration(ctx.latency.Load()) / time.Duration(cfg.Threads)
+		if d := compute + lat; d > slowest {
+			slowest = d
+		}
+		if q := ctx.queries.Load(); q > maxQueries {
+			maxQueries = q
+		}
+		if ctx.cache != nil {
+			cacheHits += ctx.cache.Hits()
+			cacheMisses += ctx.cache.Misses()
+		}
+	}
+	r.clock.Charge(slowest + cfg.Model.RoundOverhead)
+	r.mu.Lock()
+	if maxQueries > r.stats.MaxMachineQueries {
+		r.stats.MaxMachineQueries = maxQueries
+	}
+	r.stats.CacheHits += cacheHits
+	r.stats.CacheMisses += cacheMisses
+	r.mu.Unlock()
+	return firstErr
+}

@@ -1,0 +1,112 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/gen"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/mpc"
+)
+
+func newPipeline(seed int64) *mpc.Pipeline {
+	return mpc.NewPipeline(mpc.Config{Workers: 4, Seed: seed})
+}
+
+func TestLocalContractionMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%200)
+		g := gen.ErdosRenyi(n, 2*n, seed)
+		res, err := Run(g, newPipeline(seed), Options{InMemoryThreshold: 10, Relabel: true})
+		if err != nil {
+			return false
+		}
+		return graph.SameComponents(res.Components, graph.Components(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalContractionOnCycles(t *testing.T) {
+	for _, single := range []bool{true, false} {
+		g := gen.OneOrTwoCycles(3000, single, 3)
+		res, err := Run(g, newPipeline(3), Options{InMemoryThreshold: 100, Relabel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2
+		if single {
+			want = 1
+		}
+		if res.NumComponents != want {
+			t.Fatalf("single=%v: components=%d want %d", single, res.NumComponents, want)
+		}
+		if res.Phases < 2 {
+			t.Fatalf("expected several contraction phases, got %d", res.Phases)
+		}
+	}
+}
+
+func TestLocalContractionThreeShufflesPerPhase(t *testing.T) {
+	g := gen.TwoCycles(4000)
+	res, err := Run(g, newPipeline(5), Options{InMemoryThreshold: 100, Relabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shuffles != 3*res.Phases {
+		t.Fatalf("shuffles = %d, want 3 per phase (%d phases)", res.Stats.Shuffles, res.Phases)
+	}
+}
+
+func TestLocalContractionCycleShrinkRate(t *testing.T) {
+	// The paper reports that each local-contraction iteration shrinks the
+	// cycle by roughly 2.6-3x, giving 4-9 iterations on its inputs.  Check
+	// that the phase count stays in the O(log n) ballpark.
+	g := gen.Cycle(20000)
+	res, err := Run(g, newPipeline(7), Options{InMemoryThreshold: 100, Relabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases < 2 || res.Phases > 20 {
+		t.Fatalf("phases = %d, expected a logarithmic number", res.Phases)
+	}
+	if res.NumComponents != 1 {
+		t.Fatalf("components = %d, want 1", res.NumComponents)
+	}
+}
+
+func TestLocalContractionLabelsCanonical(t *testing.T) {
+	g := gen.TwoCycles(50)
+	res, err := Run(g, newPipeline(9), Options{InMemoryThreshold: 10, Relabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two components are {0..49} and {50..99}; canonical labels are the
+	// minimum ids 0 and 50.
+	if res.Components[10] != 0 || res.Components[60] != 50 {
+		t.Fatalf("labels not canonical: %d %d", res.Components[10], res.Components[60])
+	}
+}
+
+func TestLocalContractionIsolatedVertices(t *testing.T) {
+	g := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}})
+	res, err := Run(g, newPipeline(1), Options{InMemoryThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumComponents != 5 {
+		t.Fatalf("components = %d, want 5", res.NumComponents)
+	}
+}
+
+func TestLocalContractionWithoutRelabel(t *testing.T) {
+	g := gen.Cycle(5000)
+	res, err := Run(g, newPipeline(11), Options{InMemoryThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumComponents != 1 {
+		t.Fatalf("components = %d, want 1", res.NumComponents)
+	}
+}

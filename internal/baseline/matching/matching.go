@@ -1,0 +1,166 @@
+// Package matching implements the rootset-based MPC maximal matching baseline
+// of Section 5.4 of the paper.
+//
+// In each phase every edge whose priority is smaller than the priorities of
+// all adjacent edges joins the matching; matched vertices and their incident
+// edges are then removed.  Each phase costs two shuffles (one to elect the
+// locally-minimum edges, one to prune the graph), and the computation
+// switches to an in-memory finish below an edge threshold, exactly as the
+// paper describes.  For a given seed the result equals the
+// lexicographically-first matching computed by the AMPC algorithm.
+package matching
+
+import (
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/mpc"
+	"ampcgraph/internal/rng"
+	"ampcgraph/internal/seq"
+)
+
+// DefaultInMemoryThreshold mirrors the paper's 5×10⁷ switch-over, scaled to
+// the synthetic stand-ins.
+const DefaultInMemoryThreshold = 50_000
+
+// Options configures the baseline.
+type Options struct {
+	// InMemoryThreshold overrides DefaultInMemoryThreshold when positive.
+	InMemoryThreshold int
+}
+
+// Result is the output of the MPC maximal matching baseline.
+type Result struct {
+	// Matching holds the mate of every vertex.
+	Matching *seq.Matching
+	// Phases is the number of distributed phases executed.
+	Phases int
+	// Stats are the dataflow statistics.
+	Stats mpc.Stats
+}
+
+type node struct {
+	id        graph.NodeID
+	neighbors []graph.NodeID
+}
+
+// Run computes the maximal matching of g on the given pipeline.
+func Run(g *graph.Graph, p *mpc.Pipeline, opts Options) (*Result, error) {
+	threshold := opts.InMemoryThreshold
+	if threshold <= 0 {
+		threshold = DefaultInMemoryThreshold
+	}
+	n := g.NumNodes()
+	seed := p.Seed()
+	rank := func(u, v graph.NodeID) uint64 { return rng.EdgePriority(seed, u, v) }
+	matching := seq.NewMatching(n)
+
+	nodes := make([]mpc.KV[graph.NodeID, node], 0, n)
+	for v := 0; v < n; v++ {
+		nv := graph.NodeID(v)
+		nodes = append(nodes, mpc.KV[graph.NodeID, node]{
+			Key:   nv,
+			Value: node{id: nv, neighbors: append([]graph.NodeID(nil), g.Neighbors(nv)...)},
+		})
+	}
+	current := mpc.Materialize(p, nodes)
+
+	countEdges := func(c *mpc.Collection[mpc.KV[graph.NodeID, node]]) int64 {
+		var m int64
+		for _, kv := range c.Items() {
+			m += int64(len(kv.Value.neighbors))
+		}
+		return m / 2
+	}
+
+	phases := 0
+	for current.Len() > 0 && countEdges(current) > int64(threshold) {
+		phases++
+		p.Phase("rootset-phase", func() {
+			// (1) Every vertex nominates its minimum-rank incident edge; an
+			// edge joins the matching iff both endpoints nominate it.  The
+			// election is a group-by-edge (first shuffle).
+			type nomination struct{ from graph.NodeID }
+			nominations := mpc.ParDo(current, func(kv mpc.KV[graph.NodeID, node], emit func(mpc.KV[uint64, nomination])) {
+				nd := kv.Value
+				if len(nd.neighbors) == 0 {
+					return
+				}
+				best := nd.neighbors[0]
+				for _, u := range nd.neighbors[1:] {
+					if rank(nd.id, u) < rank(nd.id, best) {
+						best = u
+					}
+				}
+				a, b := nd.id, best
+				if a > b {
+					a, b = b, a
+				}
+				emit(mpc.KV[uint64, nomination]{Key: uint64(a)<<32 | uint64(b), Value: nomination{from: nd.id}})
+			})
+			elected := mpc.GroupByKey(nominations, func(uint64, nomination) int { return 12 })
+			// Edges nominated by both endpoints are locally minimal and join
+			// the matching.
+			matchedVertices := make(map[graph.NodeID]bool)
+			for _, kv := range elected.Items() {
+				if len(kv.Value) != 2 {
+					continue
+				}
+				u := graph.NodeID(kv.Key >> 32)
+				v := graph.NodeID(kv.Key & 0xffffffff)
+				matching.Mate[u] = v
+				matching.Mate[v] = u
+				matchedVertices[u] = true
+				matchedVertices[v] = true
+			}
+			// (2) Remove matched vertices and their incident edges (second
+			// shuffle: join the graph with the matched-vertex set).
+			removals := mpc.ParDo(current, func(kv mpc.KV[graph.NodeID, node], emit func(mpc.KV[graph.NodeID, bool])) {
+				if matchedVertices[kv.Key] {
+					emit(mpc.KV[graph.NodeID, bool]{Key: kv.Key, Value: true})
+				}
+			})
+			joined := mpc.CoGroupByKey(current, removals,
+				func(_ graph.NodeID, nd node) int { return 8 + 4*len(nd.neighbors) },
+				func(graph.NodeID, bool) int { return 9 },
+			)
+			current = mpc.ParDo(joined, func(kv mpc.KV[graph.NodeID, mpc.CoGroup[node, bool]], emit func(mpc.KV[graph.NodeID, node])) {
+				if len(kv.Value.Left) == 0 || len(kv.Value.Right) > 0 {
+					return // vertex itself removed
+				}
+				nd := kv.Value.Left[0]
+				kept := nd.neighbors[:0:0]
+				for _, u := range nd.neighbors {
+					if !matchedVertices[u] {
+						kept = append(kept, u)
+					}
+				}
+				if len(kept) == 0 {
+					return // isolated vertices leave the computation
+				}
+				emit(mpc.KV[graph.NodeID, node]{Key: kv.Key, Value: node{id: nd.id, neighbors: kept}})
+			})
+		})
+	}
+
+	// In-memory finish with the same greedy order.
+	p.Phase("in-memory-finish", func() {
+		remaining := current.Items()
+		if len(remaining) == 0 {
+			return
+		}
+		b := graph.NewBuilder(n)
+		for _, kv := range remaining {
+			for _, u := range kv.Value.neighbors {
+				b.AddEdge(kv.Key, u)
+			}
+		}
+		residual := b.Build()
+		local := seq.GreedyMaximalMatching(residual, rank)
+		for v, mate := range local.Mate {
+			if mate != graph.None {
+				matching.Mate[v] = mate
+			}
+		}
+	})
+
+	return &Result{Matching: matching, Phases: phases, Stats: p.Stats()}, nil
+}

@@ -1,0 +1,136 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/ampc"
+	corematching "ampcgraph/internal/core/matching"
+	"ampcgraph/internal/gen"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/mpc"
+	"ampcgraph/internal/rng"
+	"ampcgraph/internal/seq"
+)
+
+func newPipeline(seed int64) *mpc.Pipeline {
+	return mpc.NewPipeline(mpc.Config{Workers: 4, Seed: seed})
+}
+
+func refMatching(g *graph.Graph, seed int64) *seq.Matching {
+	return seq.GreedyMaximalMatching(g, func(u, v graph.NodeID) uint64 {
+		return rng.EdgePriority(seed, u, v)
+	})
+}
+
+func TestRootsetMatchingIsMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%200)
+		g := gen.ErdosRenyi(n, 3*n, seed)
+		res, err := Run(g, newPipeline(seed), Options{InMemoryThreshold: 10})
+		if err != nil {
+			return false
+		}
+		return seq.IsMaximalMatching(g, res.Matching)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootsetMatchingMatchesSequentialGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%150)
+		g := gen.ErdosRenyi(n, 3*n, seed)
+		res, err := Run(g, newPipeline(seed), Options{InMemoryThreshold: 5})
+		if err != nil {
+			return false
+		}
+		want := refMatching(g, seed)
+		for v := range want.Mate {
+			if res.Matching.Mate[v] != want.Mate[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootsetMatchingMatchesAMPC(t *testing.T) {
+	// Both models share the hash-based edge priorities, so they must compute
+	// exactly the same lexicographically-first matching.
+	g := gen.PreferentialAttachment(500, 4, 31)
+	mpcRes, err := Run(g, newPipeline(31), Options{InMemoryThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ampcRes, err := corematching.Run(g, ampc.Config{Machines: 4, EnableCache: true, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range mpcRes.Matching.Mate {
+		if mpcRes.Matching.Mate[v] != ampcRes.Matching.Mate[v] {
+			t.Fatalf("MPC and AMPC matchings differ at vertex %d", v)
+		}
+	}
+}
+
+func TestRootsetMatchingShuffleCount(t *testing.T) {
+	g := gen.PreferentialAttachment(900, 5, 7)
+	res, err := Run(g, newPipeline(7), Options{InMemoryThreshold: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases < 2 {
+		t.Fatalf("expected several phases, got %d", res.Phases)
+	}
+	if res.Stats.Shuffles != 2*res.Phases {
+		t.Fatalf("shuffles = %d, want 2 per phase (%d phases)", res.Stats.Shuffles, res.Phases)
+	}
+}
+
+func TestRootsetMatchingManyMoreShufflesThanAMPC(t *testing.T) {
+	g := gen.PreferentialAttachment(1000, 6, 13)
+	mpcRes, err := Run(g, newPipeline(13), Options{InMemoryThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ampcRes, err := corematching.Run(g, ampc.Config{Machines: 4, EnableCache: true, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ampcRes.Stats.Shuffles != 1 {
+		t.Fatalf("AMPC matching shuffles = %d, want 1", ampcRes.Stats.Shuffles)
+	}
+	if mpcRes.Stats.Shuffles <= 3 {
+		t.Fatalf("MPC baseline should need many shuffles, got %d", mpcRes.Stats.Shuffles)
+	}
+}
+
+func TestRootsetMatchingInMemoryOnlyPath(t *testing.T) {
+	g := gen.Grid(6, 7)
+	res, err := Run(g, newPipeline(3), Options{InMemoryThreshold: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases != 0 {
+		t.Fatalf("phases = %d, want 0", res.Phases)
+	}
+	if !seq.IsMaximalMatching(g, res.Matching) {
+		t.Fatal("in-memory path produced a non-maximal matching")
+	}
+}
+
+func TestRootsetMatchingStar(t *testing.T) {
+	g := gen.Star(300)
+	res, err := Run(g, newPipeline(9), Options{InMemoryThreshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matching.Size() != 1 {
+		t.Fatalf("star matching size %d, want 1", res.Matching.Size())
+	}
+}

@@ -1,0 +1,180 @@
+// Package mis implements the rootset-based MPC Maximal Independent Set
+// baseline of Figure 2 in the paper.
+//
+// The algorithm proceeds in phases.  In each phase every vertex whose
+// priority is smaller than all of its neighbors' priorities (a "rootset"
+// vertex) joins the MIS; rootset vertices and their neighbors are then
+// removed from the graph, which requires two shuffles (a join to mark removed
+// vertices and a join to delete their incident edges).  Following the paper,
+// the computation switches to a single-machine in-memory finish once the
+// graph shrinks below a configurable edge threshold.  For a given seed the
+// result is exactly the same lexicographically-first MIS that the AMPC
+// algorithm computes.
+package mis
+
+import (
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/mpc"
+	"ampcgraph/internal/rng"
+	"ampcgraph/internal/seq"
+)
+
+// DefaultInMemoryThreshold is the edge count below which the remaining graph
+// is solved on a single machine.  The paper uses 5×10⁷ for its data-center
+// runs; the default here is scaled to the synthetic stand-ins.
+const DefaultInMemoryThreshold = 50_000
+
+// Options configures the baseline.
+type Options struct {
+	// InMemoryThreshold overrides DefaultInMemoryThreshold when positive.
+	InMemoryThreshold int
+}
+
+// Result is the output of the MPC MIS baseline.
+type Result struct {
+	// InMIS marks the vertices of the maximal independent set.
+	InMIS []bool
+	// Phases is the number of rootset phases executed before the in-memory
+	// switch.
+	Phases int
+	// Stats are the dataflow statistics (shuffles, bytes, skew).
+	Stats mpc.Stats
+}
+
+type node struct {
+	id        graph.NodeID
+	neighbors []graph.NodeID
+}
+
+// Run computes the MIS of g on the given pipeline.
+func Run(g *graph.Graph, p *mpc.Pipeline, opts Options) (*Result, error) {
+	threshold := opts.InMemoryThreshold
+	if threshold <= 0 {
+		threshold = DefaultInMemoryThreshold
+	}
+	n := g.NumNodes()
+	seed := p.Seed()
+	prio := rng.VertexPriorities(seed, n)
+	inMIS := make([]bool, n)
+
+	// Materialize the input graph as a keyed collection of adjacency lists.
+	nodes := make([]mpc.KV[graph.NodeID, node], 0, n)
+	for v := 0; v < n; v++ {
+		nv := graph.NodeID(v)
+		nodes = append(nodes, mpc.KV[graph.NodeID, node]{
+			Key:   nv,
+			Value: node{id: nv, neighbors: append([]graph.NodeID(nil), g.Neighbors(nv)...)},
+		})
+	}
+	current := mpc.Materialize(p, nodes)
+
+	countEdges := func(c *mpc.Collection[mpc.KV[graph.NodeID, node]]) int64 {
+		var m int64
+		for _, kv := range c.Items() {
+			m += int64(len(kv.Value.neighbors))
+		}
+		return m / 2
+	}
+
+	phases := 0
+	for current.Len() > 0 && countEdges(current) > int64(threshold) {
+		phases++
+		p.Phase("rootset-phase", func() {
+			// (1) Local minima: every vertex can check its neighbors'
+			// priorities by hashing, so no shuffle is needed.
+			newSet := mpc.Filter(current, func(kv mpc.KV[graph.NodeID, node]) bool {
+				for _, u := range kv.Value.neighbors {
+					if prio[u] < prio[kv.Key] || (prio[u] == prio[kv.Key] && u < kv.Key) {
+						return false
+					}
+				}
+				return true
+			})
+			for _, kv := range newSet.Items() {
+				inMIS[kv.Key] = true
+			}
+			// (2) Vertices to remove: the rootset and all of its neighbors
+			// (no shuffle).
+			toRemove := mpc.ParDo(newSet, func(kv mpc.KV[graph.NodeID, node], emit func(mpc.KV[graph.NodeID, bool])) {
+				emit(mpc.KV[graph.NodeID, bool]{Key: kv.Key, Value: true})
+				for _, u := range kv.Value.neighbors {
+					emit(mpc.KV[graph.NodeID, bool]{Key: u, Value: true})
+				}
+			})
+			// (3) Mark removed vertices: join the graph with the removal set
+			// (first shuffle of the phase).
+			marked := mpc.CoGroupByKey(current, toRemove,
+				func(_ graph.NodeID, nd node) int { return 8 + 4*len(nd.neighbors) },
+				func(graph.NodeID, bool) int { return 9 },
+			)
+			// (4) Every removed vertex emits its incident edges for deletion
+			// (no shuffle).
+			type deletion struct{ from, to graph.NodeID }
+			edgesToDelete := mpc.ParDo(marked, func(kv mpc.KV[graph.NodeID, mpc.CoGroup[node, bool]], emit func(mpc.KV[graph.NodeID, deletion])) {
+				if len(kv.Value.Left) == 0 || len(kv.Value.Right) == 0 {
+					return // not removed
+				}
+				nd := kv.Value.Left[0]
+				for _, u := range nd.neighbors {
+					emit(mpc.KV[graph.NodeID, deletion]{Key: u, Value: deletion{from: u, to: nd.id}})
+				}
+			})
+			// Survivors keep their adjacency lists for the next join.
+			survivors := mpc.ParDo(marked, func(kv mpc.KV[graph.NodeID, mpc.CoGroup[node, bool]], emit func(mpc.KV[graph.NodeID, node])) {
+				if len(kv.Value.Left) == 0 || len(kv.Value.Right) > 0 {
+					return // removed
+				}
+				emit(mpc.KV[graph.NodeID, node]{Key: kv.Key, Value: kv.Value.Left[0]})
+			})
+			// (5) Remove deleted edges from the survivors (second shuffle).
+			joined := mpc.CoGroupByKey(survivors, edgesToDelete,
+				func(_ graph.NodeID, nd node) int { return 8 + 4*len(nd.neighbors) },
+				func(graph.NodeID, deletion) int { return 8 },
+			)
+			current = mpc.ParDo(joined, func(kv mpc.KV[graph.NodeID, mpc.CoGroup[node, deletion]], emit func(mpc.KV[graph.NodeID, node])) {
+				if len(kv.Value.Left) == 0 {
+					return
+				}
+				nd := kv.Value.Left[0]
+				dead := make(map[graph.NodeID]bool, len(kv.Value.Right))
+				for _, d := range kv.Value.Right {
+					dead[d.to] = true
+				}
+				kept := nd.neighbors[:0:0]
+				for _, u := range nd.neighbors {
+					if !dead[u] {
+						kept = append(kept, u)
+					}
+				}
+				emit(mpc.KV[graph.NodeID, node]{Key: kv.Key, Value: node{id: nd.id, neighbors: kept}})
+			})
+		})
+	}
+
+	// In-memory finish: greedy MIS over the remaining vertices with the same
+	// priorities.
+	p.Phase("in-memory-finish", func() {
+		remaining := current.Items()
+		if len(remaining) == 0 {
+			return
+		}
+		// Build the residual graph with original identifiers.
+		b := graph.NewBuilder(n)
+		present := make([]bool, n)
+		for _, kv := range remaining {
+			present[kv.Key] = true
+			for _, u := range kv.Value.neighbors {
+				b.AddEdge(kv.Key, u)
+			}
+		}
+		residual := b.Build()
+		local := seq.GreedyMIS(residual, prio)
+		for v := 0; v < n; v++ {
+			if present[v] && local[v] {
+				inMIS[v] = true
+			}
+		}
+	})
+
+	return &Result{InMIS: inMIS, Phases: phases, Stats: p.Stats()}, nil
+}

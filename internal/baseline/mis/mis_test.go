@@ -1,0 +1,155 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/ampc"
+	coremis "ampcgraph/internal/core/mis"
+	"ampcgraph/internal/gen"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/mpc"
+	"ampcgraph/internal/rng"
+	"ampcgraph/internal/seq"
+)
+
+func newPipeline(seed int64) *mpc.Pipeline {
+	return mpc.NewPipeline(mpc.Config{Workers: 4, Seed: seed})
+}
+
+func TestRootsetMISIsMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%200)
+		g := gen.ErdosRenyi(n, 3*n, seed)
+		res, err := Run(g, newPipeline(seed), Options{InMemoryThreshold: 10})
+		if err != nil {
+			return false
+		}
+		return seq.IsMaximalIndependentSet(g, res.InMIS)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootsetMISMatchesSequentialGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%150)
+		g := gen.ErdosRenyi(n, 3*n, seed)
+		res, err := Run(g, newPipeline(seed), Options{InMemoryThreshold: 5})
+		if err != nil {
+			return false
+		}
+		want := seq.GreedyMIS(g, rng.VertexPriorities(seed, n))
+		for v := range want {
+			if res.InMIS[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRootsetMISMatchesAMPC(t *testing.T) {
+	// The paper stresses that by sharing the source of randomness both models
+	// compute the same MIS; check AMPC vs MPC equality directly.
+	g := gen.PreferentialAttachment(600, 4, 77)
+	mpcRes, err := Run(g, newPipeline(77), Options{InMemoryThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ampcRes, err := coremis.Run(g, ampc.Config{Machines: 4, EnableCache: true, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range mpcRes.InMIS {
+		if mpcRes.InMIS[v] != ampcRes.InMIS[v] {
+			t.Fatalf("MPC and AMPC MIS differ at vertex %d", v)
+		}
+	}
+}
+
+func TestRootsetMISUsesTwoShufflesPerPhase(t *testing.T) {
+	g := gen.PreferentialAttachment(800, 5, 5)
+	res, err := Run(g, newPipeline(5), Options{InMemoryThreshold: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases < 2 {
+		t.Fatalf("expected several rootset phases, got %d", res.Phases)
+	}
+	if res.Stats.Shuffles != 2*res.Phases {
+		t.Fatalf("shuffles = %d, want 2 per phase (%d phases)", res.Stats.Shuffles, res.Phases)
+	}
+	if res.Stats.ShuffleBytes == 0 {
+		t.Fatal("no shuffle bytes recorded")
+	}
+}
+
+func TestRootsetMISManyMoreShufflesThanAMPC(t *testing.T) {
+	// Table 3's headline: the MPC baseline needs 8-14 shuffles while AMPC
+	// needs 1.
+	g := gen.PreferentialAttachment(1000, 6, 9)
+	mpcRes, err := Run(g, newPipeline(9), Options{InMemoryThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ampcRes, err := coremis.Run(g, ampc.Config{Machines: 4, EnableCache: true, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ampcRes.Stats.Shuffles != 1 {
+		t.Fatalf("AMPC shuffles = %d, want 1", ampcRes.Stats.Shuffles)
+	}
+	if mpcRes.Stats.Shuffles <= 3*ampcRes.Stats.Shuffles {
+		t.Fatalf("MPC baseline should need several times more shuffles: %d vs %d",
+			mpcRes.Stats.Shuffles, ampcRes.Stats.Shuffles)
+	}
+}
+
+func TestRootsetMISInMemoryOnlyPath(t *testing.T) {
+	// A graph below the threshold is solved entirely in memory (0 phases).
+	g := gen.Cycle(50)
+	res, err := Run(g, newPipeline(3), Options{InMemoryThreshold: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases != 0 {
+		t.Fatalf("phases = %d, want 0", res.Phases)
+	}
+	if !seq.IsMaximalIndependentSet(g, res.InMIS) {
+		t.Fatal("in-memory path produced a non-maximal set")
+	}
+}
+
+func TestRootsetMISEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(5, nil)
+	res, err := Run(g, newPipeline(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, in := range res.InMIS {
+		if !in {
+			t.Fatalf("isolated vertex %d should be in the MIS", v)
+		}
+	}
+}
+
+func TestRootsetMISSkewStatRecorded(t *testing.T) {
+	// The star graph exercises the join-skew statistic the paper blames for
+	// the MPC slowdown on ClueWeb.
+	g := gen.Star(2000)
+	res, err := Run(g, newPipeline(11), Options{InMemoryThreshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsMaximalIndependentSet(g, res.InMIS) {
+		t.Fatal("star MIS wrong")
+	}
+	if res.Phases > 0 && res.Stats.MaxGroupSize < 100 {
+		t.Fatalf("expected a large skewed group, got %d", res.Stats.MaxGroupSize)
+	}
+}

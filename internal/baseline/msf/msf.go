@@ -1,0 +1,209 @@
+// Package msf implements the Borůvka-style MPC minimum spanning forest
+// baseline of Section 5.5 of the paper.
+//
+// In each phase every vertex colors itself red or blue with an unbiased coin;
+// each blue vertex finds its minimum-weight incident edge and, if the other
+// endpoint is red, contracts into it.  Each phase performs three shuffles
+// (electing the minimum edges, building the contraction mapping, and
+// rebuilding the contracted graph), and the computation switches to an
+// in-memory finish once the number of edges drops below a threshold.  Because
+// only a constant fraction of the vertices contracts per phase, the baseline
+// needs many more shuffles than the AMPC algorithm (11–28 phases in the
+// paper), which is exactly the effect Table 3 and Figure 7 measure.
+package msf
+
+import (
+	"sort"
+
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/mpc"
+	"ampcgraph/internal/rng"
+	"ampcgraph/internal/seq"
+)
+
+// DefaultInMemoryThreshold mirrors the paper's 5×10⁷ switch-over, scaled to
+// the synthetic stand-ins.
+const DefaultInMemoryThreshold = 50_000
+
+// Options configures the baseline.
+type Options struct {
+	// InMemoryThreshold overrides DefaultInMemoryThreshold when positive.
+	InMemoryThreshold int
+	// MaxPhases caps the number of Borůvka phases (a safety net; the default
+	// of 0 means no cap beyond the natural termination).
+	MaxPhases int
+}
+
+// Result is the output of the MPC MSF baseline.
+type Result struct {
+	// Edges are the forest edges in original-graph coordinates.
+	Edges []graph.WeightedEdge
+	// TotalWeight is the sum of the forest edge weights.
+	TotalWeight float64
+	// Phases is the number of Borůvka phases executed.
+	Phases int
+	// Stats are the dataflow statistics.
+	Stats mpc.Stats
+}
+
+// edgeLess is the same tie-broken edge order used by the AMPC MSF package, so
+// both implementations agree on the (unique) forest.
+func edgeLess(a, b graph.WeightedEdge) bool {
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	ac, bc := a.Canonical(), b.Canonical()
+	if ac.U != bc.U {
+		return ac.U < bc.U
+	}
+	return ac.V < bc.V
+}
+
+type contractedEdge struct {
+	u, v graph.NodeID       // endpoints in the current contracted graph
+	orig graph.WeightedEdge // the original edge of g it represents
+}
+
+// Run computes the minimum spanning forest of the weighted graph g on the
+// given pipeline.
+func Run(g *graph.Graph, p *mpc.Pipeline, opts Options) (*Result, error) {
+	threshold := opts.InMemoryThreshold
+	if threshold <= 0 {
+		threshold = DefaultInMemoryThreshold
+	}
+	seed := p.Seed()
+	res := &Result{}
+
+	// Current contracted edge list, in current coordinates with original
+	// provenance.
+	var edges []contractedEdge
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		edges = append(edges, contractedEdge{u: u, v: v, orig: graph.WeightedEdge{U: u, V: v, W: w}})
+	})
+	phase := 0
+	for len(edges) > threshold {
+		phase++
+		p.Phase("boruvka-phase", func() {
+			coll := mpc.Materialize(p, edges)
+			// (1) Every vertex elects its minimum incident edge (one shuffle
+			// grouping edges by endpoint).
+			byVertex := mpc.ParDo(coll, func(e contractedEdge, emit func(mpc.KV[graph.NodeID, contractedEdge])) {
+				emit(mpc.KV[graph.NodeID, contractedEdge]{Key: e.u, Value: e})
+				emit(mpc.KV[graph.NodeID, contractedEdge]{Key: e.v, Value: e})
+			})
+			grouped := mpc.GroupByKey(byVertex, func(graph.NodeID, contractedEdge) int { return 20 })
+			// (2) Blue vertices whose minimum edge leads to a red vertex
+			// contract along it (one shuffle to publish the mapping).
+			isBlue := func(v graph.NodeID) bool { return rng.Hash64(seed+int64(phase), uint64(v))&1 == 0 }
+			type hook struct {
+				from, to graph.NodeID
+				edge     graph.WeightedEdge
+			}
+			hooks := mpc.ParDo(grouped, func(kv mpc.KV[graph.NodeID, []contractedEdge], emit func(mpc.KV[graph.NodeID, hook])) {
+				v := kv.Key
+				if !isBlue(v) {
+					return
+				}
+				best := kv.Value[0]
+				for _, e := range kv.Value[1:] {
+					if edgeLess(e.orig, best.orig) {
+						best = e
+					}
+				}
+				other := best.u
+				if other == v {
+					other = best.v
+				}
+				if isBlue(other) {
+					return
+				}
+				emit(mpc.KV[graph.NodeID, hook]{Key: v, Value: hook{from: v, to: other, edge: best.orig}})
+			})
+			published := mpc.GroupByKey(hooks, func(graph.NodeID, hook) int { return 12 })
+			mapping := make(map[graph.NodeID]graph.NodeID)
+			for _, kv := range published.Items() {
+				h := kv.Value[0]
+				mapping[h.from] = h.to
+				res.Edges = append(res.Edges, h.edge)
+			}
+			// (3) Rebuild the contracted edge list (one shuffle), dropping
+			// self-loops and keeping the minimum parallel edge per pair.
+			relabel := func(v graph.NodeID) graph.NodeID {
+				if t, ok := mapping[v]; ok {
+					return t
+				}
+				return v
+			}
+			rekeyed := mpc.ParDo(coll, func(e contractedEdge, emit func(mpc.KV[uint64, contractedEdge])) {
+				u, v := relabel(e.u), relabel(e.v)
+				if u == v {
+					return
+				}
+				if u > v {
+					u, v = v, u
+				}
+				emit(mpc.KV[uint64, contractedEdge]{Key: uint64(u)<<32 | uint64(v), Value: contractedEdge{u: u, v: v, orig: e.orig}})
+			})
+			perPair := mpc.GroupByKey(rekeyed, func(uint64, contractedEdge) int { return 24 })
+			next := make([]contractedEdge, 0, perPair.Len())
+			for _, kv := range perPair.Items() {
+				best := kv.Value[0]
+				for _, e := range kv.Value[1:] {
+					if edgeLess(e.orig, best.orig) {
+						best = e
+					}
+				}
+				next = append(next, best)
+			}
+			edges = next
+		})
+		if opts.MaxPhases > 0 && phase >= opts.MaxPhases {
+			break
+		}
+		if phase > 200 {
+			break
+		}
+	}
+	res.Phases = phase
+
+	// In-memory finish: Kruskal over the remaining contracted edges ordered
+	// by their original identities.
+	p.Phase("in-memory-finish", func() {
+		sort.Slice(edges, func(i, j int) bool { return edgeLess(edges[i].orig, edges[j].orig) })
+		index := make(map[graph.NodeID]graph.NodeID)
+		idOf := func(v graph.NodeID) graph.NodeID {
+			id, ok := index[v]
+			if !ok {
+				id = graph.NodeID(len(index))
+				index[v] = id
+			}
+			return id
+		}
+		for _, e := range edges {
+			idOf(e.u)
+			idOf(e.v)
+		}
+		ds := seq.NewDSU(len(index))
+		for _, e := range edges {
+			if ds.Union(index[e.u], index[e.v]) {
+				res.Edges = append(res.Edges, e.orig)
+			}
+		}
+	})
+
+	// Canonicalize and deduplicate the collected forest edges.
+	seen := make(map[graph.Edge]bool, len(res.Edges))
+	out := res.Edges[:0]
+	for _, e := range res.Edges {
+		c := graph.Edge{U: e.U, V: e.V}.Canonical()
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, graph.WeightedEdge{U: c.U, V: c.V, W: e.W})
+		res.TotalWeight += e.W
+	}
+	res.Edges = out
+	res.Stats = p.Stats()
+	return res, nil
+}

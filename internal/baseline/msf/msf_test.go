@@ -1,0 +1,129 @@
+package msf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/ampc"
+	coremsf "ampcgraph/internal/core/msf"
+	"ampcgraph/internal/gen"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/mpc"
+	"ampcgraph/internal/seq"
+)
+
+func newPipeline(seed int64) *mpc.Pipeline {
+	return mpc.NewPipeline(mpc.Config{Workers: 4, Seed: seed})
+}
+
+func weightsEqual(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestBoruvkaMatchesKruskal(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%200)
+		g := gen.RandomWeights(gen.ErdosRenyi(n, 3*n, seed), seed+1)
+		res, err := Run(g, newPipeline(seed), Options{InMemoryThreshold: 16})
+		if err != nil {
+			return false
+		}
+		want := seq.KruskalMSF(g)
+		return len(res.Edges) == len(want) &&
+			weightsEqual(res.TotalWeight, seq.MSFWeight(want)) &&
+			seq.IsSpanningForest(g, res.Edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoruvkaWithDegreeWeights(t *testing.T) {
+	// Degree-proportional weights produce heavy ties, exercising the shared
+	// tie-breaking rule.
+	g := gen.DegreeProportionalWeights(gen.PreferentialAttachment(500, 4, 3))
+	res, err := Run(g, newPipeline(3), Options{InMemoryThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.KruskalMSF(g)
+	if len(res.Edges) != len(want) || !weightsEqual(res.TotalWeight, seq.MSFWeight(want)) {
+		t.Fatalf("got %d edges weight %v, want %d weight %v",
+			len(res.Edges), res.TotalWeight, len(want), seq.MSFWeight(want))
+	}
+}
+
+func TestBoruvkaMatchesAMPCWeight(t *testing.T) {
+	g := gen.RandomWeights(gen.PreferentialAttachment(600, 4, 5), 6)
+	mpcRes, err := Run(g, newPipeline(5), Options{InMemoryThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ampcRes, err := coremsf.Run(g, ampc.Config{Machines: 4, EnableCache: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !weightsEqual(mpcRes.TotalWeight, ampcRes.TotalWeight) {
+		t.Fatalf("MPC weight %v != AMPC weight %v", mpcRes.TotalWeight, ampcRes.TotalWeight)
+	}
+}
+
+func TestBoruvkaThreeShufflesPerPhase(t *testing.T) {
+	g := gen.RandomWeights(gen.PreferentialAttachment(1200, 5, 9), 10)
+	res, err := Run(g, newPipeline(9), Options{InMemoryThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases < 2 {
+		t.Fatalf("expected several Borůvka phases, got %d", res.Phases)
+	}
+	if res.Stats.Shuffles != 3*res.Phases {
+		t.Fatalf("shuffles = %d, want 3 per phase (%d phases)", res.Stats.Shuffles, res.Phases)
+	}
+}
+
+func TestBoruvkaManyMoreShufflesThanAMPC(t *testing.T) {
+	// Table 3: AMPC MSF uses 5 shuffles while the Borůvka baseline needs
+	// dozens.
+	g := gen.RandomWeights(gen.PreferentialAttachment(2000, 5, 11), 12)
+	mpcRes, err := Run(g, newPipeline(11), Options{InMemoryThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ampcRes, err := coremsf.Run(g, ampc.Config{Machines: 4, EnableCache: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ampcRes.Stats.Shuffles != 5 {
+		t.Fatalf("AMPC shuffles = %d, want 5", ampcRes.Stats.Shuffles)
+	}
+	if mpcRes.Stats.Shuffles <= 2*ampcRes.Stats.Shuffles {
+		t.Fatalf("Borůvka should need far more shuffles: %d vs %d", mpcRes.Stats.Shuffles, ampcRes.Stats.Shuffles)
+	}
+}
+
+func TestBoruvkaDisconnectedGraph(t *testing.T) {
+	g := gen.RandomWeights(gen.TwoCycles(100), 13)
+	res, err := Run(g, newPipeline(13), Options{InMemoryThreshold: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 2*100-2 {
+		t.Fatalf("forest size %d, want %d", len(res.Edges), 2*100-2)
+	}
+}
+
+func TestBoruvkaInMemoryOnlyPath(t *testing.T) {
+	g := graph.FromWeightedEdges(4, []graph.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3}, {U: 0, V: 3, W: 4},
+	})
+	res, err := Run(g, newPipeline(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Phases != 0 {
+		t.Fatalf("phases = %d, want 0", res.Phases)
+	}
+	if !weightsEqual(res.TotalWeight, 6) {
+		t.Fatalf("weight %v, want 6", res.TotalWeight)
+	}
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"ampcgraph/internal/core/connectivity"
+	"ampcgraph/internal/graph"
+)
+
+// connectivityRun runs the AMPC connectivity pipeline with the experiment's
+// configuration.
+func connectivityRun(g *graph.Graph, opts Options) (*connectivity.Result, error) {
+	return connectivity.Run(g, opts.ampcConfig())
+}
+
+// AllExperiments lists the experiment names understood by cmd/ampcbench and
+// RunByName, in the order they appear in the paper.
+func AllExperiments() []string {
+	return []string{
+		"table2", "table3", "figure3", "figure4", "figure5", "figure6",
+		"figure7", "figure8", "figure9", "table4", "cycle", "connectivity",
+	}
+}
+
+// RunByName runs the named experiment and returns its formatted report.
+func RunByName(name string, opts Options) (Report, error) {
+	switch name {
+	case "table2":
+		return Table2(opts)
+	case "table3":
+		_, rep, err := Table3(opts)
+		return rep, err
+	case "figure3":
+		_, rep, err := Figure3(opts)
+		return rep, err
+	case "figure4":
+		_, rep, err := Figure4(opts)
+		return rep, err
+	case "figure5":
+		_, rep, err := Figure5(opts)
+		return rep, err
+	case "figure6":
+		_, rep, err := Figure6(opts)
+		return rep, err
+	case "figure7":
+		_, rep, err := Figure7(opts)
+		return rep, err
+	case "figure8":
+		_, rep, err := Figure8(opts)
+		return rep, err
+	case "figure9":
+		_, rep, err := Figure9(opts)
+		return rep, err
+	case "table4":
+		_, rep, err := Table4(opts)
+		return rep, err
+	case "cycle":
+		_, rep, err := Section56Cycle(opts)
+		return rep, err
+	case "connectivity":
+		_, rep, err := Section57Connectivity(opts)
+		return rep, err
+	default:
+		return Report{}, errUnknownExperiment(name)
+	}
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "bench: unknown experiment " + string(e) + " (known: " + joinNames() + ")"
+}
+
+func joinNames() string {
+	out := ""
+	for i, n := range AllExperiments() {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

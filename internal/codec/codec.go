@@ -1,0 +1,118 @@
+// Package codec provides the compact binary encodings used for the values
+// stored in the distributed hash table: neighbor lists, weight-sorted
+// adjacency lists and small fixed records.  Keeping a real byte encoding
+// (rather than storing Go slices directly) makes the byte counters reported
+// by the runtimes meaningful, which matters because Figures 3 and 9 of the
+// paper are measured in bytes.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ampcgraph/internal/graph"
+)
+
+// AppendUint32 appends v in little-endian order.
+func AppendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// AppendUint64 appends v in little-endian order.
+func AppendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// EncodeNodeIDs encodes a neighbor list.
+func EncodeNodeIDs(ids []graph.NodeID) []byte {
+	b := make([]byte, 0, 4+4*len(ids))
+	b = AppendUint32(b, uint32(len(ids)))
+	for _, id := range ids {
+		b = AppendUint32(b, uint32(id))
+	}
+	return b
+}
+
+// DecodeNodeIDs decodes a neighbor list encoded by EncodeNodeIDs.
+func DecodeNodeIDs(b []byte) ([]graph.NodeID, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("codec: short buffer (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if len(b) != int(4+4*n) {
+		return nil, fmt.Errorf("codec: length mismatch: header %d, bytes %d", n, len(b))
+	}
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(binary.LittleEndian.Uint32(b[4+4*i:]))
+	}
+	return out, nil
+}
+
+// WeightedNeighbor is one entry of a weight-annotated adjacency list.
+type WeightedNeighbor struct {
+	Node   graph.NodeID
+	Weight float64
+}
+
+// EncodeWeightedNeighbors encodes a weighted adjacency list.
+func EncodeWeightedNeighbors(ns []WeightedNeighbor) []byte {
+	b := make([]byte, 0, 4+12*len(ns))
+	b = AppendUint32(b, uint32(len(ns)))
+	for _, n := range ns {
+		b = AppendUint32(b, uint32(n.Node))
+		b = AppendUint64(b, math.Float64bits(n.Weight))
+	}
+	return b
+}
+
+// DecodeWeightedNeighbors decodes a list encoded by EncodeWeightedNeighbors.
+func DecodeWeightedNeighbors(b []byte) ([]WeightedNeighbor, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("codec: short buffer (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if len(b) != int(4+12*n) {
+		return nil, fmt.Errorf("codec: length mismatch: header %d, bytes %d", n, len(b))
+	}
+	out := make([]WeightedNeighbor, n)
+	for i := range out {
+		off := 4 + 12*i
+		out[i].Node = graph.NodeID(binary.LittleEndian.Uint32(b[off:]))
+		out[i].Weight = math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+	}
+	return out, nil
+}
+
+// EncodeNodeID encodes a single vertex identifier.
+func EncodeNodeID(id graph.NodeID) []byte {
+	return AppendUint32(nil, uint32(id))
+}
+
+// DecodeNodeID decodes a single vertex identifier.
+func DecodeNodeID(b []byte) (graph.NodeID, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("codec: want 4 bytes, got %d", len(b))
+	}
+	return graph.NodeID(binary.LittleEndian.Uint32(b)), nil
+}
+
+// EncodeUint64 encodes a single 64-bit value.
+func EncodeUint64(v uint64) []byte { return AppendUint64(nil, v) }
+
+// DecodeUint64 decodes a single 64-bit value.
+func DecodeUint64(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("codec: want 8 bytes, got %d", len(b))
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// SizeOfNodeList returns the encoded size in bytes of a neighbor list of the
+// given length; used by the MPC runtime's shuffle byte accounting.
+func SizeOfNodeList(length int) int { return 4 + 4*length }
+
+// SizeOfWeightedList returns the encoded size of a weighted adjacency list of
+// the given length.
+func SizeOfWeightedList(length int) int { return 4 + 12*length }

@@ -1,0 +1,206 @@
+// Package cycle implements the AMPC 1-vs-2-Cycle algorithm of Section 5.6.
+//
+// The input is promised to be either a single cycle on n vertices or two
+// disjoint cycles on n/2 vertices each; the task is to tell which.  The MPC
+// model needs Ω(log n) rounds for this under the 1-vs-2-Cycle conjecture,
+// while the AMPC algorithm needs O(1) rounds: sample vertices with a small
+// probability, walk around the cycle from each sampled vertex until the next
+// sampled vertex is reached (using the key-value store for adjacency
+// lookups), contract the walks into a graph on the samples, and decide on a
+// single machine by counting the cycles of the contracted graph.
+package cycle
+
+import (
+	"fmt"
+	"sync"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/codec"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/rng"
+	"ampcgraph/internal/seq"
+)
+
+// Result is the output of the 1-vs-2-Cycle computation.
+type Result struct {
+	// SingleCycle is true when the input is one cycle, false for two.
+	SingleCycle bool
+	// NumCycles is the number of cycles found (1 or 2 for promise inputs).
+	NumCycles int
+	// SampledVertices is the number of sampled vertices.
+	SampledVertices int
+	// MaxWalkLength is the longest walk performed by any sample.
+	MaxWalkLength int
+	// Stats are the runtime statistics.
+	Stats ampc.Stats
+}
+
+// SampleProbability is the default sampling probability used by the paper's
+// implementation (1/1024).
+const SampleProbability = 1.0 / 1024
+
+// Run decides whether g is a single cycle or two cycles.  Every vertex of g
+// must have degree exactly 2.
+func Run(g *graph.Graph, cfg ampc.Config) (*Result, error) {
+	return RunWithProbability(g, cfg, SampleProbability)
+}
+
+// RunWithProbability is Run with an explicit sampling probability, exposed
+// for the sampling-rate ablation.
+func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, error) {
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		if g.Degree(graph.NodeID(v)) != 2 {
+			return nil, fmt.Errorf("cycle: vertex %d has degree %d, want 2", v, g.Degree(graph.NodeID(v)))
+		}
+	}
+	if p <= 0 || p > 1 {
+		return nil, fmt.Errorf("cycle: sampling probability %v out of (0,1]", p)
+	}
+	rt := ampc.New(cfg)
+	cfgD := rt.Config()
+	res := &Result{}
+
+	// Choose the samples.  At least two vertices are always sampled so the
+	// contracted graph is well defined even on tiny inputs.
+	sampled := make([]bool, n)
+	var samples []graph.NodeID
+	err := rt.Phase("Sample", func() error {
+		for v := 0; v < n; v++ {
+			if rng.UniformFloat(cfgD.Seed+3, uint64(v)) < p {
+				sampled[v] = true
+				samples = append(samples, graph.NodeID(v))
+			}
+		}
+		for v := 0; len(samples) < 2 && v < n; v++ {
+			if !sampled[v] {
+				sampled[v] = true
+				samples = append(samples, graph.NodeID(v))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.SampledVertices = len(samples)
+
+	// Write the adjacency lists to the key-value store (the single shuffle of
+	// the AMPC algorithm).
+	store := rt.NewStore("cycle-adjacency")
+	err = rt.Phase("KV-Write", func() error {
+		var bytes int64
+		for v := 0; v < n; v++ {
+			bytes += int64(codec.SizeOfNodeList(g.Degree(graph.NodeID(v))))
+		}
+		rt.RecordShuffle("cycle-graph", bytes)
+		return rt.Run(ampc.Round{
+			Name:  "kv-write",
+			Items: n,
+			Body: func(ctx *ampc.Ctx, item int) error {
+				ctx.ChargeCompute(1)
+				return ctx.Write(store, uint64(item), codec.EncodeNodeIDs(g.Neighbors(graph.NodeID(item))))
+			},
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Walk from every sample in both directions until the next sample.
+	type link struct{ a, b graph.NodeID }
+	var mu sync.Mutex
+	var links []link
+	maxWalk := 0
+	totalSteps := 0
+	err = rt.Phase("Walk", func() error {
+		return rt.Run(ampc.Round{
+			Name:  "walk",
+			Items: len(samples),
+			Read:  store,
+			Body: func(ctx *ampc.Ctx, item int) error {
+				start := samples[item]
+				for _, first := range g.Neighbors(start) {
+					end, steps, err := walk(ctx, start, first, sampled, n)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					links = append(links, link{start, end})
+					totalSteps += steps
+					if steps > maxWalk {
+						maxWalk = steps
+					}
+					mu.Unlock()
+				}
+				return nil
+			},
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.MaxWalkLength = maxWalk
+
+	// Contract to the sampled graph and solve on a single machine.
+	err = rt.Phase("Contract", func() error {
+		rt.RecordShuffle("sampled-graph", int64(len(links))*8)
+		// Count the cycles of the multigraph on the samples.  Each sample has
+		// exactly two walks (one per direction) and each cycle of the input
+		// maps to one cycle of the sampled multigraph, so the number of
+		// components of the sampled graph equals the number of cycles.
+		index := make(map[graph.NodeID]graph.NodeID, len(samples))
+		for i, s := range samples {
+			index[s] = graph.NodeID(i)
+		}
+		ds := seq.NewDSU(len(samples))
+		for _, l := range links {
+			ds.Union(index[l.a], index[l.b])
+		}
+		res.NumCycles = ds.NumSets()
+		// Every edge of a cycle containing a sample is traversed exactly
+		// twice (once per direction), so fewer than 2n total steps means some
+		// cycle received no sample at all and must be counted separately.
+		if totalSteps < 2*n {
+			res.NumCycles++
+		}
+		res.SingleCycle = res.NumCycles == 1
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = rt.Stats()
+	return res, nil
+}
+
+// walk follows the cycle from start through its neighbor first until a
+// sampled vertex is reached, returning that vertex and the number of steps.
+func walk(ctx *ampc.Ctx, start, first graph.NodeID, sampled []bool, n int) (graph.NodeID, int, error) {
+	prev, cur := start, first
+	steps := 1
+	for !sampled[cur] {
+		raw, ok, err := ctx.Lookup(uint64(cur))
+		if err != nil {
+			return graph.None, 0, err
+		}
+		if !ok {
+			return graph.None, 0, fmt.Errorf("cycle: vertex %d missing from the key-value store", cur)
+		}
+		nbrs, err := codec.DecodeNodeIDs(raw)
+		if err != nil {
+			return graph.None, 0, err
+		}
+		next := nbrs[0]
+		if next == prev {
+			next = nbrs[1]
+		}
+		prev, cur = cur, next
+		steps++
+		ctx.ChargeCompute(1)
+		if steps > n+1 {
+			return graph.None, 0, fmt.Errorf("cycle: walk from %d did not terminate", start)
+		}
+	}
+	return cur, steps, nil
+}

@@ -1,0 +1,135 @@
+package cycle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/gen"
+)
+
+func defaultCfg(seed int64) ampc.Config {
+	return ampc.Config{Machines: 4, Threads: 2, Seed: seed}
+}
+
+func TestSingleCycleDetected(t *testing.T) {
+	g := gen.Cycle(5000)
+	res, err := Run(g, defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SingleCycle || res.NumCycles != 1 {
+		t.Fatalf("got %d cycles, want 1", res.NumCycles)
+	}
+}
+
+func TestTwoCyclesDetected(t *testing.T) {
+	g := gen.TwoCycles(2500)
+	res, err := Run(g, defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SingleCycle || res.NumCycles != 2 {
+		t.Fatalf("got %d cycles, want 2", res.NumCycles)
+	}
+}
+
+func TestShuffledLabels(t *testing.T) {
+	f := func(seed int64) bool {
+		single := seed%2 == 0
+		g := gen.OneOrTwoCycles(1500, single, seed)
+		res, err := Run(g, defaultCfg(seed))
+		if err != nil {
+			return false
+		}
+		return res.SingleCycle == single
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTinyCyclesWithForcedSamples(t *testing.T) {
+	// With the default 1/1024 sampling probability nothing would be sampled
+	// on a tiny input; the implementation forces at least two samples and
+	// uses the coverage check to detect an unsampled cycle.
+	for _, single := range []bool{true, false} {
+		g := gen.OneOrTwoCycles(10, single, 3)
+		res, err := Run(g, defaultCfg(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SingleCycle != single {
+			t.Fatalf("single=%v misclassified", single)
+		}
+	}
+}
+
+func TestRejectsNonCycleInput(t *testing.T) {
+	if _, err := Run(gen.Star(6), defaultCfg(1)); err == nil {
+		t.Fatal("non-cycle graph accepted")
+	}
+}
+
+func TestRejectsBadProbability(t *testing.T) {
+	if _, err := RunWithProbability(gen.Cycle(10), defaultCfg(1), 0); err == nil {
+		t.Fatal("probability 0 accepted")
+	}
+	if _, err := RunWithProbability(gen.Cycle(10), defaultCfg(1), 1.5); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+}
+
+func TestSamplingProbabilityControlsWalkLength(t *testing.T) {
+	g := gen.Cycle(20000)
+	sparse, err := RunWithProbability(g, defaultCfg(5), 1.0/2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := RunWithProbability(g, defaultCfg(5), 1.0/64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.SingleCycle || !dense.SingleCycle {
+		t.Fatal("misclassified")
+	}
+	if dense.SampledVertices <= sparse.SampledVertices {
+		t.Fatalf("denser sampling should sample more vertices: %d vs %d",
+			dense.SampledVertices, sparse.SampledVertices)
+	}
+	if dense.MaxWalkLength >= sparse.MaxWalkLength {
+		t.Fatalf("denser sampling should shorten walks: %d vs %d",
+			dense.MaxWalkLength, sparse.MaxWalkLength)
+	}
+}
+
+func TestUsesOneShuffle(t *testing.T) {
+	// The AMPC 1-vs-2-Cycle algorithm writes the graph to the key-value store
+	// with a single shuffle plus the small contracted-graph shuffle.
+	g := gen.TwoCycles(5000)
+	res, err := Run(g, defaultCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shuffles > 2 {
+		t.Fatalf("shuffles = %d, want at most 2", res.Stats.Shuffles)
+	}
+	if res.Stats.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestDeterministicAcrossMachines(t *testing.T) {
+	g := gen.OneOrTwoCycles(4000, false, 9)
+	a, err := Run(g, ampc.Config{Machines: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, ampc.Config{Machines: 8, Threads: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SingleCycle != b.SingleCycle || a.NumCycles != b.NumCycles || a.SampledVertices != b.SampledVertices {
+		t.Fatal("result depends on the machine configuration")
+	}
+}

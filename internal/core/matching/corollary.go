@@ -1,0 +1,135 @@
+package matching
+
+import (
+	"fmt"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/seq"
+)
+
+// ApproxMaxWeightMatching computes a (2+ε)-approximate maximum weight
+// matching of the weighted graph g (Corollary 4.1): the greedy maximal
+// matching under the order of decreasing edge weight is a 1/2-approximation,
+// and it is computed with the same constant-round AMPC machinery as the
+// unweighted matching.
+func ApproxMaxWeightMatching(g *graph.Graph, cfg ampc.Config) (*Result, error) {
+	if !g.Weighted() {
+		return nil, fmt.Errorf("matching: ApproxMaxWeightMatching needs a weighted graph")
+	}
+	return RunWithRank(g, cfg, WeightEdgeRank(g, cfg.Seed))
+}
+
+// VertexCoverResult is the output of ApproxVertexCover.
+type VertexCoverResult struct {
+	// Cover is the 2-approximate vertex cover (both endpoints of every
+	// matched edge).
+	Cover []graph.NodeID
+	// MatchingResult is the underlying maximal matching computation.
+	MatchingResult *Result
+}
+
+// ApproxVertexCover computes a 2-approximate minimum vertex cover
+// (Corollary 4.1) by taking both endpoints of the AMPC maximal matching.
+func ApproxVertexCover(g *graph.Graph, cfg ampc.Config) (*VertexCoverResult, error) {
+	res, err := Run(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &VertexCoverResult{
+		Cover:          seq.VertexCoverFromMatching(res.Matching),
+		MatchingResult: res,
+	}, nil
+}
+
+// ApproxMaximumMatching computes a (1+ε)-approximate maximum cardinality
+// matching (Corollary 4.1).  It starts from the AMPC maximal matching (a
+// 2-approximation) and then eliminates all augmenting paths of length at most
+// 2·⌈1/ε⌉+1; a matching with no augmenting path shorter than 2k+1 is a
+// (1+1/k)-approximation, which gives the corollary's guarantee.  The
+// augmentation step is the standard driver-side post-processing used to
+// realize the corollary; each length bound corresponds to O(1/ε) additional
+// passes over the graph.
+func ApproxMaximumMatching(g *graph.Graph, cfg ampc.Config, epsilon float64) (*Result, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("matching: epsilon must be positive, got %v", epsilon)
+	}
+	res, err := Run(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	k := int(1/epsilon) + 1
+	AugmentShortPaths(g, res.Matching, 2*k+1)
+	return res, nil
+}
+
+// AugmentShortPaths repeatedly finds and flips augmenting paths of length at
+// most maxLen (an odd number of edges) until none remain.  It modifies m in
+// place.  A matching without augmenting paths of length < 2k+1 is a
+// (1+1/k)-approximation of the maximum matching.
+func AugmentShortPaths(g *graph.Graph, m *seq.Matching, maxLen int) {
+	if maxLen < 1 {
+		return
+	}
+	improved := true
+	for improved {
+		improved = false
+		for v := 0; v < g.NumNodes(); v++ {
+			if m.Matched(graph.NodeID(v)) {
+				continue
+			}
+			if path := findAugmentingPath(g, m, graph.NodeID(v), maxLen); path != nil {
+				flip(m, path)
+				improved = true
+			}
+		}
+	}
+}
+
+// findAugmentingPath looks for an alternating path of at most maxLen edges
+// from the unmatched vertex start to another unmatched vertex, using
+// depth-first search over alternating (unmatched, matched) edge pairs.
+func findAugmentingPath(g *graph.Graph, m *seq.Matching, start graph.NodeID, maxLen int) []graph.NodeID {
+	// visited guards against revisiting vertices within one search.
+	visited := map[graph.NodeID]bool{start: true}
+	var dfs func(v graph.NodeID, length int) []graph.NodeID
+	dfs = func(v graph.NodeID, length int) []graph.NodeID {
+		if length >= maxLen {
+			return nil
+		}
+		for _, u := range g.Neighbors(v) {
+			if visited[u] {
+				continue
+			}
+			if !m.Matched(u) {
+				// Unmatched edge to an unmatched vertex completes the path.
+				return []graph.NodeID{v, u}
+			}
+			w := m.Mate[u]
+			if visited[w] || length+2 > maxLen {
+				continue
+			}
+			visited[u], visited[w] = true, true
+			if rest := dfs(w, length+2); rest != nil {
+				return append([]graph.NodeID{v, u}, rest...)
+			}
+			// Leave u, w marked visited: within a single search this only
+			// prunes alternative routes through the same matched edge.
+		}
+		return nil
+	}
+	if p := dfs(start, 0); p != nil {
+		return p
+	}
+	return nil
+}
+
+// flip toggles the matching along an augmenting path given as a vertex
+// sequence v0, v1, ..., v_{2k+1} (odd number of edges, both ends unmatched).
+func flip(m *seq.Matching, path []graph.NodeID) {
+	for i := 0; i+1 < len(path); i += 2 {
+		a, b := path[i], path[i+1]
+		m.Mate[a] = b
+		m.Mate[b] = a
+	}
+}

@@ -1,0 +1,121 @@
+package matching
+
+import (
+	"fmt"
+	"math"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/seq"
+)
+
+// RunFiltered computes the random-greedy maximal matching with the
+// O(log log Δ)-round algorithm of Theorem 2 (part 1), given as Algorithm 4 in
+// the paper:
+//
+//	for i = 1 .. ⌈log₂ log₂ Δ⌉ + 1:
+//	    if Δ(Gᵢ) > 10·log n:  Hᵢ = edges of Gᵢ with rank ≤ Δᵢ^(-1/2)
+//	    else:                 Hᵢ = Gᵢ
+//	    Mᵢ = GreedyMM(Hᵢ, π)           (via the AMPC query process)
+//	    Gᵢ₊₁ = Gᵢ[V \ V(Mᵢ)]
+//	return M₁ ∪ M₂ ∪ …
+//
+// Because the greedy matching of a rank-prefix is exactly the rank-prefix of
+// the global greedy matching, the union equals the matching produced by Run
+// for the same seed; the tests verify this equality.
+func RunFiltered(g *graph.Graph, cfg ampc.Config) (*Result, error) {
+	rt := ampc.New(cfg)
+	cfgD := rt.Config()
+	n := g.NumNodes()
+	rank := UniformEdgeRank(cfgD.Seed)
+
+	total := seq.NewMatching(n)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	delta := g.MaxDegree()
+	maxIters := 1
+	if delta > 2 {
+		maxIters = int(math.Ceil(math.Log2(math.Log2(float64(delta))))) + 1
+	}
+	// A couple of slack iterations guard against the filtered subgraphs
+	// emptying slightly later than the high-probability analysis promises.
+	maxIters += 3
+
+	iterations := 0
+	searchRounds := 0
+	for iter := 1; iter <= maxIters; iter++ {
+		sub, orig := graph.InducedSubgraph(g, alive)
+		if sub.NumEdges() == 0 {
+			break
+		}
+		iterations++
+		subRank := func(u, v graph.NodeID) uint64 { return rank(orig[u], orig[v]) }
+
+		deltaI := sub.MaxDegree()
+		threshold := uint64(math.MaxUint64)
+		if float64(deltaI) > 10*math.Log(float64(n)+1) {
+			p := 1 / math.Sqrt(float64(deltaI))
+			threshold = uint64(p * float64(math.MaxUint64))
+		}
+		// Hᵢ: the low-rank edge sample of the surviving graph.
+		hb := graph.NewBuilder(sub.NumNodes())
+		sub.ForEachEdge(func(u, v graph.NodeID, _ float64) {
+			if subRank(u, v) <= threshold {
+				hb.AddEdge(u, v)
+			}
+		})
+		h := hb.Build()
+		if h.NumEdges() == 0 {
+			continue
+		}
+
+		m, rounds, err := computeMatching(rt, h, subRank, 0, fmt.Sprintf("-iter%d", iter))
+		if err != nil {
+			return nil, err
+		}
+		searchRounds += rounds
+		for v, mate := range m.Mate {
+			if mate == graph.None {
+				continue
+			}
+			ov, om := orig[v], orig[mate]
+			total.Mate[ov] = om
+			alive[ov] = false
+		}
+	}
+
+	// Safety net: the union must be maximal; any leftover edge between alive
+	// vertices indicates the iteration cap was too small, so finish them with
+	// one final unfiltered pass.
+	leftover := false
+	g.ForEachEdge(func(u, v graph.NodeID, _ float64) {
+		if alive[u] && alive[v] {
+			leftover = true
+		}
+	})
+	if leftover {
+		sub, orig := graph.InducedSubgraph(g, alive)
+		subRank := func(u, v graph.NodeID) uint64 { return rank(orig[u], orig[v]) }
+		m, rounds, err := computeMatching(rt, sub, subRank, 0, "-final")
+		if err != nil {
+			return nil, err
+		}
+		iterations++
+		searchRounds += rounds
+		for v, mate := range m.Mate {
+			if mate != graph.None {
+				total.Mate[orig[v]] = orig[mate]
+			}
+		}
+	}
+
+	return &Result{
+		Matching:     total,
+		Stats:        rt.Stats(),
+		SearchRounds: searchRounds,
+		Iterations:   iterations,
+	}, nil
+}

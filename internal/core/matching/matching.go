@@ -1,0 +1,490 @@
+// Package matching implements the AMPC maximal matching algorithms of
+// Section 4 of the paper, together with the Corollary 4.1 reductions.
+//
+// The primary entry point, Run, is the constant-round vertex-centric query
+// process of Theorem 2 (part 2) as implemented in Section 5.4:
+//
+//  1. PermuteGraph (one shuffle): every vertex's incident edges are sorted by
+//     a random edge priority.
+//  2. KV-Write: the edge-sorted adjacency lists are written to the
+//     distributed hash table.
+//  3. IsInMM: every vertex iterates over its incident edges in priority order
+//     and runs the recursive edge oracle of Yoshida et al. — an edge joins
+//     the random-greedy matching iff none of its lower-priority adjacent
+//     edges does — terminating as soon as a matched incident edge is found.
+//
+// RunFiltered is the O(log log Δ)-round variant of Theorem 2 (part 1,
+// Algorithm 4), which repeatedly matches a low-priority edge sample and
+// removes the matched vertices.  RunTruncated is the space-bounded variant
+// that truncates every vertex search at the per-machine budget and finishes
+// unresolved vertices in later rounds.  All variants compute the same
+// lexicographically-first maximal matching for a given seed.
+package matching
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/codec"
+	"ampcgraph/internal/dht"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/rng"
+	"ampcgraph/internal/seq"
+)
+
+// RankFunc assigns a symmetric random priority to every undirected edge;
+// lower values come earlier in the greedy order.
+type RankFunc func(u, v graph.NodeID) uint64
+
+// UniformEdgeRank returns the hash-based uniform edge priorities used for
+// unweighted maximal matching.
+func UniformEdgeRank(seed int64) RankFunc {
+	return func(u, v graph.NodeID) uint64 { return rng.EdgePriority(seed, u, v) }
+}
+
+// WeightEdgeRank returns priorities that order edges by decreasing weight
+// (ties broken by hash), which turns the greedy maximal matching into the
+// classic 1/2-approximate maximum weight matching of Corollary 4.1.
+func WeightEdgeRank(g *graph.Graph, seed int64) RankFunc {
+	return func(u, v graph.NodeID) uint64 {
+		w, _ := g.WeightBetween(u, v)
+		// For non-negative floats the IEEE-754 bit pattern is monotone in the
+		// value, so complementing it makes larger weights sort first; the low
+		// 16 bits are replaced by a hash to break ties between equal weights.
+		if w < 0 {
+			w = 0
+		}
+		bits := ^math.Float64bits(w) &^ 0xffff
+		return bits | (rng.EdgePriority(seed, u, v) & 0xffff)
+	}
+}
+
+// Result is the output of an AMPC maximal matching computation.
+type Result struct {
+	// Matching holds the mate of every vertex (graph.None when unmatched).
+	Matching *seq.Matching
+	// Stats are the runtime statistics.
+	Stats ampc.Stats
+	// SearchRounds is the number of search rounds (1 for Run; more for the
+	// truncated and filtered variants).
+	SearchRounds int
+	// Iterations is the number of outer iterations of the filtered variant.
+	Iterations int
+}
+
+// Run computes the random-greedy maximal matching of g in the paper's
+// constant-round implementation.
+func Run(g *graph.Graph, cfg ampc.Config) (*Result, error) {
+	return runProcess(g, cfg, UniformEdgeRank(cfg.Seed), 0)
+}
+
+// RunTruncated computes the same matching but truncates every vertex search
+// at the per-machine space budget, finishing unresolved vertices in later
+// rounds (Theorem 2, part 2 with the n^ε truncation).
+func RunTruncated(g *graph.Graph, cfg ampc.Config) (*Result, error) {
+	cfgD := cfg.WithDefaults()
+	return runProcess(g, cfg, UniformEdgeRank(cfg.Seed), cfgD.SpaceBudget(g.NumNodes()))
+}
+
+// RunWithRank computes the greedy maximal matching under a caller-supplied
+// edge ranking (used by the weighted-matching corollary).
+func RunWithRank(g *graph.Graph, cfg ampc.Config, rank RankFunc) (*Result, error) {
+	return runProcess(g, cfg, rank, 0)
+}
+
+// vertexState is the per-vertex cache entry of §5.4: either the vertex is
+// known to be matched (and to whom), or the search for it has finished and it
+// is known to be unmatched, or it has not been resolved yet.
+type vertexState struct {
+	kind vertexKind
+	mate graph.NodeID
+}
+
+type vertexKind uint8
+
+const (
+	vertexUnknown vertexKind = iota
+	vertexMatched
+	vertexUnmatched
+)
+
+// matchCache is the per-machine cache shared by the threads of one machine.
+type matchCache struct {
+	mu    sync.RWMutex
+	state map[graph.NodeID]vertexState
+	edges map[uint64]bool // edge-oracle results, keyed by packed (u,v)
+}
+
+func newMatchCache() *matchCache {
+	return &matchCache{state: make(map[graph.NodeID]vertexState), edges: make(map[uint64]bool)}
+}
+
+func (c *matchCache) vertex(v graph.NodeID) vertexState {
+	if c == nil {
+		return vertexState{}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.state[v]
+}
+
+func (c *matchCache) setVertex(v graph.NodeID, s vertexState) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.state[v] = s
+	c.mu.Unlock()
+}
+
+func (c *matchCache) edge(key uint64) (bool, bool) {
+	if c == nil {
+		return false, false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	in, ok := c.edges[key]
+	return in, ok
+}
+
+func (c *matchCache) setEdge(key uint64, in bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.edges[key] = in
+	c.mu.Unlock()
+}
+
+func packEdge(u, v graph.NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return uint64(u)<<32 | uint64(v)
+}
+
+func runProcess(g *graph.Graph, cfg ampc.Config, rank RankFunc, budget int) (*Result, error) {
+	rt := ampc.New(cfg)
+	m, rounds, err := computeMatching(rt, g, rank, budget, "")
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Matching: m, Stats: rt.Stats(), SearchRounds: rounds}, nil
+}
+
+// computeMatching runs the shuffle + KV-write + search pipeline on an
+// existing runtime.  tag suffixes the phase and store names so that the
+// filtered variant can run several iterations on one runtime.
+func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int, tag string) (*seq.Matching, int, error) {
+	cfgD := rt.Config()
+	n := g.NumNodes()
+
+	// Step 1: sort every vertex's incident edges by edge priority.
+	sorted := make([][]graph.NodeID, n)
+	err := rt.Phase("PermuteGraph"+tag, func() error {
+		var bytes int64
+		for v := 0; v < n; v++ {
+			nv := graph.NodeID(v)
+			nbrs := append([]graph.NodeID(nil), g.Neighbors(nv)...)
+			sort.Slice(nbrs, func(i, j int) bool {
+				ri, rj := rank(nv, nbrs[i]), rank(nv, nbrs[j])
+				if ri != rj {
+					return ri < rj
+				}
+				return nbrs[i] < nbrs[j]
+			})
+			sorted[v] = nbrs
+			bytes += int64(codec.SizeOfNodeList(len(nbrs)))
+		}
+		rt.RecordShuffle("permute-graph"+tag, bytes)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Step 2: write the edge-sorted graph to the key-value store.
+	store := rt.NewStore("edge-sorted-graph" + tag)
+	err = rt.Phase("KV-Write"+tag, func() error {
+		return rt.Run(ampc.Round{
+			Name:  "kv-write" + tag,
+			Items: n,
+			Body: func(ctx *ampc.Ctx, item int) error {
+				ctx.ChargeCompute(1)
+				return ctx.Write(store, uint64(item), codec.EncodeNodeIDs(sorted[item]))
+			},
+		})
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Step 3: vertex-centric searches.
+	matching := seq.NewMatching(n)
+	resolved := make([]bool, n)
+	searchRounds := 0
+
+	var mateStore *dht.Store
+	if budget > 0 {
+		mateStore = rt.NewStore("matching-status" + tag)
+	}
+
+	pass := 0
+	prevRemaining := -1
+	for {
+		pass++
+		remaining := 0
+		for v := 0; v < n; v++ {
+			if !resolved[v] {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		if remaining == prevRemaining {
+			// Engineering safeguard beyond the paper's analysis: if a pass
+			// made no progress, double the truncation budget so the next one
+			// must.
+			budget *= 2
+		}
+		prevRemaining = remaining
+		caches := make([]*matchCache, cfgD.Machines)
+		if cfgD.EnableCache {
+			for i := range caches {
+				caches[i] = newMatchCache()
+			}
+		}
+		phaseName := "IsInMM" + tag
+		if pass > 1 {
+			phaseName = fmt.Sprintf("IsInMM%s-pass%d", tag, pass)
+		}
+		err = rt.Phase(phaseName, func() error {
+			return rt.Run(ampc.Round{
+				Name:  phaseName,
+				Items: n,
+				Read:  store,
+				Body: func(ctx *ampc.Ctx, item int) error {
+					if resolved[item] {
+						return nil
+					}
+					cache := caches[ctx.Machine]
+					if cache == nil {
+						// Without the caching optimization, results are still
+						// memoized within a single query (the paper's
+						// unoptimized variant); they are just not shared
+						// across queries, so every vertex re-fetches from the
+						// key-value store.
+						cache = newMatchCache()
+					}
+					s := &searcher{
+						ctx:    ctx,
+						cache:  cache,
+						rank:   rank,
+						budget: budget,
+					}
+					if pass > 1 {
+						s.mateStore = mateStore
+					}
+					mate, err := s.vertexProcess(graph.NodeID(item), sorted[item])
+					if err == errTruncated {
+						return nil // retry next pass
+					}
+					if err != nil {
+						return err
+					}
+					matching.Mate[item] = mate
+					resolved[item] = true
+					if mateStore != nil {
+						return ctx.Write(mateStore, uint64(item), codec.EncodeNodeID(mate))
+					}
+					return nil
+				},
+			})
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if budget == 0 {
+			break
+		}
+		searchRounds = pass
+		if pass > 64 {
+			return nil, 0, fmt.Errorf("matching: truncated search did not converge after %d passes", pass)
+		}
+	}
+	if searchRounds == 0 {
+		searchRounds = 1
+	}
+	return matching, searchRounds, nil
+}
+
+var errTruncated = fmt.Errorf("matching: search truncated")
+
+// searcher runs the vertex and edge query processes for one work item.
+type searcher struct {
+	ctx       *ampc.Ctx
+	cache     *matchCache
+	rank      RankFunc
+	budget    int
+	queries   int
+	mateStore *dht.Store
+}
+
+// vertexProcess returns the mate of v in the random-greedy maximal matching
+// (graph.None when v stays unmatched).  sortedNbrs is v's adjacency sorted by
+// edge rank; pass nil to have it fetched.
+func (s *searcher) vertexProcess(v graph.NodeID, sortedNbrs []graph.NodeID) (graph.NodeID, error) {
+	if st := s.cache.vertex(v); st.kind == vertexMatched {
+		return st.mate, nil
+	} else if st.kind == vertexUnmatched {
+		return graph.None, nil
+	}
+	if mate, ok, err := s.lookupPublishedMate(v); err != nil {
+		return graph.None, err
+	} else if ok {
+		return mate, nil
+	}
+	if sortedNbrs == nil {
+		var err error
+		sortedNbrs, err = s.fetchNeighbors(v)
+		if err != nil {
+			return graph.None, err
+		}
+	}
+	s.ctx.ChargeCompute(1)
+	for _, u := range sortedNbrs {
+		in, err := s.edgeProcess(v, u)
+		if err != nil {
+			return graph.None, err
+		}
+		if in {
+			s.cache.setVertex(v, vertexState{kind: vertexMatched, mate: u})
+			s.cache.setVertex(u, vertexState{kind: vertexMatched, mate: v})
+			return u, nil
+		}
+		// If u got matched to someone else, the edge (v,u) is dead but v may
+		// still match through a later edge; continue.
+	}
+	s.cache.setVertex(v, vertexState{kind: vertexUnmatched, mate: graph.None})
+	return graph.None, nil
+}
+
+// edgeProcess reports whether the edge (u, v) belongs to the random-greedy
+// maximal matching: it does iff no adjacent edge of strictly lower rank does.
+func (s *searcher) edgeProcess(u, v graph.NodeID) (bool, error) {
+	key := packEdge(u, v)
+	if in, ok := s.cache.edge(key); ok {
+		return in, nil
+	}
+	// Resolved endpoints short-circuit the recursion: (u,v) is in the
+	// matching iff one endpoint's known mate is the other endpoint, and it is
+	// certainly out if an endpoint is known to be matched elsewhere or known
+	// to stay unmatched.
+	for _, x := range [2]graph.NodeID{u, v} {
+		switch st := s.cache.vertex(x); st.kind {
+		case vertexMatched:
+			in := packEdge(x, st.mate) == key
+			s.cache.setEdge(key, in)
+			return in, nil
+		case vertexUnmatched:
+			s.cache.setEdge(key, false)
+			return false, nil
+		}
+		if mate, ok, err := s.lookupPublishedMate(x); err != nil {
+			return false, err
+		} else if ok {
+			in := mate != graph.None && packEdge(x, mate) == key
+			s.cache.setEdge(key, in)
+			return in, nil
+		}
+	}
+	myRank := s.rank(u, v)
+	au, err := s.fetchNeighbors(u)
+	if err != nil {
+		return false, err
+	}
+	av, err := s.fetchNeighbors(v)
+	if err != nil {
+		return false, err
+	}
+	s.ctx.ChargeCompute(len(au) + len(av))
+	// Merge the two rank-sorted adjacency lists, visiting adjacent edges of
+	// rank lower than (u,v) in increasing rank order.
+	i, j := 0, 0
+	for i < len(au) || j < len(av) {
+		var a, b graph.NodeID
+		var ra, rb uint64
+		haveA, haveB := i < len(au), j < len(av)
+		if haveA {
+			a = au[i]
+			ra = s.rank(u, a)
+		}
+		if haveB {
+			b = av[j]
+			rb = s.rank(v, b)
+		}
+		var x, y graph.NodeID
+		var r uint64
+		if haveA && (!haveB || ra <= rb) {
+			x, y, r = u, a, ra
+			i++
+		} else {
+			x, y, r = v, b, rb
+			j++
+		}
+		if r >= myRank {
+			break // remaining adjacent edges all have higher rank
+		}
+		if packEdge(x, y) == key {
+			continue
+		}
+		in, err := s.edgeProcess(x, y)
+		if err != nil {
+			return false, err
+		}
+		if in {
+			s.cache.setEdge(key, false)
+			s.cache.setVertex(x, vertexState{kind: vertexMatched, mate: y})
+			s.cache.setVertex(y, vertexState{kind: vertexMatched, mate: x})
+			return false, nil
+		}
+	}
+	s.cache.setEdge(key, true)
+	return true, nil
+}
+
+func (s *searcher) fetchNeighbors(v graph.NodeID) ([]graph.NodeID, error) {
+	if s.budget > 0 {
+		s.queries++
+		if s.queries > s.budget {
+			return nil, errTruncated
+		}
+	}
+	raw, ok, err := s.ctx.Lookup(uint64(v))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("matching: vertex %d missing from the key-value store", v)
+	}
+	return codec.DecodeNodeIDs(raw)
+}
+
+func (s *searcher) lookupPublishedMate(v graph.NodeID) (graph.NodeID, bool, error) {
+	if s.mateStore == nil {
+		return graph.None, false, nil
+	}
+	raw, ok, err := s.mateStore.Get(uint64(v))
+	if err != nil || !ok {
+		return graph.None, false, err
+	}
+	mate, err := codec.DecodeNodeID(raw)
+	if err != nil {
+		return graph.None, false, err
+	}
+	return mate, true, nil
+}

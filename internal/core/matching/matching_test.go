@@ -1,0 +1,344 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/gen"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/rng"
+	"ampcgraph/internal/seq"
+)
+
+func defaultCfg(seed int64) ampc.Config {
+	return ampc.Config{Machines: 4, Threads: 2, EnableCache: true, Seed: seed}
+}
+
+func refMatching(g *graph.Graph, seed int64) *seq.Matching {
+	return seq.GreedyMaximalMatching(g, func(u, v graph.NodeID) uint64 {
+		return rng.EdgePriority(seed, u, v)
+	})
+}
+
+func sameMatching(a, b *seq.Matching) bool {
+	if len(a.Mate) != len(b.Mate) {
+		return false
+	}
+	for i := range a.Mate {
+		if a.Mate[i] != b.Mate[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatchingSmallKnownGraph(t *testing.T) {
+	g := gen.Path(4)
+	res, err := Run(g, defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsMaximalMatching(g, res.Matching) {
+		t.Fatalf("not a maximal matching: %v", res.Matching.Mate)
+	}
+	// A maximal matching of P4 has 1 or 2 edges.
+	if s := res.Matching.Size(); s < 1 || s > 2 {
+		t.Fatalf("matching size %d", s)
+	}
+}
+
+func TestMatchingMatchesSequentialGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 16 + int(uint64(seed)%120)
+		g := gen.ErdosRenyi(n, 3*n, seed)
+		res, err := Run(g, defaultCfg(seed))
+		if err != nil {
+			return false
+		}
+		return sameMatching(res.Matching, refMatching(g, seed))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchingMaximalOnGraphClasses(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"cycle":     gen.Cycle(60),
+		"path":      gen.Path(77),
+		"star":      gen.Star(30),
+		"clique":    gen.Clique(11),
+		"grid":      gen.Grid(8, 9),
+		"powerlaw":  gen.PreferentialAttachment(250, 3, 5),
+		"two-cycle": gen.TwoCycles(40),
+		"no-edges":  graph.FromEdges(9, nil),
+	}
+	for name, g := range graphs {
+		res, err := Run(g, defaultCfg(7))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !seq.IsMaximalMatching(g, res.Matching) {
+			t.Errorf("%s: result is not a maximal matching", name)
+		}
+	}
+}
+
+func TestMatchingStarMatchesExactlyOne(t *testing.T) {
+	g := gen.Star(25)
+	res, err := Run(g, defaultCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matching.Size() != 1 {
+		t.Fatalf("star matching size %d, want 1", res.Matching.Size())
+	}
+}
+
+func TestMatchingUsesOneShuffleTwoRounds(t *testing.T) {
+	g := gen.PreferentialAttachment(400, 4, 3)
+	res, err := Run(g, defaultCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shuffles != 1 {
+		t.Fatalf("shuffles = %d, want 1 (Table 3)", res.Stats.Shuffles)
+	}
+	if res.Stats.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", res.Stats.Rounds)
+	}
+}
+
+func TestMatchingDeterministicAcrossConfigurations(t *testing.T) {
+	g := gen.ErdosRenyi(300, 1200, 17)
+	ref, err := Run(g, ampc.Config{Machines: 1, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []ampc.Config{
+		{Machines: 6, Seed: 17},
+		{Machines: 3, Threads: 4, Seed: 17},
+		{Machines: 4, EnableCache: true, Threads: 2, Seed: 17},
+	} {
+		res, err := Run(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameMatching(res.Matching, ref.Matching) {
+			t.Fatalf("config %+v changed the matching", cfg)
+		}
+	}
+}
+
+func TestMatchingCachingReducesKVTraffic(t *testing.T) {
+	g := gen.PreferentialAttachment(600, 5, 21)
+	noCache, err := Run(g, ampc.Config{Machines: 4, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCache, err := Run(g, ampc.Config{Machines: 4, Seed: 21, EnableCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMatching(noCache.Matching, withCache.Matching) {
+		t.Fatal("caching changed the matching")
+	}
+	if withCache.Stats.KVReads >= noCache.Stats.KVReads {
+		t.Fatalf("caching did not reduce reads: %d vs %d", withCache.Stats.KVReads, noCache.Stats.KVReads)
+	}
+}
+
+func TestMatchingTruncatedMatchesFull(t *testing.T) {
+	g := gen.ErdosRenyi(500, 2000, 23)
+	full, err := Run(g, defaultCfg(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, err := RunTruncated(g, defaultCfg(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMatching(full.Matching, trunc.Matching) {
+		t.Fatal("truncated variant computed a different matching")
+	}
+	if trunc.SearchRounds < 1 {
+		t.Fatal("missing search round count")
+	}
+}
+
+func TestMatchingTruncatedTinyBudgetConverges(t *testing.T) {
+	g := gen.Cycle(400)
+	cfg := ampc.Config{Machines: 4, Seed: 31, SpacePerMachine: 8, EnableCache: true}
+	res, err := RunTruncated(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsMaximalMatching(g, res.Matching) {
+		t.Fatal("not maximal")
+	}
+	if !sameMatching(res.Matching, refMatching(g, 31)) {
+		t.Fatal("tiny-budget truncated run diverged from the greedy matching")
+	}
+}
+
+func TestFilteredMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 30 + int(uint64(seed)%120)
+		g := gen.ErdosRenyi(n, 4*n, seed)
+		direct, err := Run(g, defaultCfg(seed))
+		if err != nil {
+			return false
+		}
+		filtered, err := RunFiltered(g, defaultCfg(seed))
+		if err != nil {
+			return false
+		}
+		return sameMatching(direct.Matching, filtered.Matching)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilteredIsMaximalOnSkewedGraph(t *testing.T) {
+	g := gen.PreferentialAttachment(800, 6, 41)
+	res, err := RunFiltered(g, defaultCfg(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsMaximalMatching(g, res.Matching) {
+		t.Fatal("filtered result not maximal")
+	}
+	if res.Iterations < 1 {
+		t.Fatal("no iterations recorded")
+	}
+	// O(log log Δ) + slack iterations: for Δ ≤ 800 this is at most ~8.
+	if res.Iterations > 8 {
+		t.Fatalf("too many iterations: %d", res.Iterations)
+	}
+}
+
+func TestWeightedMatchingApproximation(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 8 + int(uint64(seed)%10)
+		g := gen.RandomWeights(gen.ErdosRenyi(n, 3*n, seed), seed+1)
+		if g.NumEdges() == 0 {
+			return true
+		}
+		res, err := ApproxMaxWeightMatching(g, defaultCfg(seed))
+		if err != nil {
+			return false
+		}
+		if !seq.IsMaximalMatching(g, res.Matching) {
+			return false
+		}
+		got := seq.MatchingWeight(g, res.Matching)
+		opt := seq.MaximumWeightMatchingValue(g)
+		return 2*got+1e-9 >= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedMatchingRequiresWeights(t *testing.T) {
+	if _, err := ApproxMaxWeightMatching(gen.Cycle(10), defaultCfg(1)); err == nil {
+		t.Fatal("unweighted graph accepted")
+	}
+}
+
+func TestWeightedMatchingPrefersHeavyEdge(t *testing.T) {
+	// Path a-b-c-d with middle edge far heavier than the outer ones: greedy by
+	// weight must take the middle edge.
+	g := graph.FromWeightedEdges(4, []graph.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 100}, {U: 2, V: 3, W: 1},
+	})
+	res, err := ApproxMaxWeightMatching(g, defaultCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matching.Mate[1] != 2 || res.Matching.Mate[2] != 1 {
+		t.Fatalf("heavy edge not matched: %v", res.Matching.Mate)
+	}
+}
+
+func TestVertexCover(t *testing.T) {
+	g := gen.PreferentialAttachment(300, 3, 6)
+	res, err := ApproxVertexCover(g, defaultCfg(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.IsVertexCover(g, res.Cover) {
+		t.Fatal("not a vertex cover")
+	}
+	if len(res.Cover) != 2*res.MatchingResult.Matching.Size() {
+		t.Fatalf("cover size %d, want twice the matching size %d", len(res.Cover), res.MatchingResult.Matching.Size())
+	}
+}
+
+func TestApproxMaximumMatchingBeatsHalf(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 8 + int(uint64(seed)%10)
+		g := gen.ErdosRenyi(n, 2*n, seed)
+		res, err := ApproxMaximumMatching(g, defaultCfg(seed), 0.25)
+		if err != nil {
+			return false
+		}
+		if !seq.IsMatching(g, res.Matching) {
+			return false
+		}
+		opt := seq.MaximumMatchingSize(g)
+		// (1+ε) with ε=0.25: size ≥ opt/1.25.
+		return float64(res.Matching.Size())*1.25+1e-9 >= float64(opt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxMaximumMatchingPathAugmentation(t *testing.T) {
+	// On a path of 6 vertices, a bad maximal matching has 2 edges but the
+	// maximum has 3; augmentation with length-5 paths must reach 3.
+	g := gen.Path(6)
+	m := seq.NewMatching(6)
+	m.Mate[1], m.Mate[2] = 2, 1
+	m.Mate[3], m.Mate[4] = 4, 3
+	AugmentShortPaths(g, m, 5)
+	if m.Size() != 3 {
+		t.Fatalf("augmented size %d, want 3", m.Size())
+	}
+	if !seq.IsMatching(g, m) {
+		t.Fatal("augmentation produced an invalid matching")
+	}
+}
+
+func TestApproxMaximumMatchingRejectsBadEpsilon(t *testing.T) {
+	if _, err := ApproxMaximumMatching(gen.Cycle(6), defaultCfg(1), 0); err == nil {
+		t.Fatal("epsilon 0 accepted")
+	}
+}
+
+func TestFilteredRecordsMultipleShuffles(t *testing.T) {
+	// Each iteration of Algorithm 4 performs its own shuffle, so the filtered
+	// variant must report at least as many shuffles as iterations.
+	g := gen.PreferentialAttachment(500, 5, 51)
+	res, err := RunFiltered(g, defaultCfg(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shuffles < res.Iterations {
+		t.Fatalf("shuffles %d < iterations %d", res.Stats.Shuffles, res.Iterations)
+	}
+}
+
+func TestWeightEdgeRankOrdersByWeight(t *testing.T) {
+	g := graph.FromWeightedEdges(3, []graph.WeightedEdge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 1}})
+	rank := WeightEdgeRank(g, 1)
+	if rank(0, 1) >= rank(1, 2) {
+		t.Fatal("heavier edge should have lower rank")
+	}
+	if rank(0, 1) != rank(1, 0) {
+		t.Fatal("rank not symmetric")
+	}
+}

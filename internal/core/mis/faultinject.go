@@ -1,0 +1,85 @@
+package mis
+
+import (
+	"sort"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/codec"
+	"ampcgraph/internal/dht"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/rng"
+)
+
+// storeFailer is the part of the hash-table API the fault-injection tests
+// need.
+type storeFailer interface {
+	FailShard(i int)
+}
+
+// runWithFaultInjection runs the MIS pipeline on an existing runtime and
+// invokes inject on the stores created so far right before the search round.
+// It exists to test the fault-tolerance property of the model (Section 2);
+// the production entry points Run and RunTruncated do not inject failures.
+func runWithFaultInjection(rt *ampc.Runtime, g *graph.Graph, inject func([]storeFailer)) ([]bool, error) {
+	cfg := rt.Config()
+	n := g.NumNodes()
+	prio := rng.VertexPriorities(cfg.Seed, n)
+	less := func(a, b graph.NodeID) bool {
+		if prio[a] != prio[b] {
+			return prio[a] < prio[b]
+		}
+		return a < b
+	}
+	directed := make([][]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		nv := graph.NodeID(v)
+		var earlier []graph.NodeID
+		for _, u := range g.Neighbors(nv) {
+			if less(u, nv) {
+				earlier = append(earlier, u)
+			}
+		}
+		sort.Slice(earlier, func(i, j int) bool { return less(earlier[i], earlier[j]) })
+		directed[v] = earlier
+	}
+	store := rt.NewStore("directed-graph")
+	err := rt.Run(ampc.Round{
+		Name:  "kv-write",
+		Items: n,
+		Body: func(ctx *ampc.Ctx, item int) error {
+			return ctx.Write(store, uint64(item), codec.EncodeNodeIDs(directed[item]))
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	inject([]storeFailer{store})
+
+	inMIS := make([]bool, n)
+	caches := make([]*statusCache, cfg.Machines)
+	for i := range caches {
+		caches[i] = newStatusCache()
+	}
+	err = rt.Run(ampc.Round{
+		Name:  "is-in-mis",
+		Items: n,
+		Read:  store,
+		Body: func(ctx *ampc.Ctx, item int) error {
+			s := &searcher{ctx: ctx, cache: caches[ctx.Machine], prio: prio}
+			in, err := s.inMIS(graph.NodeID(item), directed[item])
+			if err != nil {
+				return err
+			}
+			inMIS[item] = in
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return inMIS, nil
+}
+
+// Compile-time check that the hash table implements the fault-injection hook.
+var _ storeFailer = (*dht.Store)(nil)

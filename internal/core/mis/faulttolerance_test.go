@@ -1,0 +1,62 @@
+package mis
+
+import (
+	"testing"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/gen"
+	"ampcgraph/internal/rng"
+	"ampcgraph/internal/seq"
+)
+
+// TestMISSurvivesShardFailureWithReplication exercises the fault-tolerance
+// property of Section 2: with replicated hash tables, losing key-value
+// servers mid-computation must not change the result.  The failure is
+// injected between the KV-write round and the search round by failing shards
+// of every store the runtime created.
+func TestMISSurvivesShardFailureWithReplication(t *testing.T) {
+	g := gen.PreferentialAttachment(400, 4, 19)
+	n := g.NumNodes()
+
+	// Reference result without failures.
+	want := seq.GreedyMIS(g, rng.VertexPriorities(19, n))
+
+	cfg := ampc.Config{Machines: 4, Threads: 2, EnableCache: true, Seed: 19, Replicate: true, Shards: 8}
+	rt := ampc.New(cfg)
+	// Build the directed graph and write it, mirroring the first two phases
+	// of Run, then fail half of the shards before the search phase.
+	res, err := runWithFaultInjection(rt, g, func(stores []storeFailer) {
+		for _, s := range stores {
+			s.FailShard(0)
+			s.FailShard(3)
+			s.FailShard(5)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		if res[v] != want[v] {
+			t.Fatalf("result changed after shard failures at vertex %d", v)
+		}
+	}
+}
+
+// TestMISFailsWithoutReplication is the negative control: the same failure
+// without replication surfaces as an error instead of a silently wrong
+// answer.
+func TestMISFailsWithoutReplication(t *testing.T) {
+	g := gen.PreferentialAttachment(400, 4, 19)
+	cfg := ampc.Config{Machines: 4, Threads: 2, EnableCache: true, Seed: 19, Replicate: false, Shards: 8}
+	rt := ampc.New(cfg)
+	_, err := runWithFaultInjection(rt, g, func(stores []storeFailer) {
+		for _, s := range stores {
+			for i := 0; i < 8; i++ {
+				s.FailShard(i)
+			}
+		}
+	})
+	if err == nil {
+		t.Fatal("expected lookups against failed, unreplicated shards to fail")
+	}
+}

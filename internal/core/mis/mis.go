@@ -1,0 +1,331 @@
+// Package mis implements the AMPC Maximal Independent Set algorithm of
+// Section 5.3 (Figure 1) of the paper.
+//
+// The algorithm computes the lexicographically-first MIS over a random vertex
+// ordering given by hash-based priorities:
+//
+//  1. DirectGraph (one shuffle): every vertex keeps only its neighbors of
+//     higher priority (earlier rank), sorted by rank.
+//  2. KV-Write: the directed graph is written to the distributed hash table.
+//  3. IsInMIS: every vertex runs the recursive query process of Yoshida et
+//     al. — a vertex is in the MIS iff none of its earlier neighbors is —
+//     fetching neighborhoods from the hash table on demand.
+//
+// Two optimizations from the paper are supported through ampc.Config:
+// per-machine caching of vertex statuses (EnableCache) and multithreading
+// (Threads).  The default mode mirrors the paper's implementation, which
+// resolves every vertex in a single search round (2 AMPC rounds in total);
+// RunTruncated implements the theoretical O(1/ε)-round variant that truncates
+// each search at the per-machine space budget and finishes unresolved
+// vertices in later rounds.
+package mis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/codec"
+	"ampcgraph/internal/dht"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/rng"
+)
+
+// Result is the output of the AMPC MIS computation.
+type Result struct {
+	// InMIS marks the vertices of the maximal independent set.
+	InMIS []bool
+	// Stats are the runtime statistics (rounds, shuffles, key-value traffic).
+	Stats ampc.Stats
+	// SearchRounds is the number of search rounds used (1 for Run, up to
+	// O(1/ε) for RunTruncated).
+	SearchRounds int
+}
+
+type status uint8
+
+const (
+	statusUnknown status = iota
+	statusIn
+	statusOut
+)
+
+// statusCache is the per-machine cache of vertex statuses described in §5.3:
+// a three-valued state (Unknown / InMIS / NotInMIS) shared by all threads of
+// one machine.
+type statusCache struct {
+	mu sync.RWMutex
+	st map[graph.NodeID]status
+}
+
+func newStatusCache() *statusCache {
+	return &statusCache{st: make(map[graph.NodeID]status)}
+}
+
+func (c *statusCache) get(v graph.NodeID) status {
+	if c == nil {
+		return statusUnknown
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.st[v]
+}
+
+func (c *statusCache) set(v graph.NodeID, s status) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.st[v] = s
+	c.mu.Unlock()
+}
+
+// Run computes the MIS of g with the paper's 2-round AMPC implementation.
+func Run(g *graph.Graph, cfg ampc.Config) (*Result, error) {
+	return run(g, cfg, 0)
+}
+
+// RunTruncated computes the MIS with the theoretical O(1/ε)-round variant:
+// every search is truncated after the per-machine space budget of queries,
+// unresolved vertices retry in later rounds against the statuses published by
+// earlier rounds.
+func RunTruncated(g *graph.Graph, cfg ampc.Config) (*Result, error) {
+	cfgD := cfg.WithDefaults()
+	budget := cfgD.SpaceBudget(g.NumNodes())
+	return run(g, cfg, budget)
+}
+
+func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
+	rt := ampc.New(cfg)
+	cfgD := rt.Config()
+	n := g.NumNodes()
+	prio := rng.VertexPriorities(cfgD.Seed, n)
+	less := func(a, b graph.NodeID) bool {
+		if prio[a] != prio[b] {
+			return prio[a] < prio[b]
+		}
+		return a < b
+	}
+
+	// Step 1: direct edges toward earlier (higher-priority) neighbors.  In
+	// the dataflow implementation this is the single shuffle of the
+	// algorithm.
+	directed := make([][]graph.NodeID, n)
+	err := rt.Phase("DirectGraph", func() error {
+		var bytes int64
+		for v := 0; v < n; v++ {
+			nv := graph.NodeID(v)
+			var earlier []graph.NodeID
+			for _, u := range g.Neighbors(nv) {
+				if less(u, nv) {
+					earlier = append(earlier, u)
+				}
+			}
+			sort.Slice(earlier, func(i, j int) bool { return less(earlier[i], earlier[j]) })
+			directed[v] = earlier
+			bytes += int64(codec.SizeOfNodeList(len(earlier)))
+		}
+		rt.RecordShuffle("direct-graph", bytes)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: write the directed graph to the key-value store.
+	store := rt.NewStore("directed-graph")
+	err = rt.Phase("KV-Write", func() error {
+		return rt.Run(ampc.Round{
+			Name:  "kv-write",
+			Items: n,
+			Body: func(ctx *ampc.Ctx, item int) error {
+				ctx.ChargeCompute(1)
+				return ctx.Write(store, uint64(item), codec.EncodeNodeIDs(directed[item]))
+			},
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: run the IsInMIS search from every vertex.
+	inMIS := make([]bool, n)
+	resolved := make([]bool, n)
+	result := &Result{InMIS: inMIS}
+
+	// Cross-round status store for the truncated variant.  Statuses resolved
+	// in round i are published here and consulted by the searches of round
+	// i+1 (the store is cumulative across rounds, which is equivalent to the
+	// per-round stores of the model since statuses never change once set).
+	var statusStore *dht.Store
+	if budget > 0 {
+		statusStore = rt.NewStore("mis-status")
+	}
+	pass := 0
+	for {
+		pass++
+		remaining := 0
+		for v := 0; v < n; v++ {
+			if !resolved[v] {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		caches := make([]*statusCache, cfgD.Machines)
+		if cfgD.EnableCache {
+			for i := range caches {
+				caches[i] = newStatusCache()
+			}
+		}
+		var mu sync.Mutex
+		phaseName := "IsInMIS"
+		if pass > 1 {
+			phaseName = fmt.Sprintf("IsInMIS-pass%d", pass)
+		}
+		err = rt.Phase(phaseName, func() error {
+			return rt.Run(ampc.Round{
+				Name:  phaseName,
+				Items: n,
+				Read:  store,
+				Body: func(ctx *ampc.Ctx, item int) error {
+					if resolved[item] {
+						return nil
+					}
+					cache := caches[ctx.Machine]
+					if cache == nil {
+						// Without the caching optimization, statuses are still
+						// memoized within a single query; they are just not
+						// shared across queries on the machine, so every
+						// vertex re-fetches from the key-value store.
+						cache = newStatusCache()
+					}
+					s := &searcher{
+						ctx:    ctx,
+						cache:  cache,
+						prio:   prio,
+						budget: budget,
+					}
+					if pass > 1 {
+						// Consult the statuses published by earlier rounds.
+						s.statusStore = statusStore
+					}
+					in, err := s.inMIS(graph.NodeID(item), directed[item])
+					if err == errTruncated {
+						return nil // retry next pass
+					}
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					inMIS[item] = in
+					resolved[item] = true
+					mu.Unlock()
+					if statusStore != nil {
+						val := byte(statusOut)
+						if in {
+							val = byte(statusIn)
+						}
+						return ctx.Write(statusStore, uint64(item), []byte{val})
+					}
+					return nil
+				},
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		if budget == 0 {
+			// Untruncated searches always resolve in one pass.
+			break
+		}
+		result.SearchRounds = pass
+		if pass > 64 {
+			return nil, fmt.Errorf("mis: truncated search did not converge after %d passes", pass)
+		}
+	}
+	if result.SearchRounds == 0 {
+		result.SearchRounds = 1
+	}
+	result.Stats = rt.Stats()
+	return result, nil
+}
+
+// errTruncated reports that a search exceeded its query budget.
+var errTruncated = fmt.Errorf("mis: search truncated")
+
+// searcher runs the recursive IsInMIS query process for one work item.
+type searcher struct {
+	ctx         *ampc.Ctx
+	cache       *statusCache
+	prio        []uint64
+	budget      int // 0 = unlimited
+	queries     int
+	statusStore *dht.Store
+}
+
+// inMIS reports whether v belongs to the MIS.  neighbors is v's directed
+// (earlier, rank-sorted) neighborhood; pass nil to have it fetched from the
+// store.
+func (s *searcher) inMIS(v graph.NodeID, neighbors []graph.NodeID) (bool, error) {
+	if st := s.cache.get(v); st != statusUnknown {
+		return st == statusIn, nil
+	}
+	if s.statusStore != nil {
+		// Statuses resolved in earlier rounds of the truncated variant.
+		if raw, ok, err := s.ctxLookupStatus(v); err != nil {
+			return false, err
+		} else if ok {
+			in := raw == statusIn
+			s.cache.set(v, raw)
+			return in, nil
+		}
+	}
+	if neighbors == nil {
+		var err error
+		neighbors, err = s.fetchNeighbors(v)
+		if err != nil {
+			return false, err
+		}
+	}
+	s.ctx.ChargeCompute(1)
+	for _, u := range neighbors {
+		in, err := s.inMIS(u, nil)
+		if err != nil {
+			return false, err
+		}
+		if in {
+			s.cache.set(v, statusOut)
+			return false, nil
+		}
+	}
+	s.cache.set(v, statusIn)
+	return true, nil
+}
+
+func (s *searcher) fetchNeighbors(v graph.NodeID) ([]graph.NodeID, error) {
+	if s.budget > 0 {
+		s.queries++
+		if s.queries > s.budget {
+			return nil, errTruncated
+		}
+	}
+	raw, ok, err := s.ctx.Lookup(uint64(v))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("mis: vertex %d missing from the key-value store", v)
+	}
+	return codec.DecodeNodeIDs(raw)
+}
+
+func (s *searcher) ctxLookupStatus(v graph.NodeID) (status, bool, error) {
+	raw, ok, err := s.statusStore.Get(uint64(v))
+	if err != nil || !ok || len(raw) == 0 {
+		return statusUnknown, false, err
+	}
+	return status(raw[0]), true, nil
+}

@@ -1,0 +1,144 @@
+package msf
+
+import (
+	"fmt"
+	"math"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/rng"
+	"ampcgraph/internal/trees"
+)
+
+// FindLightEdges implements Algorithm 5: given a forest F (a subgraph of g),
+// classify every edge of g as F-light or F-heavy (Definition 3.7).  An edge
+// (u, v) is F-light when u and v lie in different trees of F, or when its
+// weight is at most the maximum edge weight on the tree path between u and v.
+// The classification uses the Euler-tour LCA index and the heavy-light
+// decomposition with range-maximum queries, exactly as described in
+// Appendix B.  The returned slice contains the F-light edges of g.
+func FindLightEdges(g *graph.Graph, forest []graph.WeightedEdge) ([]graph.WeightedEdge, error) {
+	f, err := trees.BuildForest(g.NumNodes(), forest)
+	if err != nil {
+		return nil, fmt.Errorf("msf: invalid forest: %w", err)
+	}
+	lca := trees.NewLCAIndex(f)
+	hld := trees.NewHLD(f, lca)
+	var light []graph.WeightedEdge
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		maxW, connected, nonEmpty := hld.MaxEdgeOnPath(u, v)
+		if !connected {
+			light = append(light, graph.WeightedEdge{U: u, V: v, W: w})
+			return
+		}
+		if !nonEmpty {
+			// u == v cannot happen for a simple graph edge; treat defensively
+			// as heavy (the edge would close a zero-length cycle).
+			return
+		}
+		if w <= maxW {
+			light = append(light, graph.WeightedEdge{U: u, V: v, W: w})
+		}
+	})
+	return light, nil
+}
+
+// KKTResult is the output of the sampling-based MSF computation.
+type KKTResult struct {
+	*Result
+	// SampledEdges is the number of edges in the sampled subgraph H.
+	SampledEdges int64
+	// LightEdges is the number of F-light edges that survived the filter
+	// (Lemma 3.9 predicts O(n log n) in expectation for p = 1/log n).
+	LightEdges int
+}
+
+// RunKKT computes the minimum spanning forest with the query-complexity
+// reduction of Section 3.1 (Algorithm 3):
+//
+//  1. H := every edge of g sampled independently with probability 1/log n;
+//  2. F := MSF(H), computed with the Prim pipeline;
+//  3. E_L := the F-light edges of g (Algorithm 5);
+//  4. return MSF(F ∪ E_L).
+//
+// By Proposition 3.8 every edge of the true MSF is F-light, so the final
+// forest equals the minimum spanning forest of g.
+func RunKKT(g *graph.Graph, cfg ampc.Config) (*KKTResult, error) {
+	if g.NumNodes() > 0 && !g.Weighted() {
+		return nil, fmt.Errorf("msf: input graph must be weighted")
+	}
+	rt := ampc.New(cfg)
+	cfgD := rt.Config()
+	n := g.NumNodes()
+	out := &KKTResult{Result: &Result{}}
+	if n == 0 {
+		out.Stats = rt.Stats()
+		return out, nil
+	}
+
+	p := 1.0
+	if n > 2 {
+		p = 1.0 / math.Log(float64(n))
+	}
+	// Step 1: sample H.
+	var sampled *graph.Graph
+	err := rt.Phase("SampleH", func() error {
+		b := graph.NewBuilder(n)
+		g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+			if rng.UniformFloat(cfgD.Seed+1, uint64(u)<<32|uint64(v)) < p {
+				b.AddWeightedEdge(u, v, w)
+			}
+		})
+		sampled = b.Build()
+		out.SampledEdges = sampled.NumEdges()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: MSF of the sample via the Prim pipeline.
+	fRes, err := runPrimPipeline(rt, sampled, "-sample")
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: keep only the F-light edges of g.
+	var light []graph.WeightedEdge
+	err = rt.Phase("FindLightEdges", func() error {
+		rt.RecordShuffle("light-edge-classification", g.NumEdges()*12)
+		var ferr error
+		light, ferr = FindLightEdges(g, fRes.Edges)
+		return ferr
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.LightEdges = len(light)
+
+	// Step 4: MSF of F ∪ E_L.
+	err = rt.Phase("FinishKKT", func() error {
+		b := graph.NewBuilder(n)
+		for _, e := range fRes.Edges {
+			b.AddWeightedEdge(e.U, e.V, e.W)
+		}
+		for _, e := range light {
+			b.AddWeightedEdge(e.U, e.V, e.W)
+		}
+		reduced := b.Build()
+		inner, rerr := runPrimPipeline(rt, reduced, "-final")
+		if rerr != nil {
+			return rerr
+		}
+		out.Edges = inner.Edges
+		out.TotalWeight = inner.TotalWeight
+		out.ContractedNodes = inner.ContractedNodes
+		out.MaxPointerChain = inner.MaxPointerChain
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Stats = rt.Stats()
+	return out, nil
+}

@@ -1,0 +1,519 @@
+// Package msf implements the AMPC minimum spanning forest algorithms of
+// Section 3 and Section 5.5 of the paper, plus the supporting machinery:
+// truncated Prim searches, ternarization, pointer-jumping forest
+// connectivity, the dense Borůvka-style subroutine, and the
+// Karger–Klein–Tarjan sampling reduction with F-light edge filtering.
+//
+// Run is the empirical pipeline of Section 5.5 (the configuration evaluated
+// in Figure 7): sort adjacency lists by weight and write them to the
+// distributed hash table (SortGraph + KV-Write), run a truncated Prim search
+// from every vertex (PrimSearch), combine the visit records and
+// pointer-jump the resulting forest (PointerJump), contract the graph
+// (Contract), and finish the small contracted remainder in memory.
+//
+// RunTheoretical follows Algorithm 2: ternarize sparse graphs, run
+// TruncatedPrim on the ternarized graph, and finish with the dense
+// subroutine.  RunKKT adds the sampling reduction of Section 3.1
+// (Algorithm 3 / Algorithm 5), which lowers the query complexity to
+// O(m + n log² n).
+package msf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/codec"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/rng"
+	"ampcgraph/internal/seq"
+)
+
+// Result is the output of an AMPC minimum spanning forest computation.
+type Result struct {
+	// Edges are the forest edges (a subset of the input graph's edges).
+	Edges []graph.WeightedEdge
+	// TotalWeight is the sum of the forest edge weights.
+	TotalWeight float64
+	// Stats are the runtime statistics.
+	Stats ampc.Stats
+	// ContractedNodes is the number of vertices that survived the Prim
+	// contraction (Lemma 3.3 predicts a shrink factor of about n^(ε/2)).
+	ContractedNodes int
+	// MaxPointerChain is the longest pointer-jumping chain observed (the
+	// paper reports a maximum of 33 across all graphs).
+	MaxPointerChain int
+	// PrimEdges is the number of forest edges discovered directly by the
+	// truncated Prim searches (the rest come from the contracted remainder).
+	PrimEdges int
+}
+
+// edgeLess is the total order on edges used everywhere in this package:
+// weight first, then canonical endpoints.  It makes the minimum spanning
+// forest unique even when weights collide, so the distributed algorithms and
+// the sequential references agree exactly.
+func edgeLess(a, b graph.WeightedEdge) bool {
+	if a.W != b.W {
+		return a.W < b.W
+	}
+	ac, bc := a.Canonical(), b.Canonical()
+	if ac.U != bc.U {
+		return ac.U < bc.U
+	}
+	return ac.V < bc.V
+}
+
+// Run computes the minimum spanning forest of the weighted graph g with the
+// empirical AMPC pipeline of Section 5.5.
+func Run(g *graph.Graph, cfg ampc.Config) (*Result, error) {
+	if g.NumNodes() > 0 && !g.Weighted() {
+		return nil, fmt.Errorf("msf: input graph must be weighted")
+	}
+	rt := ampc.New(cfg)
+	res, err := runPrimPipeline(rt, g, "")
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = rt.Stats()
+	return res, nil
+}
+
+// RunOn runs the empirical MSF pipeline on an existing runtime, so that other
+// algorithms (connectivity, benchmarking harnesses) can compose it with their
+// own phases while sharing one set of statistics.  The input must be
+// weighted.
+func RunOn(rt *ampc.Runtime, g *graph.Graph) (*Result, error) {
+	if !g.Weighted() {
+		return nil, fmt.Errorf("msf: input graph must be weighted")
+	}
+	return runPrimPipeline(rt, g, "")
+}
+
+// runPrimPipeline executes the SortGraph / KV-Write / PrimSearch /
+// PointerJump / Contract pipeline on an existing runtime and finishes the
+// contracted remainder with the in-memory solver.
+func runPrimPipeline(rt *ampc.Runtime, g *graph.Graph, tag string) (*Result, error) {
+	cfg := rt.Config()
+	n := g.NumNodes()
+	result := &Result{}
+	if n == 0 {
+		return result, nil
+	}
+	prio := rng.VertexPriorities(cfg.Seed, n)
+	budget := cfg.SpaceBudget(n)
+
+	// Phase 1: sort each adjacency list by edge weight (one shuffle).
+	sorted := make([][]codec.WeightedNeighbor, n)
+	err := rt.Phase("SortGraph"+tag, func() error {
+		var bytes int64
+		for v := 0; v < n; v++ {
+			nv := graph.NodeID(v)
+			nbrs := g.Neighbors(nv)
+			ws := make([]codec.WeightedNeighbor, len(nbrs))
+			for i, u := range nbrs {
+				ws[i] = codec.WeightedNeighbor{Node: u, Weight: g.EdgeWeight(nv, i)}
+			}
+			sort.Slice(ws, func(i, j int) bool {
+				return edgeLess(
+					graph.WeightedEdge{U: nv, V: ws[i].Node, W: ws[i].Weight},
+					graph.WeightedEdge{U: nv, V: ws[j].Node, W: ws[j].Weight},
+				)
+			})
+			sorted[v] = ws
+			bytes += int64(codec.SizeOfWeightedList(len(ws)))
+		}
+		rt.RecordShuffle("sort-graph"+tag, bytes)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: write the weight-sorted graph to the key-value store.
+	store := rt.NewStore("weight-sorted-graph" + tag)
+	err = rt.Phase("KV-Write"+tag, func() error {
+		return rt.Run(ampc.Round{
+			Name:  "kv-write" + tag,
+			Items: n,
+			Body: func(ctx *ampc.Ctx, item int) error {
+				ctx.ChargeCompute(1)
+				return ctx.Write(store, uint64(item), codec.EncodeWeightedNeighbors(sorted[item]))
+			},
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: truncated Prim search from every vertex.
+	type visit struct {
+		visited, visitor graph.NodeID
+	}
+	var mu sync.Mutex
+	edgeSet := make(map[graph.Edge]float64)
+	var visits []visit
+	stopped := make([]graph.NodeID, n) // case-3 stop target, or None
+	for i := range stopped {
+		stopped[i] = graph.None
+	}
+	err = rt.Phase("PrimSearch"+tag, func() error {
+		return rt.Run(ampc.Round{
+			Name:  "prim-search" + tag,
+			Items: n,
+			Read:  store,
+			Body: func(ctx *ampc.Ctx, item int) error {
+				s := &primSearcher{ctx: ctx, prio: prio, budget: budget}
+				out, err := s.search(graph.NodeID(item), sorted[item])
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				for _, e := range out.msfEdges {
+					c := graph.Edge{U: e.U, V: e.V}.Canonical()
+					edgeSet[c] = e.W
+				}
+				for _, u := range out.claimed {
+					visits = append(visits, visit{visited: u, visitor: graph.NodeID(item)})
+				}
+				stopped[item] = out.stoppedAt
+				mu.Unlock()
+				return nil
+			},
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 4: combine visit records per visited vertex, keeping the
+	// strongest (lowest-rank) visitor; this is one shuffle in the dataflow
+	// implementation.
+	parent := make([]graph.NodeID, n)
+	for i := range parent {
+		parent[i] = graph.NodeID(i)
+	}
+	err = rt.Phase("Combine"+tag, func() error {
+		rt.RecordShuffle("combine-visits"+tag, int64(len(visits))*8)
+		best := make(map[graph.NodeID]graph.NodeID)
+		for _, vi := range visits {
+			cur, ok := best[vi.visited]
+			if !ok || prio[vi.visitor] < prio[cur] {
+				best[vi.visited] = vi.visitor
+			}
+		}
+		for v := 0; v < n; v++ {
+			nv := graph.NodeID(v)
+			cand := graph.None
+			if b, ok := best[nv]; ok && prio[b] < prio[nv] {
+				cand = b
+			}
+			if s := stopped[v]; s != graph.None && (cand == graph.None || prio[s] < prio[cand]) {
+				cand = s
+			}
+			if cand != graph.None {
+				parent[v] = cand
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 5: pointer jumping over the visitor forest (one shuffle to build
+	// the parent map, then chasing pointers through the key-value store).
+	roots, maxChain, err := PointerJump(rt, parent, tag)
+	if err != nil {
+		return nil, err
+	}
+	result.MaxPointerChain = maxChain
+
+	// Phase 6: contract the graph along the mapping (two shuffles in the
+	// dataflow implementation).  Only edges whose endpoints landed in
+	// different clusters survive the contraction.
+	type crossEdge struct {
+		e      graph.WeightedEdge
+		ru, rv graph.NodeID
+	}
+	var cross []crossEdge
+	err = rt.Phase("Contract"+tag, func() error {
+		rt.RecordShuffle("contract-edges"+tag, g.NumEdges()*12)
+		rt.RecordShuffle("contract-build"+tag, g.NumEdges()*12)
+		g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+			ru, rv := roots[u], roots[v]
+			if ru != rv {
+				cross = append(cross, crossEdge{graph.WeightedEdge{U: u, V: v, W: w}, ru, rv})
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	result.PrimEdges = len(edgeSet)
+
+	// Finish in memory: Kruskal over the surviving cross-cluster edges,
+	// ordered by the same global edge order the Prim searches used, so the
+	// tie-breaking stays consistent and the union remains a forest.
+	err = rt.Phase("FinishMSF"+tag, func() error {
+		sort.Slice(cross, func(i, j int) bool { return edgeLess(cross[i].e, cross[j].e) })
+		clusterID := make(map[graph.NodeID]graph.NodeID)
+		idOf := func(r graph.NodeID) graph.NodeID {
+			id, ok := clusterID[r]
+			if !ok {
+				id = graph.NodeID(len(clusterID))
+				clusterID[r] = id
+			}
+			return id
+		}
+		for _, ce := range cross {
+			idOf(ce.ru)
+			idOf(ce.rv)
+		}
+		result.ContractedNodes = len(clusterID)
+		ds := seq.NewDSU(len(clusterID))
+		for _, ce := range cross {
+			if ds.Union(clusterID[ce.ru], clusterID[ce.rv]) {
+				c := graph.Edge{U: ce.e.U, V: ce.e.V}.Canonical()
+				edgeSet[c] = ce.e.W
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for e, w := range edgeSet {
+		result.Edges = append(result.Edges, graph.WeightedEdge{U: e.U, V: e.V, W: w})
+	}
+	sort.Slice(result.Edges, func(i, j int) bool { return edgeLess(result.Edges[i], result.Edges[j]) })
+	for _, e := range result.Edges {
+		result.TotalWeight += e.W
+	}
+	return result, nil
+}
+
+// primOutcome is what one truncated Prim search reports.
+type primOutcome struct {
+	msfEdges  []graph.WeightedEdge // MSF edges discovered by the search
+	claimed   []graph.NodeID       // weaker vertices visited by the search
+	stoppedAt graph.NodeID         // stronger vertex that ended the search (case 3), or None
+}
+
+// primSearcher runs Algorithm 1's per-vertex search against the key-value
+// store.
+type primSearcher struct {
+	ctx    *ampc.Ctx
+	prio   []uint64
+	budget int
+}
+
+func (s *primSearcher) search(start graph.NodeID, startAdj []codec.WeightedNeighbor) (*primOutcome, error) {
+	out := &primOutcome{stoppedAt: graph.None}
+	inTree := map[graph.NodeID]bool{start: true}
+	// Candidate edges out of the explored set, ordered by the global edge
+	// order; a simple slice-backed heap keeps the code readable.
+	type cand struct {
+		edge graph.WeightedEdge
+		from graph.NodeID
+	}
+	var heap []cand
+	less := func(i, j int) bool { return edgeLess(heap[i].edge, heap[j].edge) }
+	push := func(c cand) {
+		heap = append(heap, c)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if less(p, i) {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() cand {
+		top := heap[0]
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && less(l, m) {
+				m = l
+			}
+			if r < len(heap) && less(r, m) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+		return top
+	}
+	addVertex := func(v graph.NodeID, adj []codec.WeightedNeighbor) {
+		s.ctx.ChargeCompute(len(adj) + 1)
+		for _, wn := range adj {
+			if !inTree[wn.Node] {
+				push(cand{edge: graph.WeightedEdge{U: v, V: wn.Node, W: wn.Weight}, from: v})
+			}
+		}
+	}
+	addVertex(start, startAdj)
+
+	for len(heap) > 0 {
+		c := pop()
+		next := c.edge.V
+		if inTree[next] {
+			continue
+		}
+		// The chosen edge is the minimum edge leaving the explored set, so it
+		// belongs to the (unique, tie-broken) minimum spanning forest.
+		out.msfEdges = append(out.msfEdges, c.edge)
+		inTree[next] = true
+		if s.prio[next] < s.prio[start] {
+			// Case 3: reached a stronger vertex; stop and point to it.
+			out.stoppedAt = next
+			return out, nil
+		}
+		out.claimed = append(out.claimed, next)
+		if len(inTree) >= s.budget {
+			// Case 1: exploration budget exhausted.
+			return out, nil
+		}
+		adj, err := s.fetch(next)
+		if err != nil {
+			return nil, err
+		}
+		addVertex(next, adj)
+	}
+	// Case 2: the whole component was explored.
+	return out, nil
+}
+
+func (s *primSearcher) fetch(v graph.NodeID) ([]codec.WeightedNeighbor, error) {
+	raw, ok, err := s.ctx.Lookup(uint64(v))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("msf: vertex %d missing from the key-value store", v)
+	}
+	return codec.DecodeWeightedNeighbors(raw)
+}
+
+// PointerJump resolves every vertex's pointer chain to its root using the
+// key-value store, as in the ForestConnectivity routine (Proposition 3.2) and
+// the PointerJump phase of the empirical MSF pipeline.  parent[v] == v marks
+// a root.  It returns the root of every vertex and the longest chain length
+// observed.
+func PointerJump(rt *ampc.Runtime, parent []graph.NodeID, tag string) ([]graph.NodeID, int, error) {
+	n := len(parent)
+	store := rt.NewStore("parents" + tag)
+	roots := make([]graph.NodeID, n)
+	chains := make([]int, n)
+	err := rt.Phase("PointerJump"+tag, func() error {
+		rt.RecordShuffle("parent-map"+tag, int64(n)*8)
+		if err := rt.Run(ampc.Round{
+			Name:  "write-parents" + tag,
+			Items: n,
+			Body: func(ctx *ampc.Ctx, item int) error {
+				return ctx.Write(store, uint64(item), codec.EncodeNodeID(parent[item]))
+			},
+		}); err != nil {
+			return err
+		}
+		return rt.Run(ampc.Round{
+			Name:  "chase-pointers" + tag,
+			Items: n,
+			Read:  store,
+			Body: func(ctx *ampc.Ctx, item int) error {
+				cur := graph.NodeID(item)
+				steps := 0
+				for {
+					raw, ok, err := ctx.Lookup(uint64(cur))
+					if err != nil {
+						return err
+					}
+					if !ok {
+						return fmt.Errorf("msf: missing parent pointer for %d", cur)
+					}
+					p, err := codec.DecodeNodeID(raw)
+					if err != nil {
+						return err
+					}
+					if p == cur {
+						break
+					}
+					cur = p
+					steps++
+					if steps > n {
+						return fmt.Errorf("msf: pointer chain from %d does not terminate", item)
+					}
+				}
+				roots[item] = cur
+				chains[item] = steps
+				return nil
+			},
+		})
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	maxChain := 0
+	for _, c := range chains {
+		if c > maxChain {
+			maxChain = c
+		}
+	}
+	return roots, maxChain, nil
+}
+
+// contractWithOrigins contracts g along mapping (vertex -> representative)
+// keeping, for every contracted edge, the original minimum-weight edge that
+// produced it, so forest edges of the contracted graph can be lifted back to
+// edges of g.
+func contractWithOrigins(g *graph.Graph, mapping []graph.NodeID) (*graph.Graph, map[graph.Edge]graph.WeightedEdge) {
+	n := g.NumNodes()
+	// Assign dense ids to representatives that keep at least one edge.
+	newID := make([]graph.NodeID, n)
+	for i := range newID {
+		newID[i] = graph.None
+	}
+	var repCount int
+	assign := func(rep graph.NodeID) graph.NodeID {
+		if newID[rep] == graph.None {
+			newID[rep] = graph.NodeID(repCount)
+			repCount++
+		}
+		return newID[rep]
+	}
+	type key struct{ a, b graph.NodeID }
+	best := make(map[key]graph.WeightedEdge)
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		ru, rv := mapping[u], mapping[v]
+		if ru == rv {
+			return
+		}
+		cu, cv := assign(ru), assign(rv)
+		if cu > cv {
+			cu, cv = cv, cu
+		}
+		k := key{cu, cv}
+		e := graph.WeightedEdge{U: u, V: v, W: w}
+		if cur, ok := best[k]; !ok || edgeLess(e, cur) {
+			best[k] = e
+		}
+	})
+	b := graph.NewBuilder(repCount)
+	origins := make(map[graph.Edge]graph.WeightedEdge, len(best))
+	for k, e := range best {
+		b.AddWeightedEdge(k.a, k.b, e.W)
+		origins[graph.Edge{U: k.a, V: k.b}.Canonical()] = e
+	}
+	return b.Build(), origins
+}

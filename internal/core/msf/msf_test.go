@@ -1,0 +1,442 @@
+package msf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/gen"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/seq"
+)
+
+func defaultCfg(seed int64) ampc.Config {
+	return ampc.Config{Machines: 4, Threads: 2, EnableCache: true, Seed: seed}
+}
+
+func weightsEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-6
+}
+
+func randomWeightedGraph(n, m int, seed int64) *graph.Graph {
+	return gen.RandomWeights(gen.ErdosRenyi(n, m, seed), seed+1)
+}
+
+func TestRunRejectsUnweighted(t *testing.T) {
+	if _, err := Run(gen.Cycle(10), defaultCfg(1)); err == nil {
+		t.Fatal("unweighted graph accepted")
+	}
+}
+
+func TestRunOnSmallKnownGraph(t *testing.T) {
+	g := graph.FromWeightedEdges(4, []graph.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3}, {U: 0, V: 3, W: 10}, {U: 0, V: 2, W: 5},
+	})
+	res, err := Run(g, defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 3 || !weightsEqual(res.TotalWeight, 6) {
+		t.Fatalf("msf = %v (weight %v), want weight 6 with 3 edges", res.Edges, res.TotalWeight)
+	}
+	if !seq.IsSpanningForest(g, res.Edges) {
+		t.Fatal("result is not a spanning forest")
+	}
+}
+
+func TestRunMatchesKruskal(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%200)
+		g := randomWeightedGraph(n, 3*n, seed)
+		res, err := Run(g, defaultCfg(seed))
+		if err != nil {
+			return false
+		}
+		want := seq.KruskalMSF(g)
+		return len(res.Edges) == len(want) &&
+			weightsEqual(res.TotalWeight, seq.MSFWeight(want)) &&
+			seq.IsSpanningForest(g, res.Edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnGraphClasses(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"cycle":       gen.DegreeProportionalWeights(gen.Cycle(80)),
+		"path":        gen.DegreeProportionalWeights(gen.Path(60)),
+		"star":        gen.DegreeProportionalWeights(gen.Star(40)),
+		"grid":        gen.RandomWeights(gen.Grid(7, 11), 3),
+		"powerlaw":    gen.DegreeProportionalWeights(gen.PreferentialAttachment(300, 3, 4)),
+		"disconnect":  gen.RandomWeights(gen.TwoCycles(40), 5),
+		"single-edge": graph.FromWeightedEdges(2, []graph.WeightedEdge{{U: 0, V: 1, W: 7}}),
+		"no-edges":    graph.FromWeightedEdges(5, nil).WithWeights(func(u, v graph.NodeID) float64 { return 1 }),
+	}
+	for name, g := range graphs {
+		res, err := Run(g, defaultCfg(9))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := seq.KruskalMSF(g)
+		if len(res.Edges) != len(want) || !weightsEqual(res.TotalWeight, seq.MSFWeight(want)) {
+			t.Errorf("%s: got %d edges weight %v, want %d edges weight %v",
+				name, len(res.Edges), res.TotalWeight, len(want), seq.MSFWeight(want))
+		}
+	}
+}
+
+func TestRunDegreeProportionalWeights(t *testing.T) {
+	// The paper's MSF workload: weight(u,v) = deg(u)+deg(v) (§5.2); this
+	// creates many weight ties, which the tie-broken edge order must handle.
+	g := gen.DegreeProportionalWeights(gen.PreferentialAttachment(500, 4, 13))
+	res, err := Run(g, defaultCfg(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.KruskalMSF(g)
+	if !weightsEqual(res.TotalWeight, seq.MSFWeight(want)) {
+		t.Fatalf("weight %v, want %v", res.TotalWeight, seq.MSFWeight(want))
+	}
+	if !seq.IsSpanningForest(g, res.Edges) {
+		t.Fatal("not a spanning forest")
+	}
+}
+
+func TestRunUsesFiveShuffles(t *testing.T) {
+	// Table 3: the AMPC MSF implementation performs 5 shuffles.
+	g := randomWeightedGraph(400, 1600, 21)
+	res, err := Run(g, defaultCfg(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Shuffles != 5 {
+		t.Fatalf("shuffles = %d, want 5", res.Stats.Shuffles)
+	}
+}
+
+func TestRunContractionShrinksGraph(t *testing.T) {
+	// Lemma 3.3: one truncated-Prim pass shrinks the vertex count by a factor
+	// of roughly n^(ε/2); on 2000 vertices the contracted graph must be far
+	// smaller.
+	g := randomWeightedGraph(2000, 6000, 23)
+	res, err := Run(g, defaultCfg(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContractedNodes >= g.NumNodes()/4 {
+		t.Fatalf("contraction too weak: %d of %d vertices survive", res.ContractedNodes, g.NumNodes())
+	}
+}
+
+func TestRunPointerChainsShallow(t *testing.T) {
+	// The paper observed a maximum pointer-jumping chain of 33; allow a
+	// generous bound but catch pathological chains.
+	g := randomWeightedGraph(3000, 9000, 29)
+	res, err := Run(g, defaultCfg(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxPointerChain > 100 {
+		t.Fatalf("pointer chain too long: %d", res.MaxPointerChain)
+	}
+}
+
+func TestRunDeterministicAcrossConfigurations(t *testing.T) {
+	g := randomWeightedGraph(300, 900, 31)
+	ref, err := Run(g, ampc.Config{Machines: 1, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []ampc.Config{
+		{Machines: 7, Seed: 31},
+		{Machines: 3, Threads: 4, EnableCache: true, Seed: 31},
+	} {
+		res, err := Run(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Edges) != len(ref.Edges) || !weightsEqual(res.TotalWeight, ref.TotalWeight) {
+			t.Fatalf("config %+v changed the forest", cfg)
+		}
+	}
+}
+
+func TestPrimEdgesFoundBeforeContraction(t *testing.T) {
+	g := randomWeightedGraph(1000, 4000, 37)
+	res, err := Run(g, defaultCfg(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrimEdges == 0 {
+		t.Fatal("no forest edges discovered by the Prim searches")
+	}
+	if res.PrimEdges > len(res.Edges) {
+		t.Fatalf("prim edges %d exceed forest size %d", res.PrimEdges, len(res.Edges))
+	}
+}
+
+func TestTernarizeBoundsDegree(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 10 + int(uint64(seed)%100)
+		g := gen.RandomWeights(gen.PreferentialAttachment(n, 4, seed), seed)
+		tern := Ternarize(g)
+		if tern.Graph.MaxDegree() > 3 {
+			return false
+		}
+		// Real (non-dummy) edge count is preserved.
+		real := int64(0)
+		tern.Graph.ForEachEdge(func(u, v graph.NodeID, w float64) {
+			if w != DummyWeight {
+				real++
+			}
+		})
+		if real != g.NumEdges() {
+			return false
+		}
+		// Origins are in range.
+		for _, o := range tern.Origin {
+			if int(o) >= g.NumNodes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTernarizeLowDegreeGraphUnchangedSize(t *testing.T) {
+	g := gen.RandomWeights(gen.Cycle(30), 1)
+	tern := Ternarize(g)
+	if tern.Graph.NumNodes() != 30 || tern.Graph.NumEdges() != 30 {
+		t.Fatalf("ternarization should not expand a degree-2 graph: n=%d m=%d",
+			tern.Graph.NumNodes(), tern.Graph.NumEdges())
+	}
+}
+
+func TestTernarizePreservesMSFWeight(t *testing.T) {
+	// The real edges of the ternarized MSF form an MSF of the original graph.
+	g := gen.DegreeProportionalWeights(gen.PreferentialAttachment(120, 5, 3))
+	tern := Ternarize(g)
+	ternMSF := seq.KruskalMSF(tern.Graph)
+	var realWeight float64
+	for _, e := range ternMSF {
+		if e.W != DummyWeight {
+			realWeight += e.W
+		}
+	}
+	want := seq.MSFWeight(seq.KruskalMSF(g))
+	if !weightsEqual(realWeight, want) {
+		t.Fatalf("real edges of ternarized MSF weigh %v, want %v", realWeight, want)
+	}
+}
+
+func TestRunTheoreticalMatchesKruskal(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 20 + int(uint64(seed)%150)
+		g := randomWeightedGraph(n, 2*n, seed)
+		res, err := RunTheoretical(g, defaultCfg(seed))
+		if err != nil {
+			return false
+		}
+		want := seq.KruskalMSF(g)
+		return len(res.Edges) == len(want) && weightsEqual(res.TotalWeight, seq.MSFWeight(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTheoreticalDenseBranch(t *testing.T) {
+	// A dense graph (m >= n^(1+ε/2)) goes through the DenseMSF branch.
+	g := gen.RandomWeights(gen.Clique(40), 7)
+	res, err := RunTheoretical(g, defaultCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.KruskalMSF(g)
+	if len(res.Edges) != len(want) || !weightsEqual(res.TotalWeight, seq.MSFWeight(want)) {
+		t.Fatalf("dense branch wrong: %d edges weight %v, want %d weight %v",
+			len(res.Edges), res.TotalWeight, len(want), seq.MSFWeight(want))
+	}
+}
+
+func TestDenseMSFDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 10 + int(uint64(seed)%80)
+		g := randomWeightedGraph(n, 4*n, seed)
+		rt := ampc.New(ampc.Config{Seed: seed, SpacePerMachine: 4})
+		res, err := DenseMSF(rt, g, "")
+		if err != nil {
+			return false
+		}
+		want := seq.KruskalMSF(g)
+		return len(res.Edges) == len(want) &&
+			weightsEqual(seq.MSFWeight(res.Edges), seq.MSFWeight(want)) &&
+			seq.IsSpanningForest(g, res.Edges)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPointerJump(t *testing.T) {
+	// Chain 4 -> 3 -> 2 -> 1 -> 0 plus isolated roots.
+	rt := ampc.New(ampc.Config{Machines: 3})
+	parent := []graph.NodeID{0, 0, 1, 2, 3, 5}
+	roots, maxChain, err := PointerJump(rt, parent, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if roots[v] != 0 {
+			t.Fatalf("root of %d = %d, want 0", v, roots[v])
+		}
+	}
+	if roots[5] != 5 {
+		t.Fatalf("root of 5 = %d, want 5", roots[5])
+	}
+	if maxChain != 4 {
+		t.Fatalf("max chain %d, want 4", maxChain)
+	}
+}
+
+func TestFindLightEdges(t *testing.T) {
+	// Graph: square 0-1-2-3-0 with weights 1,2,3,4 and a diagonal 0-2 with
+	// weight 5.  Forest F = {0-1 (1), 1-2 (2), 2-3 (3)}.
+	g := graph.FromWeightedEdges(4, []graph.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3}, {U: 3, V: 0, W: 4}, {U: 0, V: 2, W: 5},
+	})
+	forest := []graph.WeightedEdge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3}}
+	light, err := FindLightEdges(g, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightSet := map[graph.Edge]bool{}
+	for _, e := range light {
+		lightSet[graph.Edge{U: e.U, V: e.V}.Canonical()] = true
+	}
+	// Forest edges are always light (w <= max on their own path).
+	for _, e := range forest {
+		if !lightSet[graph.Edge{U: e.U, V: e.V}.Canonical()] {
+			t.Fatalf("forest edge %v classified heavy", e)
+		}
+	}
+	// Edge 3-0 (4): path max in F is 3 -> heavy.  Edge 0-2 (5): path max 2 -> heavy.
+	if lightSet[graph.Edge{U: 0, V: 3}] {
+		t.Fatal("edge (0,3) should be F-heavy")
+	}
+	if lightSet[graph.Edge{U: 0, V: 2}] {
+		t.Fatal("edge (0,2) should be F-heavy")
+	}
+}
+
+func TestFindLightEdgesDisconnectedForest(t *testing.T) {
+	// Edges joining different forest components are always light.
+	g := graph.FromWeightedEdges(4, []graph.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}, {U: 1, V: 2, W: 100},
+	})
+	forest := []graph.WeightedEdge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}}
+	light, err := FindLightEdges(g, forest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range light {
+		c := graph.Edge{U: e.U, V: e.V}.Canonical()
+		if c.U == 1 && c.V == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("cross-component edge should be light")
+	}
+}
+
+func TestFindLightEdgesContainMSF(t *testing.T) {
+	// Proposition 3.8: every MSF edge of g is F-light for any forest F.
+	f := func(seed int64) bool {
+		n := 15 + int(uint64(seed)%80)
+		g := randomWeightedGraph(n, 3*n, seed)
+		// F = MSF of a random subgraph.
+		b := graph.NewBuilder(n)
+		g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+			if (uint64(u)+uint64(v)+uint64(seed))%3 == 0 {
+				b.AddWeightedEdge(u, v, w)
+			}
+		})
+		forest := seq.KruskalMSF(b.Build())
+		light, err := FindLightEdges(g, forest)
+		if err != nil {
+			return false
+		}
+		lightSet := map[graph.Edge]bool{}
+		for _, e := range light {
+			lightSet[graph.Edge{U: e.U, V: e.V}.Canonical()] = true
+		}
+		for _, e := range seq.KruskalMSF(g) {
+			if !lightSet[graph.Edge{U: e.U, V: e.V}.Canonical()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindLightEdgesRejectsCyclicForest(t *testing.T) {
+	g := gen.RandomWeights(gen.Cycle(4), 1)
+	if _, err := FindLightEdges(g, g.Edges()); err == nil {
+		t.Fatal("cyclic forest accepted")
+	}
+}
+
+func TestRunKKTMatchesKruskal(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 30 + int(uint64(seed)%150)
+		g := randomWeightedGraph(n, 4*n, seed)
+		res, err := RunKKT(g, defaultCfg(seed))
+		if err != nil {
+			return false
+		}
+		want := seq.KruskalMSF(g)
+		return len(res.Edges) == len(want) && weightsEqual(res.TotalWeight, seq.MSFWeight(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunKKTFiltersEdges(t *testing.T) {
+	g := randomWeightedGraph(1000, 8000, 41)
+	res, err := RunKKT(g, defaultCfg(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampledEdges == 0 || res.SampledEdges >= g.NumEdges() {
+		t.Fatalf("sampling did not thin the graph: %d of %d", res.SampledEdges, g.NumEdges())
+	}
+	if res.LightEdges == 0 || int64(res.LightEdges) >= g.NumEdges() {
+		t.Fatalf("light-edge filter kept %d of %d edges", res.LightEdges, g.NumEdges())
+	}
+	want := seq.KruskalMSF(g)
+	if !weightsEqual(res.TotalWeight, seq.MSFWeight(want)) {
+		t.Fatalf("weight %v, want %v", res.TotalWeight, seq.MSFWeight(want))
+	}
+}
+
+func TestRunKKTEmptyGraph(t *testing.T) {
+	g := graph.FromWeightedEdges(0, nil)
+	res, err := RunKKT(g, defaultCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Edges) != 0 {
+		t.Fatal("empty graph should give an empty forest")
+	}
+}

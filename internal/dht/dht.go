@@ -1,0 +1,284 @@
+// Package dht implements the distributed hash table (distributed key-value
+// store) at the heart of the AMPC model.
+//
+// The store is sharded: keys are hashed onto a fixed number of shards, each
+// standing in for one key-value server.  The implementation tracks exactly
+// the quantities the paper measures — number of reads and writes, bytes
+// transferred, and per-shard load (query contention, §2) — and exposes the
+// freeze semantics of the model: within round i machines read D_{i-1}
+// (frozen, read-only) and write D_i.
+//
+// The real system in the paper uses an RDMA-backed key-value store with a
+// TCP/IP fallback; here the latency of each operation is charged to a
+// simulated clock according to a simtime.CostModel, which is how the Table 4
+// experiments are reproduced.
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ampcgraph/internal/simtime"
+)
+
+// ErrFrozen is returned by Put when the store has been frozen.
+var ErrFrozen = errors.New("dht: store is frozen (read-only)")
+
+// ErrUnavailable is returned by operations that hit a failed, unreplicated
+// shard.
+var ErrUnavailable = errors.New("dht: shard unavailable")
+
+// Stats aggregates the operation counters of a store.
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+	Misses       int64 // reads of absent keys
+	Failovers    int64 // reads served by a replica after a shard failure
+	MaxShardOps  int64 // maximum reads+writes on any single shard (contention)
+	Keys         int64 // number of distinct keys currently stored
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	data    map[uint64][]byte
+	replica map[uint64][]byte
+	failed  bool
+	ops     atomic.Int64
+}
+
+// Store is a sharded in-memory key-value store.
+type Store struct {
+	name      string
+	shards    []*shard
+	model     simtime.CostModel
+	clock     *simtime.Clock
+	frozen    atomic.Bool
+	replicate bool
+
+	reads        atomic.Int64
+	writes       atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	misses       atomic.Int64
+	failovers    atomic.Int64
+}
+
+// Options configures a Store.
+type Options struct {
+	// Shards is the number of key-value servers; defaults to 16.
+	Shards int
+	// Model is the latency model; the zero value disables latency charging.
+	Model simtime.CostModel
+	// Clock receives latency charges; may be nil.
+	Clock *simtime.Clock
+	// Replicate keeps a synchronous replica of every shard so that reads
+	// survive an injected shard failure (the fault-tolerance property of §2).
+	Replicate bool
+}
+
+// NewStore creates an empty store named name.
+func NewStore(name string, opts Options) *Store {
+	if opts.Shards <= 0 {
+		opts.Shards = 16
+	}
+	s := &Store{
+		name:      name,
+		shards:    make([]*shard, opts.Shards),
+		model:     opts.Model,
+		clock:     opts.Clock,
+		replicate: opts.Replicate,
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{data: make(map[uint64][]byte)}
+		if opts.Replicate {
+			s.shards[i].replica = make(map[uint64][]byte)
+		}
+	}
+	return s
+}
+
+// Name returns the store's name (D0, D1, ... in the model).
+func (s *Store) Name() string { return s.name }
+
+// NumShards returns the number of shards.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+func (s *Store) shardFor(key uint64) *shard {
+	// Fibonacci hashing spreads sequential vertex identifiers across shards.
+	h := key * 0x9e3779b97f4a7c15
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+// Put stores value under key.  It returns ErrFrozen after Freeze has been
+// called.  The value is copied.
+func (s *Store) Put(key uint64, value []byte) error {
+	if s.frozen.Load() {
+		return ErrFrozen
+	}
+	sh := s.shardFor(key)
+	cp := append([]byte(nil), value...)
+	sh.mu.Lock()
+	sh.data[key] = cp
+	if sh.replica != nil {
+		sh.replica[key] = cp
+	}
+	sh.mu.Unlock()
+	sh.ops.Add(1)
+	s.writes.Add(1)
+	s.bytesWritten.Add(int64(len(value)) + 8)
+	s.charge(s.model.WriteLatency)
+	return nil
+}
+
+// Append appends value to the existing entry for key (creating it when
+// absent).  This is the "a DHT returns all corresponding values" multi-value
+// semantics of the model, used by algorithms that emit several records per
+// key.
+func (s *Store) Append(key uint64, value []byte) error {
+	if s.frozen.Load() {
+		return ErrFrozen
+	}
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	cur := sh.data[key]
+	next := make([]byte, 0, len(cur)+len(value))
+	next = append(next, cur...)
+	next = append(next, value...)
+	sh.data[key] = next
+	if sh.replica != nil {
+		sh.replica[key] = next
+	}
+	sh.mu.Unlock()
+	sh.ops.Add(1)
+	s.writes.Add(1)
+	s.bytesWritten.Add(int64(len(value)) + 8)
+	s.charge(s.model.WriteLatency)
+	return nil
+}
+
+// Get returns the value stored under key.  The returned slice must not be
+// modified.  A read of an absent key counts as a miss.
+func (s *Store) Get(key uint64) ([]byte, bool, error) {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	var v []byte
+	var ok bool
+	if sh.failed {
+		if sh.replica == nil {
+			sh.mu.RUnlock()
+			s.reads.Add(1)
+			s.charge(s.model.LookupLatency)
+			return nil, false, fmt.Errorf("%w: key %d", ErrUnavailable, key)
+		}
+		v, ok = sh.replica[key]
+		s.failovers.Add(1)
+	} else {
+		v, ok = sh.data[key]
+	}
+	sh.mu.RUnlock()
+	sh.ops.Add(1)
+	s.reads.Add(1)
+	if ok {
+		s.bytesRead.Add(int64(len(v)) + 8)
+	} else {
+		s.misses.Add(1)
+	}
+	s.charge(s.model.LookupLatency)
+	return v, ok, nil
+}
+
+// Freeze makes the store read-only; subsequent Put and Append calls fail.
+// In the AMPC model D_{i-1} is immutable while round i runs.
+func (s *Store) Freeze() { s.frozen.Store(true) }
+
+// Frozen reports whether the store is read-only.
+func (s *Store) Frozen() bool { return s.frozen.Load() }
+
+// FailShard simulates the loss of shard i.  With replication enabled reads
+// continue to succeed (and are counted as failovers); without replication
+// reads of keys on the failed shard return ErrUnavailable.
+func (s *Store) FailShard(i int) {
+	sh := s.shards[i%len(s.shards)]
+	sh.mu.Lock()
+	sh.failed = true
+	sh.mu.Unlock()
+}
+
+// RecoverShard undoes FailShard.
+func (s *Store) RecoverShard(i int) {
+	sh := s.shards[i%len(s.shards)]
+	sh.mu.Lock()
+	sh.failed = false
+	if sh.replica != nil {
+		// Rebuild the primary from the replica, as a recovering server would.
+		sh.data = make(map[uint64][]byte, len(sh.replica))
+		for k, v := range sh.replica {
+			sh.data[k] = v
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// Len returns the number of distinct keys stored.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.data)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for every key-value pair until fn returns false.  Iteration
+// order is unspecified.  It is intended for draining a store at the end of a
+// round, not for point lookups.
+func (s *Store) Range(fn func(key uint64, value []byte) bool) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for k, v := range sh.data {
+			if !fn(k, v) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Stats returns a snapshot of the operation counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Reads:        s.reads.Load(),
+		Writes:       s.writes.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		Misses:       s.misses.Load(),
+		Failovers:    s.failovers.Load(),
+		Keys:         int64(s.Len()),
+	}
+	for _, sh := range s.shards {
+		if ops := sh.ops.Load(); ops > st.MaxShardOps {
+			st.MaxShardOps = ops
+		}
+	}
+	return st
+}
+
+// TotalBytes returns bytes read plus bytes written, the quantity plotted in
+// Figures 3 and 9 of the paper ("communication with the key-value store").
+func (s *Store) TotalBytes() int64 {
+	return s.bytesRead.Load() + s.bytesWritten.Load()
+}
+
+// charge adds a latency charge to the simulated clock when one is attached.
+func (s *Store) charge(d time.Duration) {
+	if s.clock != nil {
+		s.clock.Charge(d)
+	}
+}

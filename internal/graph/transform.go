@@ -1,0 +1,145 @@
+package graph
+
+// Contract returns the graph obtained by merging every vertex v into
+// mapping[v] (which must be a fixed point of itself: mapping[mapping[v]] ==
+// mapping[v]).  Self-loops produced by contraction are dropped, and parallel
+// edges are collapsed keeping the minimum weight.  When dropIsolated is true,
+// contracted vertices with no remaining incident edges are removed entirely.
+//
+// The second return value maps the node identifiers of the contracted graph
+// back to the representative identifiers in the original graph.  The third
+// maps each original vertex to its node identifier in the contracted graph
+// (or None when the representative was dropped as isolated).
+func Contract(g *Graph, mapping []NodeID, dropIsolated bool) (*Graph, []NodeID, []NodeID) {
+	n := g.NumNodes()
+	if len(mapping) != n {
+		panic("graph: contraction mapping length mismatch")
+	}
+	// Determine which representatives survive.
+	hasEdge := make([]bool, n)
+	isRep := make([]bool, n)
+	for v := 0; v < n; v++ {
+		isRep[mapping[v]] = true
+	}
+	g.ForEachEdge(func(u, v NodeID, w float64) {
+		ru, rv := mapping[u], mapping[v]
+		if ru != rv {
+			hasEdge[ru] = true
+			hasEdge[rv] = true
+		}
+	})
+	newID := make([]NodeID, n)
+	for i := range newID {
+		newID[i] = None
+	}
+	var reps []NodeID
+	for v := 0; v < n; v++ {
+		if !isRep[v] {
+			continue
+		}
+		if dropIsolated && !hasEdge[v] {
+			continue
+		}
+		newID[v] = NodeID(len(reps))
+		reps = append(reps, NodeID(v))
+	}
+	b := NewBuilder(len(reps))
+	g.ForEachEdge(func(u, v NodeID, w float64) {
+		ru, rv := mapping[u], mapping[v]
+		if ru == rv {
+			return
+		}
+		cu, cv := newID[ru], newID[rv]
+		if cu == None || cv == None {
+			return
+		}
+		if g.Weighted() {
+			b.AddWeightedEdge(cu, cv, w)
+		} else {
+			b.AddEdge(cu, cv)
+		}
+	})
+	contracted := b.Build()
+	origToNew := make([]NodeID, n)
+	for v := 0; v < n; v++ {
+		origToNew[v] = newID[mapping[v]]
+	}
+	return contracted, reps, origToNew
+}
+
+// InducedSubgraph returns the subgraph induced by the vertices for which
+// keep[v] is true, together with the mapping from new vertex identifiers back
+// to the original identifiers.
+func InducedSubgraph(g *Graph, keep []bool) (*Graph, []NodeID) {
+	n := g.NumNodes()
+	if len(keep) != n {
+		panic("graph: keep mask length mismatch")
+	}
+	newID := make([]NodeID, n)
+	var orig []NodeID
+	for v := 0; v < n; v++ {
+		if keep[v] {
+			newID[v] = NodeID(len(orig))
+			orig = append(orig, NodeID(v))
+		} else {
+			newID[v] = None
+		}
+	}
+	b := NewBuilder(len(orig))
+	g.ForEachEdge(func(u, v NodeID, w float64) {
+		if !keep[u] || !keep[v] {
+			return
+		}
+		if g.Weighted() {
+			b.AddWeightedEdge(newID[u], newID[v], w)
+		} else {
+			b.AddEdge(newID[u], newID[v])
+		}
+	})
+	return b.Build(), orig
+}
+
+// RemoveVertices returns the subgraph with the listed vertices (and their
+// incident edges) removed, plus the original-ID mapping of the survivors.
+func RemoveVertices(g *Graph, removed []NodeID) (*Graph, []NodeID) {
+	keep := make([]bool, g.NumNodes())
+	for i := range keep {
+		keep[i] = true
+	}
+	for _, v := range removed {
+		keep[v] = false
+	}
+	return InducedSubgraph(g, keep)
+}
+
+// LineGraph returns the line graph of g: one vertex per undirected edge of g,
+// with two line-graph vertices adjacent when the corresponding edges of g
+// share an endpoint.  It also returns the edge list of g indexed by
+// line-graph vertex, so callers can translate results back.  The line graph
+// can be Θ(m·Δ) large; it is exposed for tests and for the small-graph
+// matching-via-MIS reduction discussed in Section 4 of the paper.
+func LineGraph(g *Graph) (*Graph, []Edge) {
+	edges := make([]Edge, 0, g.NumEdges())
+	index := make(map[Edge]NodeID)
+	g.ForEachEdge(func(u, v NodeID, _ float64) {
+		index[Edge{u, v}] = NodeID(len(edges))
+		edges = append(edges, Edge{u, v})
+	})
+	b := NewBuilder(len(edges))
+	// Connect edges sharing an endpoint: for each vertex, connect all pairs of
+	// incident edges.
+	for v := 0; v < g.NumNodes(); v++ {
+		nv := NodeID(v)
+		var incident []NodeID
+		for _, u := range g.Neighbors(nv) {
+			e := Edge{nv, u}.Canonical()
+			incident = append(incident, index[e])
+		}
+		for i := 0; i < len(incident); i++ {
+			for j := i + 1; j < len(incident); j++ {
+				b.AddEdge(incident[i], incident[j])
+			}
+		}
+	}
+	return b.Build(), edges
+}

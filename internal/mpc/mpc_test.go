@@ -1,0 +1,212 @@
+package mpc
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestParDoAndMapPreserveOrder(t *testing.T) {
+	p := NewPipeline(Config{Workers: 4})
+	in := make([]int, 1000)
+	for i := range in {
+		in[i] = i
+	}
+	c := Materialize(p, in)
+	out := Map(c, func(x int) int { return x * 2 })
+	if out.Len() != 1000 {
+		t.Fatalf("len %d", out.Len())
+	}
+	for i, v := range out.Items() {
+		if v != 2*i {
+			t.Fatalf("out[%d] = %d, want %d (order must be deterministic)", i, v, 2*i)
+		}
+	}
+	if p.Stats().Shuffles != 0 {
+		t.Fatal("ParDo must not count as a shuffle")
+	}
+	if p.Stats().Elements != 1000 {
+		t.Fatalf("elements %d", p.Stats().Elements)
+	}
+}
+
+func TestParDoMultipleEmits(t *testing.T) {
+	p := NewPipeline(Config{Workers: 3})
+	c := Materialize(p, []int{1, 2, 3})
+	out := ParDo(c, func(x int, emit func(int)) {
+		for i := 0; i < x; i++ {
+			emit(x)
+		}
+	})
+	if out.Len() != 6 {
+		t.Fatalf("len %d, want 6", out.Len())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	p := NewPipeline(Config{})
+	c := Materialize(p, []int{1, 2, 3, 4, 5, 6})
+	out := Filter(c, func(x int) bool { return x%2 == 0 })
+	if out.Len() != 3 {
+		t.Fatalf("len %d", out.Len())
+	}
+	if Count(out) != 3 {
+		t.Fatal("Count mismatch")
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	p := NewPipeline(Config{})
+	pairs := []KV[string, int]{
+		{"a", 1}, {"b", 2}, {"a", 3}, {"c", 4}, {"a", 5},
+	}
+	grouped := GroupByKey(Materialize(p, pairs), func(string, int) int { return 8 })
+	if grouped.Len() != 3 {
+		t.Fatalf("groups %d", grouped.Len())
+	}
+	byKey := map[string][]int{}
+	for _, kv := range grouped.Items() {
+		byKey[kv.Key] = kv.Value
+	}
+	if got := byKey["a"]; len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("group a = %v (must preserve input order)", got)
+	}
+	st := p.Stats()
+	if st.Shuffles != 1 {
+		t.Fatalf("shuffles %d, want 1", st.Shuffles)
+	}
+	if st.ShuffleBytes != 5*8 {
+		t.Fatalf("shuffle bytes %d, want 40", st.ShuffleBytes)
+	}
+	if st.MaxGroupSize != 3 {
+		t.Fatalf("max group %d, want 3", st.MaxGroupSize)
+	}
+	if st.Sim <= 0 {
+		t.Fatal("shuffle must charge simulated time")
+	}
+}
+
+func TestCoGroupByKey(t *testing.T) {
+	p := NewPipeline(Config{})
+	left := Materialize(p, []KV[int, string]{{1, "x"}, {2, "y"}})
+	right := Materialize(p, []KV[int, bool]{{1, true}, {3, false}})
+	joined := CoGroupByKey(left, right,
+		func(int, string) int { return 4 },
+		func(int, bool) int { return 1 },
+	)
+	if joined.Len() != 3 {
+		t.Fatalf("groups %d, want 3", joined.Len())
+	}
+	byKey := map[int]CoGroup[string, bool]{}
+	for _, kv := range joined.Items() {
+		byKey[kv.Key] = kv.Value
+	}
+	if len(byKey[1].Left) != 1 || len(byKey[1].Right) != 1 {
+		t.Fatalf("key 1 cogroup %+v", byKey[1])
+	}
+	if len(byKey[2].Left) != 1 || len(byKey[2].Right) != 0 {
+		t.Fatalf("key 2 cogroup %+v", byKey[2])
+	}
+	if p.Stats().Shuffles != 1 {
+		t.Fatalf("cogroup should count a single shuffle, got %d", p.Stats().Shuffles)
+	}
+	if p.Stats().ShuffleBytes != 2*4+2*1 {
+		t.Fatalf("shuffle bytes %d", p.Stats().ShuffleBytes)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	p := NewPipeline(Config{})
+	a := Materialize(p, []int{1, 2})
+	b := Materialize(p, []int{3})
+	c := Flatten(p, a, b)
+	if c.Len() != 3 {
+		t.Fatalf("len %d", c.Len())
+	}
+	if p.Stats().Shuffles != 0 {
+		t.Fatal("flatten must not shuffle")
+	}
+}
+
+func TestPhases(t *testing.T) {
+	p := NewPipeline(Config{})
+	p.Phase("phase1", func() {
+		GroupByKey(Materialize(p, []KV[int, int]{{1, 1}}), func(int, int) int { return 16 })
+	})
+	p.Phase("phase2", func() {})
+	st := p.Stats()
+	if len(st.Phases) != 2 {
+		t.Fatalf("phases %d", len(st.Phases))
+	}
+	if st.Phases[0].Name != "phase1" || st.Phases[0].Shuffles != 1 || st.Phases[0].ShuffleBytes != 16 {
+		t.Fatalf("phase1 %+v", st.Phases[0])
+	}
+	if st.Phases[1].Shuffles != 0 {
+		t.Fatalf("phase2 %+v", st.Phases[1])
+	}
+}
+
+func TestGroupByKeyPropertyPartition(t *testing.T) {
+	// Grouping then flattening the values must give back exactly the input
+	// multiset.
+	f := func(keys []uint8, vals []int8) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		p := NewPipeline(Config{})
+		in := make([]KV[uint8, int8], n)
+		var want []int16
+		for i := 0; i < n; i++ {
+			in[i] = KV[uint8, int8]{keys[i], vals[i]}
+			want = append(want, int16(keys[i])<<8|int16(uint8(vals[i])))
+		}
+		grouped := GroupByKey(Materialize(p, in), func(uint8, int8) int { return 2 })
+		var got []int16
+		for _, kv := range grouped.Items() {
+			for _, v := range kv.Value {
+				got = append(got, int16(kv.Key)<<8|int16(uint8(v)))
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	p := NewPipeline(Config{})
+	if p.Config().Workers <= 0 {
+		t.Fatal("workers not defaulted")
+	}
+	if p.Config().Model.Name == "" {
+		t.Fatal("model not defaulted")
+	}
+	if p.Seed() != 0 {
+		t.Fatal("seed default should be zero")
+	}
+}
+
+func TestEmptyCollections(t *testing.T) {
+	p := NewPipeline(Config{Workers: 8})
+	empty := Materialize(p, []int(nil))
+	out := Map(empty, func(x int) int { return x })
+	if out.Len() != 0 {
+		t.Fatal("mapping empty collection should stay empty")
+	}
+	g := GroupByKey(Materialize(p, []KV[int, int](nil)), func(int, int) int { return 1 })
+	if g.Len() != 0 {
+		t.Fatal("grouping empty collection should stay empty")
+	}
+}

@@ -1,0 +1,51 @@
+// Package rng provides the deterministic hash-based randomness shared by the
+// AMPC algorithms and the MPC baselines.
+//
+// The paper's implementations derive vertex and edge priorities by hashing
+// identifiers ("Uses hashing to determine a priority for each node", Figures
+// 1 and 2) so that both models, when given the same seed, compute exactly the
+// same lexicographically-first MIS or matching.  This package is that shared
+// source of randomness.
+package rng
+
+import "ampcgraph/internal/graph"
+
+// Hash64 mixes a seed and a value with the SplitMix64 finalizer.  It is a
+// high-quality stateless hash suitable for priorities.
+func Hash64(seed int64, x uint64) uint64 {
+	z := x + uint64(seed)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// VertexPriority returns the random rank of vertex v.  Lower values come
+// earlier in the random vertex ordering.
+func VertexPriority(seed int64, v graph.NodeID) uint64 {
+	return Hash64(seed, uint64(v))
+}
+
+// EdgePriority returns the random rank of the undirected edge (u, v); it is
+// symmetric in u and v.  Lower values come earlier in the random edge
+// ordering.
+func EdgePriority(seed int64, u, v graph.NodeID) uint64 {
+	if u > v {
+		u, v = v, u
+	}
+	return Hash64(seed, uint64(u)<<32|uint64(v))
+}
+
+// VertexPriorities materializes the priorities of all n vertices.
+func VertexPriorities(seed int64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = VertexPriority(seed, graph.NodeID(i))
+	}
+	return out
+}
+
+// UniformFloat returns a deterministic pseudo-uniform value in [0, 1)
+// derived from the seed and x.
+func UniformFloat(seed int64, x uint64) float64 {
+	return float64(Hash64(seed, x)>>11) / float64(1<<53)
+}

@@ -1,0 +1,64 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/graph"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 42) != Hash64(1, 42) {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash64(1, 42) == Hash64(2, 42) {
+		t.Fatal("different seeds should (almost surely) give different hashes")
+	}
+	if Hash64(1, 42) == Hash64(1, 43) {
+		t.Fatal("different inputs should (almost surely) give different hashes")
+	}
+}
+
+func TestEdgePrioritySymmetric(t *testing.T) {
+	f := func(seed int64, a, b uint32) bool {
+		u, v := graph.NodeID(a), graph.NodeID(b)
+		return EdgePriority(seed, u, v) == EdgePriority(seed, v, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexPrioritiesDistinct(t *testing.T) {
+	p := VertexPriorities(7, 10_000)
+	seen := make(map[uint64]bool, len(p))
+	for _, x := range p {
+		if seen[x] {
+			t.Fatal("collision in 10k vertex priorities (astronomically unlikely for a good hash)")
+		}
+		seen[x] = true
+	}
+}
+
+func TestUniformFloatRange(t *testing.T) {
+	f := func(seed int64, x uint64) bool {
+		v := UniformFloat(seed, x)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformFloatRoughlyUniform(t *testing.T) {
+	const n = 20_000
+	buckets := make([]int, 10)
+	for i := uint64(0); i < n; i++ {
+		buckets[int(UniformFloat(3, i)*10)]++
+	}
+	for i, b := range buckets {
+		if b < n/20 || b > n/5 {
+			t.Fatalf("bucket %d has %d of %d samples; distribution badly skewed", i, b, n)
+		}
+	}
+}

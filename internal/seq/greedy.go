@@ -1,0 +1,310 @@
+package seq
+
+import (
+	"sort"
+
+	"ampcgraph/internal/graph"
+)
+
+// GreedyMIS returns the lexicographically-first maximal independent set of g
+// with respect to the vertex ordering induced by priority (lower value =
+// earlier in the order).  This is the structure both the AMPC algorithm
+// (Figure 1) and the MPC rootset algorithm (Figure 2) compute when seeded
+// with the same priorities.
+func GreedyMIS(g *graph.Graph, priority []uint64) []bool {
+	n := g.NumNodes()
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if priority[order[i]] != priority[order[j]] {
+			return priority[order[i]] < priority[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	inMIS := make([]bool, n)
+	blocked := make([]bool, n)
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		inMIS[v] = true
+		for _, u := range g.Neighbors(v) {
+			blocked[u] = true
+		}
+	}
+	return inMIS
+}
+
+// IsIndependentSet reports whether the marked vertices form an independent
+// set of g.
+func IsIndependentSet(g *graph.Graph, inSet []bool) bool {
+	ok := true
+	g.ForEachEdge(func(u, v graph.NodeID, _ float64) {
+		if inSet[u] && inSet[v] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// IsMaximalIndependentSet reports whether the marked vertices form a maximal
+// independent set of g (independent, and every unmarked vertex has a marked
+// neighbor).
+func IsMaximalIndependentSet(g *graph.Graph, inSet []bool) bool {
+	if !IsIndependentSet(g, inSet) {
+		return false
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if inSet[v] {
+			continue
+		}
+		covered := false
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if inSet[u] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// Matching is a set of vertex-disjoint edges represented by the mate of each
+// vertex (graph.None when unmatched).
+type Matching struct {
+	Mate []graph.NodeID
+}
+
+// NewMatching returns an empty matching over n vertices.
+func NewMatching(n int) *Matching {
+	m := &Matching{Mate: make([]graph.NodeID, n)}
+	for i := range m.Mate {
+		m.Mate[i] = graph.None
+	}
+	return m
+}
+
+// Size returns the number of matched edges.
+func (m *Matching) Size() int {
+	c := 0
+	for v, u := range m.Mate {
+		if u != graph.None && graph.NodeID(v) < u {
+			c++
+		}
+	}
+	return c
+}
+
+// Edges returns the matched edges with U < V.
+func (m *Matching) Edges() []graph.Edge {
+	var out []graph.Edge
+	for v, u := range m.Mate {
+		if u != graph.None && graph.NodeID(v) < u {
+			out = append(out, graph.Edge{U: graph.NodeID(v), V: u})
+		}
+	}
+	return out
+}
+
+// Matched reports whether v is matched.
+func (m *Matching) Matched(v graph.NodeID) bool { return m.Mate[v] != graph.None }
+
+// GreedyMaximalMatching returns the lexicographically-first maximal matching
+// of g with respect to the edge ordering induced by priority (lower value =
+// earlier).  The priority function must be symmetric in its arguments.
+func GreedyMaximalMatching(g *graph.Graph, priority func(u, v graph.NodeID) uint64) *Matching {
+	type ranked struct {
+		p    uint64
+		u, v graph.NodeID
+	}
+	edges := make([]ranked, 0, g.NumEdges())
+	g.ForEachEdge(func(u, v graph.NodeID, _ float64) {
+		edges = append(edges, ranked{priority(u, v), u, v})
+	})
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].p != edges[j].p {
+			return edges[i].p < edges[j].p
+		}
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		return edges[i].v < edges[j].v
+	})
+	m := NewMatching(g.NumNodes())
+	for _, e := range edges {
+		if m.Mate[e.u] == graph.None && m.Mate[e.v] == graph.None {
+			m.Mate[e.u] = e.v
+			m.Mate[e.v] = e.u
+		}
+	}
+	return m
+}
+
+// IsMatching reports whether mate describes a valid matching of g.
+func IsMatching(g *graph.Graph, m *Matching) bool {
+	for v, u := range m.Mate {
+		if u == graph.None {
+			continue
+		}
+		if int(u) >= g.NumNodes() {
+			return false
+		}
+		if m.Mate[u] != graph.NodeID(v) {
+			return false
+		}
+		if !g.HasEdge(graph.NodeID(v), u) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsMaximalMatching reports whether m is a maximal matching of g: it is a
+// matching and no edge of g has both endpoints unmatched.
+func IsMaximalMatching(g *graph.Graph, m *Matching) bool {
+	if !IsMatching(g, m) {
+		return false
+	}
+	ok := true
+	g.ForEachEdge(func(u, v graph.NodeID, _ float64) {
+		if !m.Matched(u) && !m.Matched(v) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// MaximumMatchingSize computes the exact maximum matching cardinality of g by
+// branch and bound; intended only for small graphs in tests (n <= ~20 or very
+// sparse graphs), where it is used to confirm the 2-approximation guarantee of
+// maximal matchings and the vertex-cover corollary.
+func MaximumMatchingSize(g *graph.Graph) int {
+	edges := g.Edges()
+	// Order edges to improve pruning: high-degree endpoints first.
+	sort.Slice(edges, func(i, j int) bool {
+		di := g.Degree(edges[i].U) + g.Degree(edges[i].V)
+		dj := g.Degree(edges[j].U) + g.Degree(edges[j].V)
+		return di > dj
+	})
+	used := make([]bool, g.NumNodes())
+	best := 0
+	var rec func(idx, cur int)
+	rec = func(idx, cur int) {
+		if cur+(len(edges)-idx) <= best {
+			return // cannot beat best even taking every remaining edge
+		}
+		if cur > best {
+			best = cur
+		}
+		if idx >= len(edges) {
+			return
+		}
+		e := edges[idx]
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			rec(idx+1, cur+1)
+			used[e.U], used[e.V] = false, false
+		}
+		rec(idx+1, cur)
+	}
+	rec(0, 0)
+	return best
+}
+
+// MaximumWeightMatchingValue computes the exact maximum weight matching value
+// by branch and bound; intended only for small graphs in tests.
+func MaximumWeightMatchingValue(g *graph.Graph) float64 {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool { return edges[i].W > edges[j].W })
+	suffix := make([]float64, len(edges)+1)
+	for i := len(edges) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + edges[i].W
+	}
+	used := make([]bool, g.NumNodes())
+	best := 0.0
+	var rec func(idx int, cur float64)
+	rec = func(idx int, cur float64) {
+		if cur > best {
+			best = cur
+		}
+		if idx >= len(edges) || cur+suffix[idx] <= best {
+			return
+		}
+		e := edges[idx]
+		if !used[e.U] && !used[e.V] {
+			used[e.U], used[e.V] = true, true
+			rec(idx+1, cur+e.W)
+			used[e.U], used[e.V] = false, false
+		}
+		rec(idx+1, cur)
+	}
+	rec(0, 0)
+	return best
+}
+
+// VertexCoverFromMatching returns the standard 2-approximate vertex cover
+// consisting of both endpoints of every matched edge (Corollary 4.1).
+func VertexCoverFromMatching(m *Matching) []graph.NodeID {
+	var out []graph.NodeID
+	for v, u := range m.Mate {
+		if u != graph.None {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// IsVertexCover reports whether the given vertex set covers every edge of g.
+func IsVertexCover(g *graph.Graph, cover []graph.NodeID) bool {
+	in := make([]bool, g.NumNodes())
+	for _, v := range cover {
+		in[v] = true
+	}
+	ok := true
+	g.ForEachEdge(func(u, v graph.NodeID, _ float64) {
+		if !in[u] && !in[v] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// GreedyWeightMatching returns the greedy matching obtained by scanning edges
+// in order of decreasing weight; it is a 1/2-approximation of the maximum
+// weight matching and the sequential reference for the AMPC approximate
+// maximum weight matching of Corollary 4.1.
+func GreedyWeightMatching(g *graph.Graph) *Matching {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].W != edges[j].W {
+			return edges[i].W > edges[j].W
+		}
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	m := NewMatching(g.NumNodes())
+	for _, e := range edges {
+		if !m.Matched(e.U) && !m.Matched(e.V) {
+			m.Mate[e.U] = e.V
+			m.Mate[e.V] = e.U
+		}
+	}
+	return m
+}
+
+// MatchingWeight returns the total weight of the matched edges of m in g.
+func MatchingWeight(g *graph.Graph, m *Matching) float64 {
+	var t float64
+	for _, e := range m.Edges() {
+		w, _ := g.WeightBetween(e.U, e.V)
+		t += w
+	}
+	return t
+}

@@ -1,0 +1,237 @@
+// Package seq contains single-machine reference implementations of the graph
+// problems studied in the paper: connectivity, minimum spanning forest,
+// greedy maximal independent set and maximal matching, exact maximum matching
+// on small graphs, vertex cover, and single-linkage clustering.
+//
+// These are the ground truth against which the distributed AMPC and MPC
+// implementations are verified.  Both models compute the *lexicographically
+// first* structure with respect to a shared random permutation (a point the
+// paper stresses when comparing AMPC with MPC results), so the references
+// accept explicit priorities and are fully deterministic.
+package seq
+
+import (
+	"sort"
+
+	"ampcgraph/internal/graph"
+)
+
+// DSU is a union-find (disjoint set union) structure with path compression
+// and union by size.
+type DSU struct {
+	parent []graph.NodeID
+	size   []int32
+}
+
+// NewDSU returns a DSU over n singleton elements.
+func NewDSU(n int) *DSU {
+	d := &DSU{parent: make([]graph.NodeID, n), size: make([]int32, n)}
+	for i := range d.parent {
+		d.parent[i] = graph.NodeID(i)
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Find returns the representative of x.
+func (d *DSU) Find(x graph.NodeID) graph.NodeID {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]]
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and reports whether they were distinct.
+func (d *DSU) Union(a, b graph.NodeID) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (d *DSU) Same(a, b graph.NodeID) bool { return d.Find(a) == d.Find(b) }
+
+// NumSets returns the number of disjoint sets.
+func (d *DSU) NumSets() int {
+	n := 0
+	for i, p := range d.parent {
+		if graph.NodeID(i) == p {
+			n++
+		}
+	}
+	return n
+}
+
+// ConnectedComponents labels each vertex with its component representative
+// using union-find; labels are canonicalized to the smallest vertex ID in
+// the component.
+func ConnectedComponents(g *graph.Graph) []graph.NodeID {
+	n := g.NumNodes()
+	d := NewDSU(n)
+	g.ForEachEdge(func(u, v graph.NodeID, _ float64) { d.Union(u, v) })
+	minRep := make([]graph.NodeID, n)
+	for i := range minRep {
+		minRep[i] = graph.None
+	}
+	for v := 0; v < n; v++ {
+		r := d.Find(graph.NodeID(v))
+		if minRep[r] == graph.None || graph.NodeID(v) < minRep[r] {
+			minRep[r] = graph.NodeID(v)
+		}
+	}
+	out := make([]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		out[v] = minRep[d.Find(graph.NodeID(v))]
+	}
+	return out
+}
+
+// KruskalMSF returns the edges of a minimum spanning forest of g.  Ties are
+// broken by (weight, u, v) so the result is deterministic; when all weights
+// are distinct the MSF is unique.
+func KruskalMSF(g *graph.Graph) []graph.WeightedEdge {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].W != edges[j].W {
+			return edges[i].W < edges[j].W
+		}
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+	d := NewDSU(g.NumNodes())
+	var out []graph.WeightedEdge
+	for _, e := range edges {
+		if d.Union(e.U, e.V) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MSFWeight returns the total weight of a set of forest edges.
+func MSFWeight(edges []graph.WeightedEdge) float64 {
+	var t float64
+	for _, e := range edges {
+		t += e.W
+	}
+	return t
+}
+
+// IsSpanningForest verifies that edges form a forest of g that spans every
+// connected component of g (i.e. the forest has exactly n - #components
+// edges, every edge exists in g, and the forest is acyclic).
+func IsSpanningForest(g *graph.Graph, edges []graph.WeightedEdge) bool {
+	d := NewDSU(g.NumNodes())
+	for _, e := range edges {
+		if !g.HasEdge(e.U, e.V) {
+			return false
+		}
+		if !d.Union(e.U, e.V) {
+			return false // cycle
+		}
+	}
+	comp := ConnectedComponents(g)
+	reps := map[graph.NodeID]bool{}
+	for _, c := range comp {
+		reps[c] = true
+	}
+	return len(edges) == g.NumNodes()-len(reps)
+}
+
+// PrimMSF computes a minimum spanning forest using Prim's algorithm run from
+// every unvisited vertex; it is an independent cross-check for Kruskal in the
+// tests.
+func PrimMSF(g *graph.Graph) []graph.WeightedEdge {
+	n := g.NumNodes()
+	visited := make([]bool, n)
+	var out []graph.WeightedEdge
+	type item struct {
+		w    float64
+		u, v graph.NodeID
+	}
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		// Simple binary heap of candidate edges.
+		var heap []item
+		push := func(it item) {
+			heap = append(heap, it)
+			i := len(heap) - 1
+			for i > 0 {
+				p := (i - 1) / 2
+				if heap[p].w <= heap[i].w {
+					break
+				}
+				heap[p], heap[i] = heap[i], heap[p]
+				i = p
+			}
+		}
+		pop := func() item {
+			top := heap[0]
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+			i := 0
+			for {
+				l, r := 2*i+1, 2*i+2
+				smallest := i
+				if l < len(heap) && heap[l].w < heap[smallest].w {
+					smallest = l
+				}
+				if r < len(heap) && heap[r].w < heap[smallest].w {
+					smallest = r
+				}
+				if smallest == i {
+					break
+				}
+				heap[i], heap[smallest] = heap[smallest], heap[i]
+				i = smallest
+			}
+			return top
+		}
+		addEdges := func(v graph.NodeID) {
+			for i, u := range g.Neighbors(v) {
+				if !visited[u] {
+					push(item{g.EdgeWeight(v, i), v, u})
+				}
+			}
+		}
+		addEdges(graph.NodeID(s))
+		for len(heap) > 0 {
+			it := pop()
+			if visited[it.v] {
+				continue
+			}
+			visited[it.v] = true
+			out = append(out, graph.WeightedEdge{U: it.u, V: it.v, W: it.w})
+			addEdges(it.v)
+		}
+	}
+	return out
+}
+
+// SingleLinkageClustering cuts the minimum spanning forest at the given
+// weight threshold and returns the resulting component labeling.  Section 1.1
+// of the paper motivates the MSF algorithm with exactly this use (any level of
+// a single-linkage hierarchical clustering = MSF + a sort + connectivity).
+func SingleLinkageClustering(g *graph.Graph, threshold float64) []graph.NodeID {
+	msf := KruskalMSF(g)
+	b := graph.NewBuilder(g.NumNodes())
+	for _, e := range msf {
+		if e.W <= threshold {
+			b.AddWeightedEdge(e.U, e.V, e.W)
+		}
+	}
+	return ConnectedComponents(b.Build())
+}

@@ -1,0 +1,341 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/gen"
+	"ampcgraph/internal/graph"
+)
+
+func TestDSUBasic(t *testing.T) {
+	d := NewDSU(5)
+	if d.NumSets() != 5 {
+		t.Fatalf("initial sets %d", d.NumSets())
+	}
+	if !d.Union(0, 1) {
+		t.Fatal("union(0,1) should merge")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("union(1,0) should be no-op")
+	}
+	if !d.Same(0, 1) || d.Same(0, 2) {
+		t.Fatal("Same queries wrong")
+	}
+	d.Union(2, 3)
+	d.Union(0, 3)
+	if d.NumSets() != 2 {
+		t.Fatalf("sets %d, want 2", d.NumSets())
+	}
+}
+
+func TestDSUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		d := NewDSU(n)
+		// Mirror with naive labels.
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for i := 0; i < 3*n; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			d.Union(graph.NodeID(a), graph.NodeID(b))
+			relabel(label[a], label[b])
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j += 7 {
+				if d.Same(graph.NodeID(i), graph.NodeID(j)) != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectedComponentsMatchesBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(80)
+		g := gen.ErdosRenyi(n, rng.Intn(3*n), seed)
+		return graph.SameComponents(ConnectedComponents(g), graph.Components(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKruskalOnKnownGraph(t *testing.T) {
+	g := graph.FromWeightedEdges(4, []graph.WeightedEdge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3}, {U: 0, V: 3, W: 10}, {U: 0, V: 2, W: 5},
+	})
+	msf := KruskalMSF(g)
+	if len(msf) != 3 {
+		t.Fatalf("msf size %d, want 3", len(msf))
+	}
+	if w := MSFWeight(msf); w != 6 {
+		t.Fatalf("msf weight %v, want 6", w)
+	}
+	if !IsSpanningForest(g, msf) {
+		t.Fatal("kruskal output is not a spanning forest")
+	}
+}
+
+func TestKruskalMatchesPrim(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		g := gen.RandomWeights(gen.ErdosRenyi(n, 2*n, seed), seed+1)
+		k := KruskalMSF(g)
+		p := PrimMSF(g)
+		if len(k) != len(p) {
+			return false
+		}
+		// Distinct random weights → unique MSF → equal total weight.
+		const eps = 1e-9
+		dw := MSFWeight(k) - MSFWeight(p)
+		return dw < eps && dw > -eps && IsSpanningForest(g, k) && IsSpanningForest(g, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsSpanningForestRejectsCycle(t *testing.T) {
+	g := gen.Cycle(4).WithWeights(func(u, v graph.NodeID) float64 { return 1 })
+	edges := g.Edges() // all 4 edges → contains a cycle
+	if IsSpanningForest(g, edges) {
+		t.Fatal("cycle accepted as forest")
+	}
+}
+
+func TestIsSpanningForestRejectsNonEdge(t *testing.T) {
+	g := graph.FromWeightedEdges(3, []graph.WeightedEdge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}})
+	if IsSpanningForest(g, []graph.WeightedEdge{{U: 0, V: 2, W: 1}, {U: 0, V: 1, W: 1}}) {
+		t.Fatal("edge not in graph accepted")
+	}
+}
+
+func TestSingleLinkageClustering(t *testing.T) {
+	// Two dense clusters joined by a heavy edge.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			b.AddWeightedEdge(graph.NodeID(i), graph.NodeID(j), 1)
+			b.AddWeightedEdge(graph.NodeID(i+3), graph.NodeID(j+3), 1)
+		}
+	}
+	b.AddWeightedEdge(2, 3, 100)
+	g := b.Build()
+	labels := SingleLinkageClustering(g, 10)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatal("cluster 1 split")
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] {
+		t.Fatal("cluster 2 split")
+	}
+	if labels[0] == labels[3] {
+		t.Fatal("clusters merged below threshold")
+	}
+	all := SingleLinkageClustering(g, 1000)
+	if all[0] != all[5] {
+		t.Fatal("threshold above max weight should merge everything")
+	}
+}
+
+func priorityFromSeed(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]uint64, n)
+	for i := range p {
+		p[i] = rng.Uint64()
+	}
+	return p
+}
+
+func TestGreedyMISProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(80)
+		g := gen.ErdosRenyi(n, 3*n, seed)
+		mis := GreedyMIS(g, priorityFromSeed(n, seed+5))
+		return IsMaximalIndependentSet(g, mis)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyMISLexicographicallyFirst(t *testing.T) {
+	// Path 0-1-2 with priorities making vertex 1 first: MIS = {1} only if 0,2
+	// blocked; but maximality adds nothing else, so MIS = {1}.
+	g := gen.Path(3)
+	mis := GreedyMIS(g, []uint64{10, 1, 10})
+	if !mis[1] || mis[0] || mis[2] {
+		t.Fatalf("mis = %v, want only vertex 1", mis)
+	}
+	// Priorities making 0 then 2 first: MIS = {0, 2}.
+	mis = GreedyMIS(g, []uint64{1, 10, 2})
+	if !mis[0] || !mis[2] || mis[1] {
+		t.Fatalf("mis = %v, want {0,2}", mis)
+	}
+}
+
+func TestIsMaximalIndependentSetRejects(t *testing.T) {
+	g := gen.Path(3)
+	if IsMaximalIndependentSet(g, []bool{true, true, false}) {
+		t.Fatal("adjacent vertices accepted")
+	}
+	if IsMaximalIndependentSet(g, []bool{true, false, false}) {
+		t.Fatal("non-maximal set accepted (vertex 2 uncovered)")
+	}
+}
+
+func edgePriority(seed int64) func(u, v graph.NodeID) uint64 {
+	return func(u, v graph.NodeID) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		x := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(u)<<32 ^ uint64(v)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		return x
+	}
+}
+
+func TestGreedyMaximalMatchingProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		g := gen.ErdosRenyi(n, 3*n, seed)
+		m := GreedyMaximalMatching(g, edgePriority(seed))
+		return IsMaximalMatching(g, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaximalMatchingTwoApprox(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		g := gen.ErdosRenyi(n, 2*n, seed)
+		m := GreedyMaximalMatching(g, edgePriority(seed))
+		opt := MaximumMatchingSize(g)
+		return 2*m.Size() >= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexCover(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		g := gen.ErdosRenyi(n, 2*n, seed)
+		m := GreedyMaximalMatching(g, edgePriority(seed))
+		cover := VertexCoverFromMatching(m)
+		return IsVertexCover(g, cover) && len(cover) == 2*m.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsVertexCoverRejects(t *testing.T) {
+	g := gen.Path(3)
+	if IsVertexCover(g, []graph.NodeID{0}) {
+		t.Fatal("vertex 0 alone does not cover edge (1,2)")
+	}
+	if !IsVertexCover(g, []graph.NodeID{1}) {
+		t.Fatal("vertex 1 covers both edges of the path")
+	}
+}
+
+func TestGreedyWeightMatchingHalfApprox(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(10)
+		g := gen.RandomWeights(gen.ErdosRenyi(n, 2*n, seed), seed+3)
+		m := GreedyWeightMatching(g)
+		if !IsMaximalMatching(g, m) {
+			return false
+		}
+		opt := MaximumWeightMatchingValue(g)
+		return 2*MatchingWeight(g, m)+1e-9 >= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaximumMatchingSizeKnown(t *testing.T) {
+	// Perfect matching exists on an even cycle.
+	g := gen.Cycle(6)
+	if got := MaximumMatchingSize(g); got != 3 {
+		t.Fatalf("max matching on C6 = %d, want 3", got)
+	}
+	// Star: maximum matching 1.
+	if got := MaximumMatchingSize(gen.Star(5)); got != 1 {
+		t.Fatalf("max matching on star = %d, want 1", got)
+	}
+}
+
+func TestMaximumWeightMatchingValueKnown(t *testing.T) {
+	// Path a-b-c with weights 1 and 2: optimum 2 (take the heavier edge).
+	g := graph.FromWeightedEdges(3, []graph.WeightedEdge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}})
+	if got := MaximumWeightMatchingValue(g); got != 2 {
+		t.Fatalf("mwm = %v, want 2", got)
+	}
+	// Path of 4 with outer edges heavy: optimum takes both outer edges.
+	g = graph.FromWeightedEdges(4, []graph.WeightedEdge{{U: 0, V: 1, W: 3}, {U: 1, V: 2, W: 4}, {U: 2, V: 3, W: 3}})
+	if got := MaximumWeightMatchingValue(g); got != 6 {
+		t.Fatalf("mwm = %v, want 6", got)
+	}
+}
+
+func TestMatchingAccessors(t *testing.T) {
+	m := NewMatching(4)
+	if m.Size() != 0 || m.Matched(0) {
+		t.Fatal("new matching not empty")
+	}
+	m.Mate[0], m.Mate[1] = 1, 0
+	if m.Size() != 1 || !m.Matched(1) {
+		t.Fatal("size/matched wrong")
+	}
+	edges := m.Edges()
+	if len(edges) != 1 || edges[0] != (graph.Edge{U: 0, V: 1}) {
+		t.Fatalf("edges %v", edges)
+	}
+}
+
+func TestIsMatchingRejectsInconsistent(t *testing.T) {
+	g := gen.Path(3)
+	m := NewMatching(3)
+	m.Mate[0] = 1 // not reciprocated
+	if IsMatching(g, m) {
+		t.Fatal("inconsistent mate accepted")
+	}
+	m2 := NewMatching(3)
+	m2.Mate[0], m2.Mate[2] = 2, 0 // not an edge of the path
+	if IsMatching(g, m2) {
+		t.Fatal("non-edge accepted")
+	}
+}

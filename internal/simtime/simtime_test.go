@@ -1,0 +1,55 @@
+package simtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestModelsOrdered(t *testing.T) {
+	if !(DRAM().LookupLatency < RDMA().LookupLatency && RDMA().LookupLatency < TCP().LookupLatency) {
+		t.Fatal("lookup latencies must be ordered DRAM < RDMA < TCP")
+	}
+	if RDMA().Name != "rdma" || TCP().Name != "tcp" || DRAM().Name != "dram" {
+		t.Fatal("model names wrong")
+	}
+	// The non-latency fields of TCP and DRAM are inherited from RDMA.
+	if TCP().ShuffleFixed != RDMA().ShuffleFixed || DRAM().ComputePerItem != RDMA().ComputePerItem {
+		t.Fatal("derived models should share the shuffle/compute costs")
+	}
+}
+
+func TestClockAccumulates(t *testing.T) {
+	var c Clock
+	c.Charge(time.Second)
+	c.Charge(500 * time.Millisecond)
+	if c.Elapsed() != 1500*time.Millisecond {
+		t.Fatalf("elapsed %v", c.Elapsed())
+	}
+	c.Charge(-time.Hour) // ignored
+	if c.Elapsed() != 1500*time.Millisecond {
+		t.Fatal("negative charge should be ignored")
+	}
+	c.Reset()
+	if c.Elapsed() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Charge(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Elapsed() != 16*1000*time.Microsecond {
+		t.Fatalf("elapsed %v, want 16ms", c.Elapsed())
+	}
+}

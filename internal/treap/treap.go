@@ -1,0 +1,184 @@
+// Package treap implements the ternary treaps of Appendix A of the paper.
+//
+// Given a tree T with maximum degree ≤ 3 and a random permutation π of its
+// vertices, the ternary treap of (T, π) is defined recursively: the vertex of
+// highest priority (smallest rank) is the root; removing it splits T into at
+// most three subtrees, and the children of the root are the ternary treaps of
+// those subtrees.  The paper proves (Lemma A.1) that the height of a ternary
+// treap is O(log n) with high probability, and (Lemma A.2) that the query
+// cost of the truncated Prim search from a vertex v is bounded by the size of
+// v's subtree in the ternary treap.  This package exists so that those two
+// structural facts can be tested directly.
+package treap
+
+import (
+	"fmt"
+
+	"ampcgraph/internal/graph"
+)
+
+// Ternary is a ternary treap built from a bounded-degree tree and a vertex
+// ranking.
+type Ternary struct {
+	n      int
+	parent []graph.NodeID
+	childs [][]graph.NodeID
+	roots  []graph.NodeID // one root per connected component of the input
+	depth  []int
+}
+
+// Build constructs the ternary treap of the forest g (every component of g
+// must be a tree with maximum degree at most 3) under the given vertex ranks
+// (lower rank = higher priority).
+func Build(g *graph.Graph, rank []uint64) (*Ternary, error) {
+	n := g.NumNodes()
+	if len(rank) != n {
+		return nil, fmt.Errorf("treap: rank length %d, want %d", len(rank), n)
+	}
+	if g.MaxDegree() > 3 {
+		return nil, fmt.Errorf("treap: input has degree %d > 3", g.MaxDegree())
+	}
+	comp := graph.Components(g)
+	// Verify forest: m = n - #components.
+	repSet := map[graph.NodeID]bool{}
+	for _, c := range comp {
+		repSet[c] = true
+	}
+	if g.NumEdges() != int64(n-len(repSet)) {
+		return nil, fmt.Errorf("treap: input contains a cycle")
+	}
+	t := &Ternary{
+		n:      n,
+		parent: make([]graph.NodeID, n),
+		childs: make([][]graph.NodeID, n),
+		depth:  make([]int, n),
+	}
+	for i := range t.parent {
+		t.parent[i] = graph.None
+	}
+	// Group vertices by component and build each recursively.
+	members := map[graph.NodeID][]graph.NodeID{}
+	for v := 0; v < n; v++ {
+		members[comp[v]] = append(members[comp[v]], graph.NodeID(v))
+	}
+	removed := make([]bool, n)
+	for _, vs := range members {
+		root := t.build(g, rank, vs, removed, graph.None, 0)
+		t.roots = append(t.roots, root)
+	}
+	return t, nil
+}
+
+// build constructs the treap of the vertex set vs (a connected subtree of g
+// once `removed` vertices are ignored) and returns its root.
+func (t *Ternary) build(g *graph.Graph, rank []uint64, vs []graph.NodeID, removed []bool, parent graph.NodeID, depth int) graph.NodeID {
+	// Pick the highest-priority (minimum-rank) vertex as the root.
+	root := vs[0]
+	for _, v := range vs[1:] {
+		if rank[v] < rank[root] || (rank[v] == rank[root] && v < root) {
+			root = v
+		}
+	}
+	t.parent[root] = parent
+	t.depth[root] = depth
+	if parent != graph.None {
+		t.childs[parent] = append(t.childs[parent], root)
+	}
+	removed[root] = true
+	// Split the remaining vertices into the components hanging off the root.
+	seen := make(map[graph.NodeID]bool, len(vs))
+	for _, start := range g.Neighbors(root) {
+		if removed[start] || seen[start] {
+			continue
+		}
+		// BFS restricted to vs \ removed.
+		var comp []graph.NodeID
+		queue := []graph.NodeID{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, w := range g.Neighbors(u) {
+				if !removed[w] && !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		t.build(g, rank, comp, removed, root, depth+1)
+	}
+	return root
+}
+
+// NumNodes returns the number of vertices.
+func (t *Ternary) NumNodes() int { return t.n }
+
+// Roots returns the treap roots (one per component of the input forest).
+func (t *Ternary) Roots() []graph.NodeID { return t.roots }
+
+// Parent returns the treap parent of v (graph.None for roots).
+func (t *Ternary) Parent(v graph.NodeID) graph.NodeID { return t.parent[v] }
+
+// Children returns the treap children of v (at most 3).
+func (t *Ternary) Children(v graph.NodeID) []graph.NodeID { return t.childs[v] }
+
+// Depth returns the depth of v (roots have depth 0).
+func (t *Ternary) Depth(v graph.NodeID) int { return t.depth[v] }
+
+// Height returns the maximum depth plus one (0 for an empty treap).
+func (t *Ternary) Height() int {
+	h := 0
+	for v := 0; v < t.n; v++ {
+		if t.depth[v]+1 > h {
+			h = t.depth[v] + 1
+		}
+	}
+	return h
+}
+
+// SubtreeSizes returns the number of vertices in the subtree of each vertex.
+func (t *Ternary) SubtreeSizes() []int {
+	size := make([]int, t.n)
+	// Order vertices by decreasing depth so children are processed first.
+	byDepth := make([][]graph.NodeID, t.Height()+1)
+	for v := 0; v < t.n; v++ {
+		byDepth[t.depth[v]] = append(byDepth[t.depth[v]], graph.NodeID(v))
+	}
+	for d := len(byDepth) - 1; d >= 0; d-- {
+		for _, v := range byDepth[d] {
+			size[v]++
+			if p := t.parent[v]; p != graph.None {
+				size[p] += size[v]
+			}
+		}
+	}
+	return size
+}
+
+// IsAncestor reports whether a is an ancestor of v in the treap (every vertex
+// is its own ancestor).
+func (t *Ternary) IsAncestor(a, v graph.NodeID) bool {
+	for v != graph.None {
+		if v == a {
+			return true
+		}
+		v = t.parent[v]
+	}
+	return false
+}
+
+// Validate checks the defining heap property (every vertex's rank is at least
+// its parent's) and the degree bound on children.
+func (t *Ternary) Validate(rank []uint64) error {
+	for v := 0; v < t.n; v++ {
+		p := t.parent[v]
+		if p != graph.None && rank[p] > rank[graph.NodeID(v)] {
+			return fmt.Errorf("treap: heap property violated at %d (parent %d)", v, p)
+		}
+		if len(t.childs[v]) > 3 {
+			return fmt.Errorf("treap: vertex %d has %d children", v, len(t.childs[v]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package treap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/gen"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/rng"
+)
+
+func ranksFor(n int, seed int64) []uint64 {
+	return rng.VertexPriorities(seed, n)
+}
+
+func TestBuildRejectsHighDegree(t *testing.T) {
+	g := gen.Star(6) // center has degree 5
+	if _, err := Build(g, ranksFor(6, 1)); err == nil {
+		t.Fatal("degree > 3 accepted")
+	}
+}
+
+func TestBuildRejectsCycle(t *testing.T) {
+	g := gen.Cycle(5)
+	if _, err := Build(g, ranksFor(5, 1)); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestBuildRejectsBadRankLength(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := Build(g, ranksFor(3, 1)); err == nil {
+		t.Fatal("wrong rank length accepted")
+	}
+}
+
+func TestTreapPathKnownRanks(t *testing.T) {
+	// Path 0-1-2-3-4 with ranks making vertex 2 the global minimum, then 0,
+	// then 4: the treap root is 2, its children are the treaps of {0,1} and
+	// {3,4}.
+	g := gen.Path(5)
+	ranks := []uint64{10, 30, 1, 40, 20}
+	tp, err := Build(g, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Roots()) != 1 || tp.Roots()[0] != 2 {
+		t.Fatalf("roots %v, want [2]", tp.Roots())
+	}
+	if tp.Parent(0) != 2 && tp.Parent(1) != 2 {
+		t.Fatal("left side not hanging off the root")
+	}
+	// In {0,1} the min rank is 0, so 0 is the child of 2 and 1 hangs off 0.
+	if tp.Parent(0) != 2 || tp.Parent(1) != 0 {
+		t.Fatalf("left subtree structure wrong: parent(0)=%d parent(1)=%d", tp.Parent(0), tp.Parent(1))
+	}
+	// In {3,4} the min rank is 4.
+	if tp.Parent(4) != 2 || tp.Parent(3) != 4 {
+		t.Fatalf("right subtree structure wrong: parent(4)=%d parent(3)=%d", tp.Parent(4), tp.Parent(3))
+	}
+	if err := tp.Validate(ranks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreapStructuralInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 3 + int(uint64(seed)%300)
+		g := gen.RandomBoundedDegreeTree(n, 3, seed)
+		ranks := ranksFor(n, seed+9)
+		tp, err := Build(g, ranks)
+		if err != nil {
+			return false
+		}
+		if err := tp.Validate(ranks); err != nil {
+			return false
+		}
+		// Every non-root vertex's treap parent must be an ancestor with lower
+		// rank, and subtree sizes must sum correctly at the root.
+		sizes := tp.SubtreeSizes()
+		total := 0
+		for _, r := range tp.Roots() {
+			total += sizes[r]
+		}
+		return total == n && tp.NumNodes() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreapForestMultipleRoots(t *testing.T) {
+	// Two disjoint paths.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	tp, err := Build(g, ranksFor(6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tp.Roots()) != 2 {
+		t.Fatalf("roots %v, want two", tp.Roots())
+	}
+}
+
+func TestTreapHeightLogarithmicOnPath(t *testing.T) {
+	// Lemma A.1 in the regime where the input tree is path-like (which is
+	// what ternarization produces for high-degree vertices): the ternary
+	// treap of a path under random priorities is an ordinary treap, whose
+	// height is O(log n) w.h.p.  Use a generous constant (8·log2 n) and
+	// several seeds; a violation would indicate a structural bug rather than
+	// bad luck.
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		n := 2000
+		g := gen.Path(n)
+		tp, err := Build(g, ranksFor(n, seed+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := int(8 * math.Log2(float64(n)))
+		if tp.Height() > limit {
+			t.Fatalf("seed %d: treap height %d exceeds %d", seed, tp.Height(), limit)
+		}
+	}
+}
+
+func TestTreapDepthMatchesAncestorCharacterization(t *testing.T) {
+	// A vertex j is an ancestor of i in the ternary treap exactly when j has
+	// the minimum rank on the tree path between i and j.  This is the fact
+	// underlying the query-cost analysis of Lemma A.2; verify it exhaustively
+	// on a modest random bounded-degree tree.
+	n := 120
+	g := gen.RandomBoundedDegreeTree(n, 3, 11)
+	ranks := ranksFor(n, 12)
+	tp, err := Build(g, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS distances and path minima via simple per-pair walks on the tree.
+	parent := make([]graph.NodeID, n)
+	for i := range parent {
+		parent[i] = graph.None
+	}
+	order := []graph.NodeID{0}
+	seen := make([]bool, n)
+	seen[0] = true
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		for _, w := range g.Neighbors(u) {
+			if !seen[w] {
+				seen[w] = true
+				parent[w] = u
+				order = append(order, w)
+			}
+		}
+	}
+	pathMinIsJ := func(i, j graph.NodeID) bool {
+		// Collect ancestors (in the BFS rooting) of both, find the path.
+		anc := func(x graph.NodeID) []graph.NodeID {
+			var out []graph.NodeID
+			for x != graph.None {
+				out = append(out, x)
+				x = parent[x]
+			}
+			return out
+		}
+		ai, aj := anc(i), anc(j)
+		on := map[graph.NodeID]int{}
+		for idx, x := range ai {
+			on[x] = idx
+		}
+		var path []graph.NodeID
+		for idx, x := range aj {
+			if k, ok := on[x]; ok {
+				path = append(path, ai[:k+1]...)
+				for b := idx - 1; b >= 0; b-- {
+					path = append(path, aj[b])
+				}
+				break
+			}
+		}
+		best := path[0]
+		for _, x := range path {
+			if ranks[x] < ranks[best] {
+				best = x
+			}
+		}
+		return best == j
+	}
+	for i := 0; i < n; i += 3 {
+		for j := 0; j < n; j += 7 {
+			if i == j {
+				continue
+			}
+			want := pathMinIsJ(graph.NodeID(i), graph.NodeID(j))
+			got := tp.IsAncestor(graph.NodeID(j), graph.NodeID(i))
+			if want != got {
+				t.Fatalf("ancestor(%d over %d): got %v want %v", j, i, got, want)
+			}
+		}
+	}
+}
+
+func TestTreapSubtreeSizeSumIsQueryCost(t *testing.T) {
+	// The total query cost bound of Lemma 3.4 is Σ_v |R_v| = Σ_v depth-count,
+	// which must equal Σ_v (depth(v)+1).
+	n := 500
+	g := gen.RandomBoundedDegreeTree(n, 3, 9)
+	tp, err := Build(g, ranksFor(n, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := tp.SubtreeSizes()
+	var sumSizes, sumDepth int
+	for v := 0; v < n; v++ {
+		sumSizes += sizes[v]
+		sumDepth += tp.Depth(graph.NodeID(v)) + 1
+	}
+	if sumSizes != sumDepth {
+		t.Fatalf("Σ|R_v| = %d but Σ(depth+1) = %d", sumSizes, sumDepth)
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	g := gen.Path(6)
+	ranks := []uint64{5, 4, 3, 2, 1, 0} // vertex 5 is the root, chain upward
+	tp, err := Build(g, ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tp.IsAncestor(5, 0) {
+		t.Fatal("root should be ancestor of every vertex")
+	}
+	if tp.IsAncestor(0, 5) {
+		t.Fatal("leaf is not an ancestor of the root")
+	}
+	if !tp.IsAncestor(3, 3) {
+		t.Fatal("vertex should be its own ancestor")
+	}
+}
+
+func TestTreapDeterministic(t *testing.T) {
+	n := 100
+	g := gen.RandomBoundedDegreeTree(n, 3, 4)
+	ranks := ranksFor(n, 5)
+	a, err1 := Build(g, ranks)
+	b, err2 := Build(g, ranks)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for v := 0; v < n; v++ {
+		if a.Parent(graph.NodeID(v)) != b.Parent(graph.NodeID(v)) {
+			t.Fatal("treap construction not deterministic")
+		}
+	}
+	_ = rand.Int
+}

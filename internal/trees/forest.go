@@ -1,0 +1,176 @@
+// Package trees implements the tree algorithms used by the query-complexity
+// reduction of Section 3.1 and Appendix B of the paper: rooting a forest,
+// Euler tours, lowest common ancestors via range-minimum queries, heavy-light
+// decomposition and maximum-edge-weight path queries.  Together these are the
+// machinery behind FindLightEdges (Algorithm 5), which classifies every graph
+// edge as F-light or F-heavy against a sampled spanning forest F.
+package trees
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ampcgraph/internal/graph"
+)
+
+// Forest is a rooted forest over n vertices built from a set of forest edges.
+type Forest struct {
+	n            int
+	parent       []graph.NodeID // None for roots
+	parentWeight []float64      // weight of the edge to the parent
+	children     [][]graph.NodeID
+	root         []graph.NodeID // root of the tree containing each vertex
+	level        []int          // distance to the root
+	order        []graph.NodeID // preorder over all trees
+}
+
+// BuildForest roots the forest defined by edges (each tree is rooted at its
+// smallest vertex identifier).  It returns an error if the edges contain a
+// cycle or a vertex out of range.
+func BuildForest(n int, edges []graph.WeightedEdge) (*Forest, error) {
+	type half struct {
+		to graph.NodeID
+		w  float64
+	}
+	adj := make([][]half, n)
+	for _, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			return nil, fmt.Errorf("trees: edge (%d,%d) out of range for n=%d", e.U, e.V, n)
+		}
+		adj[e.U] = append(adj[e.U], half{e.V, e.W})
+		adj[e.V] = append(adj[e.V], half{e.U, e.W})
+	}
+	f := &Forest{
+		n:            n,
+		parent:       make([]graph.NodeID, n),
+		parentWeight: make([]float64, n),
+		children:     make([][]graph.NodeID, n),
+		root:         make([]graph.NodeID, n),
+		level:        make([]int, n),
+	}
+	for i := range f.parent {
+		f.parent[i] = graph.None
+		f.root[i] = graph.None
+	}
+	for s := 0; s < n; s++ {
+		if f.root[s] != graph.None {
+			continue
+		}
+		// BFS rooted at s.
+		rootID := graph.NodeID(s)
+		f.root[s] = rootID
+		f.level[s] = 0
+		queue := []graph.NodeID{rootID}
+		f.order = append(f.order, rootID)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, h := range adj[u] {
+				if h.to == f.parent[u] {
+					continue
+				}
+				if f.root[h.to] != graph.None {
+					return nil, fmt.Errorf("trees: edges contain a cycle through %d", h.to)
+				}
+				f.root[h.to] = rootID
+				f.parent[h.to] = u
+				f.parentWeight[h.to] = h.w
+				f.level[h.to] = f.level[u] + 1
+				f.children[u] = append(f.children[u], h.to)
+				f.order = append(f.order, h.to)
+				queue = append(queue, h.to)
+			}
+		}
+	}
+	return f, nil
+}
+
+// NumNodes returns the number of vertices of the forest (including isolated
+// vertices, which form single-vertex trees).
+func (f *Forest) NumNodes() int { return f.n }
+
+// Parent returns the parent of v (graph.None for roots).
+func (f *Forest) Parent(v graph.NodeID) graph.NodeID { return f.parent[v] }
+
+// ParentWeight returns the weight of the edge from v to its parent.
+func (f *Forest) ParentWeight(v graph.NodeID) float64 { return f.parentWeight[v] }
+
+// Children returns the children of v.
+func (f *Forest) Children(v graph.NodeID) []graph.NodeID { return f.children[v] }
+
+// Root returns the root of the tree containing v.
+func (f *Forest) Root(v graph.NodeID) graph.NodeID { return f.root[v] }
+
+// Level returns the distance from v to its root.
+func (f *Forest) Level(v graph.NodeID) int { return f.level[v] }
+
+// SameTree reports whether u and v are in the same tree.
+func (f *Forest) SameTree(u, v graph.NodeID) bool { return f.root[u] == f.root[v] }
+
+// Preorder returns a preorder traversal covering every tree of the forest.
+func (f *Forest) Preorder() []graph.NodeID { return f.order }
+
+// SubtreeSizes returns the size of the subtree rooted at each vertex.
+func (f *Forest) SubtreeSizes() []int {
+	size := make([]int, f.n)
+	// Process vertices in reverse BFS order so children are done first.
+	for i := len(f.order) - 1; i >= 0; i-- {
+		v := f.order[i]
+		size[v]++
+		if p := f.parent[v]; p != graph.None {
+			size[p] += size[v]
+		}
+	}
+	return size
+}
+
+// SparseTable answers idempotent range queries (minimum by a comparison
+// function) over a fixed array in O(1) time after O(k log k) preprocessing.
+// It follows the construction described in Appendix B.
+type SparseTable struct {
+	n      int
+	better func(i, j int) bool // true when index i beats index j
+	table  [][]int             // table[l][x] = best index in [x, x+2^l)
+}
+
+// NewSparseTable builds a sparse table over indices 0..n-1 where better(i, j)
+// reports whether index i's value beats index j's.
+func NewSparseTable(n int, better func(i, j int) bool) *SparseTable {
+	st := &SparseTable{n: n, better: better}
+	if n == 0 {
+		return st
+	}
+	levels := bits.Len(uint(n))
+	st.table = make([][]int, levels)
+	st.table[0] = make([]int, n)
+	for i := 0; i < n; i++ {
+		st.table[0][i] = i
+	}
+	for l := 1; l < levels; l++ {
+		width := 1 << l
+		st.table[l] = make([]int, n-width+1)
+		for i := 0; i+width <= n; i++ {
+			a := st.table[l-1][i]
+			b := st.table[l-1][i+width/2]
+			if better(b, a) {
+				a = b
+			}
+			st.table[l][i] = a
+		}
+	}
+	return st
+}
+
+// Query returns the best index in the inclusive range [lo, hi].
+func (st *SparseTable) Query(lo, hi int) int {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	l := bits.Len(uint(hi-lo+1)) - 1
+	a := st.table[l][lo]
+	b := st.table[l][hi-(1<<l)+1]
+	if st.better(b, a) {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,147 @@
+package trees
+
+import "ampcgraph/internal/graph"
+
+// HLD is a heavy-light decomposition of a forest, used to answer
+// maximum-edge-weight queries on tree paths (Appendix B).  Each vertex v
+// carries the weight of the edge to its parent; a path query decomposes the
+// path into O(log n) heavy-path segments, each answered by a range-maximum
+// query over the decomposition order.
+type HLD struct {
+	forest *Forest
+	lca    *LCAIndex
+	heavy  []graph.NodeID // heavy child of each vertex (None for leaves)
+	head   []graph.NodeID // top of the heavy path containing each vertex
+	pos    []int          // position of each vertex in the decomposition order
+	seq    []graph.NodeID // decomposition order (vertices)
+	rmq    *SparseTable   // range-max over parent-edge weights in seq order
+}
+
+// NewHLD builds the decomposition.  The same LCA index may be shared with
+// other users; pass nil to have one built internally.
+func NewHLD(f *Forest, lca *LCAIndex) *HLD {
+	if lca == nil {
+		lca = NewLCAIndex(f)
+	}
+	n := f.NumNodes()
+	h := &HLD{
+		forest: f,
+		lca:    lca,
+		heavy:  make([]graph.NodeID, n),
+		head:   make([]graph.NodeID, n),
+		pos:    make([]int, n),
+	}
+	for i := range h.heavy {
+		h.heavy[i] = graph.None
+	}
+	// Heavy child = child with the largest subtree.
+	size := f.SubtreeSizes()
+	for _, v := range f.Preorder() {
+		for _, c := range f.Children(v) {
+			if h.heavy[v] == graph.None || size[c] > size[h.heavy[v]] {
+				h.heavy[v] = c
+			}
+		}
+	}
+	// Decompose: walk heavy paths first so each path is contiguous in seq.
+	visited := make([]bool, n)
+	for _, r := range f.Preorder() {
+		if f.Parent(r) != graph.None || visited[r] {
+			continue
+		}
+		// Iterative DFS from the root that always expands the heavy child
+		// first, keeping heavy paths contiguous.
+		stack := []graph.NodeID{r}
+		h.head[r] = r
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			h.pos[v] = len(h.seq)
+			h.seq = append(h.seq, v)
+			// Push light children first (processed later), heavy child last
+			// (processed immediately next, keeping the heavy path contiguous).
+			for _, c := range f.Children(v) {
+				if c != h.heavy[v] {
+					h.head[c] = c
+					stack = append(stack, c)
+				}
+			}
+			if hv := h.heavy[v]; hv != graph.None {
+				h.head[hv] = h.head[v]
+				stack = append(stack, hv)
+			}
+		}
+	}
+	h.rmq = NewSparseTable(len(h.seq), func(i, j int) bool {
+		return f.ParentWeight(h.seq[i]) > f.ParentWeight(h.seq[j])
+	})
+	return h
+}
+
+// Head returns the top vertex of the heavy path containing v.
+func (h *HLD) Head(v graph.NodeID) graph.NodeID { return h.head[v] }
+
+// NumLightEdges returns the number of light edges on the path from v to the
+// root of its tree; the decomposition guarantees it is O(log n).
+func (h *HLD) NumLightEdges(v graph.NodeID) int {
+	f := h.forest
+	count := 0
+	for v != graph.None {
+		top := h.head[v]
+		if f.Parent(top) != graph.None {
+			count++ // the edge from the head of this segment to its parent is light
+		}
+		v = f.Parent(top)
+	}
+	return count
+}
+
+// MaxEdgeOnPath returns the maximum edge weight on the tree path between u
+// and v.  The boolean result is false when u and v are in different trees.
+// When u == v the path is empty and the maximum is negative infinity,
+// reported here as (0, true, false) via the third "nonEmpty" result.
+func (h *HLD) MaxEdgeOnPath(u, v graph.NodeID) (maxWeight float64, connected bool, nonEmpty bool) {
+	f := h.forest
+	if !f.SameTree(u, v) {
+		return 0, false, false
+	}
+	if u == v {
+		return 0, true, false
+	}
+	best := 0.0
+	have := false
+	consider := func(w float64) {
+		if !have || w > best {
+			best = w
+			have = true
+		}
+	}
+	// Climb both endpoints to the LCA, segment by segment.
+	for h.head[u] != h.head[v] {
+		// Lift the endpoint whose head is deeper.
+		if f.Level(h.head[u]) < f.Level(h.head[v]) {
+			u, v = v, u
+		}
+		top := h.head[u]
+		// Max over the contiguous seq range [pos[top], pos[u]] of parent edges.
+		idx := h.rmq.Query(h.pos[top], h.pos[u])
+		consider(f.ParentWeight(h.seq[idx]))
+		// Include the light edge from top to its parent.
+		consider(f.ParentWeight(top))
+		u = f.Parent(top)
+	}
+	// Same heavy path now; the shallower vertex is the LCA.
+	if u != v {
+		if f.Level(u) > f.Level(v) {
+			u, v = v, u
+		}
+		// Parent edges of vertices strictly below u down to v.
+		idx := h.rmq.Query(h.pos[u]+1, h.pos[v])
+		consider(f.ParentWeight(h.seq[idx]))
+	}
+	return best, true, have
+}

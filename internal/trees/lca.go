@@ -1,0 +1,89 @@
+package trees
+
+import "ampcgraph/internal/graph"
+
+// LCAIndex answers lowest-common-ancestor queries over a forest using the
+// Euler-tour + range-minimum-query construction of Appendix B (Algorithm 5,
+// steps 4-6): each tree is traversed by an Euler tour, each tour position is
+// weighted by the vertex level, and the LCA of u and v is the minimum-level
+// vertex between any occurrence of u and any occurrence of v in the tour.
+type LCAIndex struct {
+	forest *Forest
+	tour   []graph.NodeID // Euler tour over all trees
+	first  []int          // first occurrence of each vertex in the tour (-1 if absent)
+	rmq    *SparseTable
+}
+
+// NewLCAIndex builds the index for the given forest.
+func NewLCAIndex(f *Forest) *LCAIndex {
+	idx := &LCAIndex{forest: f, first: make([]int, f.NumNodes())}
+	for i := range idx.first {
+		idx.first[i] = -1
+	}
+	// Iterative Euler tour per tree.
+	type frame struct {
+		v     graph.NodeID
+		child int
+	}
+	for _, v := range f.Preorder() {
+		if f.Parent(v) != graph.None {
+			continue // only start from roots
+		}
+		stack := []frame{{v, 0}}
+		idx.visit(v)
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			kids := f.Children(top.v)
+			if top.child < len(kids) {
+				c := kids[top.child]
+				top.child++
+				idx.visit(c)
+				stack = append(stack, frame{c, 0})
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				idx.visit(stack[len(stack)-1].v)
+			}
+		}
+	}
+	idx.rmq = NewSparseTable(len(idx.tour), func(i, j int) bool {
+		return f.Level(idx.tour[i]) < f.Level(idx.tour[j])
+	})
+	return idx
+}
+
+func (idx *LCAIndex) visit(v graph.NodeID) {
+	if idx.first[v] == -1 {
+		idx.first[v] = len(idx.tour)
+	}
+	idx.tour = append(idx.tour, v)
+}
+
+// LCA returns the lowest common ancestor of u and v and whether they are in
+// the same tree.
+func (idx *LCAIndex) LCA(u, v graph.NodeID) (graph.NodeID, bool) {
+	if !idx.forest.SameTree(u, v) {
+		return graph.None, false
+	}
+	pos := idx.rmq.Query(idx.first[u], idx.first[v])
+	return idx.tour[pos], true
+}
+
+// Distance returns the number of edges on the path between u and v, and
+// whether they are connected.
+func (idx *LCAIndex) Distance(u, v graph.NodeID) (int, bool) {
+	l, ok := idx.LCA(u, v)
+	if !ok {
+		return 0, false
+	}
+	f := idx.forest
+	return f.Level(u) + f.Level(v) - 2*f.Level(l), true
+}
+
+// IsAncestor reports whether a is an ancestor of v (every vertex is an
+// ancestor of itself).
+func (idx *LCAIndex) IsAncestor(a, v graph.NodeID) bool {
+	l, ok := idx.LCA(a, v)
+	return ok && l == a
+}

@@ -1,0 +1,338 @@
+package trees
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/gen"
+	"ampcgraph/internal/graph"
+	"ampcgraph/internal/seq"
+)
+
+// randomForest builds a random weighted forest on n vertices with roughly
+// density*n edges (density <= 1) by taking the MSF of a random graph.
+func randomForest(n int, density float64, seed int64) []graph.WeightedEdge {
+	g := gen.RandomWeights(gen.ErdosRenyi(n, int(float64(n)*density*2), seed), seed+1)
+	return seq.KruskalMSF(g)
+}
+
+func TestBuildForestPath(t *testing.T) {
+	edges := []graph.WeightedEdge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3}}
+	f, err := BuildForest(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Root(3) != 0 || f.Level(3) != 3 {
+		t.Fatalf("root(3)=%d level(3)=%d", f.Root(3), f.Level(3))
+	}
+	if f.Parent(0) != graph.None {
+		t.Fatal("root should have no parent")
+	}
+	if f.Parent(2) != 1 || f.ParentWeight(2) != 2 {
+		t.Fatalf("parent(2)=%d w=%v", f.Parent(2), f.ParentWeight(2))
+	}
+	if len(f.Preorder()) != 4 {
+		t.Fatalf("preorder %v", f.Preorder())
+	}
+	sizes := f.SubtreeSizes()
+	if sizes[0] != 4 || sizes[3] != 1 {
+		t.Fatalf("sizes %v", sizes)
+	}
+}
+
+func TestBuildForestDetectsCycle(t *testing.T) {
+	edges := []graph.WeightedEdge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 0, W: 1}}
+	if _, err := BuildForest(3, edges); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestBuildForestOutOfRange(t *testing.T) {
+	if _, err := BuildForest(2, []graph.WeightedEdge{{U: 0, V: 5, W: 1}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestForestMultipleTrees(t *testing.T) {
+	edges := []graph.WeightedEdge{{U: 0, V: 1, W: 1}, {U: 2, V: 3, W: 1}}
+	f, err := BuildForest(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SameTree(0, 2) {
+		t.Fatal("separate trees reported same")
+	}
+	if !f.SameTree(2, 3) {
+		t.Fatal("tree members reported separate")
+	}
+	// Isolated vertex 4 is its own tree.
+	if f.Root(4) != 4 || f.Level(4) != 0 {
+		t.Fatal("isolated vertex mis-rooted")
+	}
+}
+
+func TestSparseTableMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(1000)
+		}
+		st := NewSparseTable(n, func(i, j int) bool { return vals[i] < vals[j] })
+		for q := 0; q < 50; q++ {
+			lo, hi := rng.Intn(n), rng.Intn(n)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			want := lo
+			for i := lo; i <= hi; i++ {
+				if vals[i] < vals[want] {
+					want = i
+				}
+			}
+			got := st.Query(lo, hi)
+			if vals[got] != vals[want] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// naiveTreePath returns the path between u and v in the forest (as vertex
+// sequence) or nil if disconnected, by BFS.
+func naiveTreePath(f *Forest, u, v graph.NodeID) []graph.NodeID {
+	if !f.SameTree(u, v) {
+		return nil
+	}
+	// Walk up from both to the root collecting ancestor chains.
+	anc := func(x graph.NodeID) []graph.NodeID {
+		var out []graph.NodeID
+		for x != graph.None {
+			out = append(out, x)
+			x = f.Parent(x)
+		}
+		return out
+	}
+	au, av := anc(u), anc(v)
+	onAu := map[graph.NodeID]int{}
+	for i, x := range au {
+		onAu[x] = i
+	}
+	for j, x := range av {
+		if i, ok := onAu[x]; ok {
+			// Path is au[0..i] + reverse(av[0..j-1]).
+			path := append([]graph.NodeID(nil), au[:i+1]...)
+			for k := j - 1; k >= 0; k-- {
+				path = append(path, av[k])
+			}
+			return path
+		}
+	}
+	return nil
+}
+
+func TestLCAAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(120)
+		forestEdges := randomForest(n, 0.8, seed)
+		f, err := BuildForest(n, forestEdges)
+		if err != nil {
+			return false
+		}
+		idx := NewLCAIndex(f)
+		for q := 0; q < 40; q++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			path := naiveTreePath(f, u, v)
+			l, ok := idx.LCA(u, v)
+			if (path == nil) != !ok {
+				return false
+			}
+			if !ok {
+				continue
+			}
+			// The LCA is the vertex of minimum level on the path.
+			want := path[0]
+			for _, x := range path {
+				if f.Level(x) < f.Level(want) {
+					want = x
+				}
+			}
+			if l != want {
+				return false
+			}
+			if d, _ := idx.Distance(u, v); d != len(path)-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLCAKnownTree(t *testing.T) {
+	//        0
+	//       / \
+	//      1   2
+	//     / \
+	//    3   4
+	edges := []graph.WeightedEdge{{U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 1}, {U: 1, V: 3, W: 1}, {U: 1, V: 4, W: 1}}
+	f, err := BuildForest(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := NewLCAIndex(f)
+	cases := []struct {
+		u, v, want graph.NodeID
+	}{
+		{3, 4, 1}, {3, 2, 0}, {1, 4, 1}, {0, 3, 0}, {2, 2, 2},
+	}
+	for _, c := range cases {
+		got, ok := idx.LCA(c.u, c.v)
+		if !ok || got != c.want {
+			t.Fatalf("LCA(%d,%d) = %d,%v want %d", c.u, c.v, got, ok, c.want)
+		}
+	}
+	if !idx.IsAncestor(1, 3) || idx.IsAncestor(2, 3) || !idx.IsAncestor(3, 3) {
+		t.Fatal("IsAncestor wrong")
+	}
+}
+
+func TestHLDMaxEdgeAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(120)
+		forestEdges := randomForest(n, 0.9, seed)
+		fo, err := BuildForest(n, forestEdges)
+		if err != nil {
+			return false
+		}
+		h := NewHLD(fo, nil)
+		for q := 0; q < 40; q++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			path := naiveTreePath(fo, u, v)
+			got, connected, nonEmpty := h.MaxEdgeOnPath(u, v)
+			if (path == nil) != !connected {
+				return false
+			}
+			if path == nil {
+				continue
+			}
+			if len(path) == 1 {
+				if nonEmpty {
+					return false
+				}
+				continue
+			}
+			want := 0.0
+			for i := 1; i < len(path); i++ {
+				// Weight of edge between path[i-1] and path[i]: one of them is
+				// the parent of the other.
+				a, b := path[i-1], path[i]
+				var w float64
+				if fo.Parent(a) == b {
+					w = fo.ParentWeight(a)
+				} else {
+					w = fo.ParentWeight(b)
+				}
+				if i == 1 || w > want {
+					want = w
+				}
+			}
+			if !nonEmpty || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHLDKnownPath(t *testing.T) {
+	// Path 0-1-2-3 with weights 5, 1, 9.
+	edges := []graph.WeightedEdge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 9}}
+	f, err := BuildForest(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHLD(f, nil)
+	if w, ok, ne := h.MaxEdgeOnPath(0, 3); !ok || !ne || w != 9 {
+		t.Fatalf("max(0,3) = %v,%v,%v", w, ok, ne)
+	}
+	if w, ok, ne := h.MaxEdgeOnPath(0, 2); !ok || !ne || w != 5 {
+		t.Fatalf("max(0,2) = %v,%v,%v", w, ok, ne)
+	}
+	if w, ok, ne := h.MaxEdgeOnPath(1, 2); !ok || !ne || w != 1 {
+		t.Fatalf("max(1,2) = %v,%v,%v", w, ok, ne)
+	}
+	if _, ok, ne := h.MaxEdgeOnPath(2, 2); !ok || ne {
+		t.Fatal("empty path should report nonEmpty=false")
+	}
+}
+
+func TestHLDDisconnected(t *testing.T) {
+	edges := []graph.WeightedEdge{{U: 0, V: 1, W: 5}, {U: 2, V: 3, W: 1}}
+	f, _ := BuildForest(4, edges)
+	h := NewHLD(f, nil)
+	if _, ok, _ := h.MaxEdgeOnPath(0, 3); ok {
+		t.Fatal("disconnected vertices reported connected")
+	}
+}
+
+func TestHLDLogLightEdges(t *testing.T) {
+	// On a random tree the number of light edges from any vertex to the root
+	// must be O(log n); check the 2*log2(n)+2 bound loosely.
+	n := 500
+	forestEdges := randomForest(n, 1.0, 77)
+	f, err := BuildForest(n, forestEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHLD(f, nil)
+	limit := 2*bitsLen(n) + 2
+	for v := 0; v < n; v++ {
+		if got := h.NumLightEdges(graph.NodeID(v)); got > limit {
+			t.Fatalf("vertex %d has %d light edges on its root path (limit %d)", v, got, limit)
+		}
+	}
+}
+
+func bitsLen(n int) int {
+	l := 0
+	for n > 0 {
+		l++
+		n >>= 1
+	}
+	return l
+}
+
+func TestHLDHeadsConsistent(t *testing.T) {
+	n := 200
+	f, err := BuildForest(n, randomForest(n, 0.9, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHLD(f, nil)
+	for v := 0; v < n; v++ {
+		head := h.Head(graph.NodeID(v))
+		// The head must be an ancestor of v within the same tree.
+		if f.Root(head) != f.Root(graph.NodeID(v)) {
+			t.Fatalf("head of %d in a different tree", v)
+		}
+		if f.Level(head) > f.Level(graph.NodeID(v)) {
+			t.Fatalf("head of %d deeper than the vertex", v)
+		}
+	}
+}
