@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt ci bench-smoke
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+ci: fmt vet build test race
+
+# bench-smoke runs the pinned-seed batched-vs-unbatched comparison (OK and
+# TW stand-ins, seed 1) and writes the machine-readable snapshot that tracks
+# the batching win across the repository's history.
+bench-smoke:
+	$(GO) run ./cmd/ampcbench -experiment batch -json BENCH_smoke.json

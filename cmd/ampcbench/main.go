@@ -6,10 +6,16 @@
 //	ampcbench -experiment table3
 //	ampcbench -experiment figure5 -datasets OK,TW -machines 16
 //	ampcbench -experiment all
+//	ampcbench -experiment batch -json BENCH_smoke.json
+//	ampcbench -experiment figure5 -batch
 //
 // Each experiment prints a text table whose rows mirror the corresponding
 // table or figure of the paper; EXPERIMENTS.md records how the shapes compare
-// with the published numbers.
+// with the published numbers.  -batch runs the AMPC algorithms through the
+// shard-grouped batch pipeline; the dedicated "batch" experiment compares
+// batched against unbatched runs directly and, with -json, writes the
+// comparison as a machine-readable snapshot (the BENCH_smoke.json of `make
+// bench-smoke`).
 package main
 
 import (
@@ -30,6 +36,8 @@ func main() {
 		machines   = flag.Int("machines", 8, "number of AMPC machines")
 		threads    = flag.Int("threads", 4, "threads per AMPC machine")
 		threshold  = flag.Int("mpc-threshold", 2000, "in-memory switch-over threshold (edges) for the MPC baselines")
+		batch      = flag.Bool("batch", false, "run the AMPC algorithms with the shard-grouped batch pipeline")
+		jsonPath   = flag.String("json", "", "write the 'batch' experiment's comparison to this path as JSON")
 	)
 	flag.Parse()
 
@@ -39,6 +47,7 @@ func main() {
 		Machines:     *machines,
 		Threads:      *threads,
 		MPCThreshold: *threshold,
+		Batch:        *batch,
 	}
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")
@@ -48,12 +57,32 @@ func main() {
 	if *experiment == "all" {
 		names = bench.AllExperiments()
 	}
+	wroteJSON := false
 	for _, name := range names {
+		if name == "batch" && *jsonPath != "" {
+			wroteJSON = true
+			smoke, rep, err := bench.BatchSmoke(opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ampcbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			if err := bench.WriteSmokeJSON(*jsonPath, smoke); err != nil {
+				fmt.Fprintf(os.Stderr, "ampcbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Println(rep.String())
+			fmt.Printf("wrote %s\n", *jsonPath)
+			continue
+		}
 		rep, err := bench.RunByName(name, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ampcbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Println(rep.String())
+	}
+	if *jsonPath != "" && !wroteJSON {
+		fmt.Fprintf(os.Stderr, "ampcbench: -json only applies to the 'batch' experiment; %s was not written\n", *jsonPath)
+		os.Exit(1)
 	}
 }

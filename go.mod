@@ -1,0 +1,3 @@
+module ampcgraph
+
+go 1.22

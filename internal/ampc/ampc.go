@@ -17,6 +17,24 @@
 // Shuffles are the expensive dataflow steps of the host framework (Table 3
 // counts them); algorithms report them explicitly with RecordShuffle so that
 // the AMPC-versus-MPC comparison of the paper can be reproduced exactly.
+//
+// # Batching and read coalescing
+//
+// Section 5.3 attributes the practical AMPC wins to amortizing the
+// per-request overhead of the key-value store.  The runtime models that
+// optimization at two levels.  Explicit batching (Config.Batch) switches
+// the algorithms' fan-out reads and bulk writes to Ctx.ReadMany and
+// Ctx.WriteMany: a whole block of work items advances in lock-step and its
+// key-value requests travel as one shard-grouped batch, which takes each
+// shard lock once per batch (instead of once per key) and is charged one
+// BatchShardLatency per shard plus a BatchPerKey marginal.  Transparent
+// coalescing (Config.CoalesceReads) keeps algorithm code on single-key
+// Lookup: concurrent lookups from a machine's worker threads are buffered
+// and flushed together by a leader thread as one batch.  Neither mode
+// changes any result — the input store is frozen for the round, so a
+// batched read returns exactly what the corresponding single-key reads
+// would — and Stats reports the grouping achieved (BatchesIssued,
+// BatchedKeys, ShardVisitsSaved, KVShardVisits).
 package ampc
 
 import (
@@ -46,6 +64,21 @@ type Config struct {
 	// EnableCache turns on per-machine caching of key-value lookups and of
 	// algorithm-level query results (the caching optimization of §5.3).
 	EnableCache bool
+	// Batch makes algorithms issue their fan-out reads and bulk writes
+	// through the shard-grouped batch API (Ctx.ReadMany / Ctx.WriteMany)
+	// instead of one key-value round trip per key.  Results are identical;
+	// only the grouping of requests — and therefore shard lock
+	// acquisitions and modeled latency — changes.
+	Batch bool
+	// BatchSize bounds the number of work items evaluated in lock-step per
+	// batch block (and therefore the number of keys per flush).  Defaults
+	// to 512.
+	BatchSize int
+	// CoalesceReads buffers single-key Lookup calls issued concurrently by
+	// a machine's worker threads and flushes them to the store as one
+	// shard-grouped batch.  It is the transparent variant of the batching
+	// optimization: algorithm code keeps calling Lookup.
+	CoalesceReads bool
 	// Model is the key-value store latency model.
 	Model simtime.CostModel
 	// Shards is the number of key-value store shards.
@@ -73,6 +106,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Shards <= 0 {
 		c.Shards = 4 * c.Machines
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 512
 	}
 	return c
 }
@@ -118,9 +154,22 @@ type Stats struct {
 	CacheHits         int64
 	CacheMisses       int64
 	MaxMachineQueries int64
-	Wall              time.Duration
-	Sim               time.Duration
-	Phases            []PhaseStat
+	// KVShardVisits is the total number of shard lock acquisitions across
+	// all hash tables (the contention measure the batching optimization
+	// reduces).
+	KVShardVisits int64
+	// BatchesIssued counts shard-grouped batches flushed to the stores
+	// (explicit ReadMany/WriteMany calls plus coalescer flushes).
+	BatchesIssued int64
+	// BatchedKeys counts the keys carried by those batches; BatchedKeys /
+	// BatchesIssued is the mean keys-per-batch.
+	BatchedKeys int64
+	// ShardVisitsSaved is the number of shard visits avoided by grouping:
+	// the sum over batches of (keys sent to the store - shards visited).
+	ShardVisitsSaved int64
+	Wall             time.Duration
+	Sim              time.Duration
+	Phases           []PhaseStat
 }
 
 // Runtime executes AMPC computations.
@@ -233,6 +282,7 @@ func (r *Runtime) Stats() Stats {
 		st.KVWrites += ds.Writes
 		st.KVBytesRead += ds.BytesRead
 		st.KVBytesWritten += ds.BytesWritten
+		st.KVShardVisits += ds.ShardVisits
 	}
 	st.KVBytesTotal = st.KVBytesRead + st.KVBytesWritten
 	st.Wall = time.Since(r.started)
@@ -249,36 +299,52 @@ type Ctx struct {
 	rt      *Runtime
 	read    *dht.Store
 	cache   *dht.Cache
+	coal    *coalescer
 
-	queries atomic.Int64
-	writes  atomic.Int64
-	compute atomic.Int64
-	latency atomic.Int64 // accumulated latency in nanoseconds
+	queries     atomic.Int64
+	writes      atomic.Int64
+	compute     atomic.Int64
+	latency     atomic.Int64 // accumulated latency in nanoseconds
+	batches     atomic.Int64
+	batchedKeys atomic.Int64
+	visitsSaved atomic.Int64
 }
+
+// dramLookupLatency is the modeled cost of a lookup served from the
+// machine's own memory (a cache hit).
+var dramLookupLatency = simtime.DRAM().LookupLatency
 
 // Config returns the runtime configuration (space budgets, seed, ...).
 func (c *Ctx) Config() Config { return c.rt.cfg }
 
 // Lookup reads key from the round's input hash table.  With caching enabled
 // the per-machine cache is consulted first; a hit costs DRAM latency instead
-// of a network round trip.
+// of a network round trip.  With read coalescing enabled, a cache miss joins
+// the machine's pending batch and is flushed to the store as one
+// shard-grouped BatchGet together with the lookups of the other worker
+// threads.
 func (c *Ctx) Lookup(key uint64) ([]byte, bool, error) {
 	if c.read == nil {
 		return nil, false, fmt.Errorf("ampc: round has no input store")
 	}
 	c.queries.Add(1)
 	if c.cache != nil {
-		before := c.cache.Misses()
+		if v, ok, cached := c.cache.Peek(key); cached {
+			c.latency.Add(int64(dramLookupLatency))
+			return v, ok, nil
+		}
+	}
+	if c.coal != nil {
+		// The flush leader records latency and fills the cache for the
+		// whole batch.
+		return c.coal.lookup(key)
+	}
+	if c.cache != nil {
 		v, ok, err := c.cache.Get(key)
 		if err != nil {
 			return nil, false, err
 		}
-		if c.cache.Misses() == before {
-			// Served locally.
-			c.latency.Add(int64(simtime.DRAM().LookupLatency))
-		} else {
-			c.latency.Add(int64(c.rt.cfg.Model.LookupLatency))
-		}
+		c.latency.Add(int64(c.rt.cfg.Model.LookupLatency))
 		return v, ok, nil
 	}
 	v, ok, err := c.read.Get(key)
@@ -351,6 +417,9 @@ func (r *Runtime) Run(round Round) error {
 		if cfg.EnableCache && round.Read != nil {
 			ctxs[m].cache = dht.NewCache(round.Read)
 		}
+		if cfg.CoalesceReads && round.Read != nil {
+			ctxs[m].coal = &coalescer{ctx: ctxs[m], window: cfg.BatchSize}
+		}
 	}
 
 	var firstErr error
@@ -399,6 +468,7 @@ func (r *Runtime) Run(round Round) error {
 	// thread count (threads overlap lookups), plus the round-spawn overhead.
 	var slowest time.Duration
 	var maxQueries, cacheHits, cacheMisses int64
+	var batches, batchedKeys, visitsSaved int64
 	for _, ctx := range ctxs {
 		compute := time.Duration(ctx.compute.Load()) * cfg.Model.ComputePerItem
 		lat := time.Duration(ctx.latency.Load()) / time.Duration(cfg.Threads)
@@ -412,6 +482,9 @@ func (r *Runtime) Run(round Round) error {
 			cacheHits += ctx.cache.Hits()
 			cacheMisses += ctx.cache.Misses()
 		}
+		batches += ctx.batches.Load()
+		batchedKeys += ctx.batchedKeys.Load()
+		visitsSaved += ctx.visitsSaved.Load()
 	}
 	r.clock.Charge(slowest + cfg.Model.RoundOverhead)
 	r.mu.Lock()
@@ -420,6 +493,9 @@ func (r *Runtime) Run(round Round) error {
 	}
 	r.stats.CacheHits += cacheHits
 	r.stats.CacheMisses += cacheMisses
+	r.stats.BatchesIssued += batches
+	r.stats.BatchedKeys += batchedKeys
+	r.stats.ShardVisitsSaved += visitsSaved
 	r.mu.Unlock()
 	return firstErr
 }

@@ -1,0 +1,284 @@
+package ampc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ampcgraph/internal/dht"
+)
+
+// Batched access to the hash tables.
+//
+// The per-request overhead of the key-value store (a lock acquisition, a
+// hash, a latency round trip) is what the optimizations of §5.3 amortize.
+// ReadMany and WriteMany let algorithm code hand the runtime a whole fan-out
+// (a frontier of neighbor lists, a round's worth of parent pointers) in one
+// call; the store groups the keys by shard and visits every shard once.  The
+// coalescer below does the same transparently for single-key Lookups issued
+// concurrently by a machine's worker threads.
+
+// ReadMany reads all keys from the round's input hash table in one
+// shard-grouped batch.  vals[i] and oks[i] correspond to keys[i].  With
+// caching enabled, cached keys are served locally at DRAM latency and only
+// the remainder travels to the store.
+func (c *Ctx) ReadMany(keys []uint64) ([][]byte, []bool, error) {
+	if c.read == nil {
+		return nil, nil, fmt.Errorf("ampc: round has no input store")
+	}
+	if len(keys) == 0 {
+		return nil, nil, nil
+	}
+	c.queries.Add(int64(len(keys)))
+	vals := make([][]byte, len(keys))
+	oks := make([]bool, len(keys))
+	missKeys := keys
+	var missPos, missIdx []int // position in keys / index into missKeys
+	if c.cache != nil {
+		missKeys = missKeys[:0:0]
+		index := make(map[uint64]int)
+		for i, k := range keys {
+			if v, ok, cached := c.cache.Peek(k); cached {
+				vals[i] = v
+				oks[i] = ok
+				c.latency.Add(int64(dramLookupLatency))
+				continue
+			}
+			// Deduplicate uncached keys so a repeated key is fetched — and
+			// counted as a cache miss — once, as on the single-key path
+			// where only the first access reaches the store.
+			j, seen := index[k]
+			if !seen {
+				j = len(missKeys)
+				index[k] = j
+				missKeys = append(missKeys, k)
+			}
+			missPos = append(missPos, i)
+			missIdx = append(missIdx, j)
+		}
+		if len(missKeys) == 0 {
+			return vals, oks, nil
+		}
+	}
+	mv, mo, visits, err := c.read.BatchGet(missKeys)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.recordBatch(len(missKeys), visits)
+	c.latency.Add(int64(c.rt.cfg.Model.BatchReadCost(visits, len(missKeys))))
+	if missPos == nil {
+		copy(vals, mv)
+		copy(oks, mo)
+	} else {
+		for j := range missKeys {
+			c.cache.Fill(missKeys[j], mv[j], mo[j])
+		}
+		for t, p := range missPos {
+			vals[p] = mv[missIdx[t]]
+			oks[p] = mo[missIdx[t]]
+		}
+	}
+	return vals, oks, nil
+}
+
+// FetchInto reads all keys in one shard-grouped batch and hands each result
+// to fill.  It is the shared tail of the lock-step drivers in the core
+// algorithm packages: collect a block's missing keys, fetch them together,
+// decode into local state.
+func (c *Ctx) FetchInto(keys []uint64, fill func(key uint64, raw []byte, ok bool) error) error {
+	vals, oks, err := c.ReadMany(keys)
+	if err != nil {
+		return err
+	}
+	for i, k := range keys {
+		if err := fill(k, vals[i], oks[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMany stores all pairs into the given output hash table in one
+// shard-grouped batch.
+func (c *Ctx) WriteMany(out *dht.Store, pairs []dht.Pair) error {
+	visits, err := out.BatchPut(pairs)
+	if err != nil {
+		return err
+	}
+	c.writes.Add(int64(len(pairs)))
+	c.recordBatch(len(pairs), visits)
+	c.latency.Add(int64(c.rt.cfg.Model.BatchWriteCost(visits, len(pairs))))
+	return nil
+}
+
+// EmitMany appends all pairs into the given output hash table in one
+// shard-grouped batch (multi-value semantics).
+func (c *Ctx) EmitMany(out *dht.Store, pairs []dht.Pair) error {
+	visits, err := out.BatchAppend(pairs)
+	if err != nil {
+		return err
+	}
+	c.writes.Add(int64(len(pairs)))
+	c.recordBatch(len(pairs), visits)
+	c.latency.Add(int64(c.rt.cfg.Model.BatchWriteCost(visits, len(pairs))))
+	return nil
+}
+
+func (c *Ctx) recordBatch(keys, visits int) {
+	c.batches.Add(1)
+	c.batchedKeys.Add(int64(keys))
+	if saved := keys - visits; saved > 0 {
+		c.visitsSaved.Add(int64(saved))
+	}
+}
+
+// NumBlocks returns the number of lock-step blocks of the given size needed
+// to cover items work items.
+func NumBlocks(items, size int) int {
+	if items <= 0 {
+		return 0
+	}
+	if size <= 0 {
+		size = 1
+	}
+	return (items + size - 1) / size
+}
+
+// BlockBounds returns the half-open work-item range [lo, hi) of the given
+// block.
+func BlockBounds(block, size, items int) (lo, hi int) {
+	lo = block * size
+	hi = lo + size
+	if hi > items {
+		hi = items
+	}
+	return lo, hi
+}
+
+// WriteTable runs one round that stores value(i) under key i for every work
+// item i in [0, items), reading nothing.  computePerItem units of local
+// computation are charged per item.  With batching enabled the items are
+// written in shard-grouped blocks of BatchSize keys; otherwise one Put per
+// key, exactly as the hand-written kv-write rounds did.
+func (r *Runtime) WriteTable(name string, store *dht.Store, items, computePerItem int, value func(int) []byte) error {
+	if !r.cfg.Batch {
+		return r.Run(Round{
+			Name:  name,
+			Items: items,
+			Body: func(ctx *Ctx, item int) error {
+				ctx.ChargeCompute(computePerItem)
+				return ctx.Write(store, uint64(item), value(item))
+			},
+		})
+	}
+	size := r.cfg.BatchSize
+	return r.Run(Round{
+		Name:  name,
+		Items: NumBlocks(items, size),
+		Body: func(ctx *Ctx, block int) error {
+			lo, hi := BlockBounds(block, size, items)
+			pairs := make([]dht.Pair, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				pairs = append(pairs, dht.Pair{Key: uint64(i), Value: value(i)})
+			}
+			ctx.ChargeCompute(computePerItem * (hi - lo))
+			return ctx.WriteMany(store, pairs)
+		},
+	})
+}
+
+// coalescer buffers single-key lookups issued by the worker threads of one
+// machine and flushes them to the store as one shard-grouped batch.  The
+// first thread to find the buffer idle becomes the flush leader: it yields
+// the processor a few times so the machine's other threads can append their
+// pending lookups, then serves the whole buffer with one BatchGet.
+// Correctness does not depend on how many lookups end up grouped together —
+// the input store is frozen for the round, so a batched read returns exactly
+// what the corresponding single-key reads would.
+type coalescer struct {
+	ctx    *Ctx
+	window int
+
+	mu       sync.Mutex
+	pending  []coalReq
+	flushing bool
+}
+
+type coalReq struct {
+	key uint64
+	ch  chan coalResult
+}
+
+type coalResult struct {
+	val []byte
+	ok  bool
+	err error
+}
+
+func (co *coalescer) lookup(key uint64) ([]byte, bool, error) {
+	ch := make(chan coalResult, 1)
+	co.mu.Lock()
+	co.pending = append(co.pending, coalReq{key: key, ch: ch})
+	lead := !co.flushing
+	if lead {
+		co.flushing = true
+	}
+	full := len(co.pending) >= co.window
+	co.mu.Unlock()
+	if lead {
+		if !full {
+			// Give the machine's other worker threads a chance to join.
+			for i := 0; i < 4; i++ {
+				runtime.Gosched()
+			}
+		}
+		co.flush()
+	}
+	res := <-ch
+	return res.val, res.ok, res.err
+}
+
+// flush serves every pending request with one batched read.  Requests
+// appended after the buffer is grabbed find flushing == false again and
+// elect a new leader, so no request is ever stranded.
+func (co *coalescer) flush() {
+	co.mu.Lock()
+	batch := co.pending
+	co.pending = nil
+	co.flushing = false
+	co.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	keys := make([]uint64, 0, len(batch))
+	index := make(map[uint64]int, len(batch))
+	pos := make([]int, len(batch))
+	for i, r := range batch {
+		j, ok := index[r.key]
+		if !ok {
+			j = len(keys)
+			index[r.key] = j
+			keys = append(keys, r.key)
+		}
+		pos[i] = j
+	}
+	vals, oks, visits, err := co.ctx.read.BatchGet(keys)
+	if err == nil {
+		co.ctx.recordBatch(len(keys), visits)
+		co.ctx.latency.Add(int64(co.ctx.rt.cfg.Model.BatchReadCost(visits, len(keys))))
+		if co.ctx.cache != nil {
+			// Fill once per unique key; waiters sharing a key are the
+			// equivalent of a cache hit, not a second miss.
+			for j, k := range keys {
+				co.ctx.cache.Fill(k, vals[j], oks[j])
+			}
+		}
+	}
+	for i, r := range batch {
+		if err != nil {
+			r.ch <- coalResult{err: err}
+			continue
+		}
+		r.ch <- coalResult{val: vals[pos[i]], ok: oks[pos[i]]}
+	}
+}

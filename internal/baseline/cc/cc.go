@@ -128,9 +128,15 @@ func Run(g *graph.Graph, p *mpc.Pipeline, opts Options) (*Result, error) {
 				parent[pv] = find(root)
 			}
 			// (3) Rebuild the contracted edge list (one shuffle), dropping
-			// self-loops and parallel duplicates.
+			// self-loops and parallel duplicates.  find's path compression
+			// mutates parent, so resolve every vertex once up front and let
+			// the ParDo workers read the immutable snapshot.
+			rootOf := make([]graph.NodeID, n)
+			for v := range rootOf {
+				rootOf[v] = find(graph.NodeID(v))
+			}
 			rekeyed := mpc.ParDo(coll, func(e edge, emit func(mpc.KV[uint64, edge])) {
-				u, v := find(e.u), find(e.v)
+				u, v := rootOf[e.u], rootOf[e.v]
 				if u == v {
 					return
 				}

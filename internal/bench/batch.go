@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/core/matching"
+	"ampcgraph/internal/core/mis"
+	"ampcgraph/internal/core/msf"
+	"ampcgraph/internal/gen"
+)
+
+// BatchRow is one (dataset, algorithm) point of the batched-vs-unbatched
+// comparison: the same computation run with single-key key-value requests
+// and with the shard-grouped batch pipeline.
+type BatchRow struct {
+	Graph string `json:"graph"`
+	Algo  string `json:"algo"`
+	// Identical reports whether the two runs produced byte-identical
+	// results (they must: batching only regroups requests).
+	Identical bool `json:"identical"`
+	// ShardVisitsOff/On count shard lock acquisitions across all hash
+	// tables; their ratio is the contention reduction of batching.
+	ShardVisitsOff int64   `json:"shard_visits_off"`
+	ShardVisitsOn  int64   `json:"shard_visits_on"`
+	VisitReduction float64 `json:"visit_reduction"`
+	// BatchesIssued and KeysPerBatch describe the batched run's grouping.
+	BatchesIssued int64   `json:"batches_issued"`
+	KeysPerBatch  float64 `json:"keys_per_batch"`
+	// SimOff/On are the modeled running times of the two runs.
+	SimOff time.Duration `json:"sim_off_ns"`
+	SimOn  time.Duration `json:"sim_on_ns"`
+	// SimSpeedup is SimOff / SimOn.
+	SimSpeedup float64 `json:"sim_speedup"`
+}
+
+func newBatchRow(graph, algo string, identical bool, off, on ampc.Stats) BatchRow {
+	row := BatchRow{
+		Graph:          graph,
+		Algo:           algo,
+		Identical:      identical,
+		ShardVisitsOff: off.KVShardVisits,
+		ShardVisitsOn:  on.KVShardVisits,
+		BatchesIssued:  on.BatchesIssued,
+		SimOff:         off.Sim,
+		SimOn:          on.Sim,
+	}
+	if on.KVShardVisits > 0 {
+		row.VisitReduction = float64(off.KVShardVisits) / float64(on.KVShardVisits)
+	}
+	if on.BatchesIssued > 0 {
+		row.KeysPerBatch = float64(on.BatchedKeys) / float64(on.BatchesIssued)
+	}
+	if on.Sim > 0 {
+		row.SimSpeedup = float64(off.Sim) / float64(on.Sim)
+	}
+	return row
+}
+
+// BatchComparison runs MIS (the Get-heavy workload), maximal matching and
+// MSF with the batch pipeline off and on, verifying that the results are
+// identical and measuring the shard-visit and modeled-time reduction.
+func BatchComparison(opts Options) ([]BatchRow, Report, error) {
+	opts = opts.withDefaults()
+	rep := Report{
+		Title: "Batched vs unbatched key-value pipeline (shard lock acquisitions)",
+		Header: fmt.Sprintf("%-8s %-5s %10s %12s %12s %10s %10s %9s",
+			"graph", "algo", "identical", "visits-off", "visits-on", "reduction", "keys/batch", "speedup"),
+		Notes: []string{
+			"batching groups fan-out reads and bulk writes by shard, taking each shard lock once per batch instead of once per key (§5.3's per-request overhead amortization)",
+			"results are required to be byte-identical with batching on and off",
+		},
+	}
+	var rows []BatchRow
+	for _, ng := range opts.graphs() {
+		cfgOff := opts.ampcConfig()
+		cfgOff.Batch = false
+		cfgOn := cfgOff
+		cfgOn.Batch = true
+
+		mis0, err := mis.Run(ng.g, cfgOff)
+		if err != nil {
+			return nil, rep, err
+		}
+		mis1, err := mis.Run(ng.g, cfgOn)
+		if err != nil {
+			return nil, rep, err
+		}
+		rows = append(rows, newBatchRow(ng.name, "MIS",
+			reflect.DeepEqual(mis0.InMIS, mis1.InMIS), mis0.Stats, mis1.Stats))
+
+		mm0, err := matching.Run(ng.g, cfgOff)
+		if err != nil {
+			return nil, rep, err
+		}
+		mm1, err := matching.Run(ng.g, cfgOn)
+		if err != nil {
+			return nil, rep, err
+		}
+		rows = append(rows, newBatchRow(ng.name, "MM",
+			reflect.DeepEqual(mm0.Matching.Mate, mm1.Matching.Mate), mm0.Stats, mm1.Stats))
+
+		weighted := gen.DegreeProportionalWeights(ng.g)
+		msf0, err := msf.Run(weighted, cfgOff)
+		if err != nil {
+			return nil, rep, err
+		}
+		msf1, err := msf.Run(weighted, cfgOn)
+		if err != nil {
+			return nil, rep, err
+		}
+		rows = append(rows, newBatchRow(ng.name, "MSF",
+			reflect.DeepEqual(msf0.Edges, msf1.Edges), msf0.Stats, msf1.Stats))
+	}
+	for _, row := range rows {
+		rep.Rows = append(rep.Rows, fmt.Sprintf("%-8s %-5s %10v %12d %12d %9.2fx %10.1f %8.2fx",
+			row.Graph, row.Algo, row.Identical, row.ShardVisitsOff, row.ShardVisitsOn,
+			row.VisitReduction, row.KeysPerBatch, row.SimSpeedup))
+	}
+	return rows, rep, nil
+}
+
+// Smoke is the pinned-seed benchmark snapshot emitted as BENCH_smoke.json by
+// `make bench-smoke`, tracking the batching win across the repository's
+// history.
+type Smoke struct {
+	Seed     int64      `json:"seed"`
+	Datasets []string   `json:"datasets"`
+	Machines int        `json:"machines"`
+	Threads  int        `json:"threads"`
+	Rows     []BatchRow `json:"rows"`
+}
+
+// BatchSmoke runs the batched-vs-unbatched comparison for the snapshot.
+// Caller-set options are honored; only an unset dataset list is pinned to the
+// small OK+TW subset (the `make bench-smoke` configuration).
+func BatchSmoke(opts Options) (Smoke, Report, error) {
+	if len(opts.Datasets) == 0 {
+		opts.Datasets = []string{"OK", "TW"}
+	}
+	opts = opts.withDefaults()
+	rows, rep, err := BatchComparison(opts)
+	if err != nil {
+		return Smoke{}, rep, err
+	}
+	return Smoke{
+		Seed:     opts.Seed,
+		Datasets: opts.Datasets,
+		Machines: opts.Machines,
+		Threads:  opts.Threads,
+		Rows:     rows,
+	}, rep, nil
+}
+
+// WriteSmokeJSON writes a Smoke snapshot to path as indented JSON.
+func WriteSmokeJSON(path string, s Smoke) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -50,6 +50,9 @@ type Options struct {
 	// baselines (default: DefaultInMemoryThreshold of each baseline scaled to
 	// the stand-ins).
 	MPCThreshold int
+	// Batch runs the AMPC algorithms with the shard-grouped batch pipeline
+	// (ampc.Config.Batch) in every experiment.
+	Batch bool
 }
 
 func (o Options) withDefaults() Options {
@@ -79,6 +82,7 @@ func (o Options) ampcConfig() ampc.Config {
 		Machines:    o.Machines,
 		Threads:     o.Threads,
 		EnableCache: true,
+		Batch:       o.Batch,
 		Seed:        o.Seed,
 	}
 }

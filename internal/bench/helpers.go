@@ -17,6 +17,7 @@ func AllExperiments() []string {
 	return []string{
 		"table2", "table3", "figure3", "figure4", "figure5", "figure6",
 		"figure7", "figure8", "figure9", "table4", "cycle", "connectivity",
+		"batch",
 	}
 }
 
@@ -57,6 +58,9 @@ func RunByName(name string, opts Options) (Report, error) {
 		return rep, err
 	case "connectivity":
 		_, rep, err := Section57Connectivity(opts)
+		return rep, err
+	case "batch":
+		_, rep, err := BatchComparison(opts)
 		return rep, err
 	default:
 		return Report{}, errUnknownExperiment(name)

@@ -1,0 +1,35 @@
+package connectivity
+
+import (
+	"testing"
+
+	"ampcgraph/internal/gen"
+)
+
+// TestBatchedMatchesUnbatched asserts that connectivity — whose hot loops
+// (Prim searches, pointer chases) run through the msf batch machinery —
+// labels every vertex identically with batching on and off.
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	g := gen.PreferentialAttachment(800, 2, 11)
+	cfg := defaultCfg(11)
+	plain, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Batch = true
+	batched, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NumComponents != batched.NumComponents {
+		t.Fatalf("components %d vs %d", plain.NumComponents, batched.NumComponents)
+	}
+	for v := range plain.Components {
+		if plain.Components[v] != batched.Components[v] {
+			t.Fatalf("vertex %d labeled %v vs %v", v, plain.Components[v], batched.Components[v])
+		}
+	}
+	if batched.Stats.BatchesIssued == 0 {
+		t.Fatal("batched run issued no batches")
+	}
+}

@@ -5,6 +5,12 @@
 // random edge weights, a spanning forest is computed with the constant-round
 // MSF pipeline, and the forest is then collapsed to component labels with the
 // pointer-jumping ForestConnectivity routine (Proposition 3.2).
+//
+// Both hot loops — the truncated Prim searches and the parent-pointer chases
+// of the final collapse — inherit the shard-grouped batching of the msf
+// package when ampc.Config.Batch is set: lookups travel as block-sized
+// ReadMany batches instead of one key-value round trip per key, and the
+// component labels are unchanged.
 package connectivity
 
 import (

@@ -1,0 +1,108 @@
+package cycle
+
+import (
+	"fmt"
+	"sync"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/codec"
+	"ampcgraph/internal/dht"
+	"ampcgraph/internal/graph"
+)
+
+// Batched Walk round (Config.Batch).
+//
+// Each sampled vertex walks the cycle in both directions; every step of the
+// single-key implementation is one key-value round trip.  The batched round
+// advances all of a block's walks in lock-step — one shard-grouped ReadMany
+// per hop serves every walk in the block — and a per-block cache of decoded
+// adjacency lists means a cycle segment shared by two walks is fetched once.
+// The walks themselves are unchanged, so the contracted multigraph (and the
+// 1-vs-2 answer) is identical to the unbatched run.
+
+// runBatchWalkRound walks from every sample of a block in lock-step,
+// reporting each finished walk through report (called under mu).
+func runBatchWalkRound(rt *ampc.Runtime, store *dht.Store, g *graph.Graph,
+	samples []graph.NodeID, sampled []bool, mu *sync.Mutex,
+	report func(start, end graph.NodeID, steps int)) error {
+	n := g.NumNodes()
+	size := rt.Config().BatchSize
+	return rt.Run(ampc.Round{
+		Name:  "walk",
+		Items: ampc.NumBlocks(len(samples), size),
+		Read:  store,
+		Body: func(ctx *ampc.Ctx, block int) error {
+			lo, hi := ampc.BlockBounds(block, size, len(samples))
+			type walker struct {
+				start, prev, cur graph.NodeID
+				steps            int
+			}
+			var active []*walker
+			finish := func(w *walker) {
+				mu.Lock()
+				report(w.start, w.cur, w.steps)
+				mu.Unlock()
+			}
+			for i := lo; i < hi; i++ {
+				start := samples[i]
+				for _, first := range g.Neighbors(start) {
+					w := &walker{start: start, prev: start, cur: first, steps: 1}
+					if sampled[w.cur] {
+						finish(w)
+						continue
+					}
+					active = append(active, w)
+				}
+			}
+			for len(active) > 0 {
+				// A fresh per-hop map keeps memory bounded by the block's
+				// active walks (a walk never revisits a vertex); reuse
+				// between the two walks covering one segment in opposite
+				// directions is served by the per-machine cache instead.
+				adj := make(map[graph.NodeID][]graph.NodeID, len(active))
+				var need []uint64
+				for _, w := range active {
+					if _, ok := adj[w.cur]; !ok {
+						adj[w.cur] = nil
+						need = append(need, uint64(w.cur))
+					}
+				}
+				err := ctx.FetchInto(need, func(k uint64, raw []byte, ok bool) error {
+					if !ok {
+						return fmt.Errorf("cycle: vertex %d missing from the key-value store", k)
+					}
+					nbrs, err := codec.DecodeNodeIDs(raw)
+					if err != nil {
+						return err
+					}
+					adj[graph.NodeID(k)] = nbrs
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				var retry []*walker
+				for _, w := range active {
+					nbrs := adj[w.cur]
+					next := nbrs[0]
+					if next == w.prev {
+						next = nbrs[1]
+					}
+					w.prev, w.cur = w.cur, next
+					w.steps++
+					ctx.ChargeCompute(1)
+					if w.steps > n+1 {
+						return fmt.Errorf("cycle: walk from %d did not terminate", w.start)
+					}
+					if sampled[w.cur] {
+						finish(w)
+						continue
+					}
+					retry = append(retry, w)
+				}
+				active = retry
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,45 @@
+package cycle
+
+import (
+	"testing"
+
+	"ampcgraph/internal/gen"
+)
+
+// TestBatchedMatchesUnbatched asserts that the lock-step batched walks visit
+// exactly the vertices the sequential walks visit, on both promise inputs.
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+		two  bool
+	}{
+		{"single", 4001, false},
+		{"double", 4000, true},
+	} {
+		g := gen.Cycle(tc.n)
+		if tc.two {
+			g = gen.TwoCycles(tc.n)
+		}
+		cfg := defaultCfg(5)
+		plain, err := Run(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Batch = true
+		batched, err := Run(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.SingleCycle != batched.SingleCycle || plain.NumCycles != batched.NumCycles {
+			t.Fatalf("%s: answer %v/%d vs %v/%d", tc.name,
+				plain.SingleCycle, plain.NumCycles, batched.SingleCycle, batched.NumCycles)
+		}
+		if plain.MaxWalkLength != batched.MaxWalkLength {
+			t.Fatalf("%s: max walk %d vs %d", tc.name, plain.MaxWalkLength, batched.MaxWalkLength)
+		}
+		if batched.Stats.BatchesIssued == 0 {
+			t.Fatalf("%s: batched run issued no batches", tc.name)
+		}
+	}
+}

@@ -94,13 +94,8 @@ func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, er
 			bytes += int64(codec.SizeOfNodeList(g.Degree(graph.NodeID(v))))
 		}
 		rt.RecordShuffle("cycle-graph", bytes)
-		return rt.Run(ampc.Round{
-			Name:  "kv-write",
-			Items: n,
-			Body: func(ctx *ampc.Ctx, item int) error {
-				ctx.ChargeCompute(1)
-				return ctx.Write(store, uint64(item), codec.EncodeNodeIDs(g.Neighbors(graph.NodeID(item))))
-			},
+		return rt.WriteTable("kv-write", store, n, 1, func(item int) []byte {
+			return codec.EncodeNodeIDs(g.Neighbors(graph.NodeID(item)))
 		})
 	})
 	if err != nil {
@@ -113,7 +108,18 @@ func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, er
 	var links []link
 	maxWalk := 0
 	totalSteps := 0
+	recordWalk := func(start, end graph.NodeID, steps int) {
+		links = append(links, link{start, end})
+		totalSteps += steps
+		if steps > maxWalk {
+			maxWalk = steps
+		}
+	}
 	err = rt.Phase("Walk", func() error {
+		if cfgD.Batch {
+			// Lock-step walks over shard-grouped batches (batch.go).
+			return runBatchWalkRound(rt, store, g, samples, sampled, &mu, recordWalk)
+		}
 		return rt.Run(ampc.Round{
 			Name:  "walk",
 			Items: len(samples),
@@ -126,11 +132,7 @@ func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, er
 						return err
 					}
 					mu.Lock()
-					links = append(links, link{start, end})
-					totalSteps += steps
-					if steps > maxWalk {
-						maxWalk = steps
-					}
+					recordWalk(start, end, steps)
 					mu.Unlock()
 				}
 				return nil

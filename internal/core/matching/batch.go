@@ -1,0 +1,198 @@
+package matching
+
+import (
+	"fmt"
+	"sync"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/codec"
+	"ampcgraph/internal/dht"
+	"ampcgraph/internal/graph"
+)
+
+// Batched IsInMM round (Config.Batch).
+//
+// Like the MIS variant in internal/core/mis/batch.go, a block of vertex
+// searches runs in lock-step: each search proceeds until it needs an
+// adjacency list that is not locally known, the block's missing lists are
+// fetched with one shard-grouped ReadMany, and the searches resume.  The
+// edge oracle computed is exactly the recursive process of §5.4, so the
+// matching is identical to the unbatched run for the same seed.
+
+type batchMatcher struct {
+	ctx   *ampc.Ctx
+	cache *matchCache
+	rank  RankFunc
+	lists map[graph.NodeID][]graph.NodeID
+}
+
+// evalVertex returns v's mate (graph.None when v stays unmatched) and
+// whether the answer is final, or the vertex whose adjacency list must be
+// fetched first (graph.None when none is needed).
+func (s *batchMatcher) evalVertex(v graph.NodeID) (mate, miss graph.NodeID) {
+	if st := s.cache.vertex(v); st.kind == vertexMatched {
+		return st.mate, graph.None
+	} else if st.kind == vertexUnmatched {
+		return graph.None, graph.None
+	}
+	lst, ok := s.lists[v]
+	if !ok {
+		return graph.None, v
+	}
+	for _, u := range lst {
+		in, miss := s.evalEdge(v, u)
+		if miss != graph.None {
+			return graph.None, miss
+		}
+		if in {
+			// Charged at resolution (not per scan) so suspensions and
+			// resumptions do not double-charge; one unit per resolved
+			// vertex, exactly like the single-key vertexProcess.
+			s.ctx.ChargeCompute(1)
+			s.cache.setVertex(v, vertexState{kind: vertexMatched, mate: u})
+			s.cache.setVertex(u, vertexState{kind: vertexMatched, mate: v})
+			return u, graph.None
+		}
+	}
+	s.ctx.ChargeCompute(1)
+	s.cache.setVertex(v, vertexState{kind: vertexUnmatched, mate: graph.None})
+	return graph.None, graph.None
+}
+
+// evalEdge is edgeProcess with fetches replaced by local list lookups: it
+// reports whether (u, v) joins the random-greedy matching, or which
+// adjacency list is missing.
+func (s *batchMatcher) evalEdge(u, v graph.NodeID) (in bool, miss graph.NodeID) {
+	key := packEdge(u, v)
+	if in, ok := s.cache.edge(key); ok {
+		return in, graph.None
+	}
+	for _, x := range [2]graph.NodeID{u, v} {
+		switch st := s.cache.vertex(x); st.kind {
+		case vertexMatched:
+			in := packEdge(x, st.mate) == key
+			s.cache.setEdge(key, in)
+			return in, graph.None
+		case vertexUnmatched:
+			s.cache.setEdge(key, false)
+			return false, graph.None
+		}
+	}
+	au, ok := s.lists[u]
+	if !ok {
+		return false, u
+	}
+	av, ok := s.lists[v]
+	if !ok {
+		return false, v
+	}
+	myRank := s.rank(u, v)
+	s.ctx.ChargeCompute(len(au) + len(av))
+	i, j := 0, 0
+	for i < len(au) || j < len(av) {
+		var a, b graph.NodeID
+		var ra, rb uint64
+		haveA, haveB := i < len(au), j < len(av)
+		if haveA {
+			a = au[i]
+			ra = s.rank(u, a)
+		}
+		if haveB {
+			b = av[j]
+			rb = s.rank(v, b)
+		}
+		var x, y graph.NodeID
+		var r uint64
+		if haveA && (!haveB || ra <= rb) {
+			x, y, r = u, a, ra
+			i++
+		} else {
+			x, y, r = v, b, rb
+			j++
+		}
+		if r >= myRank {
+			break // remaining adjacent edges all have higher rank
+		}
+		if packEdge(x, y) == key {
+			continue
+		}
+		childIn, childMiss := s.evalEdge(x, y)
+		if childMiss != graph.None {
+			return false, childMiss
+		}
+		if childIn {
+			s.cache.setEdge(key, false)
+			s.cache.setVertex(x, vertexState{kind: vertexMatched, mate: y})
+			s.cache.setVertex(y, vertexState{kind: vertexMatched, mate: x})
+			return false, graph.None
+		}
+	}
+	s.cache.setEdge(key, true)
+	return true, graph.None
+}
+
+// runBatchRound runs one lock-step IsInMM round over blocks of vertices.
+func runBatchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, sorted [][]graph.NodeID,
+	rank RankFunc, caches []*matchCache, matching []graph.NodeID, resolved []bool, mu *sync.Mutex) error {
+	n := len(sorted)
+	size := rt.Config().BatchSize
+	return rt.Run(ampc.Round{
+		Name:  phaseName,
+		Items: ampc.NumBlocks(n, size),
+		Read:  store,
+		Body: func(ctx *ampc.Ctx, block int) error {
+			lo, hi := ampc.BlockBounds(block, size, n)
+			cache := caches[ctx.Machine]
+			if cache == nil {
+				cache = newMatchCache()
+			}
+			s := &batchMatcher{
+				ctx:   ctx,
+				cache: cache,
+				rank:  rank,
+				lists: make(map[graph.NodeID][]graph.NodeID, hi-lo),
+			}
+			active := make([]graph.NodeID, 0, hi-lo)
+			for v := lo; v < hi; v++ {
+				s.lists[graph.NodeID(v)] = sorted[v]
+				active = append(active, graph.NodeID(v))
+			}
+			for len(active) > 0 {
+				var retry []graph.NodeID
+				var need []uint64
+				needSet := make(map[graph.NodeID]bool)
+				for _, v := range active {
+					mate, miss := s.evalVertex(v)
+					if miss != graph.None {
+						if !needSet[miss] {
+							needSet[miss] = true
+							need = append(need, uint64(miss))
+						}
+						retry = append(retry, v)
+						continue
+					}
+					mu.Lock()
+					matching[v] = mate
+					resolved[v] = true
+					mu.Unlock()
+				}
+				err := ctx.FetchInto(need, func(k uint64, raw []byte, ok bool) error {
+					if !ok {
+						return fmt.Errorf("matching: vertex %d missing from the key-value store", k)
+					}
+					nbrs, err := codec.DecodeNodeIDs(raw)
+					if err != nil {
+						return err
+					}
+					s.lists[graph.NodeID(k)] = nbrs
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				active = retry
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,61 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/gen"
+)
+
+// TestBatchedMatchesUnbatched asserts that the lock-step batched round and
+// the single-key round compute the identical random-greedy matching.
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	for _, cache := range []bool{false, true} {
+		f := func(seed int64) bool {
+			n := 30 + int(uint64(seed)%200)
+			g := gen.ErdosRenyi(n, 4*n, seed)
+			cfg := defaultCfg(seed)
+			cfg.EnableCache = cache
+			plain, err := Run(g, cfg)
+			if err != nil {
+				return false
+			}
+			cfg.Batch = true
+			cfg.BatchSize = 64
+			batched, err := Run(g, cfg)
+			if err != nil {
+				return false
+			}
+			for v := 0; v < n; v++ {
+				if plain.Matching.Mate[v] != batched.Matching.Mate[v] {
+					return false
+				}
+			}
+			return batched.Stats.BatchesIssued > 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+			t.Fatalf("cache=%v: %v", cache, err)
+		}
+	}
+}
+
+// TestBatchedWeightedRank asserts the batched path also honors
+// caller-supplied edge rankings (the weighted-matching corollary).
+func TestBatchedWeightedRank(t *testing.T) {
+	g := gen.RandomWeights(gen.ErdosRenyi(200, 800, 3), 4)
+	cfg := defaultCfg(3)
+	plain, err := RunWithRank(g, cfg, WeightEdgeRank(g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Batch = true
+	batched, err := RunWithRank(g, cfg, WeightEdgeRank(g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range plain.Matching.Mate {
+		if plain.Matching.Mate[v] != batched.Matching.Mate[v] {
+			t.Fatalf("vertex %d: mate %v vs %v", v, plain.Matching.Mate[v], batched.Matching.Mate[v])
+		}
+	}
+}

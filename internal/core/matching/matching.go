@@ -209,13 +209,8 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 	// Step 2: write the edge-sorted graph to the key-value store.
 	store := rt.NewStore("edge-sorted-graph" + tag)
 	err = rt.Phase("KV-Write"+tag, func() error {
-		return rt.Run(ampc.Round{
-			Name:  "kv-write" + tag,
-			Items: n,
-			Body: func(ctx *ampc.Ctx, item int) error {
-				ctx.ChargeCompute(1)
-				return ctx.Write(store, uint64(item), codec.EncodeNodeIDs(sorted[item]))
-			},
+		return rt.WriteTable("kv-write"+tag, store, n, 1, func(item int) []byte {
+			return codec.EncodeNodeIDs(sorted[item])
 		})
 	})
 	if err != nil {
@@ -263,6 +258,14 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 			phaseName = fmt.Sprintf("IsInMM%s-pass%d", tag, pass)
 		}
 		err = rt.Phase(phaseName, func() error {
+			if cfgD.Batch && budget == 0 {
+				// Lock-step block evaluation over shard-grouped batches
+				// (see batch.go); the truncated variant keeps the
+				// single-key path so its per-search query budget retains
+				// its original meaning.
+				var mu sync.Mutex
+				return runBatchRound(rt, phaseName, store, sorted, rank, caches, matching.Mate, resolved, &mu)
+			}
 			return rt.Run(ampc.Round{
 				Name:  phaseName,
 				Items: n,

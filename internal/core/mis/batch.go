@@ -1,0 +1,125 @@
+package mis
+
+import (
+	"fmt"
+	"sync"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/codec"
+	"ampcgraph/internal/dht"
+	"ampcgraph/internal/graph"
+)
+
+// Batched IsInMIS round (Config.Batch).
+//
+// The recursive query process resolves one vertex at a time, so the
+// single-key implementation pays one key-value round trip (one shard lock,
+// one latency charge) per neighborhood it expands.  The batched round
+// evaluates a whole block of vertices in lock-step instead: every search
+// runs until it needs a directed neighbor list that is not yet known
+// locally, the block's missing lists are fetched with one shard-grouped
+// ReadMany, and the searches resume.  The vertex-status function being
+// computed is unchanged, so batched and unbatched runs produce identical
+// independent sets for the same seed; only the grouping of key-value
+// requests differs.
+
+// batchSearcher shares one memoized status cache (per machine, as in §5.3)
+// and a per-block map of fetched neighbor lists.
+type batchSearcher struct {
+	ctx   *ampc.Ctx
+	cache *statusCache
+	lists map[graph.NodeID][]graph.NodeID
+}
+
+// eval returns v's status, or the vertex whose directed neighbor list must
+// be fetched before the search can continue (graph.None when resolved).
+// Memoized statuses survive across resumptions, so re-walking the recursion
+// after a fetch only revisits cached vertices.
+func (s *batchSearcher) eval(v graph.NodeID) (status, graph.NodeID) {
+	if st := s.cache.get(v); st != statusUnknown {
+		return st, graph.None
+	}
+	lst, ok := s.lists[v]
+	if !ok {
+		return statusUnknown, v
+	}
+	for _, u := range lst {
+		st, need := s.eval(u)
+		if need != graph.None {
+			return statusUnknown, need
+		}
+		if st == statusIn {
+			s.ctx.ChargeCompute(1)
+			s.cache.set(v, statusOut)
+			return statusOut, graph.None
+		}
+	}
+	s.ctx.ChargeCompute(1)
+	s.cache.set(v, statusIn)
+	return statusIn, graph.None
+}
+
+// runBatchRound runs one lock-step IsInMIS round over blocks of vertices.
+func runBatchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, directed [][]graph.NodeID,
+	caches []*statusCache, inMIS, resolved []bool, mu *sync.Mutex) error {
+	n := len(directed)
+	size := rt.Config().BatchSize
+	return rt.Run(ampc.Round{
+		Name:  phaseName,
+		Items: ampc.NumBlocks(n, size),
+		Read:  store,
+		Body: func(ctx *ampc.Ctx, block int) error {
+			lo, hi := ampc.BlockBounds(block, size, n)
+			cache := caches[ctx.Machine]
+			if cache == nil {
+				cache = newStatusCache()
+			}
+			s := &batchSearcher{
+				ctx:   ctx,
+				cache: cache,
+				lists: make(map[graph.NodeID][]graph.NodeID, hi-lo),
+			}
+			active := make([]graph.NodeID, 0, hi-lo)
+			for v := lo; v < hi; v++ {
+				s.lists[graph.NodeID(v)] = directed[v]
+				active = append(active, graph.NodeID(v))
+			}
+			for len(active) > 0 {
+				var retry []graph.NodeID
+				var need []uint64
+				needSet := make(map[graph.NodeID]bool)
+				for _, v := range active {
+					st, miss := s.eval(v)
+					if miss != graph.None {
+						if !needSet[miss] {
+							needSet[miss] = true
+							need = append(need, uint64(miss))
+						}
+						retry = append(retry, v)
+						continue
+					}
+					mu.Lock()
+					inMIS[v] = st == statusIn
+					resolved[v] = true
+					mu.Unlock()
+				}
+				err := ctx.FetchInto(need, func(k uint64, raw []byte, ok bool) error {
+					if !ok {
+						return fmt.Errorf("mis: vertex %d missing from the key-value store", k)
+					}
+					nbrs, err := codec.DecodeNodeIDs(raw)
+					if err != nil {
+						return err
+					}
+					s.lists[graph.NodeID(k)] = nbrs
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				active = retry
+			}
+			return nil
+		},
+	})
+}

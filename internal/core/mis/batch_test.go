@@ -1,0 +1,66 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ampcgraph/internal/gen"
+)
+
+// TestBatchedMatchesUnbatched asserts that the lock-step batched round and
+// the single-key round compute identical independent sets: batching only
+// regroups key-value requests.
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	for _, cache := range []bool{false, true} {
+		f := func(seed int64) bool {
+			n := 30 + int(uint64(seed)%200)
+			g := gen.ErdosRenyi(n, 4*n, seed)
+			cfg := defaultCfg(seed)
+			cfg.EnableCache = cache
+			plain, err := Run(g, cfg)
+			if err != nil {
+				return false
+			}
+			cfg.Batch = true
+			cfg.BatchSize = 64
+			batched, err := Run(g, cfg)
+			if err != nil {
+				return false
+			}
+			for v := 0; v < n; v++ {
+				if plain.InMIS[v] != batched.InMIS[v] {
+					return false
+				}
+			}
+			return batched.Stats.BatchesIssued > 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+			t.Fatalf("cache=%v: %v", cache, err)
+		}
+	}
+}
+
+// TestBatchedSavesShardVisits asserts the point of the whole exercise: the
+// Get-heavy MIS workload acquires at least 2x fewer shard locks when its
+// fan-out reads travel as shard-grouped batches.
+func TestBatchedSavesShardVisits(t *testing.T) {
+	g := gen.PreferentialAttachment(3000, 6, 7)
+	cfg := defaultCfg(7)
+	cfg.Machines = 8
+	plain, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Batch = true
+	batched, err := Run(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if 2*batched.Stats.KVShardVisits > plain.Stats.KVShardVisits {
+		t.Fatalf("batched shard visits %d vs unbatched %d: reduction below 2x",
+			batched.Stats.KVShardVisits, plain.Stats.KVShardVisits)
+	}
+	if batched.Stats.ShardVisitsSaved == 0 {
+		t.Fatal("no shard visits saved recorded")
+	}
+}

@@ -136,13 +136,8 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 	// Step 2: write the directed graph to the key-value store.
 	store := rt.NewStore("directed-graph")
 	err = rt.Phase("KV-Write", func() error {
-		return rt.Run(ampc.Round{
-			Name:  "kv-write",
-			Items: n,
-			Body: func(ctx *ampc.Ctx, item int) error {
-				ctx.ChargeCompute(1)
-				return ctx.Write(store, uint64(item), codec.EncodeNodeIDs(directed[item]))
-			},
+		return rt.WriteTable("kv-write", store, n, 1, func(item int) []byte {
+			return codec.EncodeNodeIDs(directed[item])
 		})
 	})
 	if err != nil {
@@ -186,6 +181,13 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 			phaseName = fmt.Sprintf("IsInMIS-pass%d", pass)
 		}
 		err = rt.Phase(phaseName, func() error {
+			if cfgD.Batch && budget == 0 {
+				// Lock-step block evaluation: fan-out reads travel as
+				// shard-grouped batches (see batch.go).  The truncated
+				// variant keeps the single-key path so its per-search query
+				// budget retains its original meaning.
+				return runBatchRound(rt, phaseName, store, directed, caches, inMIS, resolved, &mu)
+			}
 			return rt.Run(ampc.Round{
 				Name:  phaseName,
 				Items: n,

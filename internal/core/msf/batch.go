@@ -1,0 +1,290 @@
+package msf
+
+import (
+	"fmt"
+	"sync"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/codec"
+	"ampcgraph/internal/dht"
+	"ampcgraph/internal/graph"
+)
+
+// Batched PrimSearch and PointerJump rounds (Config.Batch).
+//
+// A truncated Prim search expands one vertex at a time, so the single-key
+// implementation pays one key-value round trip per expansion.  The batched
+// round keeps one resumable search state per start vertex of a block and
+// advances them in lock-step: each search runs until it pops a vertex whose
+// adjacency list is not locally known, the block's missing lists are fetched
+// with one shard-grouped ReadMany, and the searches continue exactly where
+// they stopped.  Every decision (heap order, stop cases, budget) is the same
+// as the single-key search, so the discovered forest is identical.
+
+// primState is a primSearcher whose fetches can be suspended and resumed.
+type primState struct {
+	ctx    *ampc.Ctx
+	prio   []uint64
+	budget int
+	start  graph.NodeID
+	lists  map[graph.NodeID][]codec.WeightedNeighbor // shared per block
+
+	out     *primOutcome
+	heap    primHeap
+	inTree  map[graph.NodeID]bool
+	pending graph.NodeID // vertex waiting for its adjacency list
+	done    bool
+}
+
+type primCand struct {
+	edge graph.WeightedEdge
+	from graph.NodeID
+}
+
+// primHeap is the candidate-edge min-heap over the global edge order,
+// shared by the single-key primSearcher and the resumable primState so the
+// two searches cannot diverge.
+type primHeap []primCand
+
+func (h *primHeap) push(c primCand) {
+	*h = append(*h, c)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.lessIdx(p, i) {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *primHeap) lessIdx(i, j int) bool { return edgeLess((*h)[i].edge, (*h)[j].edge) }
+
+func (h *primHeap) pop() primCand {
+	top := (*h)[0]
+	(*h)[0] = (*h)[len(*h)-1]
+	*h = (*h)[:len(*h)-1]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(*h) && h.lessIdx(l, m) {
+			m = l
+		}
+		if r < len(*h) && h.lessIdx(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
+		i = m
+	}
+	return top
+}
+
+func newPrimState(ctx *ampc.Ctx, prio []uint64, budget int, start graph.NodeID,
+	startAdj []codec.WeightedNeighbor, lists map[graph.NodeID][]codec.WeightedNeighbor) *primState {
+	s := &primState{
+		ctx:     ctx,
+		prio:    prio,
+		budget:  budget,
+		start:   start,
+		lists:   lists,
+		out:     &primOutcome{stoppedAt: graph.None},
+		inTree:  map[graph.NodeID]bool{start: true},
+		pending: graph.None,
+	}
+	s.addVertex(start, startAdj)
+	return s
+}
+
+func (s *primState) addVertex(v graph.NodeID, adj []codec.WeightedNeighbor) {
+	s.ctx.ChargeCompute(len(adj) + 1)
+	for _, wn := range adj {
+		if !s.inTree[wn.Node] {
+			s.heap.push(primCand{edge: graph.WeightedEdge{U: v, V: wn.Node, W: wn.Weight}, from: v})
+		}
+	}
+}
+
+// advance runs the search until it finishes or needs an adjacency list that
+// is not in lists yet, returning the vertex to fetch (graph.None when done).
+func (s *primState) advance() graph.NodeID {
+	if s.done {
+		return graph.None
+	}
+	if s.pending != graph.None {
+		adj, ok := s.lists[s.pending]
+		if !ok {
+			return s.pending
+		}
+		s.addVertex(s.pending, adj)
+		s.pending = graph.None
+	}
+	for len(s.heap) > 0 {
+		c := s.heap.pop()
+		next := c.edge.V
+		if s.inTree[next] {
+			continue
+		}
+		// The chosen edge is the minimum edge leaving the explored set, so
+		// it belongs to the (unique, tie-broken) minimum spanning forest.
+		s.out.msfEdges = append(s.out.msfEdges, c.edge)
+		s.inTree[next] = true
+		if s.prio[next] < s.prio[s.start] {
+			// Case 3: reached a stronger vertex; stop and point to it.
+			s.out.stoppedAt = next
+			s.done = true
+			return graph.None
+		}
+		s.out.claimed = append(s.out.claimed, next)
+		if len(s.inTree) >= s.budget {
+			// Case 1: exploration budget exhausted.
+			s.done = true
+			return graph.None
+		}
+		adj, ok := s.lists[next]
+		if !ok {
+			s.pending = next
+			return next
+		}
+		s.addVertex(next, adj)
+	}
+	// Case 2: the whole component was explored.
+	s.done = true
+	return graph.None
+}
+
+// runBatchPrimRound runs the PrimSearch phase over lock-step blocks and
+// hands every search's outcome to commit (called under the caller's lock).
+func runBatchPrimRound(rt *ampc.Runtime, name string, store *dht.Store,
+	sorted [][]codec.WeightedNeighbor, prio []uint64, budget int,
+	mu *sync.Mutex, commit func(start graph.NodeID, out *primOutcome)) error {
+	n := len(sorted)
+	size := rt.Config().BatchSize
+	return rt.Run(ampc.Round{
+		Name:  name,
+		Items: ampc.NumBlocks(n, size),
+		Read:  store,
+		Body: func(ctx *ampc.Ctx, block int) error {
+			lo, hi := ampc.BlockBounds(block, size, n)
+			lists := make(map[graph.NodeID][]codec.WeightedNeighbor, hi-lo)
+			// Seed the block's own adjacency lists so intra-block
+			// expansions do not refetch data already in memory.
+			for v := lo; v < hi; v++ {
+				lists[graph.NodeID(v)] = sorted[v]
+			}
+			states := make([]*primState, 0, hi-lo)
+			for v := lo; v < hi; v++ {
+				states = append(states, newPrimState(ctx, prio, budget, graph.NodeID(v), sorted[v], lists))
+			}
+			active := states
+			for len(active) > 0 {
+				var retry []*primState
+				var need []uint64
+				needSet := make(map[graph.NodeID]bool)
+				for _, st := range active {
+					miss := st.advance()
+					if miss == graph.None {
+						continue
+					}
+					if !needSet[miss] {
+						needSet[miss] = true
+						need = append(need, uint64(miss))
+					}
+					retry = append(retry, st)
+				}
+				err := ctx.FetchInto(need, func(k uint64, raw []byte, ok bool) error {
+					if !ok {
+						return fmt.Errorf("msf: vertex %d missing from the key-value store", k)
+					}
+					adj, err := codec.DecodeWeightedNeighbors(raw)
+					if err != nil {
+						return err
+					}
+					lists[graph.NodeID(k)] = adj
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				active = retry
+			}
+			mu.Lock()
+			for _, st := range states {
+				commit(st.start, st.out)
+			}
+			mu.Unlock()
+			return nil
+		},
+	})
+}
+
+// runBatchChaseRound is the batched pointer chase of PointerJump: every
+// vertex of a block follows its parent chain one hop per lock-step, with the
+// block's current pointers fetched as one shard-grouped batch per hop.
+func runBatchChaseRound(rt *ampc.Runtime, name string, store *dht.Store, n int,
+	roots []graph.NodeID, chains []int) error {
+	size := rt.Config().BatchSize
+	return rt.Run(ampc.Round{
+		Name:  name,
+		Items: ampc.NumBlocks(n, size),
+		Read:  store,
+		Body: func(ctx *ampc.Ctx, block int) error {
+			lo, hi := ampc.BlockBounds(block, size, n)
+			type walker struct {
+				item  int
+				cur   graph.NodeID
+				steps int
+			}
+			active := make([]*walker, 0, hi-lo)
+			for v := lo; v < hi; v++ {
+				active = append(active, &walker{item: v, cur: graph.NodeID(v)})
+			}
+			for len(active) > 0 {
+				var need []uint64
+				needSet := make(map[graph.NodeID]bool)
+				for _, w := range active {
+					if !needSet[w.cur] {
+						needSet[w.cur] = true
+						need = append(need, uint64(w.cur))
+					}
+				}
+				parentOf := make(map[graph.NodeID]graph.NodeID, len(need))
+				err := ctx.FetchInto(need, func(k uint64, raw []byte, ok bool) error {
+					if !ok {
+						return fmt.Errorf("msf: missing parent pointer for %d", k)
+					}
+					p, err := codec.DecodeNodeID(raw)
+					if err != nil {
+						return err
+					}
+					parentOf[graph.NodeID(k)] = p
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				var retry []*walker
+				for _, w := range active {
+					p := parentOf[w.cur]
+					if p == w.cur {
+						roots[w.item] = w.cur
+						chains[w.item] = w.steps
+						continue
+					}
+					w.cur = p
+					w.steps++
+					if w.steps > n {
+						return fmt.Errorf("msf: pointer chain from %d does not terminate", w.item)
+					}
+					retry = append(retry, w)
+				}
+				active = retry
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,43 @@
+package msf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestBatchedMatchesUnbatched asserts that the resumable lock-step Prim
+// searches and batched pointer chases find exactly the forest the single-key
+// pipeline finds.
+func TestBatchedMatchesUnbatched(t *testing.T) {
+	for _, cache := range []bool{false, true} {
+		f := func(seed int64) bool {
+			n := 30 + int(uint64(seed)%200)
+			g := randomWeightedGraph(n, 4*n, seed)
+			cfg := defaultCfg(seed)
+			cfg.EnableCache = cache
+			plain, err := Run(g, cfg)
+			if err != nil {
+				return false
+			}
+			cfg.Batch = true
+			cfg.BatchSize = 64
+			batched, err := Run(g, cfg)
+			if err != nil {
+				return false
+			}
+			if len(plain.Edges) != len(batched.Edges) {
+				return false
+			}
+			for i := range plain.Edges {
+				if plain.Edges[i] != batched.Edges[i] {
+					return false
+				}
+			}
+			return weightsEqual(plain.TotalWeight, batched.TotalWeight) &&
+				batched.Stats.BatchesIssued > 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+			t.Fatalf("cache=%v: %v", cache, err)
+		}
+	}
+}

@@ -133,13 +133,8 @@ func runPrimPipeline(rt *ampc.Runtime, g *graph.Graph, tag string) (*Result, err
 	// Phase 2: write the weight-sorted graph to the key-value store.
 	store := rt.NewStore("weight-sorted-graph" + tag)
 	err = rt.Phase("KV-Write"+tag, func() error {
-		return rt.Run(ampc.Round{
-			Name:  "kv-write" + tag,
-			Items: n,
-			Body: func(ctx *ampc.Ctx, item int) error {
-				ctx.ChargeCompute(1)
-				return ctx.Write(store, uint64(item), codec.EncodeWeightedNeighbors(sorted[item]))
-			},
+		return rt.WriteTable("kv-write"+tag, store, n, 1, func(item int) []byte {
+			return codec.EncodeWeightedNeighbors(sorted[item])
 		})
 	})
 	if err != nil {
@@ -157,7 +152,21 @@ func runPrimPipeline(rt *ampc.Runtime, g *graph.Graph, tag string) (*Result, err
 	for i := range stopped {
 		stopped[i] = graph.None
 	}
+	commit := func(start graph.NodeID, out *primOutcome) {
+		for _, e := range out.msfEdges {
+			c := graph.Edge{U: e.U, V: e.V}.Canonical()
+			edgeSet[c] = e.W
+		}
+		for _, u := range out.claimed {
+			visits = append(visits, visit{visited: u, visitor: start})
+		}
+		stopped[start] = out.stoppedAt
+	}
 	err = rt.Phase("PrimSearch"+tag, func() error {
+		if cfg.Batch {
+			// Lock-step block searches over shard-grouped batches (batch.go).
+			return runBatchPrimRound(rt, "prim-search"+tag, store, sorted, prio, budget, &mu, commit)
+		}
 		return rt.Run(ampc.Round{
 			Name:  "prim-search" + tag,
 			Items: n,
@@ -169,14 +178,7 @@ func runPrimPipeline(rt *ampc.Runtime, g *graph.Graph, tag string) (*Result, err
 					return err
 				}
 				mu.Lock()
-				for _, e := range out.msfEdges {
-					c := graph.Edge{U: e.U, V: e.V}.Canonical()
-					edgeSet[c] = e.W
-				}
-				for _, u := range out.claimed {
-					visits = append(visits, visit{visited: u, visitor: graph.NodeID(item)})
-				}
-				stopped[item] = out.stoppedAt
+				commit(graph.NodeID(item), out)
 				mu.Unlock()
 				return nil
 			},
@@ -314,59 +316,21 @@ func (s *primSearcher) search(start graph.NodeID, startAdj []codec.WeightedNeigh
 	out := &primOutcome{stoppedAt: graph.None}
 	inTree := map[graph.NodeID]bool{start: true}
 	// Candidate edges out of the explored set, ordered by the global edge
-	// order; a simple slice-backed heap keeps the code readable.
-	type cand struct {
-		edge graph.WeightedEdge
-		from graph.NodeID
-	}
-	var heap []cand
-	less := func(i, j int) bool { return edgeLess(heap[i].edge, heap[j].edge) }
-	push := func(c cand) {
-		heap = append(heap, c)
-		i := len(heap) - 1
-		for i > 0 {
-			p := (i - 1) / 2
-			if less(p, i) {
-				break
-			}
-			heap[p], heap[i] = heap[i], heap[p]
-			i = p
-		}
-	}
-	pop := func() cand {
-		top := heap[0]
-		heap[0] = heap[len(heap)-1]
-		heap = heap[:len(heap)-1]
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			m := i
-			if l < len(heap) && less(l, m) {
-				m = l
-			}
-			if r < len(heap) && less(r, m) {
-				m = r
-			}
-			if m == i {
-				break
-			}
-			heap[i], heap[m] = heap[m], heap[i]
-			i = m
-		}
-		return top
-	}
+	// order; primHeap (batch.go) is shared with the resumable batched search
+	// so the two cannot diverge.
+	var heap primHeap
 	addVertex := func(v graph.NodeID, adj []codec.WeightedNeighbor) {
 		s.ctx.ChargeCompute(len(adj) + 1)
 		for _, wn := range adj {
 			if !inTree[wn.Node] {
-				push(cand{edge: graph.WeightedEdge{U: v, V: wn.Node, W: wn.Weight}, from: v})
+				heap.push(primCand{edge: graph.WeightedEdge{U: v, V: wn.Node, W: wn.Weight}, from: v})
 			}
 		}
 	}
 	addVertex(start, startAdj)
 
 	for len(heap) > 0 {
-		c := pop()
+		c := heap.pop()
 		next := c.edge.V
 		if inTree[next] {
 			continue
@@ -418,14 +382,14 @@ func PointerJump(rt *ampc.Runtime, parent []graph.NodeID, tag string) ([]graph.N
 	chains := make([]int, n)
 	err := rt.Phase("PointerJump"+tag, func() error {
 		rt.RecordShuffle("parent-map"+tag, int64(n)*8)
-		if err := rt.Run(ampc.Round{
-			Name:  "write-parents" + tag,
-			Items: n,
-			Body: func(ctx *ampc.Ctx, item int) error {
-				return ctx.Write(store, uint64(item), codec.EncodeNodeID(parent[item]))
-			},
+		if err := rt.WriteTable("write-parents"+tag, store, n, 0, func(item int) []byte {
+			return codec.EncodeNodeID(parent[item])
 		}); err != nil {
 			return err
+		}
+		if rt.Config().Batch {
+			// Lock-step pointer chases over shard-grouped batches (batch.go).
+			return runBatchChaseRound(rt, "chase-pointers"+tag, store, n, roots, chains)
 		}
 		return rt.Run(ampc.Round{
 			Name:  "chase-pointers" + tag,

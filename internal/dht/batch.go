@@ -1,0 +1,153 @@
+package dht
+
+import "fmt"
+
+// Batched operations.
+//
+// Single-key Get/Put/Append pay one shard lock acquisition, one hash and one
+// latency round trip per key.  The batched variants group their keys by shard
+// and visit every shard exactly once, taking its lock once for the whole
+// group; the latency model charges one BatchShardLatency per shard visited
+// plus a BatchPerKey marginal per key, which is how the per-request overhead
+// amortization of §5.3 (the source of the practical AMPC wins over MPC) is
+// modeled.  Replication and failover behave exactly as in the single-key
+// operations: writes mirror into the replica, reads of a failed shard fail
+// over to the replica (counted as failovers) or return ErrUnavailable when
+// the store is unreplicated.
+
+// shardGroups groups the positions of keys by shard index.  The returned map
+// is keyed by shard index so callers can iterate shards in a deterministic
+// order.
+func (s *Store) shardGroups(keys []uint64) map[int][]int {
+	groups := make(map[int][]int)
+	for i, k := range keys {
+		idx := s.shardIndexFor(k)
+		groups[idx] = append(groups[idx], i)
+	}
+	return groups
+}
+
+// BatchGet returns the values stored under keys, visiting each shard once.
+// vals[i] and oks[i] correspond to keys[i]; duplicate keys are served from
+// the same shard visit.  shardVisits is the number of distinct shards (lock
+// acquisitions) the batch touched.  The returned slices must not be modified.
+func (s *Store) BatchGet(keys []uint64) (vals [][]byte, oks []bool, shardVisits int, err error) {
+	vals = make([][]byte, len(keys))
+	oks = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, oks, 0, nil
+	}
+	groups := s.shardGroups(keys)
+	var bytesRead, missed, failedOver int64
+	for idx := 0; idx < len(s.shards); idx++ {
+		positions, ok := groups[idx]
+		if !ok {
+			continue
+		}
+		sh := s.shards[idx]
+		sh.mu.RLock()
+		if sh.failed && sh.replica == nil {
+			sh.mu.RUnlock()
+			// Flush what the shards served before the failure so the
+			// fault-tolerance counters stay consistent with the
+			// single-key path.
+			shardVisits++
+			s.shardVisits.Add(int64(shardVisits))
+			s.reads.Add(int64(len(keys)))
+			s.batchReads.Add(1)
+			s.bytesRead.Add(bytesRead)
+			s.misses.Add(missed)
+			s.failovers.Add(failedOver)
+			s.charge(s.model.BatchReadCost(shardVisits, len(keys)))
+			return nil, nil, shardVisits, fmt.Errorf("%w: key %d", ErrUnavailable, keys[positions[0]])
+		}
+		data := sh.data
+		if sh.failed {
+			data = sh.replica
+			failedOver += int64(len(positions))
+		}
+		for _, p := range positions {
+			v, ok := data[keys[p]]
+			vals[p] = v
+			oks[p] = ok
+			if ok {
+				bytesRead += int64(len(v)) + 8
+			} else {
+				missed++
+			}
+		}
+		sh.mu.RUnlock()
+		sh.ops.Add(int64(len(positions)))
+		shardVisits++
+	}
+	s.shardVisits.Add(int64(shardVisits))
+	s.reads.Add(int64(len(keys)))
+	s.batchReads.Add(1)
+	s.bytesRead.Add(bytesRead)
+	s.misses.Add(missed)
+	s.failovers.Add(failedOver)
+	s.charge(s.model.BatchReadCost(shardVisits, len(keys)))
+	return vals, oks, shardVisits, nil
+}
+
+// BatchPut stores all pairs, visiting each shard once.  Values are copied.
+// It returns ErrFrozen after Freeze has been called.
+func (s *Store) BatchPut(pairs []Pair) (shardVisits int, err error) {
+	return s.batchWrite(pairs, false)
+}
+
+// BatchAppend appends every pair's value to the existing entry for its key
+// (multi-value semantics), visiting each shard once.
+func (s *Store) BatchAppend(pairs []Pair) (shardVisits int, err error) {
+	return s.batchWrite(pairs, true)
+}
+
+func (s *Store) batchWrite(pairs []Pair, appendMode bool) (int, error) {
+	if s.frozen.Load() {
+		return 0, ErrFrozen
+	}
+	if len(pairs) == 0 {
+		return 0, nil
+	}
+	keys := make([]uint64, len(pairs))
+	var bytesWritten int64
+	for i, p := range pairs {
+		keys[i] = p.Key
+		bytesWritten += int64(len(p.Value)) + 8
+	}
+	groups := s.shardGroups(keys)
+	shardVisits := 0
+	for idx := 0; idx < len(s.shards); idx++ {
+		positions, ok := groups[idx]
+		if !ok {
+			continue
+		}
+		sh := s.shards[idx]
+		sh.mu.Lock()
+		for _, p := range positions {
+			pair := pairs[p]
+			var next []byte
+			if appendMode {
+				cur := sh.data[pair.Key]
+				next = make([]byte, 0, len(cur)+len(pair.Value))
+				next = append(next, cur...)
+				next = append(next, pair.Value...)
+			} else {
+				next = append([]byte(nil), pair.Value...)
+			}
+			sh.data[pair.Key] = next
+			if sh.replica != nil {
+				sh.replica[pair.Key] = next
+			}
+		}
+		sh.mu.Unlock()
+		sh.ops.Add(int64(len(positions)))
+		shardVisits++
+	}
+	s.shardVisits.Add(int64(shardVisits))
+	s.writes.Add(int64(len(pairs)))
+	s.batchWrites.Add(1)
+	s.bytesWritten.Add(bytesWritten)
+	s.charge(s.model.BatchWriteCost(shardVisits, len(pairs)))
+	return shardVisits, nil
+}

@@ -61,6 +61,42 @@ func (c *Cache) Get(key uint64) ([]byte, bool, error) {
 	return v, ok, nil
 }
 
+// Peek returns the cached value for key without reading through to the
+// store.  cached reports whether the cache holds an answer (present or
+// known-absent) for key; a successful Peek counts as a hit.  It is the
+// building block of batched reads: callers Peek every key first, batch the
+// remainder through the store in one shard-grouped BatchGet, and Fill the
+// results back.
+func (c *Cache) Peek(key uint64) (v []byte, ok, cached bool) {
+	c.mu.RLock()
+	if v, ok := c.local[key]; ok {
+		c.mu.RUnlock()
+		c.hits.Add(1)
+		return v, true, true
+	}
+	if c.absent[key] {
+		c.mu.RUnlock()
+		c.hits.Add(1)
+		return nil, false, true
+	}
+	c.mu.RUnlock()
+	return nil, false, false
+}
+
+// Fill records a value fetched from the store on the caller's behalf (for
+// example by a batched read).  It counts as a miss, mirroring Get's
+// accounting for lookups that had to reach the store.
+func (c *Cache) Fill(key uint64, v []byte, ok bool) {
+	c.misses.Add(1)
+	c.mu.Lock()
+	if ok {
+		c.local[key] = v
+	} else {
+		c.absent[key] = true
+	}
+	c.mu.Unlock()
+}
+
 // Hits returns the number of lookups served from the cache.
 func (c *Cache) Hits() int64 { return c.hits.Load() }
 

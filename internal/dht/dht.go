@@ -41,6 +41,15 @@ type Stats struct {
 	Failovers    int64 // reads served by a replica after a shard failure
 	MaxShardOps  int64 // maximum reads+writes on any single shard (contention)
 	Keys         int64 // number of distinct keys currently stored
+	ShardVisits  int64 // shard lock acquisitions (1 per single op, 1 per shard per batch)
+	BatchReads   int64 // BatchGet calls
+	BatchWrites  int64 // BatchPut + BatchAppend calls
+}
+
+// Pair is one key-value record of a batched write.
+type Pair struct {
+	Key   uint64
+	Value []byte
 }
 
 type shard struct {
@@ -66,6 +75,9 @@ type Store struct {
 	bytesWritten atomic.Int64
 	misses       atomic.Int64
 	failovers    atomic.Int64
+	shardVisits  atomic.Int64
+	batchReads   atomic.Int64
+	batchWrites  atomic.Int64
 }
 
 // Options configures a Store.
@@ -108,10 +120,14 @@ func (s *Store) Name() string { return s.name }
 // NumShards returns the number of shards.
 func (s *Store) NumShards() int { return len(s.shards) }
 
-func (s *Store) shardFor(key uint64) *shard {
+func (s *Store) shardIndexFor(key uint64) int {
 	// Fibonacci hashing spreads sequential vertex identifiers across shards.
 	h := key * 0x9e3779b97f4a7c15
-	return s.shards[h%uint64(len(s.shards))]
+	return int(h % uint64(len(s.shards)))
+}
+
+func (s *Store) shardFor(key uint64) *shard {
+	return s.shards[s.shardIndexFor(key)]
 }
 
 // Put stores value under key.  It returns ErrFrozen after Freeze has been
@@ -129,6 +145,7 @@ func (s *Store) Put(key uint64, value []byte) error {
 	}
 	sh.mu.Unlock()
 	sh.ops.Add(1)
+	s.shardVisits.Add(1)
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(value)) + 8)
 	s.charge(s.model.WriteLatency)
@@ -155,6 +172,7 @@ func (s *Store) Append(key uint64, value []byte) error {
 	}
 	sh.mu.Unlock()
 	sh.ops.Add(1)
+	s.shardVisits.Add(1)
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(value)) + 8)
 	s.charge(s.model.WriteLatency)
@@ -172,6 +190,7 @@ func (s *Store) Get(key uint64) ([]byte, bool, error) {
 		if sh.replica == nil {
 			sh.mu.RUnlock()
 			s.reads.Add(1)
+			s.shardVisits.Add(1)
 			s.charge(s.model.LookupLatency)
 			return nil, false, fmt.Errorf("%w: key %d", ErrUnavailable, key)
 		}
@@ -182,6 +201,7 @@ func (s *Store) Get(key uint64) ([]byte, bool, error) {
 	}
 	sh.mu.RUnlock()
 	sh.ops.Add(1)
+	s.shardVisits.Add(1)
 	s.reads.Add(1)
 	if ok {
 		s.bytesRead.Add(int64(len(v)) + 8)
@@ -261,6 +281,9 @@ func (s *Store) Stats() Stats {
 		Misses:       s.misses.Load(),
 		Failovers:    s.failovers.Load(),
 		Keys:         int64(s.Len()),
+		ShardVisits:  s.shardVisits.Load(),
+		BatchReads:   s.batchReads.Load(),
+		BatchWrites:  s.batchWrites.Load(),
 	}
 	for _, sh := range s.shards {
 		if ops := sh.ops.Load(); ops > st.MaxShardOps {

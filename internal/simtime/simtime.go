@@ -37,6 +37,44 @@ type CostModel struct {
 	ShufflePerByte time.Duration
 	// RoundOverhead is the fixed cost of spawning one AMPC round.
 	RoundOverhead time.Duration
+	// BatchShardLatency is the fixed round-trip cost charged per shard
+	// visited by a batched key-value operation.  A batch that groups its
+	// keys by shard pays this once per shard instead of LookupLatency /
+	// WriteLatency once per key, which is the amortization §5.3 attributes
+	// the practical AMPC wins to.  Zero falls back to the single-operation
+	// latency of the same direction.
+	BatchShardLatency time.Duration
+	// BatchPerKey is the marginal cost of each key carried by a batched
+	// operation (serialization plus hash-table work on the server).  Zero
+	// falls back to 1/8 of the single-operation latency.
+	BatchPerKey time.Duration
+}
+
+// batchDefaults resolves the batch fields against a single-operation latency.
+func (m CostModel) batchDefaults(single time.Duration) (perShard, perKey time.Duration) {
+	perShard = m.BatchShardLatency
+	if perShard == 0 {
+		perShard = single
+	}
+	perKey = m.BatchPerKey
+	if perKey == 0 {
+		perKey = single / 8
+	}
+	return perShard, perKey
+}
+
+// BatchReadCost returns the modeled latency of one batched read that visited
+// shardVisits shards to serve keys keys.
+func (m CostModel) BatchReadCost(shardVisits, keys int) time.Duration {
+	perShard, perKey := m.batchDefaults(m.LookupLatency)
+	return time.Duration(shardVisits)*perShard + time.Duration(keys)*perKey
+}
+
+// BatchWriteCost returns the modeled latency of one batched write that
+// visited shardVisits shards to store keys keys.
+func (m CostModel) BatchWriteCost(shardVisits, keys int) time.Duration {
+	perShard, perKey := m.batchDefaults(m.WriteLatency)
+	return time.Duration(shardVisits)*perShard + time.Duration(keys)*perKey
 }
 
 // RDMA returns the cost model of the RDMA-backed key-value store used for
@@ -48,13 +86,15 @@ func RDMA() CostModel {
 	// same way it does in the paper's cluster, without completely hiding the
 	// per-lookup costs that the optimization experiments measure.
 	return CostModel{
-		Name:           "rdma",
-		LookupLatency:  2 * time.Microsecond,
-		WriteLatency:   2 * time.Microsecond,
-		ComputePerItem: 50 * time.Nanosecond,
-		ShuffleFixed:   250 * time.Millisecond,
-		ShufflePerByte: 3 * time.Nanosecond,
-		RoundOverhead:  25 * time.Millisecond,
+		Name:              "rdma",
+		LookupLatency:     2 * time.Microsecond,
+		WriteLatency:      2 * time.Microsecond,
+		ComputePerItem:    50 * time.Nanosecond,
+		ShuffleFixed:      250 * time.Millisecond,
+		ShufflePerByte:    3 * time.Nanosecond,
+		RoundOverhead:     25 * time.Millisecond,
+		BatchShardLatency: 2 * time.Microsecond,
+		BatchPerKey:       150 * time.Nanosecond,
 	}
 }
 
@@ -66,6 +106,8 @@ func TCP() CostModel {
 	m.Name = "tcp"
 	m.LookupLatency = 25 * time.Microsecond
 	m.WriteLatency = 25 * time.Microsecond
+	m.BatchShardLatency = 25 * time.Microsecond
+	m.BatchPerKey = 500 * time.Nanosecond
 	return m
 }
 
@@ -78,6 +120,8 @@ func DRAM() CostModel {
 	m.Name = "dram"
 	m.LookupLatency = 100 * time.Nanosecond
 	m.WriteLatency = 100 * time.Nanosecond
+	m.BatchShardLatency = 100 * time.Nanosecond
+	m.BatchPerKey = 25 * time.Nanosecond
 	return m
 }
 
