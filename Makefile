@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench-smoke
+.PHONY: all build test race vet fmt ci bench-smoke bench-check
 
 all: build
 
@@ -19,10 +19,17 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 
-ci: fmt vet build test race
+ci: fmt vet build test race bench-check
 
 # bench-smoke runs the pinned-seed batched-vs-unbatched comparison (OK and
 # TW stand-ins, seed 1) and writes the machine-readable snapshot that tracks
 # the batching win across the repository's history.
 bench-smoke:
 	$(GO) run ./cmd/ampcbench -experiment batch -json BENCH_smoke.json
+
+# bench-check re-runs the pinned-seed smoke benchmark and fails when
+# visit_reduction or sim_speedup regresses >10% against the committed
+# BENCH_smoke.json.  The fresh measurement lands in BENCH_fresh.json
+# (uploaded as an artifact by the bench-regression CI job).
+bench-check:
+	$(GO) run ./cmd/benchcheck -baseline BENCH_smoke.json -out BENCH_fresh.json

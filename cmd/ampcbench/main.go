@@ -8,6 +8,7 @@
 //	ampcbench -experiment all
 //	ampcbench -experiment batch -json BENCH_smoke.json
 //	ampcbench -experiment figure5 -batch
+//	ampcbench -experiment locality -datasets OK,TW
 //
 // Each experiment prints a text table whose rows mirror the corresponding
 // table or figure of the paper; EXPERIMENTS.md records how the shapes compare
@@ -15,7 +16,9 @@
 // shard-grouped batch pipeline; the dedicated "batch" experiment compares
 // batched against unbatched runs directly and, with -json, writes the
 // comparison as a machine-readable snapshot (the BENCH_smoke.json of `make
-// bench-smoke`).
+// bench-smoke`).  -placement owner runs the AMPC algorithms with the
+// owner-affine shard placement; the dedicated "locality" experiment compares
+// the two placements directly.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 		threads    = flag.Int("threads", 4, "threads per AMPC machine")
 		threshold  = flag.Int("mpc-threshold", 2000, "in-memory switch-over threshold (edges) for the MPC baselines")
 		batch      = flag.Bool("batch", false, "run the AMPC algorithms with the shard-grouped batch pipeline")
+		placement  = flag.String("placement", "", "shard placement policy for the AMPC runs: hash (default) or owner")
 		jsonPath   = flag.String("json", "", "write the 'batch' experiment's comparison to this path as JSON")
 	)
 	flag.Parse()
@@ -48,6 +52,7 @@ func main() {
 		Threads:      *threads,
 		MPCThreshold: *threshold,
 		Batch:        *batch,
+		Placement:    *placement,
 	}
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")

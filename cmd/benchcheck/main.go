@@ -1,0 +1,147 @@
+// Command benchcheck guards the batching win recorded in BENCH_smoke.json.
+//
+// It re-runs the pinned-seed batched-vs-unbatched smoke benchmark with the
+// exact configuration recorded in the committed snapshot (seed, datasets,
+// machines, threads), writes the fresh result next to it, and fails when the
+// fresh visit_reduction or sim_speedup of any (graph, algorithm) row
+// regresses by more than the tolerance against the committed value — or when
+// the batched run stops producing byte-identical results.  CI runs it as the
+// bench-regression job (`make bench-check`) and uploads the fresh JSON as an
+// artifact, so a PR that erodes the batching win fails visibly instead of
+// silently.
+//
+// Usage:
+//
+//	benchcheck [-baseline BENCH_smoke.json] [-out BENCH_fresh.json] [-tolerance 0.10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ampcgraph/internal/bench"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_smoke.json", "committed benchmark snapshot to compare against")
+		outPath      = flag.String("out", "BENCH_fresh.json", "where to write the freshly measured snapshot")
+		tolerance    = flag.Float64("tolerance", 0.10, "maximum allowed fractional regression per metric (0.10 = 10%)")
+		runs         = flag.Int("runs", 2, "measurement runs; each metric keeps its best run, damping scheduler noise")
+	)
+	flag.Parse()
+	if *runs < 1 {
+		*runs = 1
+	}
+
+	baseline, err := readSmoke(*baselinePath)
+	if err != nil {
+		fatalf("reading baseline: %v", err)
+	}
+
+	// Re-run with the exact pinned configuration of the committed snapshot.
+	// The metrics depend slightly on goroutine scheduling (racy cache fills
+	// change which lookups reach the store), so each metric keeps its best
+	// value over -runs measurements: noise cannot fail the gate, while a
+	// real regression persists across every run.
+	freshRows := make(map[string]bench.BatchRow, len(baseline.Rows))
+	for attempt := 0; attempt < *runs; attempt++ {
+		fresh, _, err := bench.BatchSmoke(bench.Options{
+			Seed:     baseline.Seed,
+			Datasets: baseline.Datasets,
+			Scale:    baseline.Scale,
+			Machines: baseline.Machines,
+			Threads:  baseline.Threads,
+		})
+		if err != nil {
+			fatalf("running smoke benchmark: %v", err)
+		}
+		if attempt == 0 {
+			// The artifact records one representative measurement.
+			if err := bench.WriteSmokeJSON(*outPath, fresh); err != nil {
+				fatalf("writing %s: %v", *outPath, err)
+			}
+			fmt.Printf("wrote %s\n", *outPath)
+		}
+		for _, row := range fresh.Rows {
+			key := row.Graph + "/" + row.Algo
+			best, seen := freshRows[key]
+			if !seen {
+				freshRows[key] = row
+				continue
+			}
+			if row.VisitReduction > best.VisitReduction {
+				best.VisitReduction = row.VisitReduction
+			}
+			if row.SimSpeedup > best.SimSpeedup {
+				best.SimSpeedup = row.SimSpeedup
+			}
+			best.Identical = best.Identical && row.Identical
+			freshRows[key] = best
+		}
+	}
+
+	floor := 1 - *tolerance
+	failures := 0
+	fmt.Printf("%-10s %-22s %10s %10s %8s\n", "row", "metric", "baseline", "fresh", "ratio")
+	for _, want := range baseline.Rows {
+		key := want.Graph + "/" + want.Algo
+		got, ok := freshRows[key]
+		if !ok {
+			failures++
+			fmt.Printf("%-10s missing from fresh run\n", key)
+			continue
+		}
+		if !got.Identical {
+			failures++
+			fmt.Printf("%-10s batched and unbatched results differ\n", key)
+		}
+		failures += checkMetric(key, "visit_reduction", want.VisitReduction, got.VisitReduction, floor)
+		failures += checkMetric(key, "sim_speedup", want.SimSpeedup, got.SimSpeedup, floor)
+	}
+	if failures > 0 {
+		fatalf("%d metric(s) regressed more than %.0f%% against %s", failures, *tolerance*100, *baselinePath)
+	}
+	fmt.Println("bench-check: no regression")
+}
+
+// checkMetric prints one comparison line and returns 1 when fresh fell below
+// floor * baseline.
+func checkMetric(key, name string, baseline, fresh, floor float64) int {
+	ratio := 0.0
+	if baseline > 0 {
+		ratio = fresh / baseline
+	}
+	status := ""
+	failed := baseline > 0 && ratio < floor
+	if failed {
+		status = "  REGRESSED"
+	}
+	fmt.Printf("%-10s %-22s %10.3f %10.3f %7.2fx%s\n", key, name, baseline, fresh, ratio, status)
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func readSmoke(path string) (bench.Smoke, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bench.Smoke{}, err
+	}
+	var s bench.Smoke
+	if err := json.Unmarshal(data, &s); err != nil {
+		return bench.Smoke{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Rows) == 0 {
+		return bench.Smoke{}, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	return s, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

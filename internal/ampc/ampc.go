@@ -35,6 +35,26 @@
 // batched read returns exactly what the corresponding single-key reads
 // would — and Stats reports the grouping achieved (BatchesIssued,
 // BatchedKeys, ShardVisitsSaved, KVShardVisits).
+//
+// # Placement and the persistent pool
+//
+// Beyond grouping requests, the runtime can also move the data next to the
+// machine that needs it.  Config.Placement selects the shard placement
+// policy of the hash tables: PlacementHash reproduces the paper's uniform
+// model (every lookup is a remote round trip), while PlacementOwnerAffine
+// co-locates each key's shard with the machine owning the key under a
+// contiguous range partition of the keyspace (dht.OwnerAffine).  Rounds
+// partitioned by the same ownership function (Round.Partitioner,
+// OwnerPartitioner, BlockOwnerPartitioner) then serve their own keys from
+// co-located shards at local DRAM latency instead of paying the transport;
+// Stats reports the split as LocalReads / RemoteReads / RemoteFrac.
+// Placement never changes results — only where keys live and what each
+// access costs.
+//
+// Rounds execute on a persistent machine/worker pool (Machines x Threads
+// goroutines spawned on first use and reused by every round), and with
+// EnableCache the per-machine caches survive across rounds that read the
+// same frozen hash table.  Call Runtime.Close to release the pool.
 package ampc
 
 import (
@@ -79,6 +99,17 @@ type Config struct {
 	// shard-grouped batch.  It is the transparent variant of the batching
 	// optimization: algorithm code keeps calling Lookup.
 	CoalesceReads bool
+	// Placement selects the shard placement policy of the runtime's hash
+	// tables.  PlacementHash (the default) hashes keys uniformly onto
+	// shards and models every access as a remote round trip, as the paper
+	// does.  PlacementOwnerAffine co-locates each key's shard with the
+	// machine owning the key (contiguous range partition, see
+	// dht.OwnerAffine), so that rounds partitioned by the same ownership
+	// function serve reads and writes of their own keys at local (DRAM)
+	// latency.  Results are identical under either policy; only where keys
+	// live — and therefore the local/remote statistics and modeled time —
+	// changes.
+	Placement string
 	// Model is the key-value store latency model.
 	Model simtime.CostModel
 	// Shards is the number of key-value store shards.
@@ -89,6 +120,16 @@ type Config struct {
 	// Seed drives all hash-based randomness.
 	Seed int64
 }
+
+// Placement policies understood by Config.Placement.
+const (
+	// PlacementHash hashes keys uniformly onto shards with no machine
+	// affinity (the paper's uniform remote model).
+	PlacementHash = "hash"
+	// PlacementOwnerAffine co-locates each key's shard with the machine
+	// that owns the key under a contiguous range partition of the keyspace.
+	PlacementOwnerAffine = "owner"
+)
 
 // WithDefaults returns a copy of c with unset fields replaced by defaults.
 func (c Config) WithDefaults() Config {
@@ -109,6 +150,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 512
+	}
+	if c.Placement == "" {
+		c.Placement = PlacementHash
 	}
 	return c
 }
@@ -167,12 +211,30 @@ type Stats struct {
 	// ShardVisitsSaved is the number of shard visits avoided by grouping:
 	// the sum over batches of (keys sent to the store - shards visited).
 	ShardVisitsSaved int64
-	Wall             time.Duration
-	Sim              time.Duration
-	Phases           []PhaseStat
+	// LocalReads counts key-value reads served by a shard co-located with
+	// the reading machine (only possible under an owner-affine placement).
+	LocalReads int64
+	// RemoteReads counts key-value reads that crossed the network.
+	RemoteReads int64
+	// RemoteFrac is RemoteReads / (LocalReads + RemoteReads); 0 when no
+	// reads were issued.
+	RemoteFrac float64
+	// KVRemoteBytes counts the key-value bytes (read + written) that
+	// crossed the network; under PlacementHash it equals KVBytesTotal.
+	KVRemoteBytes int64
+	Wall          time.Duration
+	Sim           time.Duration
+	Phases        []PhaseStat
 }
 
 // Runtime executes AMPC computations.
+//
+// Rounds run on a persistent machine/worker pool: Machines x Threads worker
+// goroutines are spawned on the first Run and reused by every subsequent
+// round, and with EnableCache the per-machine caches survive across rounds
+// reading the same (frozen) hash table.  Call Close when done with the
+// runtime to release the pool; the core algorithm packages do this for the
+// runtimes they create.
 type Runtime struct {
 	cfg   Config
 	clock *simtime.Clock
@@ -182,6 +244,17 @@ type Runtime struct {
 	stats      Stats
 	phaseStack []phaseFrame
 	started    time.Time
+	keyspace   int
+	caches     map[*dht.Store][]*dht.Cache
+
+	// lifecycle serializes Close against in-flight Runs: every Run holds a
+	// read lock for its whole duration, so Close (write lock) waits for
+	// running rounds to drain before closing the pool and can never race a
+	// dispatch or a late pool spawn.
+	lifecycle sync.RWMutex
+	poolOnce  sync.Once
+	pool      *workerPool
+	closed    atomic.Bool
 }
 
 type phaseFrame struct {
@@ -195,7 +268,12 @@ type phaseFrame struct {
 
 // New returns a runtime with the given configuration.
 func New(cfg Config) *Runtime {
-	r := &Runtime{cfg: cfg.WithDefaults(), clock: &simtime.Clock{}, started: time.Now()}
+	r := &Runtime{
+		cfg:     cfg.WithDefaults(),
+		clock:   &simtime.Clock{},
+		started: time.Now(),
+		caches:  make(map[*dht.Store][]*dht.Cache),
+	}
 	return r
 }
 
@@ -205,16 +283,111 @@ func (r *Runtime) Config() Config { return r.cfg }
 // Clock returns the simulated clock.
 func (r *Runtime) Clock() *simtime.Clock { return r.clock }
 
+// SetKeyspace declares the keyspace [0, n) of the hash tables the runtime
+// will create — usually the number of vertices.  The owner-affine placement
+// policy needs it to range-partition keys across machines; stores created
+// before the call (or without a keyspace) fall back to hash placement.
+func (r *Runtime) SetKeyspace(n int) {
+	r.mu.Lock()
+	r.keyspace = n
+	r.mu.Unlock()
+}
+
+// Close releases the runtime's persistent worker pool, waiting for any
+// in-flight round to drain first.  It is safe to call more than once and on
+// runtimes that never ran a round; statistics remain readable after Close.
+// Close must not be called from inside a Round body.
+func (r *Runtime) Close() {
+	r.lifecycle.Lock()
+	defer r.lifecycle.Unlock()
+	if r.closed.Swap(true) {
+		return
+	}
+	r.mu.Lock()
+	p := r.pool
+	r.mu.Unlock()
+	if p != nil {
+		p.close()
+	}
+}
+
+// workers returns the persistent pool, spawning it on first use.
+func (r *Runtime) workers() *workerPool {
+	r.poolOnce.Do(func() {
+		p := newWorkerPool(r.cfg.Machines, r.cfg.Threads)
+		r.mu.Lock()
+		r.pool = p
+		r.mu.Unlock()
+	})
+	return r.pool
+}
+
+// placement builds the dht placement policy for a new store.
+func (r *Runtime) placement() dht.Placement {
+	r.mu.Lock()
+	keys := r.keyspace
+	r.mu.Unlock()
+	if r.cfg.Placement == PlacementOwnerAffine && keys > 0 {
+		return dht.OwnerAffine(r.cfg.Machines, keys)
+	}
+	return dht.HashRandom()
+}
+
+// Owner returns the machine owning key under the runtime's range partition
+// of the keyspace [0, keys): the machine whose co-located shards hold the
+// key under the owner-affine placement.
+func (r *Runtime) Owner(key uint64, keys int) int {
+	return dht.RangeOwner(key, r.cfg.Machines, keys)
+}
+
+// OwnerPartitioner returns a Round partitioner assigning work item i (a key
+// in [0, keys)) to the machine that owns it, so that lookups and writes of a
+// round's own keys stay local under the owner-affine placement.
+func (r *Runtime) OwnerPartitioner(keys int) func(int) int {
+	machines := r.cfg.Machines
+	return func(item int) int { return dht.RangeOwner(uint64(item), machines, keys) }
+}
+
+// BlockOwnerPartitioner returns a Round partitioner for lock-step block
+// rounds (see NumBlocks): block b, covering keys [b·size, (b+1)·size), is
+// assigned to the machine owning its first key.  Blocks are contiguous key
+// ranges, so all but the machine-boundary blocks are wholly owned.
+func (r *Runtime) BlockOwnerPartitioner(size, items int) func(int) int {
+	machines := r.cfg.Machines
+	return func(block int) int {
+		lo, _ := BlockBounds(block, size, items)
+		return dht.RangeOwner(uint64(lo), machines, items)
+	}
+}
+
 // NewStore creates and registers the next distributed hash table (D0, D1, …).
 func (r *Runtime) NewStore(name string) *dht.Store {
 	s := dht.NewStore(name, dht.Options{
 		Shards:    r.cfg.Shards,
 		Replicate: r.cfg.Replicate,
+		Placement: r.placement(),
 	})
 	r.mu.Lock()
 	r.stores = append(r.stores, s)
 	r.mu.Unlock()
 	return s
+}
+
+// cacheFor returns machine's persistent cache in front of store, creating it
+// on first use.  Caches survive across rounds: a store is frozen the first
+// time it is read, so entries can never go stale.
+func (r *Runtime) cacheFor(store *dht.Store, machine int) *dht.Cache {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs := r.caches[store]
+	if cs == nil {
+		cs = make([]*dht.Cache, r.cfg.Machines)
+		r.caches[store] = cs
+	}
+	if cs[machine] == nil {
+		cs[machine] = dht.NewCache(store)
+	}
+	return cs[machine]
 }
 
 // RecordShuffle records one shuffle of the host dataflow framework moving
@@ -283,8 +456,24 @@ func (r *Runtime) Stats() Stats {
 		st.KVBytesRead += ds.BytesRead
 		st.KVBytesWritten += ds.BytesWritten
 		st.KVShardVisits += ds.ShardVisits
+		st.LocalReads += ds.LocalReads
+		st.RemoteReads += ds.RemoteReads
+		st.KVRemoteBytes += ds.RemoteBytes
 	}
 	st.KVBytesTotal = st.KVBytesRead + st.KVBytesWritten
+	if reads := st.LocalReads + st.RemoteReads; reads > 0 {
+		st.RemoteFrac = float64(st.RemoteReads) / float64(reads)
+	}
+	// Per-machine caches are persistent (they outlive rounds), so their
+	// counters are aggregated here rather than accumulated per round.
+	for _, cs := range r.caches {
+		for _, c := range cs {
+			if c != nil {
+				st.CacheHits += c.Hits()
+				st.CacheMisses += c.Misses()
+			}
+		}
+	}
 	st.Wall = time.Since(r.started)
 	st.Sim = r.clock.Elapsed()
 	return st
@@ -339,35 +528,36 @@ func (c *Ctx) Lookup(key uint64) ([]byte, bool, error) {
 		// whole batch.
 		return c.coal.lookup(key)
 	}
+	readCost := int64(c.rt.cfg.Model.ReadCost(c.read.LocalTo(c.Machine, key)))
 	if c.cache != nil {
-		v, ok, err := c.cache.Get(key)
+		v, ok, err := c.cache.GetFrom(c.Machine, key)
 		if err != nil {
 			return nil, false, err
 		}
-		c.latency.Add(int64(c.rt.cfg.Model.LookupLatency))
+		c.latency.Add(readCost)
 		return v, ok, nil
 	}
-	v, ok, err := c.read.Get(key)
+	v, ok, err := c.read.GetFrom(c.Machine, key)
 	if err != nil {
 		return nil, false, err
 	}
-	c.latency.Add(int64(c.rt.cfg.Model.LookupLatency))
+	c.latency.Add(readCost)
 	return v, ok, nil
 }
 
 // Write stores a key-value pair into the given output hash table.
 func (c *Ctx) Write(out *dht.Store, key uint64, value []byte) error {
 	c.writes.Add(1)
-	c.latency.Add(int64(c.rt.cfg.Model.WriteLatency))
-	return out.Put(key, value)
+	c.latency.Add(int64(c.rt.cfg.Model.WriteCost(out.LocalTo(c.Machine, key))))
+	return out.PutFrom(c.Machine, key, value)
 }
 
 // Emit appends a record under key in the given output hash table (multi-value
 // semantics).
 func (c *Ctx) Emit(out *dht.Store, key uint64, value []byte) error {
 	c.writes.Add(1)
-	c.latency.Add(int64(c.rt.cfg.Model.WriteLatency))
-	return out.Append(key, value)
+	c.latency.Add(int64(c.rt.cfg.Model.WriteCost(out.LocalTo(c.Machine, key))))
+	return out.AppendFrom(c.Machine, key, value)
 }
 
 // ChargeCompute records that the machine performed n units of local
@@ -395,15 +585,31 @@ type Round struct {
 	Read *dht.Store
 	// Body processes one work item on the machine owning it.
 	Body func(ctx *Ctx, item int) error
+	// Partitioner assigns work item i to a machine in [0, Machines); nil
+	// defaults to i mod Machines.  The core algorithms pass
+	// vertex-ownership partitioners (OwnerPartitioner /
+	// BlockOwnerPartitioner) so that, under the owner-affine placement,
+	// each machine's key-value traffic for its own vertices stays local.
+	// The assignment never changes results — only which machine does the
+	// work, and therefore the locality statistics and modeled time.
+	Partitioner func(item int) int
 }
 
-// Run executes one AMPC round.  Work item i is assigned to machine
-// i mod Machines; each machine processes its items with Threads concurrent
-// workers sharing one Ctx.  The simulated duration of the round is the
-// maximum over machines of (compute + key-value latency / Threads), modeling
-// the fact that multithreading hides lookup latency but not computation.
+// Run executes one AMPC round on the persistent worker pool.  Work item i is
+// assigned to machine i mod Machines (or Partitioner(i) when set); each
+// machine processes its items with Threads concurrent workers sharing one
+// Ctx.  The simulated duration of the round is the maximum over machines of
+// (compute + key-value latency / Threads), modeling the fact that
+// multithreading hides lookup latency but not computation.
 func (r *Runtime) Run(round Round) error {
 	cfg := r.cfg
+	// Hold the lifecycle read lock for the whole round so a concurrent
+	// Close cannot tear the pool down mid-dispatch (it waits instead).
+	r.lifecycle.RLock()
+	defer r.lifecycle.RUnlock()
+	if r.closed.Load() {
+		return fmt.Errorf("ampc: round %q: runtime is closed", round.Name)
+	}
 	if round.Read != nil {
 		round.Read.Freeze()
 	}
@@ -415,7 +621,7 @@ func (r *Runtime) Run(round Round) error {
 	for m := range ctxs {
 		ctxs[m] = &Ctx{Machine: m, rt: r, read: round.Read}
 		if cfg.EnableCache && round.Read != nil {
-			ctxs[m].cache = dht.NewCache(round.Read)
+			ctxs[m].cache = r.cacheFor(round.Read, m)
 		}
 		if cfg.CoalesceReads && round.Read != nil {
 			ctxs[m].coal = &coalescer{ctx: ctxs[m], window: cfg.BatchSize}
@@ -435,39 +641,48 @@ func (r *Runtime) Run(round Round) error {
 		errMu.Unlock()
 	}
 
-	var wg sync.WaitGroup
-	for m := 0; m < cfg.Machines; m++ {
-		wg.Add(1)
-		go func(m int) {
-			defer wg.Done()
-			ctx := ctxs[m]
-			// Items owned by this machine: m, m+P, m+2P, ...
-			work := make(chan int, cfg.Threads)
-			var tw sync.WaitGroup
-			for t := 0; t < cfg.Threads; t++ {
-				tw.Add(1)
-				go func() {
-					defer tw.Done()
-					for item := range work {
-						if err := round.Body(ctx, item); err != nil {
-							recordErr(fmt.Errorf("ampc: round %q item %d: %w", round.Name, item, err))
-						}
-					}
-				}()
+	jobs := make([]*machineJob, cfg.Machines)
+	if round.Partitioner == nil {
+		// Items owned by machine m: m, m+P, m+2P, ...
+		for m := 0; m < cfg.Machines && m < round.Items; m++ {
+			jobs[m] = &machineJob{
+				name:   round.Name,
+				ctx:    ctxs[m],
+				body:   round.Body,
+				count:  (round.Items - m + cfg.Machines - 1) / cfg.Machines,
+				itemAt: func(k int) int { return m + k*cfg.Machines },
+				onErr:  recordErr,
 			}
-			for item := m; item < round.Items; item += cfg.Machines {
-				work <- item
+		}
+	} else {
+		assigned := make([][]int, cfg.Machines)
+		for i := 0; i < round.Items; i++ {
+			m := round.Partitioner(i)
+			if m < 0 || m >= cfg.Machines {
+				m = ((m % cfg.Machines) + cfg.Machines) % cfg.Machines
 			}
-			close(work)
-			tw.Wait()
-		}(m)
+			assigned[m] = append(assigned[m], i)
+		}
+		for m, items := range assigned {
+			if len(items) == 0 {
+				continue
+			}
+			jobs[m] = &machineJob{
+				name:   round.Name,
+				ctx:    ctxs[m],
+				body:   round.Body,
+				count:  len(items),
+				itemAt: func(k int) int { return items[k] },
+				onErr:  recordErr,
+			}
+		}
 	}
-	wg.Wait()
+	r.workers().dispatch(jobs)
 
 	// Simulated round time: slowest machine, with latency divided by the
 	// thread count (threads overlap lookups), plus the round-spawn overhead.
 	var slowest time.Duration
-	var maxQueries, cacheHits, cacheMisses int64
+	var maxQueries int64
 	var batches, batchedKeys, visitsSaved int64
 	for _, ctx := range ctxs {
 		compute := time.Duration(ctx.compute.Load()) * cfg.Model.ComputePerItem
@@ -478,10 +693,6 @@ func (r *Runtime) Run(round Round) error {
 		if q := ctx.queries.Load(); q > maxQueries {
 			maxQueries = q
 		}
-		if ctx.cache != nil {
-			cacheHits += ctx.cache.Hits()
-			cacheMisses += ctx.cache.Misses()
-		}
 		batches += ctx.batches.Load()
 		batchedKeys += ctx.batchedKeys.Load()
 		visitsSaved += ctx.visitsSaved.Load()
@@ -491,8 +702,6 @@ func (r *Runtime) Run(round Round) error {
 	if maxQueries > r.stats.MaxMachineQueries {
 		r.stats.MaxMachineQueries = maxQueries
 	}
-	r.stats.CacheHits += cacheHits
-	r.stats.CacheMisses += cacheMisses
 	r.stats.BatchesIssued += batches
 	r.stats.BatchedKeys += batchedKeys
 	r.stats.ShardVisitsSaved += visitsSaved

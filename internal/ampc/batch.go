@@ -60,12 +60,12 @@ func (c *Ctx) ReadMany(keys []uint64) ([][]byte, []bool, error) {
 			return vals, oks, nil
 		}
 	}
-	mv, mo, visits, err := c.read.BatchGet(missKeys)
+	mv, mo, visits, err := c.read.BatchGetFrom(c.Machine, missKeys)
 	if err != nil {
 		return nil, nil, err
 	}
-	c.recordBatch(len(missKeys), visits)
-	c.latency.Add(int64(c.rt.cfg.Model.BatchReadCost(visits, len(missKeys))))
+	c.recordBatch(len(missKeys), visits.Total())
+	c.latency.Add(int64(c.rt.cfg.Model.BatchReadCostSplit(visits.Local, visits.Remote, len(missKeys))))
 	if missPos == nil {
 		copy(vals, mv)
 		copy(oks, mo)
@@ -79,6 +79,40 @@ func (c *Ctx) ReadMany(keys []uint64) ([][]byte, []bool, error) {
 		}
 	}
 	return vals, oks, nil
+}
+
+// LockStep drives a block of suspendable computations to completion.  Each
+// iteration advances every active unit as far as it can: advance returns the
+// key of the record the unit is missing (true) or reports the unit finished
+// (false).  The iteration's missing records — deduplicated — are then
+// fetched with one shard-grouped batch and handed to fill, after which the
+// suspended units resume.  It is the shared driver of the lock-step batch
+// rounds in the mis, matching and msf packages; the pointer-chase and
+// cycle-walk rounds keep hand-written loops because they bound memory with
+// per-hop fetch maps instead of a block-lifetime cache.
+func LockStep[T any](ctx *Ctx, units []T, advance func(u T) (key uint64, missing bool), fill func(key uint64, raw []byte, ok bool) error) error {
+	active := units
+	for len(active) > 0 {
+		var retry []T
+		var need []uint64
+		needSet := make(map[uint64]bool)
+		for _, u := range active {
+			key, missing := advance(u)
+			if !missing {
+				continue
+			}
+			if !needSet[key] {
+				needSet[key] = true
+				need = append(need, key)
+			}
+			retry = append(retry, u)
+		}
+		if err := ctx.FetchInto(need, fill); err != nil {
+			return err
+		}
+		active = retry
+	}
+	return nil
 }
 
 // FetchInto reads all keys in one shard-grouped batch and hands each result
@@ -101,26 +135,26 @@ func (c *Ctx) FetchInto(keys []uint64, fill func(key uint64, raw []byte, ok bool
 // WriteMany stores all pairs into the given output hash table in one
 // shard-grouped batch.
 func (c *Ctx) WriteMany(out *dht.Store, pairs []dht.Pair) error {
-	visits, err := out.BatchPut(pairs)
+	visits, err := out.BatchPutFrom(c.Machine, pairs)
 	if err != nil {
 		return err
 	}
 	c.writes.Add(int64(len(pairs)))
-	c.recordBatch(len(pairs), visits)
-	c.latency.Add(int64(c.rt.cfg.Model.BatchWriteCost(visits, len(pairs))))
+	c.recordBatch(len(pairs), visits.Total())
+	c.latency.Add(int64(c.rt.cfg.Model.BatchWriteCostSplit(visits.Local, visits.Remote, len(pairs))))
 	return nil
 }
 
 // EmitMany appends all pairs into the given output hash table in one
 // shard-grouped batch (multi-value semantics).
 func (c *Ctx) EmitMany(out *dht.Store, pairs []dht.Pair) error {
-	visits, err := out.BatchAppend(pairs)
+	visits, err := out.BatchAppendFrom(c.Machine, pairs)
 	if err != nil {
 		return err
 	}
 	c.writes.Add(int64(len(pairs)))
-	c.recordBatch(len(pairs), visits)
-	c.latency.Add(int64(c.rt.cfg.Model.BatchWriteCost(visits, len(pairs))))
+	c.recordBatch(len(pairs), visits.Total())
+	c.latency.Add(int64(c.rt.cfg.Model.BatchWriteCostSplit(visits.Local, visits.Remote, len(pairs))))
 	return nil
 }
 
@@ -159,12 +193,15 @@ func BlockBounds(block, size, items int) (lo, hi int) {
 // item i in [0, items), reading nothing.  computePerItem units of local
 // computation are charged per item.  With batching enabled the items are
 // written in shard-grouped blocks of BatchSize keys; otherwise one Put per
-// key, exactly as the hand-written kv-write rounds did.
+// key, exactly as the hand-written kv-write rounds did.  Items are
+// partitioned by key ownership, so under the owner-affine placement every
+// machine writes its own keys to its co-located shards.
 func (r *Runtime) WriteTable(name string, store *dht.Store, items, computePerItem int, value func(int) []byte) error {
 	if !r.cfg.Batch {
 		return r.Run(Round{
-			Name:  name,
-			Items: items,
+			Name:        name,
+			Items:       items,
+			Partitioner: r.OwnerPartitioner(items),
 			Body: func(ctx *Ctx, item int) error {
 				ctx.ChargeCompute(computePerItem)
 				return ctx.Write(store, uint64(item), value(item))
@@ -173,8 +210,9 @@ func (r *Runtime) WriteTable(name string, store *dht.Store, items, computePerIte
 	}
 	size := r.cfg.BatchSize
 	return r.Run(Round{
-		Name:  name,
-		Items: NumBlocks(items, size),
+		Name:        name,
+		Items:       NumBlocks(items, size),
+		Partitioner: r.BlockOwnerPartitioner(size, items),
 		Body: func(ctx *Ctx, block int) error {
 			lo, hi := BlockBounds(block, size, items)
 			pairs := make([]dht.Pair, 0, hi-lo)
@@ -262,10 +300,10 @@ func (co *coalescer) flush() {
 		}
 		pos[i] = j
 	}
-	vals, oks, visits, err := co.ctx.read.BatchGet(keys)
+	vals, oks, visits, err := co.ctx.read.BatchGetFrom(co.ctx.Machine, keys)
 	if err == nil {
-		co.ctx.recordBatch(len(keys), visits)
-		co.ctx.latency.Add(int64(co.ctx.rt.cfg.Model.BatchReadCost(visits, len(keys))))
+		co.ctx.recordBatch(len(keys), visits.Total())
+		co.ctx.latency.Add(int64(co.ctx.rt.cfg.Model.BatchReadCostSplit(visits.Local, visits.Remote, len(keys))))
 		if co.ctx.cache != nil {
 			// Fill once per unique key; waiters sharing a key are the
 			// equivalent of a cache hit, not a second miss.

@@ -1,0 +1,103 @@
+package ampc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Persistent machine/worker pool.
+//
+// The original runtime spawned one goroutine per machine (plus Threads
+// worker goroutines inside it) on every Run and tore everything down at the
+// end of the round, the way the dataflow host framework respawns its
+// workers.  A production system keeps its machine processes alive for the
+// lifetime of the computation, so the runtime now owns a persistent pool:
+// Machines x Threads worker goroutines are started once, on the first Run,
+// and every subsequent round is dispatched to them as a job.  Items are
+// pulled from a shared atomic cursor per machine, so a machine's threads
+// self-balance within its partition exactly as the transient workers did.
+// Close releases the pool; a Runtime that never runs a round never spawns
+// it.
+
+// machineJob is one machine's share of one round.
+type machineJob struct {
+	name   string
+	ctx    *Ctx
+	body   func(*Ctx, int) error
+	count  int           // number of items assigned to this machine
+	itemAt func(int) int // k-th assigned item
+	next   atomic.Int64  // shared pull cursor over [0, count)
+	wg     *sync.WaitGroup
+	onErr  func(error)
+}
+
+// workerPool is the persistent set of machine worker goroutines.
+type workerPool struct {
+	threads int
+	// jobs[m][t] is the job channel of machine m's t-th worker thread.
+	jobs [][]chan *machineJob
+}
+
+func newWorkerPool(machines, threads int) *workerPool {
+	p := &workerPool{threads: threads, jobs: make([][]chan *machineJob, machines)}
+	for m := range p.jobs {
+		p.jobs[m] = make([]chan *machineJob, threads)
+		for t := range p.jobs[m] {
+			ch := make(chan *machineJob)
+			p.jobs[m][t] = ch
+			go poolWorker(ch)
+		}
+	}
+	return p
+}
+
+// poolWorker is the loop of one persistent worker thread: drain the items of
+// each dispatched job, then wait for the next round.
+func poolWorker(jobs <-chan *machineJob) {
+	for job := range jobs {
+		for {
+			k := int(job.next.Add(1) - 1)
+			if k >= job.count {
+				break
+			}
+			item := job.itemAt(k)
+			if err := job.body(job.ctx, item); err != nil {
+				job.onErr(fmt.Errorf("ampc: round %q item %d: %w", job.name, item, err))
+			}
+		}
+		job.wg.Done()
+	}
+}
+
+// dispatch hands each machine's job to all of that machine's worker threads
+// and waits for the round to drain.  jobs[m] may be nil when machine m has
+// no items this round.
+func (p *workerPool) dispatch(jobs []*machineJob) {
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		if job == nil {
+			continue
+		}
+		job.wg = &wg
+		wg.Add(p.threads)
+	}
+	for m, job := range jobs {
+		if job == nil {
+			continue
+		}
+		for _, ch := range p.jobs[m] {
+			ch <- job
+		}
+	}
+	wg.Wait()
+}
+
+// close shuts the worker goroutines down.
+func (p *workerPool) close() {
+	for _, machine := range p.jobs {
+		for _, ch := range machine {
+			close(ch)
+		}
+	}
+}

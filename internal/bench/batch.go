@@ -4,14 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"reflect"
 	"time"
 
 	"ampcgraph/internal/ampc"
-	"ampcgraph/internal/core/matching"
-	"ampcgraph/internal/core/mis"
-	"ampcgraph/internal/core/msf"
-	"ampcgraph/internal/gen"
 )
 
 // BatchRow is one (dataset, algorithm) point of the batched-vs-unbatched
@@ -75,46 +70,17 @@ func BatchComparison(opts Options) ([]BatchRow, Report, error) {
 			"results are required to be byte-identical with batching on and off",
 		},
 	}
+	cfgOff := opts.ampcConfig()
+	cfgOff.Batch = false
+	cfgOn := cfgOff
+	cfgOn.Batch = true
+	pairs, err := compareConfigs(opts, cfgOff, cfgOn)
+	if err != nil {
+		return nil, rep, err
+	}
 	var rows []BatchRow
-	for _, ng := range opts.graphs() {
-		cfgOff := opts.ampcConfig()
-		cfgOff.Batch = false
-		cfgOn := cfgOff
-		cfgOn.Batch = true
-
-		mis0, err := mis.Run(ng.g, cfgOff)
-		if err != nil {
-			return nil, rep, err
-		}
-		mis1, err := mis.Run(ng.g, cfgOn)
-		if err != nil {
-			return nil, rep, err
-		}
-		rows = append(rows, newBatchRow(ng.name, "MIS",
-			reflect.DeepEqual(mis0.InMIS, mis1.InMIS), mis0.Stats, mis1.Stats))
-
-		mm0, err := matching.Run(ng.g, cfgOff)
-		if err != nil {
-			return nil, rep, err
-		}
-		mm1, err := matching.Run(ng.g, cfgOn)
-		if err != nil {
-			return nil, rep, err
-		}
-		rows = append(rows, newBatchRow(ng.name, "MM",
-			reflect.DeepEqual(mm0.Matching.Mate, mm1.Matching.Mate), mm0.Stats, mm1.Stats))
-
-		weighted := gen.DegreeProportionalWeights(ng.g)
-		msf0, err := msf.Run(weighted, cfgOff)
-		if err != nil {
-			return nil, rep, err
-		}
-		msf1, err := msf.Run(weighted, cfgOn)
-		if err != nil {
-			return nil, rep, err
-		}
-		rows = append(rows, newBatchRow(ng.name, "MSF",
-			reflect.DeepEqual(msf0.Edges, msf1.Edges), msf0.Stats, msf1.Stats))
+	for _, p := range pairs {
+		rows = append(rows, newBatchRow(p.Graph, p.Algo, p.Identical, p.A, p.B))
 	}
 	for _, row := range rows {
 		rep.Rows = append(rep.Rows, fmt.Sprintf("%-8s %-5s %10v %12d %12d %9.2fx %10.1f %8.2fx",
@@ -130,6 +96,7 @@ func BatchComparison(opts Options) ([]BatchRow, Report, error) {
 type Smoke struct {
 	Seed     int64      `json:"seed"`
 	Datasets []string   `json:"datasets"`
+	Scale    int        `json:"scale"`
 	Machines int        `json:"machines"`
 	Threads  int        `json:"threads"`
 	Rows     []BatchRow `json:"rows"`
@@ -150,6 +117,7 @@ func BatchSmoke(opts Options) (Smoke, Report, error) {
 	return Smoke{
 		Seed:     opts.Seed,
 		Datasets: opts.Datasets,
+		Scale:    opts.Scale,
 		Machines: opts.Machines,
 		Threads:  opts.Threads,
 		Rows:     rows,

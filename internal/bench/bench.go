@@ -53,6 +53,11 @@ type Options struct {
 	// Batch runs the AMPC algorithms with the shard-grouped batch pipeline
 	// (ampc.Config.Batch) in every experiment.
 	Batch bool
+	// Placement selects the shard placement policy (ampc.PlacementHash or
+	// ampc.PlacementOwnerAffine) for the AMPC runs of every experiment.
+	// The dedicated "locality" experiment compares the two directly and
+	// ignores this field.
+	Placement string
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +88,7 @@ func (o Options) ampcConfig() ampc.Config {
 		Threads:     o.Threads,
 		EnableCache: true,
 		Batch:       o.Batch,
+		Placement:   o.Placement,
 		Seed:        o.Seed,
 	}
 }

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"reflect"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/core/matching"
+	"ampcgraph/internal/core/mis"
+	"ampcgraph/internal/core/msf"
+	"ampcgraph/internal/gen"
+)
+
+// comparisonPair is one (dataset, algorithm) A/B measurement: the same
+// computation run under two runtime configurations, with the result-equality
+// check already performed.  It is the shared scaffold of the "batch" and
+// "locality" experiments, which both run MIS, maximal matching and MSF twice
+// and differ only in which Config knob the two sides flip.
+type comparisonPair struct {
+	Graph     string
+	Algo      string
+	Identical bool
+	A, B      ampc.Stats
+}
+
+// compareConfigs runs MIS, MM and MSF on every dataset of opts under cfgA
+// and cfgB, returning one pair per (dataset, algorithm) with byte-identity
+// of the results verified.
+func compareConfigs(opts Options, cfgA, cfgB ampc.Config) ([]comparisonPair, error) {
+	var pairs []comparisonPair
+	for _, ng := range opts.graphs() {
+		misA, err := mis.Run(ng.g, cfgA)
+		if err != nil {
+			return nil, err
+		}
+		misB, err := mis.Run(ng.g, cfgB)
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, comparisonPair{
+			Graph: ng.name, Algo: "MIS",
+			Identical: reflect.DeepEqual(misA.InMIS, misB.InMIS),
+			A:         misA.Stats, B: misB.Stats,
+		})
+
+		mmA, err := matching.Run(ng.g, cfgA)
+		if err != nil {
+			return nil, err
+		}
+		mmB, err := matching.Run(ng.g, cfgB)
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, comparisonPair{
+			Graph: ng.name, Algo: "MM",
+			Identical: reflect.DeepEqual(mmA.Matching.Mate, mmB.Matching.Mate),
+			A:         mmA.Stats, B: mmB.Stats,
+		})
+
+		weighted := gen.DegreeProportionalWeights(ng.g)
+		msfA, err := msf.Run(weighted, cfgA)
+		if err != nil {
+			return nil, err
+		}
+		msfB, err := msf.Run(weighted, cfgB)
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, comparisonPair{
+			Graph: ng.name, Algo: "MSF",
+			Identical: reflect.DeepEqual(msfA.Edges, msfB.Edges),
+			A:         msfA.Stats, B: msfB.Stats,
+		})
+	}
+	return pairs, nil
+}

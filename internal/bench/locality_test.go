@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/core/connectivity"
+	"ampcgraph/internal/core/cycle"
+	"ampcgraph/internal/core/matching"
+	"ampcgraph/internal/core/mis"
+	"ampcgraph/internal/core/msf"
+	"ampcgraph/internal/gen"
+)
+
+// TestPlacementPreservesAllFiveAlgorithms is the acceptance property of the
+// placement layer: every core algorithm must produce byte-identical output
+// with the owner-affine placement on and off, across seeds and both the
+// single-key and batched pipelines.  Placement only decides which shard
+// holds each key, so any divergence is a bug.
+func TestPlacementPreservesAllFiveAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs five algorithms twice per configuration")
+	}
+	configs := []ampc.Config{
+		{Machines: 8, Threads: 4, EnableCache: true, Seed: 1},
+		{Machines: 3, Threads: 2, EnableCache: true, Batch: true, Seed: 2},
+		{Machines: 5, Threads: 1, Seed: 3},
+	}
+	for _, base := range configs {
+		g := gen.Datasets()[0].Build(1, base.Seed) // OK stand-in
+		weighted := gen.DegreeProportionalWeights(g)
+		cycleG := gen.TwoCycles(2_000 + 500*int(base.Seed))
+
+		hash := base
+		hash.Placement = ampc.PlacementHash
+		owner := base
+		owner.Placement = ampc.PlacementOwnerAffine
+
+		mis0, err := mis.Run(g, hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mis1, err := mis.Run(g, owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mis0.InMIS, mis1.InMIS) {
+			t.Errorf("cfg %+v: MIS differs under owner placement", base)
+		}
+
+		mm0, err := matching.Run(g, hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm1, err := matching.Run(g, owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mm0.Matching.Mate, mm1.Matching.Mate) {
+			t.Errorf("cfg %+v: matching differs under owner placement", base)
+		}
+
+		msf0, err := msf.Run(weighted, hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msf1, err := msf.Run(weighted, owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(msf0.Edges, msf1.Edges) {
+			t.Errorf("cfg %+v: MSF differs under owner placement", base)
+		}
+
+		cc0, err := connectivity.Run(g, hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc1, err := connectivity.Run(g, owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cc0.Components, cc1.Components) {
+			t.Errorf("cfg %+v: connectivity differs under owner placement", base)
+		}
+
+		cy0, err := cycle.Run(cycleG, hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cy1, err := cycle.Run(cycleG, owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cy0.SingleCycle != cy1.SingleCycle || cy0.NumCycles != cy1.NumCycles {
+			t.Errorf("cfg %+v: cycle answer differs under owner placement", base)
+		}
+	}
+}
+
+// TestLocalityComparison guards the acceptance bar of the placement layer:
+// the owner-affine placement must reduce remote reads on the Table 2
+// stand-ins, with results identical to hash placement.
+func TestLocalityComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("locality comparison runs every algorithm twice")
+	}
+	// One thread per machine keeps the read counts deterministic (no racy
+	// cache fills), so the hash-vs-owner comparison is exact.
+	rows, rep, err := LocalityComparison(Options{Datasets: []string{"OK"}, Seed: 1, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d, want MIS+MM+MSF", len(rows))
+	}
+	for _, row := range rows {
+		if !row.Identical {
+			t.Errorf("%s/%s: results differ across placements", row.Graph, row.Algo)
+		}
+		if row.RemoteReadsOwner >= row.RemoteReadsHash {
+			t.Errorf("%s/%s: owner placement did not reduce remote reads (%d -> %d)",
+				row.Graph, row.Algo, row.RemoteReadsHash, row.RemoteReadsOwner)
+		}
+		if row.LocalReadsOwner == 0 {
+			t.Errorf("%s/%s: no local reads under owner placement", row.Graph, row.Algo)
+		}
+		if row.RemoteFracOwner <= 0 || row.RemoteFracOwner >= 1 {
+			t.Errorf("%s/%s: remote fraction %v not in (0,1)", row.Graph, row.Algo, row.RemoteFracOwner)
+		}
+		if row.SimOwner > row.SimHash {
+			t.Errorf("%s/%s: owner placement slowed the modeled time (%v -> %v)",
+				row.Graph, row.Algo, row.SimHash, row.SimOwner)
+		}
+	}
+	if len(rep.Rows) != len(rows) {
+		t.Fatalf("report rows %d != data rows %d", len(rep.Rows), len(rows))
+	}
+}

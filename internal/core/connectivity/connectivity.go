@@ -42,8 +42,10 @@ type Result struct {
 // Run computes the connected components of g.
 func Run(g *graph.Graph, cfg ampc.Config) (*Result, error) {
 	rt := ampc.New(cfg)
+	defer rt.Close()
 	cfgD := rt.Config()
 	n := g.NumNodes()
+	rt.SetKeyspace(n)
 	res := &Result{}
 
 	// Random edge weights reduce connectivity to minimum spanning forest

@@ -31,6 +31,12 @@ func runBatchWalkRound(rt *ampc.Runtime, store *dht.Store, g *graph.Graph,
 		Name:  "walk",
 		Items: ampc.NumBlocks(len(samples), size),
 		Read:  store,
+		// Assign each block of samples to the machine owning the block's
+		// first sample vertex, mirroring the unbatched walk round.
+		Partitioner: func(block int) int {
+			lo, _ := ampc.BlockBounds(block, size, len(samples))
+			return rt.Owner(uint64(samples[lo]), n)
+		},
 		Body: func(ctx *ampc.Ctx, block int) error {
 			lo, hi := ampc.BlockBounds(block, size, len(samples))
 			type walker struct {

@@ -58,7 +58,9 @@ func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, er
 		return nil, fmt.Errorf("cycle: sampling probability %v out of (0,1]", p)
 	}
 	rt := ampc.New(cfg)
+	defer rt.Close()
 	cfgD := rt.Config()
+	rt.SetKeyspace(n)
 	res := &Result{}
 
 	// Choose the samples.  At least two vertices are always sampled so the
@@ -124,6 +126,9 @@ func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, er
 			Name:  "walk",
 			Items: len(samples),
 			Read:  store,
+			// A walk starts at its sample's own adjacency record, so owning
+			// the sample means owning the first lookups of the walk.
+			Partitioner: func(item int) int { return rt.Owner(uint64(samples[item]), n) },
 			Body: func(ctx *ampc.Ctx, item int) error {
 				start := samples[item]
 				for _, first := range g.Neighbors(start) {

@@ -24,6 +24,10 @@ type batchMatcher struct {
 	cache *matchCache
 	rank  RankFunc
 	lists map[graph.NodeID][]graph.NodeID
+	// charged marks edges whose merge scan has been charged, so a scan
+	// re-run after a fetch suspension is not billed again — the single-key
+	// edgeProcess charges each edge's scan exactly once.
+	charged map[uint64]bool
 }
 
 // evalVertex returns v's mate (graph.None when v stays unmatched) and
@@ -87,7 +91,10 @@ func (s *batchMatcher) evalEdge(u, v graph.NodeID) (in bool, miss graph.NodeID) 
 		return false, v
 	}
 	myRank := s.rank(u, v)
-	s.ctx.ChargeCompute(len(au) + len(av))
+	if !s.charged[key] {
+		s.charged[key] = true
+		s.ctx.ChargeCompute(len(au) + len(av))
+	}
 	i, j := 0, 0
 	for i < len(au) || j < len(av) {
 		var a, b graph.NodeID
@@ -137,9 +144,10 @@ func runBatchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, sorted 
 	n := len(sorted)
 	size := rt.Config().BatchSize
 	return rt.Run(ampc.Round{
-		Name:  phaseName,
-		Items: ampc.NumBlocks(n, size),
-		Read:  store,
+		Name:        phaseName,
+		Items:       ampc.NumBlocks(n, size),
+		Read:        store,
+		Partitioner: rt.BlockOwnerPartitioner(size, n),
 		Body: func(ctx *ampc.Ctx, block int) error {
 			lo, hi := ampc.BlockBounds(block, size, n)
 			cache := caches[ctx.Machine]
@@ -147,36 +155,30 @@ func runBatchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, sorted 
 				cache = newMatchCache()
 			}
 			s := &batchMatcher{
-				ctx:   ctx,
-				cache: cache,
-				rank:  rank,
-				lists: make(map[graph.NodeID][]graph.NodeID, hi-lo),
+				ctx:     ctx,
+				cache:   cache,
+				rank:    rank,
+				lists:   make(map[graph.NodeID][]graph.NodeID, hi-lo),
+				charged: make(map[uint64]bool),
 			}
 			active := make([]graph.NodeID, 0, hi-lo)
 			for v := lo; v < hi; v++ {
 				s.lists[graph.NodeID(v)] = sorted[v]
 				active = append(active, graph.NodeID(v))
 			}
-			for len(active) > 0 {
-				var retry []graph.NodeID
-				var need []uint64
-				needSet := make(map[graph.NodeID]bool)
-				for _, v := range active {
+			return ampc.LockStep(ctx, active,
+				func(v graph.NodeID) (uint64, bool) {
 					mate, miss := s.evalVertex(v)
 					if miss != graph.None {
-						if !needSet[miss] {
-							needSet[miss] = true
-							need = append(need, uint64(miss))
-						}
-						retry = append(retry, v)
-						continue
+						return uint64(miss), true
 					}
 					mu.Lock()
 					matching[v] = mate
 					resolved[v] = true
 					mu.Unlock()
-				}
-				err := ctx.FetchInto(need, func(k uint64, raw []byte, ok bool) error {
+					return 0, false
+				},
+				func(k uint64, raw []byte, ok bool) error {
 					if !ok {
 						return fmt.Errorf("matching: vertex %d missing from the key-value store", k)
 					}
@@ -187,12 +189,6 @@ func runBatchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, sorted 
 					s.lists[graph.NodeID(k)] = nbrs
 					return nil
 				})
-				if err != nil {
-					return err
-				}
-				active = retry
-			}
-			return nil
 		},
 	})
 }

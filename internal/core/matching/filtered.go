@@ -25,6 +25,7 @@ import (
 // for the same seed; the tests verify this equality.
 func RunFiltered(g *graph.Graph, cfg ampc.Config) (*Result, error) {
 	rt := ampc.New(cfg)
+	defer rt.Close()
 	cfgD := rt.Config()
 	n := g.NumNodes()
 	rank := UniformEdgeRank(cfgD.Seed)

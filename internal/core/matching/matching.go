@@ -168,6 +168,7 @@ func packEdge(u, v graph.NodeID) uint64 {
 
 func runProcess(g *graph.Graph, cfg ampc.Config, rank RankFunc, budget int) (*Result, error) {
 	rt := ampc.New(cfg)
+	defer rt.Close()
 	m, rounds, err := computeMatching(rt, g, rank, budget, "")
 	if err != nil {
 		return nil, err
@@ -181,6 +182,7 @@ func runProcess(g *graph.Graph, cfg ampc.Config, rank RankFunc, budget int) (*Re
 func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int, tag string) (*seq.Matching, int, error) {
 	cfgD := rt.Config()
 	n := g.NumNodes()
+	rt.SetKeyspace(n)
 
 	// Step 1: sort every vertex's incident edges by edge priority.
 	sorted := make([][]graph.NodeID, n)
@@ -267,9 +269,10 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 				return runBatchRound(rt, phaseName, store, sorted, rank, caches, matching.Mate, resolved, &mu)
 			}
 			return rt.Run(ampc.Round{
-				Name:  phaseName,
-				Items: n,
-				Read:  store,
+				Name:        phaseName,
+				Items:       n,
+				Read:        store,
+				Partitioner: rt.OwnerPartitioner(n),
 				Body: func(ctx *ampc.Ctx, item int) error {
 					if resolved[item] {
 						return nil

@@ -65,9 +65,10 @@ func runBatchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, directe
 	n := len(directed)
 	size := rt.Config().BatchSize
 	return rt.Run(ampc.Round{
-		Name:  phaseName,
-		Items: ampc.NumBlocks(n, size),
-		Read:  store,
+		Name:        phaseName,
+		Items:       ampc.NumBlocks(n, size),
+		Read:        store,
+		Partitioner: rt.BlockOwnerPartitioner(size, n),
 		Body: func(ctx *ampc.Ctx, block int) error {
 			lo, hi := ampc.BlockBounds(block, size, n)
 			cache := caches[ctx.Machine]
@@ -84,26 +85,19 @@ func runBatchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, directe
 				s.lists[graph.NodeID(v)] = directed[v]
 				active = append(active, graph.NodeID(v))
 			}
-			for len(active) > 0 {
-				var retry []graph.NodeID
-				var need []uint64
-				needSet := make(map[graph.NodeID]bool)
-				for _, v := range active {
+			return ampc.LockStep(ctx, active,
+				func(v graph.NodeID) (uint64, bool) {
 					st, miss := s.eval(v)
 					if miss != graph.None {
-						if !needSet[miss] {
-							needSet[miss] = true
-							need = append(need, uint64(miss))
-						}
-						retry = append(retry, v)
-						continue
+						return uint64(miss), true
 					}
 					mu.Lock()
 					inMIS[v] = st == statusIn
 					resolved[v] = true
 					mu.Unlock()
-				}
-				err := ctx.FetchInto(need, func(k uint64, raw []byte, ok bool) error {
+					return 0, false
+				},
+				func(k uint64, raw []byte, ok bool) error {
 					if !ok {
 						return fmt.Errorf("mis: vertex %d missing from the key-value store", k)
 					}
@@ -114,12 +108,6 @@ func runBatchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, directe
 					s.lists[graph.NodeID(k)] = nbrs
 					return nil
 				})
-				if err != nil {
-					return err
-				}
-				active = retry
-			}
-			return nil
 		},
 	})
 }

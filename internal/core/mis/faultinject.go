@@ -23,6 +23,7 @@ type storeFailer interface {
 func runWithFaultInjection(rt *ampc.Runtime, g *graph.Graph, inject func([]storeFailer)) ([]bool, error) {
 	cfg := rt.Config()
 	n := g.NumNodes()
+	rt.SetKeyspace(n)
 	prio := rng.VertexPriorities(cfg.Seed, n)
 	less := func(a, b graph.NodeID) bool {
 		if prio[a] != prio[b] {
@@ -44,8 +45,9 @@ func runWithFaultInjection(rt *ampc.Runtime, g *graph.Graph, inject func([]store
 	}
 	store := rt.NewStore("directed-graph")
 	err := rt.Run(ampc.Round{
-		Name:  "kv-write",
-		Items: n,
+		Name:        "kv-write",
+		Items:       n,
+		Partitioner: rt.OwnerPartitioner(n),
 		Body: func(ctx *ampc.Ctx, item int) error {
 			return ctx.Write(store, uint64(item), codec.EncodeNodeIDs(directed[item]))
 		},
@@ -62,9 +64,10 @@ func runWithFaultInjection(rt *ampc.Runtime, g *graph.Graph, inject func([]store
 		caches[i] = newStatusCache()
 	}
 	err = rt.Run(ampc.Round{
-		Name:  "is-in-mis",
-		Items: n,
-		Read:  store,
+		Name:        "is-in-mis",
+		Items:       n,
+		Read:        store,
+		Partitioner: rt.OwnerPartitioner(n),
 		Body: func(ctx *ampc.Ctx, item int) error {
 			s := &searcher{ctx: ctx, cache: caches[ctx.Machine], prio: prio}
 			in, err := s.inMIS(graph.NodeID(item), directed[item])

@@ -98,8 +98,10 @@ func RunTruncated(g *graph.Graph, cfg ampc.Config) (*Result, error) {
 
 func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 	rt := ampc.New(cfg)
+	defer rt.Close()
 	cfgD := rt.Config()
 	n := g.NumNodes()
+	rt.SetKeyspace(n)
 	prio := rng.VertexPriorities(cfgD.Seed, n)
 	less := func(a, b graph.NodeID) bool {
 		if prio[a] != prio[b] {
@@ -189,9 +191,10 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 				return runBatchRound(rt, phaseName, store, directed, caches, inMIS, resolved, &mu)
 			}
 			return rt.Run(ampc.Round{
-				Name:  phaseName,
-				Items: n,
-				Read:  store,
+				Name:        phaseName,
+				Items:       n,
+				Read:        store,
+				Partitioner: rt.OwnerPartitioner(n),
 				Body: func(ctx *ampc.Ctx, item int) error {
 					if resolved[item] {
 						return nil

@@ -165,9 +165,10 @@ func runBatchPrimRound(rt *ampc.Runtime, name string, store *dht.Store,
 	n := len(sorted)
 	size := rt.Config().BatchSize
 	return rt.Run(ampc.Round{
-		Name:  name,
-		Items: ampc.NumBlocks(n, size),
-		Read:  store,
+		Name:        name,
+		Items:       ampc.NumBlocks(n, size),
+		Read:        store,
+		Partitioner: rt.BlockOwnerPartitioner(size, n),
 		Body: func(ctx *ampc.Ctx, block int) error {
 			lo, hi := ampc.BlockBounds(block, size, n)
 			lists := make(map[graph.NodeID][]codec.WeightedNeighbor, hi-lo)
@@ -180,23 +181,15 @@ func runBatchPrimRound(rt *ampc.Runtime, name string, store *dht.Store,
 			for v := lo; v < hi; v++ {
 				states = append(states, newPrimState(ctx, prio, budget, graph.NodeID(v), sorted[v], lists))
 			}
-			active := states
-			for len(active) > 0 {
-				var retry []*primState
-				var need []uint64
-				needSet := make(map[graph.NodeID]bool)
-				for _, st := range active {
+			err := ampc.LockStep(ctx, states,
+				func(st *primState) (uint64, bool) {
 					miss := st.advance()
 					if miss == graph.None {
-						continue
+						return 0, false
 					}
-					if !needSet[miss] {
-						needSet[miss] = true
-						need = append(need, uint64(miss))
-					}
-					retry = append(retry, st)
-				}
-				err := ctx.FetchInto(need, func(k uint64, raw []byte, ok bool) error {
+					return uint64(miss), true
+				},
+				func(k uint64, raw []byte, ok bool) error {
 					if !ok {
 						return fmt.Errorf("msf: vertex %d missing from the key-value store", k)
 					}
@@ -207,10 +200,8 @@ func runBatchPrimRound(rt *ampc.Runtime, name string, store *dht.Store,
 					lists[graph.NodeID(k)] = adj
 					return nil
 				})
-				if err != nil {
-					return err
-				}
-				active = retry
+			if err != nil {
+				return err
 			}
 			mu.Lock()
 			for _, st := range states {
@@ -229,9 +220,10 @@ func runBatchChaseRound(rt *ampc.Runtime, name string, store *dht.Store, n int,
 	roots []graph.NodeID, chains []int) error {
 	size := rt.Config().BatchSize
 	return rt.Run(ampc.Round{
-		Name:  name,
-		Items: ampc.NumBlocks(n, size),
-		Read:  store,
+		Name:        name,
+		Items:       ampc.NumBlocks(n, size),
+		Read:        store,
+		Partitioner: rt.BlockOwnerPartitioner(size, n),
 		Body: func(ctx *ampc.Ctx, block int) error {
 			lo, hi := ampc.BlockBounds(block, size, n)
 			type walker struct {

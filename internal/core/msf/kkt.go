@@ -68,6 +68,7 @@ func RunKKT(g *graph.Graph, cfg ampc.Config) (*KKTResult, error) {
 		return nil, fmt.Errorf("msf: input graph must be weighted")
 	}
 	rt := ampc.New(cfg)
+	defer rt.Close()
 	cfgD := rt.Config()
 	n := g.NumNodes()
 	out := &KKTResult{Result: &Result{}}

@@ -71,6 +71,7 @@ func Run(g *graph.Graph, cfg ampc.Config) (*Result, error) {
 		return nil, fmt.Errorf("msf: input graph must be weighted")
 	}
 	rt := ampc.New(cfg)
+	defer rt.Close()
 	res, err := runPrimPipeline(rt, g, "")
 	if err != nil {
 		return nil, err
@@ -100,6 +101,7 @@ func runPrimPipeline(rt *ampc.Runtime, g *graph.Graph, tag string) (*Result, err
 	if n == 0 {
 		return result, nil
 	}
+	rt.SetKeyspace(n)
 	prio := rng.VertexPriorities(cfg.Seed, n)
 	budget := cfg.SpaceBudget(n)
 
@@ -168,9 +170,10 @@ func runPrimPipeline(rt *ampc.Runtime, g *graph.Graph, tag string) (*Result, err
 			return runBatchPrimRound(rt, "prim-search"+tag, store, sorted, prio, budget, &mu, commit)
 		}
 		return rt.Run(ampc.Round{
-			Name:  "prim-search" + tag,
-			Items: n,
-			Read:  store,
+			Name:        "prim-search" + tag,
+			Items:       n,
+			Read:        store,
+			Partitioner: rt.OwnerPartitioner(n),
 			Body: func(ctx *ampc.Ctx, item int) error {
 				s := &primSearcher{ctx: ctx, prio: prio, budget: budget}
 				out, err := s.search(graph.NodeID(item), sorted[item])
@@ -377,6 +380,7 @@ func (s *primSearcher) fetch(v graph.NodeID) ([]codec.WeightedNeighbor, error) {
 // observed.
 func PointerJump(rt *ampc.Runtime, parent []graph.NodeID, tag string) ([]graph.NodeID, int, error) {
 	n := len(parent)
+	rt.SetKeyspace(n)
 	store := rt.NewStore("parents" + tag)
 	roots := make([]graph.NodeID, n)
 	chains := make([]int, n)
@@ -392,9 +396,10 @@ func PointerJump(rt *ampc.Runtime, parent []graph.NodeID, tag string) ([]graph.N
 			return runBatchChaseRound(rt, "chase-pointers"+tag, store, n, roots, chains)
 		}
 		return rt.Run(ampc.Round{
-			Name:  "chase-pointers" + tag,
-			Items: n,
-			Read:  store,
+			Name:        "chase-pointers" + tag,
+			Items:       n,
+			Read:        store,
+			Partitioner: rt.OwnerPartitioner(n),
 			Body: func(ctx *ampc.Ctx, item int) error {
 				cur := graph.NodeID(item)
 				steps := 0

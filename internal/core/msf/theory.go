@@ -91,6 +91,7 @@ func RunTheoretical(g *graph.Graph, cfg ampc.Config) (*Result, error) {
 		return nil, fmt.Errorf("msf: input graph must be weighted")
 	}
 	rt := ampc.New(cfg)
+	defer rt.Close()
 	cfgD := rt.Config()
 	n := float64(g.NumNodes())
 	m := float64(g.NumEdges())

@@ -10,10 +10,24 @@ import "fmt"
 // group; the latency model charges one BatchShardLatency per shard visited
 // plus a BatchPerKey marginal per key, which is how the per-request overhead
 // amortization of §5.3 (the source of the practical AMPC wins over MPC) is
-// modeled.  Replication and failover behave exactly as in the single-key
-// operations: writes mirror into the replica, reads of a failed shard fail
-// over to the replica (counted as failovers) or return ErrUnavailable when
-// the store is unreplicated.
+// modeled.  With a machine-affine placement policy the *From variants
+// additionally split the shard visits into local (co-located with the
+// calling machine) and remote, charging each side its own latency.
+// Replication and failover behave exactly as in the single-key operations:
+// writes mirror into the replica, reads of a failed shard fail over to the
+// replica (counted as failovers) or return ErrUnavailable when the store is
+// unreplicated.
+
+// Visits classifies the shard visits of one batched operation.
+type Visits struct {
+	// Local is the number of visited shards co-located with the caller.
+	Local int
+	// Remote is the number of visited shards requiring a network round trip.
+	Remote int
+}
+
+// Total returns the total number of shard visits.
+func (v Visits) Total() int { return v.Local + v.Remote }
 
 // shardGroups groups the positions of keys by shard index.  The returned map
 // is keyed by shard index so callers can iterate shards in a deterministic
@@ -27,39 +41,76 @@ func (s *Store) shardGroups(keys []uint64) map[int][]int {
 	return groups
 }
 
+// shardLocalTo reports whether shard idx is co-located with machine.
+func (s *Store) shardLocalTo(machine, idx int) bool {
+	if machine < 0 {
+		return false
+	}
+	return s.placement.MachineFor(idx, len(s.shards)) == machine
+}
+
 // BatchGet returns the values stored under keys, visiting each shard once.
 // vals[i] and oks[i] correspond to keys[i]; duplicate keys are served from
 // the same shard visit.  shardVisits is the number of distinct shards (lock
 // acquisitions) the batch touched.  The returned slices must not be modified.
 func (s *Store) BatchGet(keys []uint64) (vals [][]byte, oks []bool, shardVisits int, err error) {
+	vals, oks, visits, err := s.BatchGetFrom(-1, keys)
+	return vals, oks, visits.Total(), err
+}
+
+// BatchGetFrom is BatchGet performed by the given machine: visits to shards
+// co-located with the machine are classified (and charged) as local.  A
+// negative machine is an anonymous, always-remote caller.
+func (s *Store) BatchGetFrom(machine int, keys []uint64) (vals [][]byte, oks []bool, visits Visits, err error) {
 	vals = make([][]byte, len(keys))
 	oks = make([]bool, len(keys))
 	if len(keys) == 0 {
-		return vals, oks, 0, nil
+		return vals, oks, Visits{}, nil
 	}
 	groups := s.shardGroups(keys)
-	var bytesRead, missed, failedOver int64
+	var bytesRead, remoteBytes, missed, failedOver int64
+	var localKeys, remoteKeys int64
+	// flush publishes the batch's counters; it runs exactly once, whether
+	// the batch completes or aborts on a failed shard.
+	flush := func() {
+		s.shardVisits.Add(int64(visits.Total()))
+		s.reads.Add(int64(len(keys)))
+		s.batchReads.Add(1)
+		s.bytesRead.Add(bytesRead)
+		s.misses.Add(missed)
+		s.failovers.Add(failedOver)
+		s.localReads.Add(localKeys)
+		s.remoteReads.Add(remoteKeys)
+		s.remoteBytes.Add(remoteBytes)
+		s.charge(s.model.BatchReadCostSplit(visits.Local, visits.Remote, len(keys)))
+	}
+	countVisit := func(local bool, positions int) {
+		if local {
+			visits.Local++
+			localKeys += int64(positions)
+		} else {
+			visits.Remote++
+			remoteKeys += int64(positions)
+		}
+	}
 	for idx := 0; idx < len(s.shards); idx++ {
 		positions, ok := groups[idx]
 		if !ok {
 			continue
 		}
+		local := s.shardLocalTo(machine, idx)
 		sh := s.shards[idx]
 		sh.mu.RLock()
 		if sh.failed && sh.replica == nil {
 			sh.mu.RUnlock()
 			// Flush what the shards served before the failure so the
 			// fault-tolerance counters stay consistent with the
-			// single-key path.
-			shardVisits++
-			s.shardVisits.Add(int64(shardVisits))
-			s.reads.Add(int64(len(keys)))
-			s.batchReads.Add(1)
-			s.bytesRead.Add(bytesRead)
-			s.misses.Add(missed)
-			s.failovers.Add(failedOver)
-			s.charge(s.model.BatchReadCost(shardVisits, len(keys)))
-			return nil, nil, shardVisits, fmt.Errorf("%w: key %d", ErrUnavailable, keys[positions[0]])
+			// single-key path: every requested key counts as a read, with
+			// keys on shards never reached classified as remote.
+			countVisit(local, len(positions))
+			remoteKeys = int64(len(keys)) - localKeys
+			flush()
+			return nil, nil, visits, fmt.Errorf("%w: key %d", ErrUnavailable, keys[positions[0]])
 		}
 		data := sh.data
 		if sh.failed {
@@ -72,42 +123,52 @@ func (s *Store) BatchGet(keys []uint64) (vals [][]byte, oks []bool, shardVisits 
 			oks[p] = ok
 			if ok {
 				bytesRead += int64(len(v)) + 8
+				if !local {
+					remoteBytes += int64(len(v)) + 8
+				}
 			} else {
 				missed++
 			}
 		}
 		sh.mu.RUnlock()
 		sh.ops.Add(int64(len(positions)))
-		shardVisits++
+		countVisit(local, len(positions))
 	}
-	s.shardVisits.Add(int64(shardVisits))
-	s.reads.Add(int64(len(keys)))
-	s.batchReads.Add(1)
-	s.bytesRead.Add(bytesRead)
-	s.misses.Add(missed)
-	s.failovers.Add(failedOver)
-	s.charge(s.model.BatchReadCost(shardVisits, len(keys)))
-	return vals, oks, shardVisits, nil
+	flush()
+	return vals, oks, visits, nil
 }
 
 // BatchPut stores all pairs, visiting each shard once.  Values are copied.
 // It returns ErrFrozen after Freeze has been called.
 func (s *Store) BatchPut(pairs []Pair) (shardVisits int, err error) {
-	return s.batchWrite(pairs, false)
+	visits, err := s.BatchPutFrom(-1, pairs)
+	return visits.Total(), err
+}
+
+// BatchPutFrom is BatchPut performed by the given machine (see BatchGetFrom).
+func (s *Store) BatchPutFrom(machine int, pairs []Pair) (Visits, error) {
+	return s.batchWrite(machine, pairs, false)
 }
 
 // BatchAppend appends every pair's value to the existing entry for its key
 // (multi-value semantics), visiting each shard once.
 func (s *Store) BatchAppend(pairs []Pair) (shardVisits int, err error) {
-	return s.batchWrite(pairs, true)
+	visits, err := s.BatchAppendFrom(-1, pairs)
+	return visits.Total(), err
 }
 
-func (s *Store) batchWrite(pairs []Pair, appendMode bool) (int, error) {
+// BatchAppendFrom is BatchAppend performed by the given machine (see
+// BatchGetFrom).
+func (s *Store) BatchAppendFrom(machine int, pairs []Pair) (Visits, error) {
+	return s.batchWrite(machine, pairs, true)
+}
+
+func (s *Store) batchWrite(machine int, pairs []Pair, appendMode bool) (Visits, error) {
 	if s.frozen.Load() {
-		return 0, ErrFrozen
+		return Visits{}, ErrFrozen
 	}
 	if len(pairs) == 0 {
-		return 0, nil
+		return Visits{}, nil
 	}
 	keys := make([]uint64, len(pairs))
 	var bytesWritten int64
@@ -116,12 +177,14 @@ func (s *Store) batchWrite(pairs []Pair, appendMode bool) (int, error) {
 		bytesWritten += int64(len(p.Value)) + 8
 	}
 	groups := s.shardGroups(keys)
-	shardVisits := 0
+	var visits Visits
+	var remoteBytes int64
 	for idx := 0; idx < len(s.shards); idx++ {
 		positions, ok := groups[idx]
 		if !ok {
 			continue
 		}
+		local := s.shardLocalTo(machine, idx)
 		sh := s.shards[idx]
 		sh.mu.Lock()
 		for _, p := range positions {
@@ -139,15 +202,23 @@ func (s *Store) batchWrite(pairs []Pair, appendMode bool) (int, error) {
 			if sh.replica != nil {
 				sh.replica[pair.Key] = next
 			}
+			if !local {
+				remoteBytes += int64(len(pair.Value)) + 8
+			}
 		}
 		sh.mu.Unlock()
 		sh.ops.Add(int64(len(positions)))
-		shardVisits++
+		if local {
+			visits.Local++
+		} else {
+			visits.Remote++
+		}
 	}
-	s.shardVisits.Add(int64(shardVisits))
+	s.shardVisits.Add(int64(visits.Total()))
 	s.writes.Add(int64(len(pairs)))
 	s.batchWrites.Add(1)
 	s.bytesWritten.Add(bytesWritten)
-	s.charge(s.model.BatchWriteCost(shardVisits, len(pairs)))
-	return shardVisits, nil
+	s.remoteBytes.Add(remoteBytes)
+	s.charge(s.model.BatchWriteCostSplit(visits.Local, visits.Remote, len(pairs)))
+	return visits, nil
 }

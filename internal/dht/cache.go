@@ -33,6 +33,13 @@ func NewCache(store *Store) *Cache {
 
 // Get returns the value for key, serving it locally when possible.
 func (c *Cache) Get(key uint64) ([]byte, bool, error) {
+	return c.GetFrom(-1, key)
+}
+
+// GetFrom is Get with the read-through attributed to the given machine, so
+// the store can classify a miss that reaches a co-located shard as a local
+// read (see Store.GetFrom).
+func (c *Cache) GetFrom(machine int, key uint64) ([]byte, bool, error) {
 	c.mu.RLock()
 	if v, ok := c.local[key]; ok {
 		c.mu.RUnlock()
@@ -46,7 +53,7 @@ func (c *Cache) Get(key uint64) ([]byte, bool, error) {
 	}
 	c.mu.RUnlock()
 
-	v, ok, err := c.store.Get(key)
+	v, ok, err := c.store.GetFrom(machine, key)
 	if err != nil {
 		return nil, false, err
 	}

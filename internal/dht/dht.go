@@ -44,6 +44,9 @@ type Stats struct {
 	ShardVisits  int64 // shard lock acquisitions (1 per single op, 1 per shard per batch)
 	BatchReads   int64 // BatchGet calls
 	BatchWrites  int64 // BatchPut + BatchAppend calls
+	LocalReads   int64 // reads served by a shard co-located with the caller
+	RemoteReads  int64 // reads that crossed the network (includes anonymous callers)
+	RemoteBytes  int64 // bytes moved by remote reads and writes
 }
 
 // Pair is one key-value record of a batched write.
@@ -64,6 +67,7 @@ type shard struct {
 type Store struct {
 	name      string
 	shards    []*shard
+	placement Placement
 	model     simtime.CostModel
 	clock     *simtime.Clock
 	frozen    atomic.Bool
@@ -78,6 +82,9 @@ type Store struct {
 	shardVisits  atomic.Int64
 	batchReads   atomic.Int64
 	batchWrites  atomic.Int64
+	localReads   atomic.Int64
+	remoteReads  atomic.Int64
+	remoteBytes  atomic.Int64
 }
 
 // Options configures a Store.
@@ -91,6 +98,10 @@ type Options struct {
 	// Replicate keeps a synchronous replica of every shard so that reads
 	// survive an injected shard failure (the fault-tolerance property of §2).
 	Replicate bool
+	// Placement decides which shard holds each key and which machine each
+	// shard is co-located with.  Nil defaults to HashRandom (uniform hashing,
+	// no co-location), the behavior of the unmodified model.
+	Placement Placement
 }
 
 // NewStore creates an empty store named name.
@@ -98,9 +109,13 @@ func NewStore(name string, opts Options) *Store {
 	if opts.Shards <= 0 {
 		opts.Shards = 16
 	}
+	if opts.Placement == nil {
+		opts.Placement = HashRandom()
+	}
 	s := &Store{
 		name:      name,
 		shards:    make([]*shard, opts.Shards),
+		placement: opts.Placement,
 		model:     opts.Model,
 		clock:     opts.Clock,
 		replicate: opts.Replicate,
@@ -121,21 +136,59 @@ func (s *Store) Name() string { return s.name }
 func (s *Store) NumShards() int { return len(s.shards) }
 
 func (s *Store) shardIndexFor(key uint64) int {
-	// Fibonacci hashing spreads sequential vertex identifiers across shards.
-	h := key * 0x9e3779b97f4a7c15
-	return int(h % uint64(len(s.shards)))
+	return s.placement.ShardFor(key, len(s.shards))
 }
 
 func (s *Store) shardFor(key uint64) *shard {
 	return s.shards[s.shardIndexFor(key)]
 }
 
+// Placement returns the store's placement policy.
+func (s *Store) Placement() Placement { return s.placement }
+
+// LocalTo reports whether key lives on a shard co-located with machine.  A
+// negative machine (an anonymous caller) is never local.
+func (s *Store) LocalTo(machine int, key uint64) bool {
+	if machine < 0 {
+		return false
+	}
+	return s.placement.MachineFor(s.shardIndexFor(key), len(s.shards)) == machine
+}
+
+// countRead records the local/remote classification of one served read of
+// size bytes (the 8-byte key header included, matching BytesRead).
+func (s *Store) countRead(local bool, bytes int64) {
+	if local {
+		s.localReads.Add(1)
+	} else {
+		s.remoteReads.Add(1)
+		s.remoteBytes.Add(bytes)
+	}
+}
+
+// countWrite records the local/remote classification of one write moving
+// bytes bytes.
+func (s *Store) countWrite(local bool, bytes int64) {
+	if !local {
+		s.remoteBytes.Add(bytes)
+	}
+}
+
 // Put stores value under key.  It returns ErrFrozen after Freeze has been
 // called.  The value is copied.
 func (s *Store) Put(key uint64, value []byte) error {
+	return s.PutFrom(-1, key, value)
+}
+
+// PutFrom is Put performed by the given machine; a write to a shard
+// co-located with the machine is charged the local latency and excluded from
+// the remote-byte count.  A negative machine is an anonymous (always remote)
+// caller.
+func (s *Store) PutFrom(machine int, key uint64, value []byte) error {
 	if s.frozen.Load() {
 		return ErrFrozen
 	}
+	local := s.LocalTo(machine, key)
 	sh := s.shardFor(key)
 	cp := append([]byte(nil), value...)
 	sh.mu.Lock()
@@ -148,7 +201,8 @@ func (s *Store) Put(key uint64, value []byte) error {
 	s.shardVisits.Add(1)
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(value)) + 8)
-	s.charge(s.model.WriteLatency)
+	s.countWrite(local, int64(len(value))+8)
+	s.charge(s.model.WriteCost(local))
 	return nil
 }
 
@@ -157,9 +211,15 @@ func (s *Store) Put(key uint64, value []byte) error {
 // semantics of the model, used by algorithms that emit several records per
 // key.
 func (s *Store) Append(key uint64, value []byte) error {
+	return s.AppendFrom(-1, key, value)
+}
+
+// AppendFrom is Append performed by the given machine (see PutFrom).
+func (s *Store) AppendFrom(machine int, key uint64, value []byte) error {
 	if s.frozen.Load() {
 		return ErrFrozen
 	}
+	local := s.LocalTo(machine, key)
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	cur := sh.data[key]
@@ -175,13 +235,22 @@ func (s *Store) Append(key uint64, value []byte) error {
 	s.shardVisits.Add(1)
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(value)) + 8)
-	s.charge(s.model.WriteLatency)
+	s.countWrite(local, int64(len(value))+8)
+	s.charge(s.model.WriteCost(local))
 	return nil
 }
 
 // Get returns the value stored under key.  The returned slice must not be
 // modified.  A read of an absent key counts as a miss.
 func (s *Store) Get(key uint64) ([]byte, bool, error) {
+	return s.GetFrom(-1, key)
+}
+
+// GetFrom is Get performed by the given machine; a read served by a shard
+// co-located with the machine counts as a local read and is charged the
+// local latency.  A negative machine is an anonymous (always remote) caller.
+func (s *Store) GetFrom(machine int, key uint64) ([]byte, bool, error) {
+	local := s.LocalTo(machine, key)
 	sh := s.shardFor(key)
 	sh.mu.RLock()
 	var v []byte
@@ -191,7 +260,8 @@ func (s *Store) Get(key uint64) ([]byte, bool, error) {
 			sh.mu.RUnlock()
 			s.reads.Add(1)
 			s.shardVisits.Add(1)
-			s.charge(s.model.LookupLatency)
+			s.countRead(local, 0)
+			s.charge(s.model.ReadCost(local))
 			return nil, false, fmt.Errorf("%w: key %d", ErrUnavailable, key)
 		}
 		v, ok = sh.replica[key]
@@ -205,10 +275,12 @@ func (s *Store) Get(key uint64) ([]byte, bool, error) {
 	s.reads.Add(1)
 	if ok {
 		s.bytesRead.Add(int64(len(v)) + 8)
+		s.countRead(local, int64(len(v))+8)
 	} else {
 		s.misses.Add(1)
+		s.countRead(local, 0)
 	}
-	s.charge(s.model.LookupLatency)
+	s.charge(s.model.ReadCost(local))
 	return v, ok, nil
 }
 
@@ -284,6 +356,9 @@ func (s *Store) Stats() Stats {
 		ShardVisits:  s.shardVisits.Load(),
 		BatchReads:   s.batchReads.Load(),
 		BatchWrites:  s.batchWrites.Load(),
+		LocalReads:   s.localReads.Load(),
+		RemoteReads:  s.remoteReads.Load(),
+		RemoteBytes:  s.remoteBytes.Load(),
 	}
 	for _, sh := range s.shards {
 		if ops := sh.ops.Load(); ops > st.MaxShardOps {

@@ -1,0 +1,116 @@
+package dht
+
+// Shard placement.
+//
+// The paper models every key-value lookup as a uniform remote round trip:
+// a machine queries the distributed hash table and pays the transport
+// latency (RDMA or TCP/IP) regardless of where the key lives.  In the real
+// system, however, shards are processes on the same machines that run the
+// computation, so a key can be *co-located* with the machine that owns the
+// corresponding work item — and a lookup to a co-located shard is a DRAM
+// access, an order of magnitude cheaper than RDMA (§5.1).  A Placement
+// policy decides which shard holds each key and which machine, if any, each
+// shard is co-located with; the store uses it to classify every operation
+// as local or remote for both statistics and latency charging.
+
+// Placement maps keys onto shards and shards onto the machines they are
+// co-located with.  Implementations must be pure functions of their inputs
+// (the same key always lands on the same shard) and safe for concurrent use.
+type Placement interface {
+	// Name identifies the policy in reports ("hash", "owner").
+	Name() string
+	// ShardFor returns the shard index of key given shards total shards.
+	ShardFor(key uint64, shards int) int
+	// MachineFor returns the index of the machine co-located with shard, or
+	// -1 when the shard is not co-located with any machine (every access is
+	// then remote, the paper's uniform model).
+	MachineFor(shard, shards int) int
+}
+
+// fibHash spreads sequential vertex identifiers across shards (Fibonacci
+// hashing).
+func fibHash(key uint64) uint64 {
+	return key * 0x9e3779b97f4a7c15
+}
+
+// hashRandom is the default policy: keys are hashed uniformly onto shards
+// and no shard is co-located with any machine, so every access is a remote
+// round trip exactly as in the unmodified model.
+type hashRandom struct{}
+
+// HashRandom returns the default placement policy: uniform hashing, no
+// machine affinity.
+func HashRandom() Placement { return hashRandom{} }
+
+func (hashRandom) Name() string { return "hash" }
+
+func (hashRandom) ShardFor(key uint64, shards int) int {
+	return int(fibHash(key) % uint64(shards))
+}
+
+func (hashRandom) MachineFor(shard, shards int) int { return -1 }
+
+// ownerAffine co-locates each key's shard with the machine that owns the key
+// under a contiguous range partition of the keyspace [0, keys) across
+// machines.  Machine m is assigned the shard block [m·spm, (m+1)·spm) where
+// spm = shards/machines; a key owned by machine m is hashed onto one of m's
+// shards.  When a round's work items are partitioned by the same ownership
+// function, each machine's reads and writes of its own keys stay local.
+type ownerAffine struct {
+	machines int
+	keys     int
+}
+
+// OwnerAffine returns a placement that co-locates each key's shard with the
+// machine owning the key under a contiguous range partition of [0, keys)
+// across machines (see RangeOwner).  Affinity requires shards >= machines;
+// with fewer shards the policy degrades to hashing with no co-location.
+func OwnerAffine(machines, keys int) Placement {
+	if machines < 1 {
+		machines = 1
+	}
+	return ownerAffine{machines: machines, keys: keys}
+}
+
+func (ownerAffine) Name() string { return "owner" }
+
+func (p ownerAffine) ShardFor(key uint64, shards int) int {
+	spm := shards / p.machines
+	if spm < 1 {
+		return int(fibHash(key) % uint64(shards))
+	}
+	owner := RangeOwner(key, p.machines, p.keys)
+	return owner*spm + int(fibHash(key)%uint64(spm))
+}
+
+func (p ownerAffine) MachineFor(shard, shards int) int {
+	spm := shards / p.machines
+	if spm < 1 {
+		return -1
+	}
+	m := shard / spm
+	if m >= p.machines {
+		// Trailing shards beyond machines*spm are never used by ShardFor.
+		return -1
+	}
+	return m
+}
+
+// RangeOwner returns the machine owning key under a contiguous range
+// partition of the keyspace [0, keys) across machines: machine m owns keys
+// [m·span, (m+1)·span) with span = ceil(keys/machines).  Keys at or beyond
+// keys clamp to the last machine.  It is the shared ownership function of
+// the OwnerAffine placement and of the vertex-ownership round partitioners
+// in the ampc package; the two must agree for reads of owned keys to stay
+// local.
+func RangeOwner(key uint64, machines, keys int) int {
+	if machines <= 1 || keys <= 0 {
+		return 0
+	}
+	span := (keys + machines - 1) / machines
+	owner := int(key) / span
+	if key >= uint64(keys) || owner >= machines {
+		return machines - 1
+	}
+	return owner
+}

@@ -48,13 +48,69 @@ type CostModel struct {
 	// operation (serialization plus hash-table work on the server).  Zero
 	// falls back to 1/8 of the single-operation latency.
 	BatchPerKey time.Duration
+	// LocalShardLatency is the cost of one key-value operation served by a
+	// shard co-located with the requesting machine (a DRAM access instead of
+	// a network round trip).  It only applies when the store's placement
+	// policy co-locates shards with machines and the caller identifies
+	// itself; zero falls back to the remote latency of the same direction,
+	// which disables the local/remote split.
+	LocalShardLatency time.Duration
+	// RemoteShardLatency is the round-trip cost of one key-value operation
+	// served by a shard on another machine.  Zero falls back to
+	// LookupLatency / WriteLatency per direction, so cost models predating
+	// the split behave exactly as before.
+	RemoteShardLatency time.Duration
+	// BatchLocalShardLatency is the fixed cost charged per co-located shard
+	// visited by a batched operation.  Zero falls back to LocalShardLatency,
+	// then to the remote batch cost.
+	BatchLocalShardLatency time.Duration
+	// BatchRemoteShardLatency is the fixed cost charged per remote shard
+	// visited by a batched operation.  Zero falls back to BatchShardLatency
+	// and then to the single-operation remote latency.
+	BatchRemoteShardLatency time.Duration
+}
+
+// remoteSingle resolves the remote single-operation latency for a direction's
+// base latency (LookupLatency or WriteLatency).
+func (m CostModel) remoteSingle(single time.Duration) time.Duration {
+	if m.RemoteShardLatency != 0 {
+		return m.RemoteShardLatency
+	}
+	return single
+}
+
+// localSingle resolves the co-located single-operation latency; without an
+// explicit split it equals the remote latency.
+func (m CostModel) localSingle(single time.Duration) time.Duration {
+	if m.LocalShardLatency != 0 {
+		return m.LocalShardLatency
+	}
+	return m.remoteSingle(single)
+}
+
+// ReadCost returns the modeled latency of one key-value read, served locally
+// (by a co-located shard) or remotely.
+func (m CostModel) ReadCost(local bool) time.Duration {
+	if local {
+		return m.localSingle(m.LookupLatency)
+	}
+	return m.remoteSingle(m.LookupLatency)
+}
+
+// WriteCost returns the modeled latency of one key-value write, served
+// locally (by a co-located shard) or remotely.
+func (m CostModel) WriteCost(local bool) time.Duration {
+	if local {
+		return m.localSingle(m.WriteLatency)
+	}
+	return m.remoteSingle(m.WriteLatency)
 }
 
 // batchDefaults resolves the batch fields against a single-operation latency.
 func (m CostModel) batchDefaults(single time.Duration) (perShard, perKey time.Duration) {
 	perShard = m.BatchShardLatency
 	if perShard == 0 {
-		perShard = single
+		perShard = m.remoteSingle(single)
 	}
 	perKey = m.BatchPerKey
 	if perKey == 0 {
@@ -63,18 +119,61 @@ func (m CostModel) batchDefaults(single time.Duration) (perShard, perKey time.Du
 	return perShard, perKey
 }
 
+// batchLocal resolves the per-shard cost of a co-located batched shard visit;
+// without an explicit split it equals the remote batch cost.
+func (m CostModel) batchLocal(single time.Duration) time.Duration {
+	if m.BatchLocalShardLatency != 0 {
+		return m.BatchLocalShardLatency
+	}
+	if m.LocalShardLatency != 0 {
+		return m.LocalShardLatency
+	}
+	perShard, _ := m.batchDefaults(single)
+	return perShard
+}
+
+// BatchRemoteShard returns the resolved per-remote-shard cost of a batched
+// operation in the given direction base latency.
+func (m CostModel) batchRemote(single time.Duration) time.Duration {
+	if m.BatchRemoteShardLatency != 0 {
+		return m.BatchRemoteShardLatency
+	}
+	perShard, _ := m.batchDefaults(single)
+	return perShard
+}
+
 // BatchReadCost returns the modeled latency of one batched read that visited
-// shardVisits shards to serve keys keys.
+// shardVisits shards to serve keys keys.  All visits are charged as remote;
+// use BatchReadCostSplit when the placement policy distinguishes co-located
+// shards.
 func (m CostModel) BatchReadCost(shardVisits, keys int) time.Duration {
-	perShard, perKey := m.batchDefaults(m.LookupLatency)
-	return time.Duration(shardVisits)*perShard + time.Duration(keys)*perKey
+	return m.BatchReadCostSplit(0, shardVisits, keys)
 }
 
 // BatchWriteCost returns the modeled latency of one batched write that
-// visited shardVisits shards to store keys keys.
+// visited shardVisits shards to store keys keys, all remote.
 func (m CostModel) BatchWriteCost(shardVisits, keys int) time.Duration {
-	perShard, perKey := m.batchDefaults(m.WriteLatency)
-	return time.Duration(shardVisits)*perShard + time.Duration(keys)*perKey
+	return m.BatchWriteCostSplit(0, shardVisits, keys)
+}
+
+// BatchReadCostSplit returns the modeled latency of one batched read that
+// visited localVisits co-located shards and remoteVisits remote shards to
+// serve keys keys.
+func (m CostModel) BatchReadCostSplit(localVisits, remoteVisits, keys int) time.Duration {
+	_, perKey := m.batchDefaults(m.LookupLatency)
+	return time.Duration(localVisits)*m.batchLocal(m.LookupLatency) +
+		time.Duration(remoteVisits)*m.batchRemote(m.LookupLatency) +
+		time.Duration(keys)*perKey
+}
+
+// BatchWriteCostSplit returns the modeled latency of one batched write that
+// visited localVisits co-located shards and remoteVisits remote shards to
+// store keys keys.
+func (m CostModel) BatchWriteCostSplit(localVisits, remoteVisits, keys int) time.Duration {
+	_, perKey := m.batchDefaults(m.WriteLatency)
+	return time.Duration(localVisits)*m.batchLocal(m.WriteLatency) +
+		time.Duration(remoteVisits)*m.batchRemote(m.WriteLatency) +
+		time.Duration(keys)*perKey
 }
 
 // RDMA returns the cost model of the RDMA-backed key-value store used for
@@ -95,6 +194,11 @@ func RDMA() CostModel {
 		RoundOverhead:     25 * time.Millisecond,
 		BatchShardLatency: 2 * time.Microsecond,
 		BatchPerKey:       150 * time.Nanosecond,
+		// A shard co-located with the requesting machine is a DRAM access,
+		// which the paper observes to be an order of magnitude cheaper than
+		// an RDMA lookup.
+		LocalShardLatency:      100 * time.Nanosecond,
+		BatchLocalShardLatency: 100 * time.Nanosecond,
 	}
 }
 

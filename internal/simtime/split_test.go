@@ -1,0 +1,75 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReadWriteCostSplit(t *testing.T) {
+	m := RDMA()
+	if m.ReadCost(true) != m.LocalShardLatency {
+		t.Fatalf("local read %v, want %v", m.ReadCost(true), m.LocalShardLatency)
+	}
+	if m.ReadCost(false) != m.LookupLatency {
+		t.Fatalf("remote read %v, want %v", m.ReadCost(false), m.LookupLatency)
+	}
+	if m.WriteCost(true) != m.LocalShardLatency || m.WriteCost(false) != m.WriteLatency {
+		t.Fatalf("write costs %v/%v", m.WriteCost(true), m.WriteCost(false))
+	}
+	if m.ReadCost(true) >= m.ReadCost(false) {
+		t.Fatal("a co-located read must be cheaper than a remote one under RDMA")
+	}
+}
+
+func TestCostSplitFallbacksPreserveOldModels(t *testing.T) {
+	// A model written before the local/remote split (no Local*/Remote*
+	// fields) must charge exactly its old latencies for every combination.
+	old := CostModel{
+		Name:          "legacy",
+		LookupLatency: 5 * time.Microsecond,
+		WriteLatency:  7 * time.Microsecond,
+	}
+	if old.ReadCost(true) != old.LookupLatency || old.ReadCost(false) != old.LookupLatency {
+		t.Fatal("legacy read costs changed")
+	}
+	if old.WriteCost(true) != old.WriteLatency || old.WriteCost(false) != old.WriteLatency {
+		t.Fatal("legacy write costs changed")
+	}
+	if old.BatchReadCost(3, 16) != old.BatchReadCostSplit(0, 3, 16) {
+		t.Fatal("BatchReadCost must equal the all-remote split")
+	}
+	if old.BatchReadCostSplit(3, 0, 16) != old.BatchReadCostSplit(0, 3, 16) {
+		t.Fatal("without a split, local and remote batch visits must cost the same")
+	}
+}
+
+func TestBatchCostSplitChargesLocalVisitsLess(t *testing.T) {
+	m := RDMA()
+	allRemote := m.BatchReadCostSplit(0, 4, 64)
+	half := m.BatchReadCostSplit(2, 2, 64)
+	allLocal := m.BatchReadCostSplit(4, 0, 64)
+	if !(allLocal < half && half < allRemote) {
+		t.Fatalf("batch costs not ordered: local %v, half %v, remote %v", allLocal, half, allRemote)
+	}
+	// Write direction too.
+	if m.BatchWriteCostSplit(4, 0, 64) >= m.BatchWriteCostSplit(0, 4, 64) {
+		t.Fatal("local batch writes must be cheaper")
+	}
+	// Explicit remote batch override wins.
+	custom := m
+	custom.BatchRemoteShardLatency = 50 * time.Microsecond
+	if got := custom.BatchReadCostSplit(0, 1, 0); got != 50*time.Microsecond {
+		t.Fatalf("remote batch visit charged %v, want override", got)
+	}
+}
+
+func TestTransportModelsShareLocalLatency(t *testing.T) {
+	// Co-located accesses are DRAM reads regardless of transport, so the
+	// local latency must not scale with the transport's remote latency.
+	if TCP().ReadCost(true) != RDMA().ReadCost(true) {
+		t.Fatal("TCP and RDMA should share the local (DRAM) latency")
+	}
+	if TCP().ReadCost(false) <= RDMA().ReadCost(false) {
+		t.Fatal("TCP remote reads should stay slower than RDMA")
+	}
+}
