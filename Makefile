@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench-smoke bench-check
+# Minimum statement coverage for the runtime-critical packages (cover-check).
+COVER_FLOOR_AMPC ?= 75
+COVER_FLOOR_DHT  ?= 90
+
+# Per-target budget for the short fuzz pass (fuzz-smoke).
+FUZZTIME ?= 10s
+
+.PHONY: all build test race vet fmt ci bench-smoke bench-check cover-check fuzz-smoke
 
 all: build
 
@@ -19,7 +26,7 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 
-ci: fmt vet build test race bench-check
+ci: fmt vet build test race cover-check fuzz-smoke bench-check
 
 # bench-smoke runs the pinned-seed batched-vs-unbatched comparison (OK and
 # TW stand-ins, seed 1) and writes the machine-readable snapshot that tracks
@@ -33,3 +40,29 @@ bench-smoke:
 # (uploaded as an artifact by the bench-regression CI job).
 bench-check:
 	$(GO) run ./cmd/benchcheck -baseline BENCH_smoke.json -out BENCH_fresh.json
+
+# cover-check enforces a statement-coverage floor on the runtime-critical
+# packages (the pipelined scheduler in internal/ampc and the store layer in
+# internal/dht), so new scheduler or store code cannot land untested.
+cover-check:
+	@$(GO) test -coverprofile=cover_ampc.out ./internal/ampc > /dev/null
+	@$(GO) test -coverprofile=cover_dht.out ./internal/dht > /dev/null
+	@for spec in "internal/ampc cover_ampc.out $(COVER_FLOOR_AMPC)" \
+	             "internal/dht cover_dht.out $(COVER_FLOOR_DHT)"; do \
+		set -- $$spec; \
+		pct=$$($(GO) tool cover -func=$$2 | tail -1 | sed 's/.*[[:space:]]\([0-9.]*\)%$$/\1/'); \
+		echo "coverage $$1: $$pct% (floor $$3%)"; \
+		ok=$$(echo "$$pct $$3" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then echo "coverage of $$1 fell below $$3%" >&2; exit 1; fi; \
+	done
+
+# fuzz-smoke gives every fuzz target a short budget (the boundary-key and
+# codec round-trip fuzzers of the dht and codec packages).  Go only allows
+# one -fuzz pattern per invocation, so the targets run one at a time; seed
+# corpora and testdata regressions always run via plain `make test`.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzRangeOwner -fuzztime=$(FUZZTIME) ./internal/dht
+	$(GO) test -run=NONE -fuzz=FuzzOwnerAffinePlacement -fuzztime=$(FUZZTIME) ./internal/dht
+	$(GO) test -run=NONE -fuzz=FuzzDecodeNodeIDs -fuzztime=$(FUZZTIME) ./internal/codec
+	$(GO) test -run=NONE -fuzz=FuzzDecodeWeightedNeighbors -fuzztime=$(FUZZTIME) ./internal/codec
+	$(GO) test -run=NONE -fuzz=FuzzNodeIDRoundTrip -fuzztime=$(FUZZTIME) ./internal/codec

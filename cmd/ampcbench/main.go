@@ -41,6 +41,7 @@ func main() {
 		threshold  = flag.Int("mpc-threshold", 2000, "in-memory switch-over threshold (edges) for the MPC baselines")
 		batch      = flag.Bool("batch", false, "run the AMPC algorithms with the shard-grouped batch pipeline")
 		placement  = flag.String("placement", "", "shard placement policy for the AMPC runs: hash (default) or owner")
+		pipeline   = flag.Bool("pipeline", false, "run the AMPC algorithms with dependency-aware round pipelining")
 		jsonPath   = flag.String("json", "", "write the 'batch' experiment's comparison to this path as JSON")
 	)
 	flag.Parse()
@@ -53,6 +54,7 @@ func main() {
 		MPCThreshold: *threshold,
 		Batch:        *batch,
 		Placement:    *placement,
+		Pipeline:     *pipeline,
 	}
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")

@@ -44,8 +44,8 @@ func main() {
 	// Re-run with the exact pinned configuration of the committed snapshot.
 	// The metrics depend slightly on goroutine scheduling (racy cache fills
 	// change which lookups reach the store), so each metric keeps its best
-	// value over -runs measurements: noise cannot fail the gate, while a
-	// real regression persists across every run.
+	// value over -runs measurements (bench.MergeBestRows): noise cannot
+	// fail the gate, while a real regression persists across every run.
 	freshRows := make(map[string]bench.BatchRow, len(baseline.Rows))
 	for attempt := 0; attempt < *runs; attempt++ {
 		fresh, _, err := bench.BatchSmoke(bench.Options{
@@ -65,65 +65,17 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", *outPath)
 		}
-		for _, row := range fresh.Rows {
-			key := row.Graph + "/" + row.Algo
-			best, seen := freshRows[key]
-			if !seen {
-				freshRows[key] = row
-				continue
-			}
-			if row.VisitReduction > best.VisitReduction {
-				best.VisitReduction = row.VisitReduction
-			}
-			if row.SimSpeedup > best.SimSpeedup {
-				best.SimSpeedup = row.SimSpeedup
-			}
-			best.Identical = best.Identical && row.Identical
-			freshRows[key] = best
-		}
+		bench.MergeBestRows(freshRows, fresh.Rows)
 	}
 
-	floor := 1 - *tolerance
-	failures := 0
-	fmt.Printf("%-10s %-22s %10s %10s %8s\n", "row", "metric", "baseline", "fresh", "ratio")
-	for _, want := range baseline.Rows {
-		key := want.Graph + "/" + want.Algo
-		got, ok := freshRows[key]
-		if !ok {
-			failures++
-			fmt.Printf("%-10s missing from fresh run\n", key)
-			continue
-		}
-		if !got.Identical {
-			failures++
-			fmt.Printf("%-10s batched and unbatched results differ\n", key)
-		}
-		failures += checkMetric(key, "visit_reduction", want.VisitReduction, got.VisitReduction, floor)
-		failures += checkMetric(key, "sim_speedup", want.SimSpeedup, got.SimSpeedup, floor)
+	lines, failures := bench.CheckSmoke(baseline, freshRows, *tolerance)
+	for _, line := range lines {
+		fmt.Println(line)
 	}
 	if failures > 0 {
 		fatalf("%d metric(s) regressed more than %.0f%% against %s", failures, *tolerance*100, *baselinePath)
 	}
 	fmt.Println("bench-check: no regression")
-}
-
-// checkMetric prints one comparison line and returns 1 when fresh fell below
-// floor * baseline.
-func checkMetric(key, name string, baseline, fresh, floor float64) int {
-	ratio := 0.0
-	if baseline > 0 {
-		ratio = fresh / baseline
-	}
-	status := ""
-	failed := baseline > 0 && ratio < floor
-	if failed {
-		status = "  REGRESSED"
-	}
-	fmt.Printf("%-10s %-22s %10.3f %10.3f %7.2fx%s\n", key, name, baseline, fresh, ratio, status)
-	if failed {
-		return 1
-	}
-	return 0
 }
 
 func readSmoke(path string) (bench.Smoke, error) {

@@ -55,6 +55,19 @@
 // goroutines spawned on first use and reused by every round), and with
 // EnableCache the per-machine caches survive across rounds that read the
 // same frozen hash table.  Call Runtime.Close to release the pool.
+//
+// # Round pipelining
+//
+// The model's global per-round barrier makes every machine wait for the
+// slowest.  Rounds declare the stores they read and write (Round.Reads /
+// Round.Writes), and with Config.Pipeline set, sequences executed through
+// RunPipeline (or RunStaged) are scheduled by those dependencies instead: a
+// machine finished with its partition of round i starts round i+1 work
+// whose input stores round i no longer writes, while stragglers drain.
+// Results are byte-identical with pipelining on or off; modeled time
+// becomes a per-machine critical-path maximum, with the barrier accounting
+// of the same durations reported alongside (Stats.BarrierSim/PipelineSim,
+// BarrierIdle/PipelineIdle).  See pipeline.go for the scheduler.
 package ampc
 
 import (
@@ -110,6 +123,17 @@ type Config struct {
 	// live — and therefore the local/remote statistics and modeled time —
 	// changes.
 	Placement string
+	// Pipeline enables dependency-aware round pipelining for round
+	// sequences executed through RunPipeline (and RunStaged): a machine
+	// that has finished its partition of round i starts round i+1 work
+	// whose input stores round i no longer writes, instead of idling at
+	// the global barrier while stragglers drain.  Rounds declare their
+	// store access sets (Round.Reads / Round.Writes); the scheduler
+	// serializes conflicting rounds and overlaps independent ones.
+	// Results are identical with pipelining on or off — only which
+	// machine works when, and therefore the modeled time and straggler
+	// idle, changes.  Rounds executed through Run are unaffected.
+	Pipeline bool
 	// Model is the key-value store latency model.
 	Model simtime.CostModel
 	// Shards is the number of key-value store shards.
@@ -222,9 +246,30 @@ type Stats struct {
 	// KVRemoteBytes counts the key-value bytes (read + written) that
 	// crossed the network; under PlacementHash it equals KVBytesTotal.
 	KVRemoteBytes int64
-	Wall          time.Duration
-	Sim           time.Duration
-	Phases        []PhaseStat
+	// PipelineSegments counts RunPipeline invocations that actually ran
+	// pipelined (Config.Pipeline set and more than one round).
+	PipelineSegments int
+	// PipelinedRounds counts the rounds executed inside those segments.
+	PipelinedRounds int
+	// BarrierSim is the modeled time the pipelined segments would have
+	// cost under the classic per-round barrier accounting (sum over rounds
+	// of the slowest machine, plus round overheads), computed from the
+	// same per-(round, machine) busy durations.  BarrierSim - PipelineSim
+	// is the modeled-time delta of pipelining.
+	BarrierSim time.Duration
+	// PipelineSim is the modeled time actually charged for the pipelined
+	// segments: the per-machine critical-path makespan respecting the
+	// declared round dependencies, plus round overheads.
+	PipelineSim time.Duration
+	// BarrierIdle is the straggler idle (summed over machines) the same
+	// segments would have paid at per-round barriers; PipelineIdle is the
+	// idle remaining under the pipelined schedule.  Their relative gap is
+	// the straggler-idle reduction reported by the pipeline experiment.
+	BarrierIdle  time.Duration
+	PipelineIdle time.Duration
+	Wall         time.Duration
+	Sim          time.Duration
+	Phases       []PhaseStat
 }
 
 // Runtime executes AMPC computations.
@@ -246,6 +291,19 @@ type Runtime struct {
 	started    time.Time
 	keyspace   int
 	caches     map[*dht.Store][]*dht.Cache
+	// cacheFence records, per store, the store's write count observed when
+	// its per-machine caches were last known coherent.  Rounds fence every
+	// store they read against it before executing: a moved counter means
+	// the store was written since the caches were filled, and the caches
+	// are invalidated.  This replaces the implicit "everything is quiescent
+	// at the barrier" assumption with a per-store fence that stays sound
+	// when rounds overlap under pipelining.
+	cacheFence map[*dht.Store]int64
+
+	// runMu serializes round execution: Run and RunPipeline hold it for
+	// their whole duration, so concurrent callers queue instead of
+	// interleaving their jobs in the machine feeds.
+	runMu sync.Mutex
 
 	// lifecycle serializes Close against in-flight Runs: every Run holds a
 	// read lock for its whole duration, so Close (write lock) waits for
@@ -269,10 +327,11 @@ type phaseFrame struct {
 // New returns a runtime with the given configuration.
 func New(cfg Config) *Runtime {
 	r := &Runtime{
-		cfg:     cfg.WithDefaults(),
-		clock:   &simtime.Clock{},
-		started: time.Now(),
-		caches:  make(map[*dht.Store][]*dht.Cache),
+		cfg:        cfg.WithDefaults(),
+		clock:      &simtime.Clock{},
+		started:    time.Now(),
+		caches:     make(map[*dht.Store][]*dht.Cache),
+		cacheFence: make(map[*dht.Store]int64),
 	}
 	return r
 }
@@ -373,9 +432,41 @@ func (r *Runtime) NewStore(name string) *dht.Store {
 	return s
 }
 
+// fenceCaches is the per-store cache fence: when store's write count has
+// moved since its per-machine caches were last validated, every machine's
+// cache for the store is invalidated.  Rounds call it for every store they
+// read before executing.
+//
+// Coherence under pipelining is primarily guaranteed structurally: the
+// dependency gates order every write round before any round reading the
+// store, and the store is frozen at its first read, so today no cached
+// store can be written after its caches fill and the invalidation branch
+// never fires on a correct schedule.  The fence is defense-in-depth — it
+// turns that invariant into a checked, per-store property instead of an
+// assumption tied to the global barrier, and it is what keeps cached reads
+// safe if a future backend or scheduler change allows writes to a store
+// after it has been cached (the regression tests pin the behavior).
+func (r *Runtime) fenceCaches(store *dht.Store) {
+	if store == nil {
+		return
+	}
+	w := store.WriteCount()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if last, ok := r.cacheFence[store]; ok && last != w {
+		for _, c := range r.caches[store] {
+			if c != nil {
+				c.Invalidate()
+			}
+		}
+	}
+	r.cacheFence[store] = w
+}
+
 // cacheFor returns machine's persistent cache in front of store, creating it
 // on first use.  Caches survive across rounds: a store is frozen the first
-// time it is read, so entries can never go stale.
+// time it is read (and fenced against its write counter, see fenceCaches),
+// so entries can never go stale.
 func (r *Runtime) cacheFor(store *dht.Store, machine int) *dht.Cache {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -583,6 +674,21 @@ type Round struct {
 	// Read is the input hash table; it is frozen for the duration of the
 	// round.  May be nil for rounds that only compute locally.
 	Read *dht.Store
+	// Reads declares additional hash tables the round's Body reads beyond
+	// Read (for example a status store consulted directly).  The pipelined
+	// scheduler (RunPipeline) serializes this round after any earlier
+	// round writing one of them.  Unlike Read, declared reads are NOT
+	// frozen — a cumulative store (statuses published across passes) may
+	// appear in both Reads and Writes of the same round.
+	Reads []*dht.Store
+	// Writes declares every hash table the round's Body writes (via
+	// Ctx.Write / Ctx.Emit / the batched variants).  RunPipeline uses the
+	// declaration to order rounds: a later round reading or writing one of
+	// these stores cannot start anywhere until this round has completed on
+	// every machine.  A round executed through RunPipeline MUST declare
+	// all its writes — an undeclared write could race a dependent round
+	// that the scheduler believed independent.  Run ignores the field.
+	Writes []*dht.Store
 	// Body processes one work item on the machine owning it.
 	Body func(ctx *Ctx, item int) error
 	// Partitioner assigns work item i to a machine in [0, Machines); nil
@@ -595,23 +701,39 @@ type Round struct {
 	Partitioner func(item int) int
 }
 
-// Run executes one AMPC round on the persistent worker pool.  Work item i is
-// assigned to machine i mod Machines (or Partitioner(i) when set); each
-// machine processes its items with Threads concurrent workers sharing one
-// Ctx.  The simulated duration of the round is the maximum over machines of
-// (compute + key-value latency / Threads), modeling the fact that
-// multithreading hides lookup latency but not computation.
-func (r *Runtime) Run(round Round) error {
-	cfg := r.cfg
-	// Hold the lifecycle read lock for the whole round so a concurrent
-	// Close cannot tear the pool down mid-dispatch (it waits instead).
-	r.lifecycle.RLock()
-	defer r.lifecycle.RUnlock()
-	if r.closed.Load() {
-		return fmt.Errorf("ampc: round %q: runtime is closed", round.Name)
+// readSet returns every store the round declares it reads: Read plus Reads,
+// deduplicated.
+func (rd Round) readSet() []*dht.Store {
+	if rd.Read == nil {
+		return rd.Reads
 	}
+	for _, s := range rd.Reads {
+		if s == rd.Read {
+			return rd.Reads
+		}
+	}
+	return append([]*dht.Store{rd.Read}, rd.Reads...)
+}
+
+// preparedRound is one round made ready for execution: input stores frozen
+// and fenced, per-machine contexts built and jobs partitioned.
+type preparedRound struct {
+	round Round
+	ctxs  []*Ctx
+	jobs  []*machineJob
+}
+
+// prepareRound freezes the round's input store, fences the caches of every
+// store the round reads, counts the round, builds the per-machine contexts
+// and partitions the work items into machine jobs.  onErr receives every
+// item error.
+func (r *Runtime) prepareRound(round Round, onErr func(error)) *preparedRound {
+	cfg := r.cfg
 	if round.Read != nil {
 		round.Read.Freeze()
+	}
+	for _, s := range round.readSet() {
+		r.fenceCaches(s)
 	}
 	r.mu.Lock()
 	r.stats.Rounds++
@@ -628,19 +750,6 @@ func (r *Runtime) Run(round Round) error {
 		}
 	}
 
-	var firstErr error
-	var errMu sync.Mutex
-	recordErr := func(err error) {
-		if err == nil {
-			return
-		}
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-
 	jobs := make([]*machineJob, cfg.Machines)
 	if round.Partitioner == nil {
 		// Items owned by machine m: m, m+P, m+2P, ...
@@ -651,7 +760,7 @@ func (r *Runtime) Run(round Round) error {
 				body:   round.Body,
 				count:  (round.Items - m + cfg.Machines - 1) / cfg.Machines,
 				itemAt: func(k int) int { return m + k*cfg.Machines },
-				onErr:  recordErr,
+				onErr:  onErr,
 			}
 		}
 	} else {
@@ -673,23 +782,28 @@ func (r *Runtime) Run(round Round) error {
 				body:   round.Body,
 				count:  len(items),
 				itemAt: func(k int) int { return items[k] },
-				onErr:  recordErr,
+				onErr:  onErr,
 			}
 		}
 	}
-	r.workers().dispatch(jobs)
+	return &preparedRound{round: round, ctxs: ctxs, jobs: jobs}
+}
 
-	// Simulated round time: slowest machine, with latency divided by the
-	// thread count (threads overlap lookups), plus the round-spawn overhead.
-	var slowest time.Duration
+// machineDuration returns the modeled busy time of one machine in a round:
+// compute plus key-value latency divided by the thread count (threads
+// overlap lookups but not computation).
+func (r *Runtime) machineDuration(ctx *Ctx) time.Duration {
+	compute := time.Duration(ctx.compute.Load()) * r.cfg.Model.ComputePerItem
+	lat := time.Duration(ctx.latency.Load()) / time.Duration(r.cfg.Threads)
+	return compute + lat
+}
+
+// absorbRoundStats folds a finished round's per-context counters into the
+// runtime statistics.
+func (r *Runtime) absorbRoundStats(ctxs []*Ctx) {
 	var maxQueries int64
 	var batches, batchedKeys, visitsSaved int64
 	for _, ctx := range ctxs {
-		compute := time.Duration(ctx.compute.Load()) * cfg.Model.ComputePerItem
-		lat := time.Duration(ctx.latency.Load()) / time.Duration(cfg.Threads)
-		if d := compute + lat; d > slowest {
-			slowest = d
-		}
 		if q := ctx.queries.Load(); q > maxQueries {
 			maxQueries = q
 		}
@@ -697,7 +811,6 @@ func (r *Runtime) Run(round Round) error {
 		batchedKeys += ctx.batchedKeys.Load()
 		visitsSaved += ctx.visitsSaved.Load()
 	}
-	r.clock.Charge(slowest + cfg.Model.RoundOverhead)
 	r.mu.Lock()
 	if maxQueries > r.stats.MaxMachineQueries {
 		r.stats.MaxMachineQueries = maxQueries
@@ -706,5 +819,54 @@ func (r *Runtime) Run(round Round) error {
 	r.stats.BatchedKeys += batchedKeys
 	r.stats.ShardVisitsSaved += visitsSaved
 	r.mu.Unlock()
+}
+
+// Run executes one AMPC round on the persistent worker pool.  Work item i is
+// assigned to machine i mod Machines (or Partitioner(i) when set); each
+// machine processes its items with Threads concurrent workers sharing one
+// Ctx.  The simulated duration of the round is the maximum over machines of
+// (compute + key-value latency / Threads), modeling the fact that
+// multithreading hides lookup latency but not computation.
+func (r *Runtime) Run(round Round) error {
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	return r.runBarrier(round)
+}
+
+// runBarrier is Run without the serialization lock (held by the caller).
+func (r *Runtime) runBarrier(round Round) error {
+	// Hold the lifecycle read lock for the whole round so a concurrent
+	// Close cannot tear the pool down mid-dispatch (it waits instead).
+	r.lifecycle.RLock()
+	defer r.lifecycle.RUnlock()
+	if r.closed.Load() {
+		return fmt.Errorf("ampc: round %q: runtime is closed", round.Name)
+	}
+
+	var firstErr error
+	var errMu sync.Mutex
+	recordErr := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	pr := r.prepareRound(round, recordErr)
+	r.workers().dispatch(pr.jobs)
+
+	// Simulated round time: slowest machine plus the round-spawn overhead.
+	var slowest time.Duration
+	for _, ctx := range pr.ctxs {
+		if d := r.machineDuration(ctx); d > slowest {
+			slowest = d
+		}
+	}
+	r.absorbRoundStats(pr.ctxs)
+	r.clock.Charge(slowest + r.cfg.Model.RoundOverhead)
 	return firstErr
 }

@@ -190,28 +190,38 @@ func BlockBounds(block, size, items int) (lo, hi int) {
 }
 
 // WriteTable runs one round that stores value(i) under key i for every work
-// item i in [0, items), reading nothing.  computePerItem units of local
-// computation are charged per item.  With batching enabled the items are
-// written in shard-grouped blocks of BatchSize keys; otherwise one Put per
-// key, exactly as the hand-written kv-write rounds did.  Items are
-// partitioned by key ownership, so under the owner-affine placement every
-// machine writes its own keys to its co-located shards.
+// item i in [0, items), reading nothing.  See WriteTableRound.
 func (r *Runtime) WriteTable(name string, store *dht.Store, items, computePerItem int, value func(int) []byte) error {
+	return r.Run(r.WriteTableRound(name, store, items, computePerItem, value))
+}
+
+// WriteTableRound builds (without running) the round that stores value(i)
+// under key i for every work item i in [0, items), reading nothing and
+// declaring its single store write for the pipelined scheduler.
+// computePerItem units of local computation are charged per item.  With
+// batching enabled the items are written in shard-grouped blocks of
+// BatchSize keys; otherwise one Put per key, exactly as the hand-written
+// kv-write rounds did.  Items are partitioned by key ownership, so under the
+// owner-affine placement every machine writes its own keys to its co-located
+// shards.
+func (r *Runtime) WriteTableRound(name string, store *dht.Store, items, computePerItem int, value func(int) []byte) Round {
 	if !r.cfg.Batch {
-		return r.Run(Round{
+		return Round{
 			Name:        name,
 			Items:       items,
+			Writes:      []*dht.Store{store},
 			Partitioner: r.OwnerPartitioner(items),
 			Body: func(ctx *Ctx, item int) error {
 				ctx.ChargeCompute(computePerItem)
 				return ctx.Write(store, uint64(item), value(item))
 			},
-		})
+		}
 	}
 	size := r.cfg.BatchSize
-	return r.Run(Round{
+	return Round{
 		Name:        name,
 		Items:       NumBlocks(items, size),
+		Writes:      []*dht.Store{store},
 		Partitioner: r.BlockOwnerPartitioner(size, items),
 		Body: func(ctx *Ctx, block int) error {
 			lo, hi := BlockBounds(block, size, items)
@@ -222,7 +232,7 @@ func (r *Runtime) WriteTable(name string, store *dht.Store, items, computePerIte
 			ctx.ChargeCompute(computePerItem * (hi - lo))
 			return ctx.WriteMany(store, pairs)
 		},
-	})
+	}
 }
 
 // coalescer buffers single-key lookups issued by the worker threads of one

@@ -1,0 +1,253 @@
+package ampc
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ampcgraph/internal/dht"
+	"ampcgraph/internal/simtime"
+)
+
+// Dependency-aware round pipelining.
+//
+// The AMPC model is barrier-synchronized: round i+1 starts only after every
+// machine has finished round i, so one straggler machine idles the whole
+// persistent pool.  Most of that synchronization is over-conservative — a
+// round only truly needs the stores it reads to be fully written.  Rounds
+// therefore declare their store access sets (Round.Reads / Round.Writes),
+// and RunPipeline schedules a round sequence so that:
+//
+//   - each machine executes its partitions in program order (round j after
+//     round j-1, enforced by the per-machine FIFO job feeds of the pool);
+//   - round j starts on ANY machine only once every machine has finished
+//     round dep(j), where dep(j) is the latest earlier round that conflicts
+//     with j (writes a store j reads, reads a store j writes, or writes a
+//     store j writes).
+//
+// A machine that has finished its partition of round i therefore moves
+// straight into round i+1 work whose input stores round i no longer writes,
+// while stragglers drain round i.  (With several threads per machine the
+// overlap is even finer: a thread that has drained its machine's share of
+// round i may pull co-dispatched round i+1 work while a sibling thread
+// finishes round i's last items — safe for the same reason the cross-machine
+// overlap is, since only rounds whose dependency gate has opened are ever
+// co-dispatched.)  Because reads still begin only after every write to their
+// store has completed (and the store is frozen and its caches fenced at that
+// point), the computation observes exactly the same store contents as the
+// barrier execution: results are byte-identical with pipelining on or off.
+// Only the schedule — and therefore the modeled wall-clock, computed as a
+// per-machine critical-path max instead of a sum of per-round maxima —
+// changes.  The old barrier accounting is preserved in Stats.BarrierSim so
+// the two can be compared on the same run.
+
+// pipelineDeps returns, for every round, the index of the latest earlier
+// round it conflicts with (-1 when independent of all earlier rounds).
+func pipelineDeps(rounds []Round) []int {
+	deps := make([]int, len(rounds))
+	for j := range rounds {
+		deps[j] = -1
+		for i := j - 1; i > deps[j]; i-- {
+			if roundsConflict(rounds[i], rounds[j]) {
+				deps[j] = i
+			}
+		}
+	}
+	return deps
+}
+
+// roundsConflict reports whether the two rounds must be ordered: a store
+// written by one and read by the other, or written by both.
+func roundsConflict(a, b Round) bool {
+	return storesIntersect(a.Writes, b.readSet()) ||
+		storesIntersect(a.readSet(), b.Writes) ||
+		storesIntersect(a.Writes, b.Writes)
+}
+
+func storesIntersect(a, b []*dht.Store) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x != nil && x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RunPipeline executes a sequence of rounds.  With Config.Pipeline unset it
+// is exactly equivalent to calling Run on each round in order (per-round
+// barriers, byte-identical accounting).  With Pipeline set the rounds run as
+// one dependency-scheduled segment: machines proceed through the sequence in
+// program order, and a round is gated globally only on its latest
+// conflicting predecessor (see the package comment above).  Every round must
+// declare its full store access sets via Read/Reads and Writes.  The first
+// item error of any round is returned after the whole segment has drained.
+func (r *Runtime) RunPipeline(rounds []Round) error {
+	if len(rounds) == 0 {
+		return nil
+	}
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	if !r.cfg.Pipeline || len(rounds) == 1 {
+		for i := range rounds {
+			if err := r.runBarrier(rounds[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return r.runPipelined(rounds)
+}
+
+// pipeDone is one (round, machine) completion event.
+type pipeDone struct{ round, machine int }
+
+func (r *Runtime) runPipelined(rounds []Round) error {
+	cfg := r.cfg
+	r.lifecycle.RLock()
+	defer r.lifecycle.RUnlock()
+	if r.closed.Load() {
+		return fmt.Errorf("ampc: pipeline %q: runtime is closed", rounds[0].Name)
+	}
+
+	var firstErr error
+	var errMu sync.Mutex
+	recordErr := func(err error) {
+		if err == nil {
+			return
+		}
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	k := len(rounds)
+	machines := cfg.Machines
+	deps := pipelineDeps(rounds)
+	prepared := make([]*preparedRound, k)
+	busy := make([][]time.Duration, k)
+
+	// Every (round, machine) pair produces exactly one event, so the
+	// buffered channel never blocks a sender.
+	events := make(chan pipeDone, k*machines)
+	nextRound := make([]int, machines) // next round to enqueue, per machine
+	doneCount := make([]int, k)        // machines finished, per round
+	barrierDone := -1                  // all rounds <= barrierDone done on every machine
+
+	// pump enqueues, for every machine, each next round whose dependency
+	// gate is open.  A round is prepared — its input stores frozen and
+	// fenced, its items partitioned — the first time any machine reaches
+	// it, which is after every write to its input stores has completed.
+	// The per-machine feeds keep program order, so enqueueing ahead of the
+	// machine's current work is safe.
+	pump := func() {
+		for m := 0; m < machines; m++ {
+			for nextRound[m] < k && deps[nextRound[m]] <= barrierDone {
+				j := nextRound[m]
+				nextRound[m]++
+				if prepared[j] == nil {
+					prepared[j] = r.prepareRound(rounds[j], recordErr)
+					busy[j] = make([]time.Duration, machines)
+				}
+				job := prepared[j].jobs[m]
+				if job == nil {
+					// No items for this machine: complete immediately.
+					events <- pipeDone{j, m}
+					continue
+				}
+				job.done = func(*machineJob) { events <- pipeDone{j, m} }
+				r.workers().submit(m, job)
+			}
+		}
+	}
+
+	pump()
+	for remaining := k * machines; remaining > 0; remaining-- {
+		ev := <-events
+		// Only machine ev.machine's threads ever touched this context, and
+		// they are all done with it, so its counters are final.
+		busy[ev.round][ev.machine] = r.machineDuration(prepared[ev.round].ctxs[ev.machine])
+		doneCount[ev.round]++
+		advanced := false
+		for barrierDone+1 < k && doneCount[barrierDone+1] == machines {
+			barrierDone++
+			advanced = true
+		}
+		if advanced {
+			pump()
+		}
+	}
+
+	for _, pr := range prepared {
+		r.absorbRoundStats(pr.ctxs)
+	}
+
+	// Modeled time: the critical-path makespan of the pipelined schedule,
+	// with the classic barrier accounting of the same durations kept
+	// alongside for comparison.
+	overhead := time.Duration(k) * cfg.Model.RoundOverhead
+	pipe := simtime.PipelineSchedule(busy, deps)
+	barrier := simtime.BarrierSchedule(busy)
+	r.clock.Charge(pipe.Makespan + overhead)
+	r.mu.Lock()
+	r.stats.PipelineSegments++
+	r.stats.PipelinedRounds += k
+	r.stats.PipelineSim += pipe.Makespan + overhead
+	r.stats.BarrierSim += barrier.Makespan + overhead
+	r.stats.PipelineIdle += pipe.Idle
+	r.stats.BarrierIdle += barrier.Idle
+	r.mu.Unlock()
+	return firstErr
+}
+
+// StagedRound couples a Round with the Phase it runs under when the sequence
+// executes round-by-round.
+type StagedRound struct {
+	// Phase names the phase wrapping the round in barrier mode; empty runs
+	// the round without a phase of its own.
+	Phase string
+	// Round is the round to execute.
+	Round Round
+}
+
+// RunStaged executes a static round sequence the way the core algorithms
+// drive their pipelines.  With Config.Pipeline unset each round runs at a
+// global barrier under its own phase — byte-identical, in results and in
+// accounting, to writing Phase+Run by hand.  With Pipeline set the whole
+// sequence runs as one dependency-scheduled pipeline (RunPipeline) under a
+// single phase combining the stage names, so a machine done with its share
+// of one stage flows into the next stage's independent work instead of
+// idling at the barrier.
+func (r *Runtime) RunStaged(stages []StagedRound) error {
+	if !r.cfg.Pipeline {
+		for _, st := range stages {
+			run := st.Round
+			if st.Phase == "" {
+				if err := r.Run(run); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := r.Phase(st.Phase, func() error { return r.Run(run) }); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rounds := make([]Round, len(stages))
+	var names []string
+	for i, st := range stages {
+		rounds[i] = st.Round
+		if st.Phase != "" {
+			names = append(names, st.Phase)
+		}
+	}
+	if len(names) == 0 {
+		return r.RunPipeline(rounds)
+	}
+	return r.Phase(strings.Join(names, "+"), func() error { return r.RunPipeline(rounds) })
+}

@@ -6,19 +6,27 @@ import (
 	"sync/atomic"
 )
 
-// Persistent machine/worker pool.
+// Persistent machine/worker pool with per-machine job queues.
 //
 // The original runtime spawned one goroutine per machine (plus Threads
 // worker goroutines inside it) on every Run and tore everything down at the
 // end of the round, the way the dataflow host framework respawns its
 // workers.  A production system keeps its machine processes alive for the
-// lifetime of the computation, so the runtime now owns a persistent pool:
+// lifetime of the computation, so the runtime owns a persistent pool:
 // Machines x Threads worker goroutines are started once, on the first Run,
-// and every subsequent round is dispatched to them as a job.  Items are
-// pulled from a shared atomic cursor per machine, so a machine's threads
-// self-balance within its partition exactly as the transient workers did.
-// Close releases the pool; a Runtime that never runs a round never spawns
-// it.
+// and rounds are dispatched to them as jobs.  Items are pulled from a shared
+// atomic cursor per machine, so a machine's threads self-balance within its
+// partition exactly as the transient workers did.
+//
+// PR 3 replaced the one-shot dispatch (hand every thread one job, wait at a
+// global WaitGroup) with per-machine FIFO job queues plus per-job completion
+// tracking: each machine owns an ordered feed of jobs, its threads drain the
+// feed in order, and the last thread to leave a job fires the job's
+// completion callback.  The barrier dispatch of Run is a thin layer on top
+// (enqueue one job per machine, wait for all completions); the pipelined
+// scheduler of RunPipeline uses the same queues to keep a machine's rounds
+// in program order while different machines run different rounds.  Close
+// releases the pool; a Runtime that never runs a round never spawns it.
 
 // machineJob is one machine's share of one round.
 type machineJob struct {
@@ -28,34 +36,67 @@ type machineJob struct {
 	count  int           // number of items assigned to this machine
 	itemAt func(int) int // k-th assigned item
 	next   atomic.Int64  // shared pull cursor over [0, count)
-	wg     *sync.WaitGroup
-	onErr  func(error)
+	// threadsLeft counts the worker threads that have not yet drained the
+	// job; the thread that decrements it to zero fires done.  At that point
+	// every item has been fully processed: an item is only claimed by a
+	// thread that finishes it before leaving the job.
+	threadsLeft atomic.Int32
+	done        func(*machineJob)
+	onErr       func(error)
+}
+
+// jobNode is one link of a machine's job feed.  Worker threads each keep
+// their own cursor into the list, so a node is garbage collected as soon as
+// every thread has moved past it — the feed is unbounded without growing.
+type jobNode struct {
+	job  *machineJob
+	next *jobNode
+}
+
+// machineFeed is the ordered job queue of one machine.
+type machineFeed struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	tail   *jobNode // most recently appended node (sentinel when empty)
+	closed bool
 }
 
 // workerPool is the persistent set of machine worker goroutines.
 type workerPool struct {
 	threads int
-	// jobs[m][t] is the job channel of machine m's t-th worker thread.
-	jobs [][]chan *machineJob
+	feeds   []*machineFeed
 }
 
 func newWorkerPool(machines, threads int) *workerPool {
-	p := &workerPool{threads: threads, jobs: make([][]chan *machineJob, machines)}
-	for m := range p.jobs {
-		p.jobs[m] = make([]chan *machineJob, threads)
-		for t := range p.jobs[m] {
-			ch := make(chan *machineJob)
-			p.jobs[m][t] = ch
-			go poolWorker(ch)
+	p := &workerPool{threads: threads, feeds: make([]*machineFeed, machines)}
+	for m := range p.feeds {
+		f := &machineFeed{tail: &jobNode{}}
+		f.cond = sync.NewCond(&f.mu)
+		p.feeds[m] = f
+		for t := 0; t < threads; t++ {
+			go poolWorker(f, f.tail)
 		}
 	}
 	return p
 }
 
-// poolWorker is the loop of one persistent worker thread: drain the items of
-// each dispatched job, then wait for the next round.
-func poolWorker(jobs <-chan *machineJob) {
-	for job := range jobs {
+// poolWorker is the loop of one persistent worker thread: follow the
+// machine's feed in order, drain the items of each job, then wait for the
+// next.  cur is the thread's private cursor into the feed.
+func poolWorker(f *machineFeed, cur *jobNode) {
+	for {
+		f.mu.Lock()
+		for cur.next == nil && !f.closed {
+			f.cond.Wait()
+		}
+		if cur.next == nil {
+			f.mu.Unlock()
+			return
+		}
+		cur = cur.next
+		f.mu.Unlock()
+
+		job := cur.job
 		for {
 			k := int(job.next.Add(1) - 1)
 			if k >= job.count {
@@ -66,38 +107,49 @@ func poolWorker(jobs <-chan *machineJob) {
 				job.onErr(fmt.Errorf("ampc: round %q item %d: %w", job.name, item, err))
 			}
 		}
-		job.wg.Done()
+		if job.threadsLeft.Add(-1) == 0 && job.done != nil {
+			job.done(job)
+		}
 	}
 }
 
-// dispatch hands each machine's job to all of that machine's worker threads
-// and waits for the round to drain.  jobs[m] may be nil when machine m has
-// no items this round.
+// submit appends a job to machine m's feed.  The machine's threads process
+// feed entries strictly in submission order, which is what preserves
+// per-machine program order under pipelining.
+func (p *workerPool) submit(m int, job *machineJob) {
+	job.threadsLeft.Store(int32(p.threads))
+	f := p.feeds[m]
+	n := &jobNode{job: job}
+	f.mu.Lock()
+	f.tail.next = n
+	f.tail = n
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// dispatch hands each machine its job and waits for every job to complete
+// (the barrier execution of Run).  jobs[m] may be nil when machine m has no
+// items this round.
 func (p *workerPool) dispatch(jobs []*machineJob) {
 	var wg sync.WaitGroup
-	for _, job := range jobs {
-		if job == nil {
-			continue
-		}
-		job.wg = &wg
-		wg.Add(p.threads)
-	}
 	for m, job := range jobs {
 		if job == nil {
 			continue
 		}
-		for _, ch := range p.jobs[m] {
-			ch <- job
-		}
+		wg.Add(1)
+		job.done = func(*machineJob) { wg.Done() }
+		p.submit(m, job)
 	}
 	wg.Wait()
 }
 
-// close shuts the worker goroutines down.
+// close wakes the worker goroutines and lets them exit once their feeds are
+// drained.
 func (p *workerPool) close() {
-	for _, machine := range p.jobs {
-		for _, ch := range machine {
-			close(ch)
-		}
+	for _, f := range p.feeds {
+		f.mu.Lock()
+		f.closed = true
+		f.mu.Unlock()
+		f.cond.Broadcast()
 	}
 }

@@ -58,6 +58,11 @@ type Options struct {
 	// The dedicated "locality" experiment compares the two directly and
 	// ignores this field.
 	Placement string
+	// Pipeline runs the AMPC algorithms with dependency-aware round
+	// pipelining (ampc.Config.Pipeline) in every experiment.  The
+	// dedicated "pipeline" experiment compares barrier and pipelined
+	// schedules directly and ignores this field.
+	Pipeline bool
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +94,7 @@ func (o Options) ampcConfig() ampc.Config {
 		EnableCache: true,
 		Batch:       o.Batch,
 		Placement:   o.Placement,
+		Pipeline:    o.Pipeline,
 		Seed:        o.Seed,
 	}
 }

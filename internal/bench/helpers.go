@@ -17,7 +17,7 @@ func AllExperiments() []string {
 	return []string{
 		"table2", "table3", "figure3", "figure4", "figure5", "figure6",
 		"figure7", "figure8", "figure9", "table4", "cycle", "connectivity",
-		"batch", "locality",
+		"batch", "locality", "pipeline",
 	}
 }
 
@@ -64,6 +64,9 @@ func RunByName(name string, opts Options) (Report, error) {
 		return rep, err
 	case "locality":
 		_, rep, err := LocalityComparison(opts)
+		return rep, err
+	case "pipeline":
+		_, rep, err := PipelineComparison(opts)
 		return rep, err
 	default:
 		return Report{}, errUnknownExperiment(name)

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/core/matching"
+	"ampcgraph/internal/core/mis"
+	"ampcgraph/internal/graph"
+)
+
+// PipelineRow is one dataset of the barrier-vs-pipeline comparison: a fused
+// MIS + maximal matching workload (four rounds — two independent KV-writes,
+// two searches each depending only on its own write) executed once with the
+// dependency-aware pipelined scheduler, next to the two standalone
+// barrier-mode runs whose outputs the fused run must reproduce exactly.
+type PipelineRow struct {
+	Graph string `json:"graph"`
+	// Identical reports whether the fused pipelined run produced exactly
+	// the outputs of the standalone barrier runs (it must: pipelining only
+	// reorders which machine works when).
+	Identical bool `json:"identical"`
+	// PipelinedRounds is the number of rounds in the fused segment.
+	PipelinedRounds int `json:"pipelined_rounds"`
+	// BarrierSim is the modeled time the fused rounds would cost at
+	// per-round barriers; PipelineSim is the modeled critical-path time
+	// actually charged.  SimDelta is their difference (the modeled time
+	// the pipeline saved), SimSpeedup the ratio.
+	BarrierSim  time.Duration `json:"barrier_sim_ns"`
+	PipelineSim time.Duration `json:"pipeline_sim_ns"`
+	SimDelta    time.Duration `json:"sim_delta_ns"`
+	SimSpeedup  float64       `json:"sim_speedup"`
+	// BarrierIdle is the total straggler idle (summed over machines) the
+	// barrier schedule pays; PipelineIdle is what remains under the
+	// pipelined schedule; IdleReductionPct is the percentage removed.
+	BarrierIdle      time.Duration `json:"barrier_idle_ns"`
+	PipelineIdle     time.Duration `json:"pipeline_idle_ns"`
+	IdleReductionPct float64       `json:"idle_reduction_pct"`
+}
+
+// PipelineComparison measures dependency-aware round pipelining on skewed
+// (hub-heavy) inputs.  For each dataset it runs MIS and maximal matching
+// standalone at per-round barriers, then fuses the two algorithms' rounds
+// into one four-round RunPipeline segment: both KV-writes, then both
+// searches, with each search gated only on its own write.  The two searches
+// are partitioned onto offset machine assignments, the way a production
+// scheduler spreads different jobs' hot partitions, so the machine that
+// owns a hub for one algorithm is not the straggler of the other — and a
+// machine finished with its share of the MIS search starts matching work
+// while the MIS straggler drains.  Outputs must be byte-identical to the
+// standalone runs; the row reports the straggler-idle reduction and the
+// modeled-time delta.
+func PipelineComparison(opts Options) ([]PipelineRow, Report, error) {
+	if len(opts.Datasets) == 0 {
+		// The hub-heavy web stand-ins, where one machine owning the hubs
+		// makes barrier rounds wait the longest.
+		opts.Datasets = []string{"CW", "HL"}
+	}
+	opts = opts.withDefaults()
+	rep := Report{
+		Title: "Dependency-aware round pipelining: barrier vs pipelined schedule (fused MIS+MM)",
+		Header: fmt.Sprintf("%-8s %10s %7s %14s %14s %12s %10s %10s",
+			"graph", "identical", "rounds", "barrier-sim", "pipeline-sim", "sim-delta", "idle-cut", "speedup"),
+		Notes: []string{
+			"four fused rounds: write(MIS), write(MM), search(MIS), search(MM); each search depends only on its own write, so machines done with one search flow into the other",
+			"the two searches run on offset machine assignments so their straggler machines differ (partitioning never changes results)",
+			"results are required to be byte-identical to the standalone barrier-mode runs",
+		},
+	}
+	var rows []PipelineRow
+	for _, ng := range opts.graphs() {
+		row, err := pipelineRow(ng.name, ng.g, opts)
+		if err != nil {
+			return nil, rep, err
+		}
+		rows = append(rows, row)
+		rep.Rows = append(rep.Rows, fmt.Sprintf("%-8s %10v %7d %14s %14s %12s %9.1f%% %7.2fx",
+			row.Graph, row.Identical, row.PipelinedRounds,
+			row.BarrierSim.Round(10*time.Microsecond), row.PipelineSim.Round(10*time.Microsecond),
+			row.SimDelta.Round(10*time.Microsecond), row.IdleReductionPct, row.SimSpeedup))
+	}
+	return rows, rep, nil
+}
+
+func pipelineRow(name string, g *graph.Graph, opts Options) (PipelineRow, error) {
+	row := PipelineRow{Graph: name}
+
+	// Standalone barrier-mode runs: the reference outputs.
+	cfg := opts.ampcConfig()
+	cfg.Pipeline = false
+	misRef, err := mis.Run(g, cfg)
+	if err != nil {
+		return row, err
+	}
+	mmRef, err := matching.Run(g, cfg)
+	if err != nil {
+		return row, err
+	}
+
+	// Fused pipelined run: one runtime, four declared-dependency rounds.
+	cfgOn := cfg
+	cfgOn.Pipeline = true
+	rt := ampc.New(cfgOn)
+	defer rt.Close()
+	misPlan, err := mis.NewPlan(rt, g)
+	if err != nil {
+		return row, err
+	}
+	mmPlan, err := matching.NewPlan(rt, g)
+	if err != nil {
+		return row, err
+	}
+	// Spread the two searches' hot partitions: the matching search runs on
+	// machine assignments offset by half the pool, so the machine owning a
+	// hub's MIS work is not also the matching straggler.  Partitioning only
+	// decides which machine does the work, never the result.
+	machines := rt.Config().Machines
+	base := mmPlan.Search.Partitioner
+	if machines > 1 && base != nil {
+		offset := machines / 2
+		mmPlan.Search.Partitioner = func(item int) int {
+			return (base(item) + offset) % machines
+		}
+	}
+	err = rt.RunPipeline([]ampc.Round{misPlan.Write, mmPlan.Write, misPlan.Search, mmPlan.Search})
+	if err != nil {
+		return row, err
+	}
+	st := rt.Stats()
+
+	row.Identical = reflect.DeepEqual(misPlan.InMIS, misRef.InMIS) &&
+		reflect.DeepEqual(mmPlan.Matching.Mate, mmRef.Matching.Mate)
+	row.PipelinedRounds = st.PipelinedRounds
+	row.BarrierSim = st.BarrierSim
+	row.PipelineSim = st.PipelineSim
+	row.SimDelta = st.BarrierSim - st.PipelineSim
+	if st.PipelineSim > 0 {
+		row.SimSpeedup = float64(st.BarrierSim) / float64(st.PipelineSim)
+	}
+	row.BarrierIdle = st.BarrierIdle
+	row.PipelineIdle = st.PipelineIdle
+	if st.BarrierIdle > 0 {
+		row.IdleReductionPct = 100 * float64(st.BarrierIdle-st.PipelineIdle) / float64(st.BarrierIdle)
+	}
+	return row, nil
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/core/connectivity"
+	"ampcgraph/internal/core/cycle"
+	"ampcgraph/internal/core/matching"
+	"ampcgraph/internal/core/mis"
+	"ampcgraph/internal/core/msf"
+	"ampcgraph/internal/gen"
+)
+
+// visitCounts is the request-level fingerprint of a run: with one thread per
+// machine the exact sequence of key-value requests is deterministic, so
+// pipelined and barrier executions must agree on every counter, not just on
+// the outputs.
+type visitCounts struct {
+	Reads, Writes, ShardVisits int64
+}
+
+func countsOf(st ampc.Stats) visitCounts {
+	return visitCounts{Reads: st.KVReads, Writes: st.KVWrites, ShardVisits: st.KVShardVisits}
+}
+
+// TestPipelineEquivalenceAllFiveAlgorithms is the acceptance property of the
+// pipelined scheduler: every core algorithm must produce byte-identical
+// outputs — and, with one thread per machine, identical visit counts — with
+// round pipelining on and off, across seeds and both placement policies.
+// Pipelining only reorders which machine works when; any divergence is a
+// scheduler bug.
+func TestPipelineEquivalenceAllFiveAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs five algorithms twice per configuration")
+	}
+	type cfgCase struct {
+		seed      int64
+		placement string
+		batch     bool
+	}
+	var cases []cfgCase
+	for _, seed := range []int64{1, 2, 3} {
+		for _, placement := range []string{ampc.PlacementHash, ampc.PlacementOwnerAffine} {
+			// Exercise the batched lock-step rounds on one seed per
+			// placement; the single-key rounds on the others.
+			cases = append(cases, cfgCase{seed: seed, placement: placement, batch: seed == 2})
+		}
+	}
+	for _, tc := range cases {
+		base := ampc.Config{
+			Machines:    6,
+			Threads:     1, // deterministic request sequence per machine
+			EnableCache: true,
+			Batch:       tc.batch,
+			Placement:   tc.placement,
+			Seed:        tc.seed,
+		}
+		barrier := base
+		barrier.Pipeline = false
+		pipelined := base
+		pipelined.Pipeline = true
+
+		g := gen.Datasets()[0].Build(1, tc.seed) // OK stand-in
+		weighted := gen.DegreeProportionalWeights(g)
+		cycleG := gen.TwoCycles(2_000 + 300*int(tc.seed))
+
+		mis0, err := mis.Run(g, barrier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mis1, err := mis.Run(g, pipelined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mis0.InMIS, mis1.InMIS) {
+			t.Errorf("%+v: MIS differs under pipelining", tc)
+		}
+		if a, b := countsOf(mis0.Stats), countsOf(mis1.Stats); a != b {
+			t.Errorf("%+v: MIS visit counts differ: %+v vs %+v", tc, a, b)
+		}
+
+		mm0, err := matching.Run(g, barrier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm1, err := matching.Run(g, pipelined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mm0.Matching.Mate, mm1.Matching.Mate) {
+			t.Errorf("%+v: matching differs under pipelining", tc)
+		}
+		if a, b := countsOf(mm0.Stats), countsOf(mm1.Stats); a != b {
+			t.Errorf("%+v: matching visit counts differ: %+v vs %+v", tc, a, b)
+		}
+
+		msf0, err := msf.Run(weighted, barrier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msf1, err := msf.Run(weighted, pipelined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(msf0.Edges, msf1.Edges) {
+			t.Errorf("%+v: MSF differs under pipelining", tc)
+		}
+		if a, b := countsOf(msf0.Stats), countsOf(msf1.Stats); a != b {
+			t.Errorf("%+v: MSF visit counts differ: %+v vs %+v", tc, a, b)
+		}
+
+		cc0, err := connectivity.Run(g, barrier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc1, err := connectivity.Run(g, pipelined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cc0.Components, cc1.Components) {
+			t.Errorf("%+v: connectivity differs under pipelining", tc)
+		}
+		if a, b := countsOf(cc0.Stats), countsOf(cc1.Stats); a != b {
+			t.Errorf("%+v: connectivity visit counts differ: %+v vs %+v", tc, a, b)
+		}
+
+		cy0, err := cycle.Run(cycleG, barrier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cy1, err := cycle.Run(cycleG, pipelined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cy0.SingleCycle != cy1.SingleCycle || cy0.NumCycles != cy1.NumCycles {
+			t.Errorf("%+v: cycle answer differs under pipelining", tc)
+		}
+		if a, b := countsOf(cy0.Stats), countsOf(cy1.Stats); a != b {
+			t.Errorf("%+v: cycle visit counts differ: %+v vs %+v", tc, a, b)
+		}
+	}
+}
+
+// TestPipelineComparison guards the acceptance bar of the pipelined
+// scheduler: on a skewed (hub) dataset the fused MIS+MM pipeline must report
+// a straggler-idle reduction over the barrier schedule, a non-negative
+// modeled-time delta, and outputs identical to the standalone runs.
+func TestPipelineComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline comparison runs MIS and MM three times")
+	}
+	rows, rep, err := PipelineComparison(Options{Datasets: []string{"CW"}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows %d, want 1", len(rows))
+	}
+	row := rows[0]
+	if !row.Identical {
+		t.Error("fused pipelined outputs differ from the standalone barrier runs")
+	}
+	if row.PipelinedRounds != 4 {
+		t.Errorf("pipelined rounds %d, want 4", row.PipelinedRounds)
+	}
+	if row.IdleReductionPct <= 0 {
+		t.Errorf("straggler-idle reduction %.2f%%, want > 0%%", row.IdleReductionPct)
+	}
+	if row.SimDelta < 0 || row.PipelineSim > row.BarrierSim {
+		t.Errorf("pipelined schedule modeled slower than barrier: %v vs %v", row.PipelineSim, row.BarrierSim)
+	}
+	if row.BarrierIdle < row.PipelineIdle {
+		t.Errorf("pipeline increased idle: %v -> %v", row.BarrierIdle, row.PipelineIdle)
+	}
+	if len(rep.Rows) != len(rows) {
+		t.Fatalf("report rows %d != data rows %d", len(rep.Rows), len(rows))
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import "fmt"
+
+// Smoke-snapshot regression checking.
+//
+// cmd/benchcheck guards the batching win recorded in BENCH_smoke.json: it
+// re-runs the pinned-seed smoke benchmark and fails when a metric regresses
+// beyond the tolerance.  The comparison logic lives here so it can be tested
+// against its edge cases directly — zero baselines, rows missing from the
+// fresh run, and regressions landing exactly on the threshold — instead of
+// only through the command's exit code.
+
+// MergeBestRows folds one measurement run into best, keeping each row's best
+// value per metric across runs.  The metrics depend slightly on goroutine
+// scheduling (racy cache fills change which lookups reach the store), so the
+// gate keeps the best of several runs: noise cannot fail it, while a real
+// regression persists across every run.  Identical must hold in every run.
+func MergeBestRows(best map[string]BatchRow, rows []BatchRow) {
+	for _, row := range rows {
+		key := row.Graph + "/" + row.Algo
+		cur, seen := best[key]
+		if !seen {
+			best[key] = row
+			continue
+		}
+		if row.VisitReduction > cur.VisitReduction {
+			cur.VisitReduction = row.VisitReduction
+		}
+		if row.SimSpeedup > cur.SimSpeedup {
+			cur.SimSpeedup = row.SimSpeedup
+		}
+		cur.Identical = cur.Identical && row.Identical
+		best[key] = cur
+	}
+}
+
+// CheckSmoke compares the freshly measured rows against the committed
+// baseline with the given fractional tolerance (0.10 = a metric may fall to
+// 90% of its committed value).  It returns one human-readable line per
+// comparison and the number of failures: rows missing from the fresh run,
+// rows whose batched and unbatched results diverged, and metrics that fell
+// strictly below (1 - tolerance) x baseline.  A metric whose baseline is
+// zero or negative cannot fail (there is nothing to regress from), and a
+// metric landing exactly on the threshold passes.
+func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, tolerance float64) (lines []string, failures int) {
+	floor := 1 - tolerance
+	lines = append(lines, fmt.Sprintf("%-10s %-22s %10s %10s %8s", "row", "metric", "baseline", "fresh", "ratio"))
+	for _, want := range baseline.Rows {
+		key := want.Graph + "/" + want.Algo
+		got, ok := fresh[key]
+		if !ok {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s missing from fresh run", key))
+			continue
+		}
+		if !got.Identical {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s batched and unbatched results differ", key))
+		}
+		for _, m := range []struct {
+			name           string
+			baseline, next float64
+		}{
+			{"visit_reduction", want.VisitReduction, got.VisitReduction},
+			{"sim_speedup", want.SimSpeedup, got.SimSpeedup},
+		} {
+			line, failed := checkSmokeMetric(key, m.name, m.baseline, m.next, floor)
+			lines = append(lines, line)
+			if failed {
+				failures++
+			}
+		}
+	}
+	return lines, failures
+}
+
+// checkSmokeMetric formats one comparison line and reports whether fresh
+// fell strictly below floor x baseline.
+func checkSmokeMetric(key, name string, baseline, fresh, floor float64) (string, bool) {
+	ratio := 0.0
+	if baseline > 0 {
+		ratio = fresh / baseline
+	}
+	failed := baseline > 0 && ratio < floor
+	status := ""
+	if failed {
+		status = "  REGRESSED"
+	}
+	return fmt.Sprintf("%-10s %-22s %10.3f %10.3f %7.2fx%s", key, name, baseline, fresh, ratio, status), failed
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func smokeWith(rows ...BatchRow) Smoke {
+	return Smoke{Seed: 1, Datasets: []string{"OK"}, Scale: 1, Machines: 8, Threads: 4, Rows: rows}
+}
+
+func freshMap(rows ...BatchRow) map[string]BatchRow {
+	m := make(map[string]BatchRow)
+	MergeBestRows(m, rows)
+	return m
+}
+
+func TestCheckSmokeZeroBaselineNeverFails(t *testing.T) {
+	// A zero (or negative) baseline metric has nothing to regress from:
+	// whatever the fresh run measures, the gate must not fail on it.
+	base := smokeWith(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 0, SimSpeedup: 0})
+	fresh := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 0, SimSpeedup: 0})
+	lines, failures := CheckSmoke(base, fresh, 0.10)
+	if failures != 0 {
+		t.Fatalf("zero-baseline metrics failed the gate: %d failures\n%s", failures, strings.Join(lines, "\n"))
+	}
+}
+
+func TestCheckSmokeMissingRowFails(t *testing.T) {
+	base := smokeWith(
+		BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5},
+		BatchRow{Graph: "TW", Algo: "MM", Identical: true, VisitReduction: 2, SimSpeedup: 1.5},
+	)
+	fresh := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5})
+	lines, failures := CheckSmoke(base, fresh, 0.10)
+	if failures != 1 {
+		t.Fatalf("missing row: %d failures, want 1\n%s", failures, strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "TW/MM") || !strings.Contains(joined, "missing from fresh run") {
+		t.Fatalf("missing-row line absent:\n%s", joined)
+	}
+}
+
+func TestCheckSmokeExactlyAtThresholdPasses(t *testing.T) {
+	// With 10% tolerance the floor is 0.90 x baseline; a fresh value
+	// landing exactly on the floor must pass, one epsilon below must fail.
+	base := smokeWith(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2.0, SimSpeedup: 1.0})
+	atFloor := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 1.8, SimSpeedup: 0.9})
+	if lines, failures := CheckSmoke(base, atFloor, 0.10); failures != 0 {
+		t.Fatalf("exactly-at-threshold failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
+	}
+	below := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 1.79, SimSpeedup: 0.9})
+	lines, failures := CheckSmoke(base, below, 0.10)
+	if failures != 1 {
+		t.Fatalf("below-threshold regression not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "REGRESSED") {
+		t.Fatalf("regressed marker absent:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCheckSmokeNonIdenticalFails(t *testing.T) {
+	base := smokeWith(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5})
+	fresh := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: false, VisitReduction: 2, SimSpeedup: 1.5})
+	_, failures := CheckSmoke(base, fresh, 0.10)
+	if failures != 1 {
+		t.Fatalf("non-identical row: %d failures, want 1", failures)
+	}
+}
+
+func TestMergeBestRowsKeepsBestPerMetric(t *testing.T) {
+	best := make(map[string]BatchRow)
+	MergeBestRows(best, []BatchRow{{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 1.5, SimSpeedup: 2.0}})
+	MergeBestRows(best, []BatchRow{{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2.5, SimSpeedup: 1.0}})
+	got := best["OK/MIS"]
+	if got.VisitReduction != 2.5 || got.SimSpeedup != 2.0 {
+		t.Fatalf("best-of merge %+v, want visit 2.5 / speedup 2.0", got)
+	}
+	// Identical must hold in EVERY run, not just the best one.
+	MergeBestRows(best, []BatchRow{{Graph: "OK", Algo: "MIS", Identical: false, VisitReduction: 3, SimSpeedup: 3}})
+	if best["OK/MIS"].Identical {
+		t.Fatal("a non-identical run did not poison the merged row")
+	}
+}

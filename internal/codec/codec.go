@@ -40,7 +40,9 @@ func DecodeNodeIDs(b []byte) ([]graph.NodeID, error) {
 		return nil, fmt.Errorf("codec: short buffer (%d bytes)", len(b))
 	}
 	n := binary.LittleEndian.Uint32(b)
-	if len(b) != int(4+4*n) {
+	// 64-bit arithmetic: a hostile header close to 2^32 must not overflow
+	// the expected length back onto the actual one.
+	if uint64(len(b)) != 4+4*uint64(n) {
 		return nil, fmt.Errorf("codec: length mismatch: header %d, bytes %d", n, len(b))
 	}
 	out := make([]graph.NodeID, n)
@@ -73,7 +75,8 @@ func DecodeWeightedNeighbors(b []byte) ([]WeightedNeighbor, error) {
 		return nil, fmt.Errorf("codec: short buffer (%d bytes)", len(b))
 	}
 	n := binary.LittleEndian.Uint32(b)
-	if len(b) != int(4+12*n) {
+	// 64-bit arithmetic: see DecodeNodeIDs.
+	if uint64(len(b)) != 4+12*uint64(n) {
 		return nil, fmt.Errorf("codec: length mismatch: header %d, bytes %d", n, len(b))
 	}
 	out := make([]WeightedNeighbor, n)

@@ -20,14 +20,15 @@ import (
 // The walks themselves are unchanged, so the contracted multigraph (and the
 // 1-vs-2 answer) is identical to the unbatched run.
 
-// runBatchWalkRound walks from every sample of a block in lock-step,
-// reporting each finished walk through report (called under mu).
-func runBatchWalkRound(rt *ampc.Runtime, store *dht.Store, g *graph.Graph,
+// batchWalkRound builds the round that walks from every sample of a block
+// in lock-step, reporting each finished walk through report (called under
+// mu); the caller runs it (or stages it into a pipeline).
+func batchWalkRound(rt *ampc.Runtime, store *dht.Store, g *graph.Graph,
 	samples []graph.NodeID, sampled []bool, mu *sync.Mutex,
-	report func(start, end graph.NodeID, steps int)) error {
+	report func(start, end graph.NodeID, steps int)) ampc.Round {
 	n := g.NumNodes()
 	size := rt.Config().BatchSize
-	return rt.Run(ampc.Round{
+	return ampc.Round{
 		Name:  "walk",
 		Items: ampc.NumBlocks(len(samples), size),
 		Read:  store,
@@ -110,5 +111,5 @@ func runBatchWalkRound(rt *ampc.Runtime, store *dht.Store, g *graph.Graph,
 			}
 			return nil
 		},
-	})
+	}
 }

@@ -87,24 +87,28 @@ func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, er
 	}
 	res.SampledVertices = len(samples)
 
-	// Write the adjacency lists to the key-value store (the single shuffle of
-	// the AMPC algorithm).
+	// Write the adjacency lists to the key-value store (the single shuffle
+	// of the AMPC algorithm), then walk from every sample in both
+	// directions until the next sample.  The walk reads exactly the store
+	// the KV-write produces, so the two rounds form one staged sequence:
+	// per-round barriers by default, one dependency-scheduled pipeline
+	// under Config.Pipeline.
 	store := rt.NewStore("cycle-adjacency")
-	err = rt.Phase("KV-Write", func() error {
+	err = rt.Phase("Shuffle", func() error {
 		var bytes int64
 		for v := 0; v < n; v++ {
 			bytes += int64(codec.SizeOfNodeList(g.Degree(graph.NodeID(v))))
 		}
 		rt.RecordShuffle("cycle-graph", bytes)
-		return rt.WriteTable("kv-write", store, n, 1, func(item int) []byte {
-			return codec.EncodeNodeIDs(g.Neighbors(graph.NodeID(item)))
-		})
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	writeRound := rt.WriteTableRound("kv-write", store, n, 1, func(item int) []byte {
+		return codec.EncodeNodeIDs(g.Neighbors(graph.NodeID(item)))
+	})
 
-	// Walk from every sample in both directions until the next sample.
 	type link struct{ a, b graph.NodeID }
 	var mu sync.Mutex
 	var links []link
@@ -117,12 +121,12 @@ func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, er
 			maxWalk = steps
 		}
 	}
-	err = rt.Phase("Walk", func() error {
-		if cfgD.Batch {
-			// Lock-step walks over shard-grouped batches (batch.go).
-			return runBatchWalkRound(rt, store, g, samples, sampled, &mu, recordWalk)
-		}
-		return rt.Run(ampc.Round{
+	var walkRound ampc.Round
+	if cfgD.Batch {
+		// Lock-step walks over shard-grouped batches (batch.go).
+		walkRound = batchWalkRound(rt, store, g, samples, sampled, &mu, recordWalk)
+	} else {
+		walkRound = ampc.Round{
 			Name:  "walk",
 			Items: len(samples),
 			Read:  store,
@@ -142,7 +146,11 @@ func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, er
 				}
 				return nil
 			},
-		})
+		}
+	}
+	err = rt.RunStaged([]ampc.StagedRound{
+		{Phase: "KV-Write", Round: writeRound},
+		{Phase: "Walk", Round: walkRound},
 	})
 	if err != nil {
 		return nil, err

@@ -138,12 +138,13 @@ func (s *batchMatcher) evalEdge(u, v graph.NodeID) (in bool, miss graph.NodeID) 
 	return true, graph.None
 }
 
-// runBatchRound runs one lock-step IsInMM round over blocks of vertices.
-func runBatchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, sorted [][]graph.NodeID,
-	rank RankFunc, caches []*matchCache, matching []graph.NodeID, resolved []bool, mu *sync.Mutex) error {
+// batchSearchRound builds the lock-step IsInMM round over blocks of
+// vertices; the caller runs it (or stages it into a pipeline).
+func batchSearchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, sorted [][]graph.NodeID,
+	rank RankFunc, caches []*matchCache, matching []graph.NodeID, resolved []bool, mu *sync.Mutex) ampc.Round {
 	n := len(sorted)
 	size := rt.Config().BatchSize
-	return rt.Run(ampc.Round{
+	return ampc.Round{
 		Name:        phaseName,
 		Items:       ampc.NumBlocks(n, size),
 		Read:        store,
@@ -190,5 +191,5 @@ func runBatchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, sorted 
 					return nil
 				})
 		},
-	})
+	}
 }

@@ -176,15 +176,10 @@ func runProcess(g *graph.Graph, cfg ampc.Config, rank RankFunc, budget int) (*Re
 	return &Result{Matching: m, Stats: rt.Stats(), SearchRounds: rounds}, nil
 }
 
-// computeMatching runs the shuffle + KV-write + search pipeline on an
-// existing runtime.  tag suffixes the phase and store names so that the
-// filtered variant can run several iterations on one runtime.
-func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int, tag string) (*seq.Matching, int, error) {
-	cfgD := rt.Config()
+// permuteGraph runs the PermuteGraph shuffle (Step 1): every vertex's
+// incident edges sorted by edge priority.
+func permuteGraph(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, tag string) ([][]graph.NodeID, error) {
 	n := g.NumNodes()
-	rt.SetKeyspace(n)
-
-	// Step 1: sort every vertex's incident edges by edge priority.
 	sorted := make([][]graph.NodeID, n)
 	err := rt.Phase("PermuteGraph"+tag, func() error {
 		var bytes int64
@@ -205,29 +200,118 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 		return nil
 	})
 	if err != nil {
-		return nil, 0, err
+		return nil, err
+	}
+	return sorted, nil
+}
+
+// sortedStore runs the PermuteGraph shuffle and prepares the store holding
+// the edge-sorted graph plus the KV-write round that fills it — the shared
+// prefix of the single-pass plan and the truncated driver.
+func sortedStore(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, tag string) ([][]graph.NodeID, *dht.Store, ampc.Round, error) {
+	sorted, err := permuteGraph(rt, g, rank, tag)
+	if err != nil {
+		return nil, nil, ampc.Round{}, err
+	}
+	store := rt.NewStore("edge-sorted-graph" + tag)
+	write := rt.WriteTableRound("kv-write"+tag, store, g.NumNodes(), 1, func(item int) []byte {
+		return codec.EncodeNodeIDs(sorted[item])
+	})
+	return sorted, store, write, nil
+}
+
+// Plan is the 2-round maximal matching pipeline prepared on an existing
+// runtime: the KV-write round producing the edge-sorted store and the IsInMM
+// search round reading it.  The rounds declare their store dependency, so
+// they can be staged into a larger RunPipeline sequence next to another
+// algorithm's rounds (see the bench "pipeline" experiment).
+type Plan struct {
+	// Write stores the edge-sorted adjacency lists; Search resolves every
+	// vertex.  Search reads exactly the store Write produces.
+	Write, Search ampc.Round
+	// Matching is filled by the search round.
+	Matching *seq.Matching
+}
+
+// NewPlan runs the host-side PermuteGraph shuffle for g (under the uniform
+// edge ranking of the runtime's seed, as Run uses) and prepares the KV-write
+// and search rounds on rt.  Executing the two rounds completes the
+// computation exactly as Run does.
+func NewPlan(rt *ampc.Runtime, g *graph.Graph) (*Plan, error) {
+	return newPlan(rt, g, UniformEdgeRank(rt.Config().Seed), "")
+}
+
+func newPlan(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, tag string) (*Plan, error) {
+	cfgD := rt.Config()
+	n := g.NumNodes()
+	rt.SetKeyspace(n)
+	sorted, store, write, err := sortedStore(rt, g, rank, tag)
+	if err != nil {
+		return nil, err
+	}
+	matching := seq.NewMatching(n)
+	resolved := make([]bool, n)
+	caches := make([]*matchCache, cfgD.Machines)
+	if cfgD.EnableCache {
+		for i := range caches {
+			caches[i] = newMatchCache()
+		}
+	}
+	var mu sync.Mutex
+	var search ampc.Round
+	if cfgD.Batch {
+		// Lock-step block evaluation over shard-grouped batches (see
+		// batch.go).
+		search = batchSearchRound(rt, "IsInMM"+tag, store, sorted, rank, caches, matching.Mate, resolved, &mu)
+	} else {
+		search = searchRound(rt, "IsInMM"+tag, store, sorted, rank, caches, matching.Mate, resolved, &mu)
+	}
+	return &Plan{Write: write, Search: search, Matching: matching}, nil
+}
+
+// computeMatching runs the shuffle + KV-write + search pipeline on an
+// existing runtime.  tag suffixes the phase and store names so that the
+// filtered variant can run several iterations on one runtime.
+func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int, tag string) (*seq.Matching, int, error) {
+	cfgD := rt.Config()
+	n := g.NumNodes()
+	rt.SetKeyspace(n)
+
+	if budget == 0 {
+		// Untruncated searches resolve in a single pass, so the KV-write
+		// and the search form one static round sequence with a declared
+		// store dependency.  RunStaged executes them at per-round barriers
+		// by default and as one dependency-scheduled pipeline under
+		// Config.Pipeline — with byte-identical results either way.
+		plan, err := newPlan(rt, g, rank, tag)
+		if err != nil {
+			return nil, 0, err
+		}
+		err = rt.RunStaged([]ampc.StagedRound{
+			{Phase: "KV-Write" + tag, Round: plan.Write},
+			{Phase: "IsInMM" + tag, Round: plan.Search},
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return plan.Matching, 1, nil
 	}
 
-	// Step 2: write the edge-sorted graph to the key-value store.
-	store := rt.NewStore("edge-sorted-graph" + tag)
-	err = rt.Phase("KV-Write"+tag, func() error {
-		return rt.WriteTable("kv-write"+tag, store, n, 1, func(item int) []byte {
-			return codec.EncodeNodeIDs(sorted[item])
-		})
-	})
+	// Truncated variant: searches are budgeted and retried across passes,
+	// so the driver stays dynamic.  The single-key path is kept so the
+	// per-search query budget retains its original meaning.
+	sorted, store, writeRound, err := sortedStore(rt, g, rank, tag)
 	if err != nil {
 		return nil, 0, err
 	}
-
-	// Step 3: vertex-centric searches.
 	matching := seq.NewMatching(n)
 	resolved := make([]bool, n)
-	searchRounds := 0
-
-	var mateStore *dht.Store
-	if budget > 0 {
-		mateStore = rt.NewStore("matching-status" + tag)
+	err = rt.Phase("KV-Write"+tag, func() error { return rt.Run(writeRound) })
+	if err != nil {
+		return nil, 0, err
 	}
+	searchRounds := 0
+	mateStore := rt.NewStore("matching-status" + tag)
 
 	pass := 0
 	prevRemaining := -1
@@ -260,18 +344,11 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 			phaseName = fmt.Sprintf("IsInMM%s-pass%d", tag, pass)
 		}
 		err = rt.Phase(phaseName, func() error {
-			if cfgD.Batch && budget == 0 {
-				// Lock-step block evaluation over shard-grouped batches
-				// (see batch.go); the truncated variant keeps the
-				// single-key path so its per-search query budget retains
-				// its original meaning.
-				var mu sync.Mutex
-				return runBatchRound(rt, phaseName, store, sorted, rank, caches, matching.Mate, resolved, &mu)
-			}
-			return rt.Run(ampc.Round{
+			round := ampc.Round{
 				Name:        phaseName,
 				Items:       n,
 				Read:        store,
+				Writes:      []*dht.Store{mateStore},
 				Partitioner: rt.OwnerPartitioner(n),
 				Body: func(ctx *ampc.Ctx, item int) error {
 					if resolved[item] {
@@ -304,18 +381,16 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 					}
 					matching.Mate[item] = mate
 					resolved[item] = true
-					if mateStore != nil {
-						return ctx.Write(mateStore, uint64(item), codec.EncodeNodeID(mate))
-					}
-					return nil
+					return ctx.Write(mateStore, uint64(item), codec.EncodeNodeID(mate))
 				},
-			})
+			}
+			if pass > 1 {
+				round.Reads = []*dht.Store{mateStore}
+			}
+			return rt.Run(round)
 		})
 		if err != nil {
 			return nil, 0, err
-		}
-		if budget == 0 {
-			break
 		}
 		searchRounds = pass
 		if pass > 64 {
@@ -326,6 +401,37 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 		searchRounds = 1
 	}
 	return matching, searchRounds, nil
+}
+
+// searchRound builds the single-key IsInMM round: every vertex runs the
+// vertex-centric query process against the frozen edge-sorted store.  The
+// round reads only that store and writes nothing, which is exactly the
+// dependency declaration the pipelined scheduler needs.
+func searchRound(rt *ampc.Runtime, name string, store *dht.Store, sorted [][]graph.NodeID,
+	rank RankFunc, caches []*matchCache, mate []graph.NodeID, resolved []bool, mu *sync.Mutex) ampc.Round {
+	n := len(sorted)
+	return ampc.Round{
+		Name:        name,
+		Items:       n,
+		Read:        store,
+		Partitioner: rt.OwnerPartitioner(n),
+		Body: func(ctx *ampc.Ctx, item int) error {
+			cache := caches[ctx.Machine]
+			if cache == nil {
+				cache = newMatchCache()
+			}
+			s := &searcher{ctx: ctx, cache: cache, rank: rank}
+			got, err := s.vertexProcess(graph.NodeID(item), sorted[item])
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			mate[item] = got
+			resolved[item] = true
+			mu.Unlock()
+			return nil
+		},
+	}
 }
 
 var errTruncated = fmt.Errorf("matching: search truncated")

@@ -59,12 +59,13 @@ func (s *batchSearcher) eval(v graph.NodeID) (status, graph.NodeID) {
 	return statusIn, graph.None
 }
 
-// runBatchRound runs one lock-step IsInMIS round over blocks of vertices.
-func runBatchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, directed [][]graph.NodeID,
-	caches []*statusCache, inMIS, resolved []bool, mu *sync.Mutex) error {
+// batchSearchRound builds the lock-step IsInMIS round over blocks of
+// vertices; the caller runs it (or stages it into a pipeline).
+func batchSearchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, directed [][]graph.NodeID,
+	caches []*statusCache, inMIS, resolved []bool, mu *sync.Mutex) ampc.Round {
 	n := len(directed)
 	size := rt.Config().BatchSize
-	return rt.Run(ampc.Round{
+	return ampc.Round{
 		Name:        phaseName,
 		Items:       ampc.NumBlocks(n, size),
 		Read:        store,
@@ -109,5 +110,5 @@ func runBatchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, directe
 					return nil
 				})
 		},
-	})
+	}
 }

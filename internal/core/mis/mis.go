@@ -96,23 +96,17 @@ func RunTruncated(g *graph.Graph, cfg ampc.Config) (*Result, error) {
 	return run(g, cfg, budget)
 }
 
-func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
-	rt := ampc.New(cfg)
-	defer rt.Close()
-	cfgD := rt.Config()
+// directGraph runs the DirectGraph shuffle (Step 1): every vertex keeps only
+// its neighbors of higher priority (earlier rank), sorted by rank.  In the
+// dataflow implementation this is the single shuffle of the algorithm.
+func directGraph(rt *ampc.Runtime, g *graph.Graph, prio []uint64) ([][]graph.NodeID, error) {
 	n := g.NumNodes()
-	rt.SetKeyspace(n)
-	prio := rng.VertexPriorities(cfgD.Seed, n)
 	less := func(a, b graph.NodeID) bool {
 		if prio[a] != prio[b] {
 			return prio[a] < prio[b]
 		}
 		return a < b
 	}
-
-	// Step 1: direct edges toward earlier (higher-priority) neighbors.  In
-	// the dataflow implementation this is the single shuffle of the
-	// algorithm.
 	directed := make([][]graph.NodeID, n)
 	err := rt.Phase("DirectGraph", func() error {
 		var bytes int64
@@ -134,31 +128,119 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return directed, nil
+}
 
-	// Step 2: write the directed graph to the key-value store.
+// directedStore runs the DirectGraph shuffle and prepares the store holding
+// the directed graph plus the KV-write round that fills it — the shared
+// prefix of the single-pass plan and the truncated driver.
+func directedStore(rt *ampc.Runtime, g *graph.Graph, prio []uint64) ([][]graph.NodeID, *dht.Store, ampc.Round, error) {
+	directed, err := directGraph(rt, g, prio)
+	if err != nil {
+		return nil, nil, ampc.Round{}, err
+	}
 	store := rt.NewStore("directed-graph")
-	err = rt.Phase("KV-Write", func() error {
-		return rt.WriteTable("kv-write", store, n, 1, func(item int) []byte {
-			return codec.EncodeNodeIDs(directed[item])
-		})
+	write := rt.WriteTableRound("kv-write", store, g.NumNodes(), 1, func(item int) []byte {
+		return codec.EncodeNodeIDs(directed[item])
 	})
+	return directed, store, write, nil
+}
+
+// Plan is the 2-round MIS pipeline prepared on an existing runtime: the
+// KV-write round producing the directed-graph store and the IsInMIS search
+// round reading it.  The rounds declare their store dependency, so they can
+// be staged into a larger RunPipeline sequence next to another algorithm's
+// rounds — the bench "pipeline" experiment fuses them with the maximal
+// matching rounds to overlap independent rounds across algorithms.
+type Plan struct {
+	// Write stores the directed adjacency lists; Search resolves every
+	// vertex.  Search reads exactly the store Write produces.
+	Write, Search ampc.Round
+	// InMIS is filled by the search round.
+	InMIS []bool
+}
+
+// NewPlan runs the host-side DirectGraph shuffle for g and prepares the
+// KV-write and search rounds on rt.  Executing the two rounds (in order,
+// with the declared dependency respected) completes the computation exactly
+// as Run does.
+func NewPlan(rt *ampc.Runtime, g *graph.Graph) (*Plan, error) {
+	cfgD := rt.Config()
+	n := g.NumNodes()
+	rt.SetKeyspace(n)
+	prio := rng.VertexPriorities(cfgD.Seed, n)
+	directed, store, write, err := directedStore(rt, g, prio)
+	if err != nil {
+		return nil, err
+	}
+	caches := make([]*statusCache, cfgD.Machines)
+	if cfgD.EnableCache {
+		for i := range caches {
+			caches[i] = newStatusCache()
+		}
+	}
+	inMIS := make([]bool, n)
+	resolved := make([]bool, n)
+	var mu sync.Mutex
+	var search ampc.Round
+	if cfgD.Batch {
+		// Lock-step block evaluation: fan-out reads travel as
+		// shard-grouped batches (see batch.go).
+		search = batchSearchRound(rt, "IsInMIS", store, directed, caches, inMIS, resolved, &mu)
+	} else {
+		search = searchRound(rt, store, directed, prio, caches, inMIS, resolved, &mu)
+	}
+	return &Plan{Write: write, Search: search, InMIS: inMIS}, nil
+}
+
+func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
+	rt := ampc.New(cfg)
+	defer rt.Close()
+	cfgD := rt.Config()
+	n := g.NumNodes()
+	rt.SetKeyspace(n)
+
+	if budget == 0 {
+		// Untruncated searches resolve in a single pass, so the KV-write
+		// and the search form one static round sequence with a declared
+		// store dependency.  RunStaged executes them at per-round barriers
+		// by default and as one dependency-scheduled pipeline under
+		// Config.Pipeline — with byte-identical results either way.
+		plan, err := NewPlan(rt, g)
+		if err != nil {
+			return nil, err
+		}
+		err = rt.RunStaged([]ampc.StagedRound{
+			{Phase: "KV-Write", Round: plan.Write},
+			{Phase: "IsInMIS", Round: plan.Search},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{InMIS: plan.InMIS, SearchRounds: 1, Stats: rt.Stats()}, nil
+	}
+
+	// Truncated variant (RunTruncated): searches are budgeted and retried
+	// across passes, so the driver stays dynamic.  The single-key path is
+	// kept so the per-search query budget retains its original meaning.
+	prio := rng.VertexPriorities(cfgD.Seed, n)
+	directed, store, writeRound, err := directedStore(rt, g, prio)
+	if err != nil {
+		return nil, err
+	}
+	inMIS := make([]bool, n)
+	resolved := make([]bool, n)
+	result := &Result{InMIS: inMIS}
+	err = rt.Phase("KV-Write", func() error { return rt.Run(writeRound) })
 	if err != nil {
 		return nil, err
 	}
 
-	// Step 3: run the IsInMIS search from every vertex.
-	inMIS := make([]bool, n)
-	resolved := make([]bool, n)
-	result := &Result{InMIS: inMIS}
-
-	// Cross-round status store for the truncated variant.  Statuses resolved
-	// in round i are published here and consulted by the searches of round
-	// i+1 (the store is cumulative across rounds, which is equivalent to the
-	// per-round stores of the model since statuses never change once set).
-	var statusStore *dht.Store
-	if budget > 0 {
-		statusStore = rt.NewStore("mis-status")
-	}
+	// Cross-round status store: statuses resolved in round i are published
+	// here and consulted by the searches of round i+1 (the store is
+	// cumulative across rounds, which is equivalent to the per-round stores
+	// of the model since statuses never change once set).
+	statusStore := rt.NewStore("mis-status")
 	pass := 0
 	for {
 		pass++
@@ -183,17 +265,11 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 			phaseName = fmt.Sprintf("IsInMIS-pass%d", pass)
 		}
 		err = rt.Phase(phaseName, func() error {
-			if cfgD.Batch && budget == 0 {
-				// Lock-step block evaluation: fan-out reads travel as
-				// shard-grouped batches (see batch.go).  The truncated
-				// variant keeps the single-key path so its per-search query
-				// budget retains its original meaning.
-				return runBatchRound(rt, phaseName, store, directed, caches, inMIS, resolved, &mu)
-			}
-			return rt.Run(ampc.Round{
+			round := ampc.Round{
 				Name:        phaseName,
 				Items:       n,
 				Read:        store,
+				Writes:      []*dht.Store{statusStore},
 				Partitioner: rt.OwnerPartitioner(n),
 				Body: func(ctx *ampc.Ctx, item int) error {
 					if resolved[item] {
@@ -228,23 +304,20 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 					inMIS[item] = in
 					resolved[item] = true
 					mu.Unlock()
-					if statusStore != nil {
-						val := byte(statusOut)
-						if in {
-							val = byte(statusIn)
-						}
-						return ctx.Write(statusStore, uint64(item), []byte{val})
+					val := byte(statusOut)
+					if in {
+						val = byte(statusIn)
 					}
-					return nil
+					return ctx.Write(statusStore, uint64(item), []byte{val})
 				},
-			})
+			}
+			if pass > 1 {
+				round.Reads = []*dht.Store{statusStore}
+			}
+			return rt.Run(round)
 		})
 		if err != nil {
 			return nil, err
-		}
-		if budget == 0 {
-			// Untruncated searches always resolve in one pass.
-			break
 		}
 		result.SearchRounds = pass
 		if pass > 64 {
@@ -256,6 +329,41 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 	}
 	result.Stats = rt.Stats()
 	return result, nil
+}
+
+// searchRound builds the single-key IsInMIS round: every vertex runs the
+// recursive query process of Yoshida et al. against the frozen
+// directed-graph store.  The round reads only that store and writes nothing,
+// which is exactly the dependency declaration the pipelined scheduler needs.
+func searchRound(rt *ampc.Runtime, store *dht.Store, directed [][]graph.NodeID, prio []uint64,
+	caches []*statusCache, inMIS, resolved []bool, mu *sync.Mutex) ampc.Round {
+	n := len(directed)
+	return ampc.Round{
+		Name:        "IsInMIS",
+		Items:       n,
+		Read:        store,
+		Partitioner: rt.OwnerPartitioner(n),
+		Body: func(ctx *ampc.Ctx, item int) error {
+			cache := caches[ctx.Machine]
+			if cache == nil {
+				// Without the caching optimization, statuses are still
+				// memoized within a single query; they are just not shared
+				// across queries on the machine, so every vertex re-fetches
+				// from the key-value store.
+				cache = newStatusCache()
+			}
+			s := &searcher{ctx: ctx, cache: cache, prio: prio}
+			in, err := s.inMIS(graph.NodeID(item), directed[item])
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			inMIS[item] = in
+			resolved[item] = true
+			mu.Unlock()
+			return nil
+		},
+	}
 }
 
 // errTruncated reports that a search exceeded its query budget.

@@ -157,14 +157,15 @@ func (s *primState) advance() graph.NodeID {
 	return graph.None
 }
 
-// runBatchPrimRound runs the PrimSearch phase over lock-step blocks and
-// hands every search's outcome to commit (called under the caller's lock).
-func runBatchPrimRound(rt *ampc.Runtime, name string, store *dht.Store,
+// batchPrimRound builds the PrimSearch round over lock-step blocks, handing
+// every search's outcome to commit (called under the caller's lock); the
+// caller runs it (or stages it into a pipeline).
+func batchPrimRound(rt *ampc.Runtime, name string, store *dht.Store,
 	sorted [][]codec.WeightedNeighbor, prio []uint64, budget int,
-	mu *sync.Mutex, commit func(start graph.NodeID, out *primOutcome)) error {
+	mu *sync.Mutex, commit func(start graph.NodeID, out *primOutcome)) ampc.Round {
 	n := len(sorted)
 	size := rt.Config().BatchSize
-	return rt.Run(ampc.Round{
+	return ampc.Round{
 		Name:        name,
 		Items:       ampc.NumBlocks(n, size),
 		Read:        store,
@@ -210,16 +211,16 @@ func runBatchPrimRound(rt *ampc.Runtime, name string, store *dht.Store,
 			mu.Unlock()
 			return nil
 		},
-	})
+	}
 }
 
-// runBatchChaseRound is the batched pointer chase of PointerJump: every
+// batchChaseRound builds the batched pointer chase of PointerJump: every
 // vertex of a block follows its parent chain one hop per lock-step, with the
 // block's current pointers fetched as one shard-grouped batch per hop.
-func runBatchChaseRound(rt *ampc.Runtime, name string, store *dht.Store, n int,
-	roots []graph.NodeID, chains []int) error {
+func batchChaseRound(rt *ampc.Runtime, name string, store *dht.Store, n int,
+	roots []graph.NodeID, chains []int) ampc.Round {
 	size := rt.Config().BatchSize
-	return rt.Run(ampc.Round{
+	return ampc.Round{
 		Name:        name,
 		Items:       ampc.NumBlocks(n, size),
 		Read:        store,
@@ -278,5 +279,5 @@ func runBatchChaseRound(rt *ampc.Runtime, name string, store *dht.Store, n int,
 			}
 			return nil
 		},
-	})
+	}
 }

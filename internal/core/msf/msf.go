@@ -134,14 +134,9 @@ func runPrimPipeline(rt *ampc.Runtime, g *graph.Graph, tag string) (*Result, err
 
 	// Phase 2: write the weight-sorted graph to the key-value store.
 	store := rt.NewStore("weight-sorted-graph" + tag)
-	err = rt.Phase("KV-Write"+tag, func() error {
-		return rt.WriteTable("kv-write"+tag, store, n, 1, func(item int) []byte {
-			return codec.EncodeWeightedNeighbors(sorted[item])
-		})
+	writeRound := rt.WriteTableRound("kv-write"+tag, store, n, 1, func(item int) []byte {
+		return codec.EncodeWeightedNeighbors(sorted[item])
 	})
-	if err != nil {
-		return nil, err
-	}
 
 	// Phase 3: truncated Prim search from every vertex.
 	type visit struct {
@@ -164,12 +159,12 @@ func runPrimPipeline(rt *ampc.Runtime, g *graph.Graph, tag string) (*Result, err
 		}
 		stopped[start] = out.stoppedAt
 	}
-	err = rt.Phase("PrimSearch"+tag, func() error {
-		if cfg.Batch {
-			// Lock-step block searches over shard-grouped batches (batch.go).
-			return runBatchPrimRound(rt, "prim-search"+tag, store, sorted, prio, budget, &mu, commit)
-		}
-		return rt.Run(ampc.Round{
+	var search ampc.Round
+	if cfg.Batch {
+		// Lock-step block searches over shard-grouped batches (batch.go).
+		search = batchPrimRound(rt, "prim-search"+tag, store, sorted, prio, budget, &mu, commit)
+	} else {
+		search = ampc.Round{
 			Name:        "prim-search" + tag,
 			Items:       n,
 			Read:        store,
@@ -185,7 +180,14 @@ func runPrimPipeline(rt *ampc.Runtime, g *graph.Graph, tag string) (*Result, err
 				mu.Unlock()
 				return nil
 			},
-		})
+		}
+	}
+	// The search reads exactly the store the KV-write round produces, so
+	// the two form one staged sequence: per-round barriers by default, one
+	// dependency-scheduled pipeline under Config.Pipeline.
+	err = rt.RunStaged([]ampc.StagedRound{
+		{Phase: "KV-Write" + tag, Round: writeRound},
+		{Phase: "PrimSearch" + tag, Round: search},
 	})
 	if err != nil {
 		return nil, err
@@ -386,48 +388,55 @@ func PointerJump(rt *ampc.Runtime, parent []graph.NodeID, tag string) ([]graph.N
 	chains := make([]int, n)
 	err := rt.Phase("PointerJump"+tag, func() error {
 		rt.RecordShuffle("parent-map"+tag, int64(n)*8)
-		if err := rt.WriteTable("write-parents"+tag, store, n, 0, func(item int) []byte {
+		writeRound := rt.WriteTableRound("write-parents"+tag, store, n, 0, func(item int) []byte {
 			return codec.EncodeNodeID(parent[item])
-		}); err != nil {
-			return err
-		}
+		})
+		var chase ampc.Round
 		if rt.Config().Batch {
 			// Lock-step pointer chases over shard-grouped batches (batch.go).
-			return runBatchChaseRound(rt, "chase-pointers"+tag, store, n, roots, chains)
+			chase = batchChaseRound(rt, "chase-pointers"+tag, store, n, roots, chains)
+		} else {
+			chase = ampc.Round{
+				Name:        "chase-pointers" + tag,
+				Items:       n,
+				Read:        store,
+				Partitioner: rt.OwnerPartitioner(n),
+				Body: func(ctx *ampc.Ctx, item int) error {
+					cur := graph.NodeID(item)
+					steps := 0
+					for {
+						raw, ok, err := ctx.Lookup(uint64(cur))
+						if err != nil {
+							return err
+						}
+						if !ok {
+							return fmt.Errorf("msf: missing parent pointer for %d", cur)
+						}
+						p, err := codec.DecodeNodeID(raw)
+						if err != nil {
+							return err
+						}
+						if p == cur {
+							break
+						}
+						cur = p
+						steps++
+						if steps > n {
+							return fmt.Errorf("msf: pointer chain from %d does not terminate", item)
+						}
+					}
+					roots[item] = cur
+					chains[item] = steps
+					return nil
+				},
+			}
 		}
-		return rt.Run(ampc.Round{
-			Name:        "chase-pointers" + tag,
-			Items:       n,
-			Read:        store,
-			Partitioner: rt.OwnerPartitioner(n),
-			Body: func(ctx *ampc.Ctx, item int) error {
-				cur := graph.NodeID(item)
-				steps := 0
-				for {
-					raw, ok, err := ctx.Lookup(uint64(cur))
-					if err != nil {
-						return err
-					}
-					if !ok {
-						return fmt.Errorf("msf: missing parent pointer for %d", cur)
-					}
-					p, err := codec.DecodeNodeID(raw)
-					if err != nil {
-						return err
-					}
-					if p == cur {
-						break
-					}
-					cur = p
-					steps++
-					if steps > n {
-						return fmt.Errorf("msf: pointer chain from %d does not terminate", item)
-					}
-				}
-				roots[item] = cur
-				chains[item] = steps
-				return nil
-			},
+		// Both rounds run inside the PointerJump phase; the empty stage
+		// phases keep the historical phase layout, while the declared
+		// write->read dependency lets Config.Pipeline schedule the pair.
+		return rt.RunStaged([]ampc.StagedRound{
+			{Round: writeRound},
+			{Round: chase},
 		})
 	})
 	if err != nil {

@@ -104,6 +104,22 @@ func (c *Cache) Fill(key uint64, v []byte, ok bool) {
 	c.mu.Unlock()
 }
 
+// Invalidate drops every cached entry (present and known-absent), forcing
+// subsequent lookups back to the store.  The AMPC runtime uses it as the
+// per-store cache fence of the pipelined scheduler: a store's per-machine
+// caches are invalidated whenever the store's write counter has moved since
+// the caches were last known coherent, so a store written in round i and
+// read in round i+1 can never serve a stale entry — regardless of how the
+// rounds overlapped.  (In the runtime this is defense-in-depth: dependency
+// gating plus freeze-at-first-read already prevent writes after caching.)
+// Hit/miss counters are preserved.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	c.local = make(map[uint64][]byte)
+	c.absent = make(map[uint64]bool)
+	c.mu.Unlock()
+}
+
 // Hits returns the number of lookups served from the cache.
 func (c *Cache) Hits() int64 { return c.hits.Load() }
 

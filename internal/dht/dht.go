@@ -284,6 +284,13 @@ func (s *Store) GetFrom(machine int, key uint64) ([]byte, bool, error) {
 	return v, ok, nil
 }
 
+// WriteCount returns the number of writes (puts and appends, single or
+// batched) applied to the store so far.  It is a cheap monotone counter:
+// the AMPC runtime compares it against the value recorded when a store's
+// per-machine caches were last validated to decide whether the caches must
+// be invalidated before the next round reads the store.
+func (s *Store) WriteCount() int64 { return s.writes.Load() }
+
 // Freeze makes the store read-only; subsequent Put and Append calls fail.
 // In the AMPC model D_{i-1} is immutable while round i runs.
 func (s *Store) Freeze() { s.frozen.Store(true) }

@@ -1,0 +1,103 @@
+package dht
+
+import "testing"
+
+// FuzzRangeOwner checks the invariants of the shared ownership function on
+// arbitrary (key, machines, keys) triples, boundary keys included: the owner
+// is always a valid machine index, ownership is monotone in the key, every
+// in-range key's owner actually owns a non-empty contiguous range, and keys
+// at or beyond the keyspace clamp to the last machine.
+func FuzzRangeOwner(f *testing.F) {
+	f.Add(uint64(0), 4, 100)
+	f.Add(uint64(99), 4, 100)
+	f.Add(uint64(100), 4, 100)   // first out-of-range key
+	f.Add(uint64(1)<<63, 7, 123) // far out of range
+	f.Add(uint64(24), 5, 25)
+	f.Add(uint64(0), 1, 1)
+	f.Add(uint64(3), 8, 3) // more machines than keys
+	f.Fuzz(func(t *testing.T, key uint64, machines, keys int) {
+		if machines > 1<<12 {
+			machines = machines % (1 << 12)
+		}
+		owner := RangeOwner(key, machines, keys)
+		if machines <= 1 || keys <= 0 {
+			if owner != 0 {
+				t.Fatalf("degenerate partition: owner(%d, %d, %d) = %d, want 0", key, machines, keys, owner)
+			}
+			return
+		}
+		if owner < 0 || owner >= machines {
+			t.Fatalf("owner(%d, %d, %d) = %d out of [0, %d)", key, machines, keys, owner, machines)
+		}
+		if key >= uint64(keys) {
+			if owner != machines-1 {
+				t.Fatalf("out-of-range key %d: owner %d, want last machine %d", key, owner, machines-1)
+			}
+			return
+		}
+		// Monotone: the next key's owner never decreases.
+		if next := RangeOwner(key+1, machines, keys); next < owner {
+			t.Fatalf("ownership not monotone: owner(%d)=%d > owner(%d)=%d", key, owner, key+1, next)
+		}
+		// The span arithmetic must match: key / ceil(keys/machines), clamped.
+		span := (keys + machines - 1) / machines
+		want := int(key) / span
+		if want >= machines {
+			want = machines - 1
+		}
+		if owner != want {
+			t.Fatalf("owner(%d, %d, %d) = %d, want %d", key, machines, keys, owner, want)
+		}
+	})
+}
+
+// FuzzOwnerAffinePlacement checks that the owner-affine placement is
+// internally consistent on arbitrary keys: ShardFor stays in range, a key's
+// shard is co-located with the key's owner (when there are enough shards),
+// and MachineFor never names a machine outside the pool.
+func FuzzOwnerAffinePlacement(f *testing.F) {
+	f.Add(uint64(0), 4, 100, 16)
+	f.Add(uint64(99), 4, 100, 16)
+	f.Add(uint64(100), 4, 100, 2) // fewer shards than machines: degrades to hashing
+	f.Add(uint64(7), 3, 10, 9)
+	f.Add(uint64(1)<<40, 6, 1000, 24)
+	f.Fuzz(func(t *testing.T, key uint64, machines, keys, shards int) {
+		if machines > 1<<10 {
+			machines = machines % (1 << 10)
+		}
+		if shards <= 0 || shards > 1<<12 {
+			shards = 1 + (abs(shards) % (1 << 12))
+		}
+		p := OwnerAffine(machines, keys)
+		shard := p.ShardFor(key, shards)
+		if shard < 0 || shard >= shards {
+			t.Fatalf("ShardFor(%d, %d) = %d out of range", key, shards, shard)
+		}
+		if machines < 1 {
+			machines = 1 // OwnerAffine clamps internally
+		}
+		m := p.MachineFor(shard, shards)
+		if m < -1 || m >= machines {
+			t.Fatalf("MachineFor(%d, %d) = %d out of range", shard, shards, m)
+		}
+		if shards/machines >= 1 {
+			// With at least one shard per machine, a key's shard must be
+			// co-located with exactly the key's range owner.
+			if want := RangeOwner(key, machines, keys); m != want {
+				t.Fatalf("key %d: shard %d co-located with machine %d, owner is %d", key, shard, m, want)
+			}
+		} else if m != -1 {
+			t.Fatalf("degraded placement (shards %d < machines %d) still reports co-location %d", shards, machines, m)
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == -x {
+			return 0 // math.MinInt
+		}
+		return -x
+	}
+	return x
+}

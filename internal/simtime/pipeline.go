@@ -1,0 +1,125 @@
+package simtime
+
+import "time"
+
+// Pipeline schedule accounting.
+//
+// The AMPC runtime historically charged every round at a global barrier: the
+// round costs as much as its slowest machine, and every faster machine idles
+// until the barrier releases.  With dependency-aware round pipelining a
+// machine that has finished its share of round i may move on to round j > i
+// as soon as every round j transitively depends on has completed everywhere,
+// so the modeled wall-clock of a round sequence becomes a per-machine
+// critical-path maximum instead of a sum of per-round maxima.  The two
+// functions below compute both accountings from the same per-(round, machine)
+// busy durations, so the pipelined runtime can report the modeled time it
+// actually charges next to the barrier time the same rounds would have cost —
+// and therefore the straggler idle the pipeline removed.
+
+// Schedule is the result of scheduling one round sequence: the modeled
+// makespan (time until the last machine finishes its last round) and the
+// total straggler idle (summed over machines, the time a machine spent
+// waiting for others between its own work and the makespan).
+type Schedule struct {
+	// Makespan is the modeled wall-clock of the whole sequence.
+	Makespan time.Duration
+	// Idle is the total idle time across machines: for each machine,
+	// Makespan minus the machine's own busy time, summed over machines.
+	// Under a barrier schedule this is the straggler idle the paper's
+	// lock-step execution pays; a pipelined schedule with the same busy
+	// durations can only shrink it.
+	Idle time.Duration
+}
+
+// BarrierSchedule models the classic lock-step execution of rounds: round j
+// starts only after every machine has finished round j-1, so the sequence
+// costs the sum over rounds of the slowest machine.  busy[j][m] is the busy
+// duration of machine m in round j; rows may be ragged or empty (an empty
+// row contributes nothing).
+func BarrierSchedule(busy [][]time.Duration) Schedule {
+	var s Schedule
+	machines := scheduleWidth(busy)
+	if machines == 0 {
+		return s
+	}
+	total := make([]time.Duration, machines)
+	for _, round := range busy {
+		var max time.Duration
+		for m := 0; m < machines; m++ {
+			d := durAt(round, m)
+			total[m] += d
+			if d > max {
+				max = d
+			}
+		}
+		s.Makespan += max
+	}
+	for m := 0; m < machines; m++ {
+		s.Idle += s.Makespan - total[m]
+	}
+	return s
+}
+
+// PipelineSchedule models the dependency-gated pipelined execution: machine m
+// starts round j as soon as it has finished its own round j-1 AND every
+// machine has finished round deps[j] (and, transitively, all earlier rounds).
+// deps[j] is the index of the latest round that round j depends on, or a
+// negative value when round j depends on no earlier round.  With deps[j] =
+// j-1 for every j this degenerates to BarrierSchedule exactly.
+func PipelineSchedule(busy [][]time.Duration, deps []int) Schedule {
+	var s Schedule
+	machines := scheduleWidth(busy)
+	if machines == 0 {
+		return s
+	}
+	finish := make([]time.Duration, machines) // per-machine program-order finish time
+	total := make([]time.Duration, machines)  // per-machine busy time
+	// barrier[j] is the time by which every machine has finished round j.
+	barrier := make([]time.Duration, len(busy))
+	for j, round := range busy {
+		var gate time.Duration
+		if j < len(deps) && deps[j] >= 0 && deps[j] < j {
+			gate = barrier[deps[j]]
+		}
+		var done time.Duration
+		for m := 0; m < machines; m++ {
+			start := finish[m]
+			if gate > start {
+				start = gate
+			}
+			d := durAt(round, m)
+			finish[m] = start + d
+			total[m] += d
+			if finish[m] > done {
+				done = finish[m]
+			}
+		}
+		barrier[j] = done
+	}
+	for m := 0; m < machines; m++ {
+		if finish[m] > s.Makespan {
+			s.Makespan = finish[m]
+		}
+	}
+	for m := 0; m < machines; m++ {
+		s.Idle += s.Makespan - total[m]
+	}
+	return s
+}
+
+func scheduleWidth(busy [][]time.Duration) int {
+	w := 0
+	for _, round := range busy {
+		if len(round) > w {
+			w = len(round)
+		}
+	}
+	return w
+}
+
+func durAt(round []time.Duration, m int) time.Duration {
+	if m < len(round) {
+		return round[m]
+	}
+	return 0
+}

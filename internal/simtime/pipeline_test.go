@@ -1,0 +1,95 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+func TestBarrierScheduleSumsRoundMaxima(t *testing.T) {
+	busy := [][]time.Duration{
+		{ms(10), ms(2), ms(2)},
+		{ms(1), ms(8), ms(1)},
+	}
+	s := BarrierSchedule(busy)
+	if s.Makespan != ms(18) {
+		t.Fatalf("makespan %v, want 18ms", s.Makespan)
+	}
+	// Idle: machine 0 waits 7, machine 1 waits 8, machine 2 waits 15.
+	if s.Idle != ms(7+8+15) {
+		t.Fatalf("idle %v, want 30ms", s.Idle)
+	}
+}
+
+func TestPipelineScheduleMatchesBarrierWhenFullyDependent(t *testing.T) {
+	busy := [][]time.Duration{
+		{ms(10), ms(2)},
+		{ms(3), ms(9)},
+		{ms(4), ms(4)},
+	}
+	deps := []int{-1, 0, 1} // every round depends on its predecessor
+	b := BarrierSchedule(busy)
+	p := PipelineSchedule(busy, deps)
+	if p != b {
+		t.Fatalf("fully dependent pipeline %+v != barrier %+v", p, b)
+	}
+}
+
+func TestPipelineScheduleOverlapsIndependentRounds(t *testing.T) {
+	// Round 0: machine 0 is a straggler.  Round 1 is independent, so
+	// machine 1 runs it while machine 0 is still busy.
+	busy := [][]time.Duration{
+		{ms(10), ms(1)},
+		{ms(1), ms(9)},
+	}
+	deps := []int{-1, -1}
+	b := BarrierSchedule(busy)
+	p := PipelineSchedule(busy, deps)
+	// Pipelined: machine 0 finishes at 10+1=11, machine 1 at 1+9=10.
+	if p.Makespan != ms(11) {
+		t.Fatalf("pipelined makespan %v, want 11ms", p.Makespan)
+	}
+	if b.Makespan != ms(19) {
+		t.Fatalf("barrier makespan %v, want 19ms", b.Makespan)
+	}
+	if p.Idle >= b.Idle {
+		t.Fatalf("pipelining did not reduce idle: %v -> %v", b.Idle, p.Idle)
+	}
+}
+
+func TestPipelineScheduleGateWaitsForDependency(t *testing.T) {
+	// Round 2 depends on round 0; round 1 is independent filler.
+	busy := [][]time.Duration{
+		{ms(10), ms(1)},
+		{ms(1), ms(1)},
+		{ms(1), ms(5)},
+	}
+	p := PipelineSchedule(busy, []int{-1, -1, 0})
+	// barrier(round 0) = 10 (machine 0).  Machine 1 runs round 1 at t=1..2,
+	// then waits for the gate and runs round 2 at t=10..15.  Machine 0 runs
+	// rounds back to back: 10, 11, 12.
+	if p.Makespan != ms(15) {
+		t.Fatalf("makespan %v, want 15ms", p.Makespan)
+	}
+}
+
+func TestSchedulesHandleEmptyAndRaggedInput(t *testing.T) {
+	if s := BarrierSchedule(nil); s.Makespan != 0 || s.Idle != 0 {
+		t.Fatalf("empty barrier schedule %+v", s)
+	}
+	if s := PipelineSchedule(nil, nil); s.Makespan != 0 || s.Idle != 0 {
+		t.Fatalf("empty pipeline schedule %+v", s)
+	}
+	// Ragged rows: missing machines contribute zero busy time.
+	busy := [][]time.Duration{{ms(4)}, {ms(2), ms(6)}}
+	b := BarrierSchedule(busy)
+	if b.Makespan != ms(10) {
+		t.Fatalf("ragged barrier makespan %v, want 10ms", b.Makespan)
+	}
+	p := PipelineSchedule(busy, []int{-1, -1})
+	// Machine 1 skips round 0 (no work) and runs round 1 immediately.
+	if p.Makespan != ms(6) {
+		t.Fatalf("ragged pipelined makespan %v, want 6ms", p.Makespan)
+	}
+}
