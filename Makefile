@@ -7,7 +7,7 @@ COVER_FLOOR_DHT  ?= 90
 # Per-target budget for the short fuzz pass (fuzz-smoke).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt ci bench-smoke bench-check cover-check fuzz-smoke
+.PHONY: all build test race vet fmt ci bench-smoke bench-check cover-check fuzz-smoke examples-smoke
 
 all: build
 
@@ -26,7 +26,16 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 
-ci: fmt vet build test race cover-check fuzz-smoke bench-check
+ci: fmt vet build test race cover-check fuzz-smoke bench-check examples-smoke
+
+# examples-smoke builds and runs every example end to end (they were
+# compiled but never executed by CI before); each must exit 0 on its own
+# toy input, which catches API breaks that type-check but fail at runtime.
+examples-smoke:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/socialnetwork
+	$(GO) run ./examples/clustering
+	$(GO) run ./examples/cycles
 
 # bench-smoke runs the pinned-seed batched-vs-unbatched comparison (OK and
 # TW stand-ins, seed 1) and writes the machine-readable snapshot that tracks
@@ -63,6 +72,7 @@ cover-check:
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzRangeOwner -fuzztime=$(FUZZTIME) ./internal/dht
 	$(GO) test -run=NONE -fuzz=FuzzOwnerAffinePlacement -fuzztime=$(FUZZTIME) ./internal/dht
+	$(GO) test -run=NONE -fuzz=FuzzOwnershipOwnerOf -fuzztime=$(FUZZTIME) ./internal/dht
 	$(GO) test -run=NONE -fuzz=FuzzDecodeNodeIDs -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run=NONE -fuzz=FuzzDecodeWeightedNeighbors -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run=NONE -fuzz=FuzzNodeIDRoundTrip -fuzztime=$(FUZZTIME) ./internal/codec

@@ -17,8 +17,11 @@
 // batched against unbatched runs directly and, with -json, writes the
 // comparison as a machine-readable snapshot (the BENCH_smoke.json of `make
 // bench-smoke`).  -placement owner runs the AMPC algorithms with the
-// owner-affine shard placement; the dedicated "locality" experiment compares
-// the two placements directly.
+// owner-affine shard placement and -placement weighted with the
+// degree-weighted ownership; the dedicated "locality" experiment compares
+// hash against owner placement, and the dedicated "rebalance" experiment
+// compares range against degree-weighted ownership on the hub-heavy
+// stand-ins (per-machine load balance, straggler idle, remote fraction).
 package main
 
 import (
@@ -40,7 +43,7 @@ func main() {
 		threads    = flag.Int("threads", 4, "threads per AMPC machine")
 		threshold  = flag.Int("mpc-threshold", 2000, "in-memory switch-over threshold (edges) for the MPC baselines")
 		batch      = flag.Bool("batch", false, "run the AMPC algorithms with the shard-grouped batch pipeline")
-		placement  = flag.String("placement", "", "shard placement policy for the AMPC runs: hash (default) or owner")
+		placement  = flag.String("placement", "", "shard placement policy for the AMPC runs: hash (default), owner, or weighted (degree-balanced ownership)")
 		pipeline   = flag.Bool("pipeline", false, "run the AMPC algorithms with dependency-aware round pipelining")
 		jsonPath   = flag.String("json", "", "write the 'batch' experiment's comparison to this path as JSON")
 	)

@@ -47,6 +47,7 @@ func main() {
 	// value over -runs measurements (bench.MergeBestRows): noise cannot
 	// fail the gate, while a real regression persists across every run.
 	freshRows := make(map[string]bench.BatchRow, len(baseline.Rows))
+	freshRebalance := make(map[string]bench.RebalanceSmokeRow, len(baseline.Rebalance))
 	for attempt := 0; attempt < *runs; attempt++ {
 		fresh, _, err := bench.BatchSmoke(bench.Options{
 			Seed:     baseline.Seed,
@@ -66,9 +67,14 @@ func main() {
 			fmt.Printf("wrote %s\n", *outPath)
 		}
 		bench.MergeBestRows(freshRows, fresh.Rows)
+		// The rebalance rows are a pure function of the pinned graphs, so
+		// any run's computation is authoritative (no best-of merging).
+		for _, row := range fresh.Rebalance {
+			freshRebalance[row.Graph] = row
+		}
 	}
 
-	lines, failures := bench.CheckSmoke(baseline, freshRows, *tolerance)
+	lines, failures := bench.CheckSmoke(baseline, freshRows, freshRebalance, *tolerance)
 	for _, line := range lines {
 		fmt.Println(line)
 	}

@@ -41,15 +41,17 @@
 // Beyond grouping requests, the runtime can also move the data next to the
 // machine that needs it.  Config.Placement selects the shard placement
 // policy of the hash tables: PlacementHash reproduces the paper's uniform
-// model (every lookup is a remote round trip), while PlacementOwnerAffine
+// model (every lookup is a remote round trip), PlacementOwnerAffine
 // co-locates each key's shard with the machine owning the key under a
-// contiguous range partition of the keyspace (dht.OwnerAffine).  Rounds
-// partitioned by the same ownership function (Round.Partitioner,
-// OwnerPartitioner, BlockOwnerPartitioner) then serve their own keys from
-// co-located shards at local DRAM latency instead of paying the transport;
-// Stats reports the split as LocalReads / RemoteReads / RemoteFrac.
-// Placement never changes results — only where keys live and what each
-// access costs.
+// contiguous range partition of the keyspace (dht.OwnerAffine), and
+// PlacementWeighted co-locates under the degree-weighted partition declared
+// through SetOwnership (dht.Ownership), which keeps per-machine load even
+// when a few hub keys carry most of the work.  Rounds partitioned by the
+// same ownership function (Round.Partitioner, OwnerPartitioner,
+// BlockOwnerPartitioner) then serve their own keys from co-located shards
+// at local DRAM latency instead of paying the transport; Stats reports the
+// split as LocalReads / RemoteReads / RemoteFrac.  Placement never changes
+// results — only where keys live and what each access costs.
 //
 // Rounds execute on a persistent machine/worker pool (Machines x Threads
 // goroutines spawned on first use and reused by every round), and with
@@ -119,9 +121,11 @@ type Config struct {
 	// machine owning the key (contiguous range partition, see
 	// dht.OwnerAffine), so that rounds partitioned by the same ownership
 	// function serve reads and writes of their own keys at local (DRAM)
-	// latency.  Results are identical under either policy; only where keys
-	// live — and therefore the local/remote statistics and modeled time —
-	// changes.
+	// latency.  PlacementWeighted does the same under the degree-weighted
+	// contiguous partition declared through SetOwnership (dht.Ownership),
+	// which keeps per-machine load even on hub-heavy keyspaces.  Results
+	// are identical under every policy; only where keys live — and
+	// therefore the local/remote statistics and modeled time — changes.
 	Placement string
 	// Pipeline enables dependency-aware round pipelining for round
 	// sequences executed through RunPipeline (and RunStaged): a machine
@@ -153,6 +157,13 @@ const (
 	// PlacementOwnerAffine co-locates each key's shard with the machine
 	// that owns the key under a contiguous range partition of the keyspace.
 	PlacementOwnerAffine = "owner"
+	// PlacementWeighted co-locates each key's shard with the machine that
+	// owns the key under the degree-weighted contiguous partition declared
+	// through SetOwnership: machine boundaries follow the prefix sums of
+	// the per-key weights, so hub-heavy keyspaces spread their work evenly
+	// instead of overloading the machine whose range holds the hubs.
+	// Without declared weights it behaves like PlacementOwnerAffine.
+	PlacementWeighted = "weighted"
 )
 
 // WithDefaults returns a copy of c with unset fields replaced by defaults.
@@ -290,6 +301,7 @@ type Runtime struct {
 	phaseStack []phaseFrame
 	started    time.Time
 	keyspace   int
+	ownership  *dht.Ownership
 	caches     map[*dht.Store][]*dht.Cache
 	// cacheFence records, per store, the store's write count observed when
 	// its per-machine caches were last known coherent.  Rounds fence every
@@ -345,11 +357,50 @@ func (r *Runtime) Clock() *simtime.Clock { return r.clock }
 // SetKeyspace declares the keyspace [0, n) of the hash tables the runtime
 // will create — usually the number of vertices.  The owner-affine placement
 // policy needs it to range-partition keys across machines; stores created
-// before the call (or without a keyspace) fall back to hash placement.
+// before the call (or without a keyspace) fall back to hash placement.  A
+// weighted ownership table previously declared through SetOwnership is kept
+// only while its keyspace matches n; declaring a different keyspace drops it
+// (partitioners and placement must never disagree on who owns a key).
 func (r *Runtime) SetKeyspace(n int) {
 	r.mu.Lock()
 	r.keyspace = n
+	if r.ownership != nil && r.ownership.Keys() != n {
+		r.ownership = nil
+	}
 	r.mu.Unlock()
+}
+
+// SetOwnership declares per-key weights (usually vertex degrees) for the
+// keyspace [0, len(weights)) and, under Config.Placement ==
+// PlacementWeighted, builds the degree-weighted ownership table that both
+// the shard placement of subsequently created stores and the ownership
+// partitioners (Owner, OwnerPartitioner, BlockOwnerPartitioner) answer
+// from.  Under any other placement it only declares the keyspace, exactly
+// like SetKeyspace — the partitioners keep using the uniform range split
+// that matches the owner-affine placement.  Either way placement never
+// changes results, only where keys live and which machine does which work.
+func (r *Runtime) SetOwnership(weights []int) {
+	r.mu.Lock()
+	r.keyspace = len(weights)
+	if r.cfg.Placement == PlacementWeighted && len(weights) > 0 {
+		r.ownership = dht.NewOwnership(r.cfg.Machines, weights)
+	} else {
+		r.ownership = nil
+	}
+	r.mu.Unlock()
+}
+
+// currentOwnership returns the weighted ownership table when one is
+// declared for exactly the given keyspace, nil otherwise (callers fall back
+// to the uniform RangeOwner split, which is what the owner-affine placement
+// uses).
+func (r *Runtime) currentOwnership(keys int) *dht.Ownership {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ownership != nil && r.ownership.Keys() == keys {
+		return r.ownership
+	}
+	return nil
 }
 
 // Close releases the runtime's persistent worker pool, waiting for any
@@ -385,37 +436,59 @@ func (r *Runtime) workers() *workerPool {
 func (r *Runtime) placement() dht.Placement {
 	r.mu.Lock()
 	keys := r.keyspace
+	own := r.ownership
 	r.mu.Unlock()
-	if r.cfg.Placement == PlacementOwnerAffine && keys > 0 {
+	switch {
+	case r.cfg.Placement == PlacementWeighted && own != nil:
+		return dht.OwnershipPlacement(own)
+	case r.cfg.Placement == PlacementWeighted && keys > 0:
+		// Weighted placement requested but no weights declared: the uniform
+		// range split is the weighted split for equal weights, and it keeps
+		// co-location consistent with the RangeOwner partitioners.
+		return dht.OwnerAffine(r.cfg.Machines, keys)
+	case r.cfg.Placement == PlacementOwnerAffine && keys > 0:
 		return dht.OwnerAffine(r.cfg.Machines, keys)
 	}
 	return dht.HashRandom()
 }
 
-// Owner returns the machine owning key under the runtime's range partition
-// of the keyspace [0, keys): the machine whose co-located shards hold the
-// key under the owner-affine placement.
+// Owner returns the machine owning key under the runtime's contiguous
+// partition of the keyspace [0, keys): the weighted ownership table when
+// one is declared (SetOwnership under PlacementWeighted), the uniform range
+// split otherwise.  It is the machine whose co-located shards hold the key
+// under the owner-affine and weighted placements.
 func (r *Runtime) Owner(key uint64, keys int) int {
+	if own := r.currentOwnership(keys); own != nil {
+		return own.OwnerOf(key)
+	}
 	return dht.RangeOwner(key, r.cfg.Machines, keys)
 }
 
 // OwnerPartitioner returns a Round partitioner assigning work item i (a key
 // in [0, keys)) to the machine that owns it, so that lookups and writes of a
-// round's own keys stay local under the owner-affine placement.
+// round's own keys stay local under the owner-affine and weighted
+// placements.  The ownership function is captured when the partitioner is
+// built: rounds built after SetOwnership partition by the same table their
+// stores were placed with.
 func (r *Runtime) OwnerPartitioner(keys int) func(int) int {
 	machines := r.cfg.Machines
+	if own := r.currentOwnership(keys); own != nil {
+		return func(item int) int { return own.OwnerOf(uint64(item)) }
+	}
 	return func(item int) int { return dht.RangeOwner(uint64(item), machines, keys) }
 }
 
 // BlockOwnerPartitioner returns a Round partitioner for lock-step block
 // rounds (see NumBlocks): block b, covering keys [b·size, (b+1)·size), is
 // assigned to the machine owning its first key.  Blocks are contiguous key
-// ranges, so all but the machine-boundary blocks are wholly owned.
+// ranges, so all but the machine-boundary blocks are wholly owned.  Like
+// OwnerPartitioner it answers from the weighted ownership table when one is
+// declared.
 func (r *Runtime) BlockOwnerPartitioner(size, items int) func(int) int {
-	machines := r.cfg.Machines
+	owner := r.OwnerPartitioner(items)
 	return func(block int) int {
 		lo, _ := BlockBounds(block, size, items)
-		return dht.RangeOwner(uint64(lo), machines, items)
+		return owner(lo)
 	}
 }
 

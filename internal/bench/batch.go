@@ -91,8 +91,8 @@ func BatchComparison(opts Options) ([]BatchRow, Report, error) {
 }
 
 // Smoke is the pinned-seed benchmark snapshot emitted as BENCH_smoke.json by
-// `make bench-smoke`, tracking the batching win across the repository's
-// history.
+// `make bench-smoke`, tracking the batching and load-rebalancing wins across
+// the repository's history.
 type Smoke struct {
 	Seed     int64      `json:"seed"`
 	Datasets []string   `json:"datasets"`
@@ -100,11 +100,18 @@ type Smoke struct {
 	Machines int        `json:"machines"`
 	Threads  int        `json:"threads"`
 	Rows     []BatchRow `json:"rows"`
+	// Rebalance tracks the degree-weighted ownership win on the hub-heavy
+	// CW/HL stand-ins (see RebalanceSmoke); the load-imbalance reduction is
+	// a pure function of the pinned graphs, so the gate metric carries no
+	// run-to-run noise.
+	Rebalance []RebalanceSmokeRow `json:"rebalance,omitempty"`
 }
 
-// BatchSmoke runs the batched-vs-unbatched comparison for the snapshot.
-// Caller-set options are honored; only an unset dataset list is pinned to the
-// small OK+TW subset (the `make bench-smoke` configuration).
+// BatchSmoke runs the batched-vs-unbatched comparison for the snapshot and
+// attaches the deterministic rebalance rows.  Caller-set options are
+// honored; only an unset dataset list is pinned to the small OK+TW subset
+// (the `make bench-smoke` configuration; the rebalance rows always use the
+// hub-heavy CW+HL pair, where the rebalancing win lives).
 func BatchSmoke(opts Options) (Smoke, Report, error) {
 	if len(opts.Datasets) == 0 {
 		opts.Datasets = []string{"OK", "TW"}
@@ -114,13 +121,16 @@ func BatchSmoke(opts Options) (Smoke, Report, error) {
 	if err != nil {
 		return Smoke{}, rep, err
 	}
+	rebalanceOpts := opts
+	rebalanceOpts.Datasets = nil // RebalanceSmoke pins CW+HL
 	return Smoke{
-		Seed:     opts.Seed,
-		Datasets: opts.Datasets,
-		Scale:    opts.Scale,
-		Machines: opts.Machines,
-		Threads:  opts.Threads,
-		Rows:     rows,
+		Seed:      opts.Seed,
+		Datasets:  opts.Datasets,
+		Scale:     opts.Scale,
+		Machines:  opts.Machines,
+		Threads:   opts.Threads,
+		Rows:      rows,
+		Rebalance: RebalanceSmoke(rebalanceOpts),
 	}, rep, nil
 }
 

@@ -5,6 +5,30 @@ import (
 	"ampcgraph/internal/graph"
 )
 
+// safeRatio returns num/den guarded against the zero-denominator rows of
+// the comparison experiments (a baseline with no remote reads or no idle on
+// a tiny graph): a ratio of two zeros is parity (1), and a positive
+// numerator over a zero denominator reports 0 — "not meaningful" — instead
+// of leaking Inf/NaN into the text tables and JSON snapshots.
+func safeRatio(num, den float64) float64 {
+	if den > 0 {
+		return num / den
+	}
+	if num <= 0 {
+		return 1
+	}
+	return 0
+}
+
+// safeReductionPct returns the percentage of base removed when it fell to
+// remaining, or 0 when there was nothing to reduce (base <= 0).
+func safeReductionPct(base, remaining float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (base - remaining) / base
+}
+
 // connectivityRun runs the AMPC connectivity pipeline with the experiment's
 // configuration.
 func connectivityRun(g *graph.Graph, opts Options) (*connectivity.Result, error) {
@@ -17,7 +41,7 @@ func AllExperiments() []string {
 	return []string{
 		"table2", "table3", "figure3", "figure4", "figure5", "figure6",
 		"figure7", "figure8", "figure9", "table4", "cycle", "connectivity",
-		"batch", "locality", "pipeline",
+		"batch", "locality", "pipeline", "rebalance",
 	}
 }
 
@@ -67,6 +91,9 @@ func RunByName(name string, opts Options) (Report, error) {
 		return rep, err
 	case "pipeline":
 		_, rep, err := PipelineComparison(opts)
+		return rep, err
+	case "rebalance":
+		_, rep, err := RebalanceComparison(opts)
 		return rep, err
 	default:
 		return Report{}, errUnknownExperiment(name)

@@ -55,12 +55,10 @@ func newLocalityRow(graph, algo string, identical bool, hash, owner ampc.Stats) 
 		SimHash:          hash.Sim,
 		SimOwner:         owner.Sim,
 	}
-	if owner.RemoteReads > 0 {
-		row.RemoteReduction = float64(hash.RemoteReads) / float64(owner.RemoteReads)
-	}
-	if owner.Sim > 0 {
-		row.SimSpeedup = float64(hash.Sim) / float64(owner.Sim)
-	}
+	// Tiny graphs can serve every owner-side read locally; the guarded
+	// ratios keep such zero-denominator rows finite in the table and JSON.
+	row.RemoteReduction = safeRatio(float64(hash.RemoteReads), float64(owner.RemoteReads))
+	row.SimSpeedup = safeRatio(float64(hash.Sim), float64(owner.Sim))
 	return row
 }
 

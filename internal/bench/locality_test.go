@@ -15,12 +15,13 @@ import (
 
 // TestPlacementPreservesAllFiveAlgorithms is the acceptance property of the
 // placement layer: every core algorithm must produce byte-identical output
-// with the owner-affine placement on and off, across seeds and both the
-// single-key and batched pipelines.  Placement only decides which shard
-// holds each key, so any divergence is a bug.
+// under hash, range-owner and degree-weighted ownership placement, across
+// seeds and both the single-key and batched pipelines.  Placement only
+// decides which shard holds each key and which machine does which work, so
+// any divergence is a bug.
 func TestPlacementPreservesAllFiveAlgorithms(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs five algorithms twice per configuration")
+		t.Skip("runs five algorithms three times per configuration")
 	}
 	configs := []ampc.Config{
 		{Machines: 8, Threads: 4, EnableCache: true, Seed: 1},
@@ -34,67 +35,71 @@ func TestPlacementPreservesAllFiveAlgorithms(t *testing.T) {
 
 		hash := base
 		hash.Placement = ampc.PlacementHash
-		owner := base
-		owner.Placement = ampc.PlacementOwnerAffine
 
-		mis0, err := mis.Run(g, hash)
+		misRef, err := mis.Run(g, hash)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mis1, err := mis.Run(g, owner)
+		mmRef, err := matching.Run(g, hash)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(mis0.InMIS, mis1.InMIS) {
-			t.Errorf("cfg %+v: MIS differs under owner placement", base)
-		}
-
-		mm0, err := matching.Run(g, hash)
+		msfRef, err := msf.Run(weighted, hash)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mm1, err := matching.Run(g, owner)
+		ccRef, err := connectivity.Run(g, hash)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(mm0.Matching.Mate, mm1.Matching.Mate) {
-			t.Errorf("cfg %+v: matching differs under owner placement", base)
+		cyRef, err := cycle.Run(cycleG, hash)
+		if err != nil {
+			t.Fatal(err)
 		}
 
-		msf0, err := msf.Run(weighted, hash)
-		if err != nil {
-			t.Fatal(err)
-		}
-		msf1, err := msf.Run(weighted, owner)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(msf0.Edges, msf1.Edges) {
-			t.Errorf("cfg %+v: MSF differs under owner placement", base)
-		}
+		for _, placement := range []string{ampc.PlacementOwnerAffine, ampc.PlacementWeighted} {
+			cfg := base
+			cfg.Placement = placement
 
-		cc0, err := connectivity.Run(g, hash)
-		if err != nil {
-			t.Fatal(err)
-		}
-		cc1, err := connectivity.Run(g, owner)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !reflect.DeepEqual(cc0.Components, cc1.Components) {
-			t.Errorf("cfg %+v: connectivity differs under owner placement", base)
-		}
+			misGot, err := mis.Run(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(misRef.InMIS, misGot.InMIS) {
+				t.Errorf("cfg %+v: MIS differs under %s placement", base, placement)
+			}
 
-		cy0, err := cycle.Run(cycleG, hash)
-		if err != nil {
-			t.Fatal(err)
-		}
-		cy1, err := cycle.Run(cycleG, owner)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if cy0.SingleCycle != cy1.SingleCycle || cy0.NumCycles != cy1.NumCycles {
-			t.Errorf("cfg %+v: cycle answer differs under owner placement", base)
+			mmGot, err := matching.Run(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(mmRef.Matching.Mate, mmGot.Matching.Mate) {
+				t.Errorf("cfg %+v: matching differs under %s placement", base, placement)
+			}
+
+			msfGot, err := msf.Run(weighted, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(msfRef.Edges, msfGot.Edges) {
+				t.Errorf("cfg %+v: MSF differs under %s placement", base, placement)
+			}
+
+			ccGot, err := connectivity.Run(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ccRef.Components, ccGot.Components) {
+				t.Errorf("cfg %+v: connectivity differs under %s placement", base, placement)
+			}
+
+			cyGot, err := cycle.Run(cycleG, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cyRef.SingleCycle != cyGot.SingleCycle || cyRef.NumCycles != cyGot.NumCycles {
+				t.Errorf("cfg %+v: cycle answer differs under %s placement", base, placement)
+			}
 		}
 	}
 }

@@ -136,13 +136,9 @@ func pipelineRow(name string, g *graph.Graph, opts Options) (PipelineRow, error)
 	row.BarrierSim = st.BarrierSim
 	row.PipelineSim = st.PipelineSim
 	row.SimDelta = st.BarrierSim - st.PipelineSim
-	if st.PipelineSim > 0 {
-		row.SimSpeedup = float64(st.BarrierSim) / float64(st.PipelineSim)
-	}
+	row.SimSpeedup = safeRatio(float64(st.BarrierSim), float64(st.PipelineSim))
 	row.BarrierIdle = st.BarrierIdle
 	row.PipelineIdle = st.PipelineIdle
-	if st.BarrierIdle > 0 {
-		row.IdleReductionPct = 100 * float64(st.BarrierIdle-st.PipelineIdle) / float64(st.BarrierIdle)
-	}
+	row.IdleReductionPct = safeReductionPct(float64(st.BarrierIdle), float64(st.PipelineIdle))
 	return row, nil
 }

@@ -28,9 +28,9 @@ func countsOf(st ampc.Stats) visitCounts {
 // TestPipelineEquivalenceAllFiveAlgorithms is the acceptance property of the
 // pipelined scheduler: every core algorithm must produce byte-identical
 // outputs — and, with one thread per machine, identical visit counts — with
-// round pipelining on and off, across seeds and both placement policies.
-// Pipelining only reorders which machine works when; any divergence is a
-// scheduler bug.
+// round pipelining on and off, across seeds and all three placement
+// policies (hash, range-owner, degree-weighted ownership).  Pipelining only
+// reorders which machine works when; any divergence is a scheduler bug.
 func TestPipelineEquivalenceAllFiveAlgorithms(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs five algorithms twice per configuration")
@@ -42,7 +42,7 @@ func TestPipelineEquivalenceAllFiveAlgorithms(t *testing.T) {
 	}
 	var cases []cfgCase
 	for _, seed := range []int64{1, 2, 3} {
-		for _, placement := range []string{ampc.PlacementHash, ampc.PlacementOwnerAffine} {
+		for _, placement := range []string{ampc.PlacementHash, ampc.PlacementOwnerAffine, ampc.PlacementWeighted} {
 			// Exercise the batched lock-step rounds on one seed per
 			// placement; the single-key rounds on the others.
 			cases = append(cases, cfgCase{seed: seed, placement: placement, batch: seed == 2})

@@ -43,7 +43,14 @@ func MergeBestRows(best map[string]BatchRow, rows []BatchRow) {
 // strictly below (1 - tolerance) x baseline.  A metric whose baseline is
 // zero or negative cannot fail (there is nothing to regress from), and a
 // metric landing exactly on the threshold passes.
-func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, tolerance float64) (lines []string, failures int) {
+//
+// freshRebalance carries the deterministic load-rebalancing rows (keyed by
+// graph); a baseline rebalance row fails when it is missing from the fresh
+// computation, when its load_imbalance_reduction regressed below the floor,
+// or when the fresh weighted split left a machine with zero keys (the
+// empty-tail bug the balanced split fixed).  A nil map skips the rebalance
+// section only if the baseline records no rebalance rows.
+func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[string]RebalanceSmokeRow, tolerance float64) (lines []string, failures int) {
 	floor := 1 - tolerance
 	lines = append(lines, fmt.Sprintf("%-10s %-22s %10s %10s %8s", "row", "metric", "baseline", "fresh", "ratio"))
 	for _, want := range baseline.Rows {
@@ -70,6 +77,25 @@ func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, tolerance float64) (l
 			if failed {
 				failures++
 			}
+		}
+	}
+	for _, want := range baseline.Rebalance {
+		key := want.Graph + "/rebalance"
+		got, ok := freshRebalance[want.Graph]
+		if !ok {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s missing from fresh run", key))
+			continue
+		}
+		if zeros := got.RangeLoad.ZeroKeyMachines + got.WeightedLoad.ZeroKeyMachines; zeros > 0 {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s %d machine(s) own zero keys", key, zeros))
+		}
+		line, failed := checkSmokeMetric(key, "load_imbalance_reduction",
+			want.LoadImbalanceReduction, got.LoadImbalanceReduction, floor)
+		lines = append(lines, line)
+		if failed {
+			failures++
 		}
 	}
 	return lines, failures

@@ -45,7 +45,9 @@ func Run(g *graph.Graph, cfg ampc.Config) (*Result, error) {
 	defer rt.Close()
 	cfgD := rt.Config()
 	n := g.NumNodes()
-	rt.SetKeyspace(n)
+	// Degree-proportional placement weights (the MSF pipeline below declares
+	// the same ones; random edge weights never change the adjacency).
+	rt.SetOwnership(graph.DegreeWeights(g))
 	res := &Result{}
 
 	// Random edge weights reduce connectivity to minimum spanning forest

@@ -60,7 +60,10 @@ func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, er
 	rt := ampc.New(cfg)
 	defer rt.Close()
 	cfgD := rt.Config()
-	rt.SetKeyspace(n)
+	// Every vertex has degree 2, so the degree-weighted partition reduces to
+	// the uniform range split; declaring it keeps the five algorithms on one
+	// ownership seam.
+	rt.SetOwnership(graph.DegreeWeights(g))
 	res := &Result{}
 
 	// Choose the samples.  At least two vertices are always sampled so the

@@ -244,7 +244,7 @@ func NewPlan(rt *ampc.Runtime, g *graph.Graph) (*Plan, error) {
 func newPlan(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, tag string) (*Plan, error) {
 	cfgD := rt.Config()
 	n := g.NumNodes()
-	rt.SetKeyspace(n)
+	rt.SetOwnership(graph.DegreeWeights(g))
 	sorted, store, write, err := sortedStore(rt, g, rank, tag)
 	if err != nil {
 		return nil, err
@@ -275,7 +275,10 @@ func newPlan(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, tag string) (*Plan
 func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int, tag string) (*seq.Matching, int, error) {
 	cfgD := rt.Config()
 	n := g.NumNodes()
-	rt.SetKeyspace(n)
+	// Degree-proportional placement weights keep per-machine load even under
+	// ampc.PlacementWeighted; under other placements this only declares the
+	// keyspace.
+	rt.SetOwnership(graph.DegreeWeights(g))
 
 	if budget == 0 {
 		// Untruncated searches resolve in a single pass, so the KV-write

@@ -23,7 +23,7 @@ type storeFailer interface {
 func runWithFaultInjection(rt *ampc.Runtime, g *graph.Graph, inject func([]storeFailer)) ([]bool, error) {
 	cfg := rt.Config()
 	n := g.NumNodes()
-	rt.SetKeyspace(n)
+	rt.SetOwnership(graph.DegreeWeights(g))
 	prio := rng.VertexPriorities(cfg.Seed, n)
 	less := func(a, b graph.NodeID) bool {
 		if prio[a] != prio[b] {

@@ -167,7 +167,7 @@ type Plan struct {
 func NewPlan(rt *ampc.Runtime, g *graph.Graph) (*Plan, error) {
 	cfgD := rt.Config()
 	n := g.NumNodes()
-	rt.SetKeyspace(n)
+	rt.SetOwnership(graph.DegreeWeights(g))
 	prio := rng.VertexPriorities(cfgD.Seed, n)
 	directed, store, write, err := directedStore(rt, g, prio)
 	if err != nil {
@@ -198,7 +198,11 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 	defer rt.Close()
 	cfgD := rt.Config()
 	n := g.NumNodes()
-	rt.SetKeyspace(n)
+	// Vertex-degree placement weights: under ampc.PlacementWeighted the
+	// partitioners and the shard placement both follow the degree-balanced
+	// contiguous partition, so the machine owning the hubs is no longer the
+	// straggler of every round.
+	rt.SetOwnership(graph.DegreeWeights(g))
 
 	if budget == 0 {
 		// Untruncated searches resolve in a single pass, so the KV-write

@@ -101,7 +101,10 @@ func runPrimPipeline(rt *ampc.Runtime, g *graph.Graph, tag string) (*Result, err
 	if n == 0 {
 		return result, nil
 	}
-	rt.SetKeyspace(n)
+	// Degree-proportional placement weights keep per-machine load even under
+	// ampc.PlacementWeighted; under other placements this only declares the
+	// keyspace.
+	rt.SetOwnership(graph.DegreeWeights(g))
 	prio := rng.VertexPriorities(cfg.Seed, n)
 	budget := cfg.SpaceBudget(n)
 

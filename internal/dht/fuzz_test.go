@@ -5,8 +5,9 @@ import "testing"
 // FuzzRangeOwner checks the invariants of the shared ownership function on
 // arbitrary (key, machines, keys) triples, boundary keys included: the owner
 // is always a valid machine index, ownership is monotone in the key, every
-// in-range key's owner actually owns a non-empty contiguous range, and keys
-// at or beyond the keyspace clamp to the last machine.
+// in-range key's owner actually owns a non-empty contiguous range containing
+// the key, no machine's range is empty when keys >= machines, and keys at or
+// beyond the keyspace clamp to the last machine.
 func FuzzRangeOwner(f *testing.F) {
 	f.Add(uint64(0), 4, 100)
 	f.Add(uint64(99), 4, 100)
@@ -14,7 +15,8 @@ func FuzzRangeOwner(f *testing.F) {
 	f.Add(uint64(1)<<63, 7, 123) // far out of range
 	f.Add(uint64(24), 5, 25)
 	f.Add(uint64(0), 1, 1)
-	f.Add(uint64(3), 8, 3) // more machines than keys
+	f.Add(uint64(3), 8, 3)   // more machines than keys
+	f.Add(uint64(11), 8, 12) // machines does not divide keys (old empty tail)
 	f.Fuzz(func(t *testing.T, key uint64, machines, keys int) {
 		if machines > 1<<12 {
 			machines = machines % (1 << 12)
@@ -39,14 +41,21 @@ func FuzzRangeOwner(f *testing.F) {
 		if next := RangeOwner(key+1, machines, keys); next < owner {
 			t.Fatalf("ownership not monotone: owner(%d)=%d > owner(%d)=%d", key, owner, key+1, next)
 		}
-		// The span arithmetic must match: key / ceil(keys/machines), clamped.
-		span := (keys + machines - 1) / machines
-		want := int(key) / span
-		if want >= machines {
-			want = machines - 1
+		// The owner's range [start, end) is non-empty and contains the key.
+		start := RangeOwnerStart(owner, machines, keys)
+		end := RangeOwnerStart(owner+1, machines, keys)
+		if start >= end {
+			t.Fatalf("key %d assigned to machine %d with empty range [%d, %d)", key, owner, start, end)
 		}
-		if owner != want {
-			t.Fatalf("owner(%d, %d, %d) = %d, want %d", key, machines, keys, owner, want)
+		if int(key) < start || int(key) >= end {
+			t.Fatalf("key %d outside its owner %d's range [%d, %d)", key, owner, start, end)
+		}
+		// Balanced split: no machine owns an empty range when keys >= machines,
+		// and range sizes differ by at most one.
+		if keys >= machines {
+			if sz := end - start; sz < keys/machines || sz > keys/machines+1 {
+				t.Fatalf("machine %d owns %d keys, want %d or %d", owner, sz, keys/machines, keys/machines+1)
+			}
 		}
 	})
 }
@@ -54,12 +63,14 @@ func FuzzRangeOwner(f *testing.F) {
 // FuzzOwnerAffinePlacement checks that the owner-affine placement is
 // internally consistent on arbitrary keys: ShardFor stays in range, a key's
 // shard is co-located with the key's owner (when there are enough shards),
-// and MachineFor never names a machine outside the pool.
+// MachineFor never names a machine outside the pool, and a non-positive
+// keyspace degrades to hashing with no co-location at all.
 func FuzzOwnerAffinePlacement(f *testing.F) {
 	f.Add(uint64(0), 4, 100, 16)
 	f.Add(uint64(99), 4, 100, 16)
 	f.Add(uint64(100), 4, 100, 2) // fewer shards than machines: degrades to hashing
 	f.Add(uint64(7), 3, 10, 9)
+	f.Add(uint64(7), 3, 0, 9) // zero keyspace: degrades to hashing
 	f.Add(uint64(1)<<40, 6, 1000, 24)
 	f.Fuzz(func(t *testing.T, key uint64, machines, keys, shards int) {
 		if machines > 1<<10 {
@@ -80,6 +91,16 @@ func FuzzOwnerAffinePlacement(f *testing.F) {
 		if m < -1 || m >= machines {
 			t.Fatalf("MachineFor(%d, %d) = %d out of range", shard, shards, m)
 		}
+		if keys <= 0 {
+			// Degenerate keyspace: HashRandom semantics, no false co-location.
+			if m != -1 {
+				t.Fatalf("zero keyspace still reports co-location with machine %d", m)
+			}
+			if want := HashRandom().ShardFor(key, shards); shard != want {
+				t.Fatalf("zero keyspace: shard %d, want hash shard %d", shard, want)
+			}
+			return
+		}
 		if shards/machines >= 1 {
 			// With at least one shard per machine, a key's shard must be
 			// co-located with exactly the key's range owner.
@@ -88,6 +109,107 @@ func FuzzOwnerAffinePlacement(f *testing.F) {
 			}
 		} else if m != -1 {
 			t.Fatalf("degraded placement (shards %d < machines %d) still reports co-location %d", shards, machines, m)
+		}
+	})
+}
+
+// FuzzOwnershipOwnerOf checks the weighted ownership table against a
+// linear-scan oracle and against the placement built from it, on arbitrary
+// weight vectors: OwnerOf must return exactly the machine whose boundary
+// range contains the key, ownership must be monotone and leave no machine
+// empty when keys >= machines, the uniform-weight table must agree with
+// RangeOwner key-for-key, and WeightedOwner's co-location must agree with
+// OwnerOf (the partitioner-agreement property the ampc runtime relies on).
+func FuzzOwnershipOwnerOf(f *testing.F) {
+	f.Add(uint64(0), 4, 16, []byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add(uint64(7), 4, 16, []byte{200, 1, 1, 1, 1, 1, 1, 200})
+	f.Add(uint64(3), 8, 16, []byte{9, 0, 0, 3})        // machines > keys
+	f.Add(uint64(1)<<50, 3, 12, []byte{0, 0, 0, 0, 5}) // out-of-range key
+	f.Fuzz(func(t *testing.T, key uint64, machines, shards int, raw []byte) {
+		if machines <= 0 || machines > 1<<8 {
+			machines = 1 + (abs(machines) % (1 << 8))
+		}
+		if shards <= 0 || shards > 1<<10 {
+			shards = 1 + (abs(shards) % (1 << 10))
+		}
+		weights := make([]int, len(raw))
+		for i, b := range raw {
+			weights[i] = int(b)
+		}
+		keys := len(weights)
+		own := NewOwnership(machines, weights)
+		if own.Machines() != machines || own.Keys() != keys {
+			t.Fatalf("table dims %d/%d, want %d/%d", own.Machines(), own.Keys(), machines, keys)
+		}
+
+		owner := own.OwnerOf(key)
+		if machines == 1 || keys == 0 {
+			if owner != 0 {
+				t.Fatalf("degenerate table: OwnerOf(%d) = %d, want 0", key, owner)
+			}
+		} else if key >= uint64(keys) {
+			if owner != machines-1 {
+				t.Fatalf("out-of-range key %d: owner %d, want %d", key, owner, machines-1)
+			}
+		} else {
+			// Linear-scan oracle over the boundary ranges.
+			want := -1
+			for m := 0; m < machines; m++ {
+				lo, hi := own.Range(m)
+				if int(key) >= lo && int(key) < hi {
+					want = m
+					break
+				}
+			}
+			if want == -1 {
+				t.Fatalf("key %d in no machine's range", key)
+			}
+			if owner != want {
+				t.Fatalf("OwnerOf(%d) = %d, oracle says %d", key, owner, want)
+			}
+		}
+
+		// Boundaries partition [0, keys) monotonically, with no empty range
+		// when keys >= machines.
+		prevHi := 0
+		for m := 0; m < machines; m++ {
+			lo, hi := own.Range(m)
+			if lo != prevHi || hi < lo {
+				t.Fatalf("machine %d range [%d, %d) does not continue at %d", m, lo, hi, prevHi)
+			}
+			if keys >= machines && lo == hi {
+				t.Fatalf("machine %d owns no keys (%d keys over %d machines)", m, keys, machines)
+			}
+			prevHi = hi
+		}
+		if prevHi != keys {
+			t.Fatalf("ranges end at %d, want %d", prevHi, keys)
+		}
+
+		// Placement agreement: a key's shard is co-located with OwnerOf(key)
+		// whenever there is at least one shard per machine.
+		p := OwnershipPlacement(own)
+		shard := p.ShardFor(key, shards)
+		if shard < 0 || shard >= shards {
+			t.Fatalf("ShardFor(%d, %d) = %d out of range", key, shards, shard)
+		}
+		m := p.MachineFor(shard, shards)
+		if keys == 0 {
+			if m != -1 {
+				t.Fatalf("zero-keyspace table reports co-location %d", m)
+			}
+		} else if shards/machines >= 1 {
+			if m != owner {
+				t.Fatalf("key %d: shard co-located with %d, OwnerOf says %d", key, m, owner)
+			}
+		} else if m != -1 {
+			t.Fatalf("degraded placement still reports co-location %d", m)
+		}
+
+		// Uniform weights reduce to the balanced range split of RangeOwner.
+		uniform := RangeOwnership(machines, keys)
+		if got, want := uniform.OwnerOf(key), RangeOwner(key, machines, keys); got != want {
+			t.Fatalf("RangeOwnership.OwnerOf(%d) = %d, RangeOwner = %d", key, got, want)
 		}
 	})
 }

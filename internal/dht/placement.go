@@ -65,7 +65,13 @@ type ownerAffine struct {
 // machine owning the key under a contiguous range partition of [0, keys)
 // across machines (see RangeOwner).  Affinity requires shards >= machines;
 // with fewer shards the policy degrades to hashing with no co-location.
+// A non-positive keyspace has no ownership to co-locate by, so it falls back
+// to HashRandom semantics outright: with keys <= 0 every key would otherwise
+// clamp to machine 0 and silently co-locate the whole store with it.
 func OwnerAffine(machines, keys int) Placement {
+	if keys <= 0 {
+		return HashRandom()
+	}
 	if machines < 1 {
 		machines = 1
 	}
@@ -96,21 +102,58 @@ func (p ownerAffine) MachineFor(shard, shards int) int {
 	return m
 }
 
-// RangeOwner returns the machine owning key under a contiguous range
-// partition of the keyspace [0, keys) across machines: machine m owns keys
-// [m·span, (m+1)·span) with span = ceil(keys/machines).  Keys at or beyond
-// keys clamp to the last machine.  It is the shared ownership function of
-// the OwnerAffine placement and of the vertex-ownership round partitioners
-// in the ampc package; the two must agree for reads of owned keys to stay
-// local.
+// RangeOwner returns the machine owning key under a balanced contiguous
+// range partition of the keyspace [0, keys) across machines: with
+// base = floor(keys/machines) and rem = keys mod machines, the first rem
+// machines own base+1 consecutive keys and the rest own base.  Whenever
+// keys >= machines every machine therefore owns at least one key (the old
+// ceil-span split left trailing machines empty whenever machines did not
+// divide keys, e.g. 12 keys over 8 machines starved machines 6-7); with
+// machines > keys the first keys machines own one key each.  Keys at or
+// beyond keys clamp to the last machine.  It is the shared ownership
+// function of the OwnerAffine placement and of the vertex-ownership round
+// partitioners in the ampc package; the two must agree for reads of owned
+// keys to stay local.
 func RangeOwner(key uint64, machines, keys int) int {
 	if machines <= 1 || keys <= 0 {
 		return 0
 	}
-	span := (keys + machines - 1) / machines
-	owner := int(key) / span
-	if key >= uint64(keys) || owner >= machines {
+	if key >= uint64(keys) {
 		return machines - 1
 	}
-	return owner
+	if machines >= keys {
+		return int(key)
+	}
+	base := keys / machines
+	rem := keys % machines
+	split := uint64(rem * (base + 1))
+	if key < split {
+		return int(key) / (base + 1)
+	}
+	return rem + int(key-split)/base
+}
+
+// RangeOwnerStart returns the first key of machine m's range under the
+// balanced contiguous partition of RangeOwner: m*base + min(m, rem), so
+// machine m owns [RangeOwnerStart(m), RangeOwnerStart(m+1)).  m <= 0 and an
+// empty keyspace start at 0; m >= machines (and every m >= 1 of a
+// single-machine partition, which owns the whole keyspace) returns keys,
+// keeping the [start, end) contract exact in the degenerate cases.  It is
+// the closed-form inverse used by RangeOwnership and by the boundary
+// invariants in tests; RangeOwner(RangeOwnerStart(m)) == m whenever the
+// machine's range is non-empty.
+func RangeOwnerStart(m, machines, keys int) int {
+	if keys <= 0 || m <= 0 {
+		return 0
+	}
+	if machines <= 1 || m >= machines {
+		return keys
+	}
+	base := keys / machines
+	rem := keys % machines
+	extra := m
+	if extra > rem {
+		extra = rem
+	}
+	return m*base + extra
 }

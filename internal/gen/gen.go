@@ -7,6 +7,7 @@ package gen
 
 import (
 	"math/rand"
+	"sort"
 
 	"ampcgraph/internal/graph"
 )
@@ -198,7 +199,16 @@ func PreferentialAttachment(n, k int, seed int64) *graph.Graph {
 			}
 			chosen[t] = true
 		}
+		// Append the chosen targets in sorted order: ranging over the map
+		// directly would order the endpoints list by random map iteration,
+		// feeding different degree-proportional draws to later vertices —
+		// the same seed would generate a different graph on every run.
+		targets := make([]graph.NodeID, 0, len(chosen))
 		for t := range chosen {
+			targets = append(targets, t)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, t := range targets {
 			b.AddEdge(graph.NodeID(v), t)
 			endpoints = append(endpoints, graph.NodeID(v), t)
 		}

@@ -132,6 +132,20 @@ func bfsFarthest(g *Graph, start NodeID) (NodeID, int) {
 	return far, fd
 }
 
+// DegreeWeights returns per-vertex placement weights proportional to vertex
+// degree: deg(v) + 1.  The +1 keeps zero-degree vertices at positive weight,
+// so a degree-weighted contiguous partition (dht.NewOwnership) balances key
+// counts as well as work and never hands a machine a weightless range.  The
+// AMPC algorithms pass these weights to Runtime.SetOwnership, since the
+// key-value traffic a vertex generates is proportional to its degree.
+func DegreeWeights(g *Graph) []int {
+	w := make([]int, g.NumNodes())
+	for v := range w {
+		w[v] = g.Degree(NodeID(v)) + 1
+	}
+	return w
+}
+
 // DegreeHistogram returns the sorted multiset of vertex degrees.  It is used
 // by the workload generators' tests to check power-law-ness of the synthetic
 // stand-ins for the paper's social and web graphs.
