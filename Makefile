@@ -7,7 +7,7 @@ COVER_FLOOR_DHT  ?= 90
 # Per-target budget for the short fuzz pass (fuzz-smoke).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt ci bench-smoke bench-check cover-check fuzz-smoke examples-smoke
+.PHONY: all build test race vet fmt ci bench-smoke bench-check cover-check fuzz-smoke examples-smoke backend-matrix
 
 all: build
 
@@ -36,6 +36,15 @@ examples-smoke:
 	$(GO) run ./examples/socialnetwork
 	$(GO) run ./examples/clustering
 	$(GO) run ./examples/cycles
+
+# backend-matrix runs the cross-backend equivalence suite once per storage
+# engine (the CI backend-matrix job runs the same thing as three parallel
+# jobs): every core algorithm must produce byte-identical results whether
+# the shards live in in-memory maps, disk log files, or behind net/rpc.
+backend-matrix:
+	BENCH_BACKEND=mem $(GO) test -run 'TestBackendsPreserveAllFiveAlgorithms|TestDiskBackendCompletesPastMemoryBudget' ./internal/bench/
+	BENCH_BACKEND=disk $(GO) test -run 'TestBackendsPreserveAllFiveAlgorithms|TestDiskBackendCompletesPastMemoryBudget' ./internal/bench/
+	BENCH_BACKEND=rpc $(GO) test -run 'TestBackendsPreserveAllFiveAlgorithms|TestDiskBackendCompletesPastMemoryBudget' ./internal/bench/
 
 # bench-smoke runs the pinned-seed batched-vs-unbatched comparison (OK and
 # TW stand-ins, seed 1) and writes the machine-readable snapshot that tracks

@@ -22,6 +22,9 @@
 // hash against owner placement, and the dedicated "rebalance" experiment
 // compares range against degree-weighted ownership on the hub-heavy
 // stand-ins (per-machine load balance, straggler idle, remote fraction).
+// -backend selects the shard storage engine (mem, disk or rpc) for the AMPC
+// runs; the dedicated "backend" experiment compares all three directly
+// (byte-identity, disk footprint, measured wire latencies).
 package main
 
 import (
@@ -45,6 +48,7 @@ func main() {
 		batch      = flag.Bool("batch", false, "run the AMPC algorithms with the shard-grouped batch pipeline")
 		placement  = flag.String("placement", "", "shard placement policy for the AMPC runs: hash (default), owner, or weighted (degree-balanced ownership)")
 		pipeline   = flag.Bool("pipeline", false, "run the AMPC algorithms with dependency-aware round pipelining")
+		backend    = flag.String("backend", "", "shard storage backend for the AMPC runs: mem (default), disk, or rpc")
 		jsonPath   = flag.String("json", "", "write the 'batch' experiment's comparison to this path as JSON")
 	)
 	flag.Parse()
@@ -58,6 +62,7 @@ func main() {
 		Batch:        *batch,
 		Placement:    *placement,
 		Pipeline:     *pipeline,
+		Backend:      *backend,
 	}
 	if *datasets != "" {
 		opts.Datasets = strings.Split(*datasets, ",")

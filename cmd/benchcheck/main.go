@@ -48,6 +48,7 @@ func main() {
 	// fail the gate, while a real regression persists across every run.
 	freshRows := make(map[string]bench.BatchRow, len(baseline.Rows))
 	freshRebalance := make(map[string]bench.RebalanceSmokeRow, len(baseline.Rebalance))
+	freshBackend := make(map[string]bench.BackendSmokeRow, len(baseline.Backend))
 	for attempt := 0; attempt < *runs; attempt++ {
 		fresh, _, err := bench.BatchSmoke(bench.Options{
 			Seed:     baseline.Seed,
@@ -67,14 +68,18 @@ func main() {
 			fmt.Printf("wrote %s\n", *outPath)
 		}
 		bench.MergeBestRows(freshRows, fresh.Rows)
-		// The rebalance rows are a pure function of the pinned graphs, so
-		// any run's computation is authoritative (no best-of merging).
+		// The rebalance and backend rows' gate metrics are deterministic
+		// for the pinned seed, so any run's computation is authoritative
+		// (no best-of merging).
 		for _, row := range fresh.Rebalance {
 			freshRebalance[row.Graph] = row
 		}
+		for _, row := range fresh.Backend {
+			freshBackend[row.Graph+"/"+row.Backend] = row
+		}
 	}
 
-	lines, failures := bench.CheckSmoke(baseline, freshRows, freshRebalance, *tolerance)
+	lines, failures := bench.CheckSmoke(baseline, freshRows, freshRebalance, freshBackend, *tolerance)
 	for _, line := range lines {
 		fmt.Println(line)
 	}

@@ -75,6 +75,8 @@ package ampc
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -145,6 +147,18 @@ type Config struct {
 	// Replicate enables synchronous replication inside the hash tables so
 	// that injected shard failures do not lose data (fault tolerance, §2).
 	Replicate bool
+	// Backend selects the shard storage engine of the hash tables:
+	// BackendMem (the default) keeps shards in in-memory maps, BackendDisk
+	// spills them to log-structured files so stores larger than RAM
+	// complete, and BackendRPC serves them over a loopback net/rpc
+	// transport that measures real wire costs (Runtime.MeasuredCostModel).
+	// Results are identical under every backend; only where the bytes live
+	// and what each operation really costs changes.
+	Backend string
+	// DiskDir is the parent directory for the disk backend's per-store log
+	// directories; empty uses the system temporary directory.  The runtime
+	// creates a private subdirectory per run and removes it on Close.
+	DiskDir string
 	// Seed drives all hash-based randomness.
 	Seed int64
 }
@@ -164,6 +178,18 @@ const (
 	// instead of overloading the machine whose range holds the hubs.
 	// Without declared weights it behaves like PlacementOwnerAffine.
 	PlacementWeighted = "weighted"
+)
+
+// Storage backends understood by Config.Backend (mirroring dht.BackendKind).
+const (
+	// BackendMem keeps every shard in an in-memory map (the default).
+	BackendMem = string(dht.BackendMem)
+	// BackendDisk keeps every shard in a log-structured file, spilling
+	// stores past RAM.
+	BackendDisk = string(dht.BackendDisk)
+	// BackendRPC serves every shard over a loopback net/rpc transport,
+	// measuring real wire costs.
+	BackendRPC = string(dht.BackendRPC)
 )
 
 // WithDefaults returns a copy of c with unset fields replaced by defaults.
@@ -188,6 +214,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Placement == "" {
 		c.Placement = PlacementHash
+	}
+	if c.Backend == "" {
+		c.Backend = BackendMem
 	}
 	return c
 }
@@ -278,9 +307,13 @@ type Stats struct {
 	// the straggler-idle reduction reported by the pipeline experiment.
 	BarrierIdle  time.Duration
 	PipelineIdle time.Duration
-	Wall         time.Duration
-	Sim          time.Duration
-	Phases       []PhaseStat
+	// Backend aggregates the backend-specific counters of every hash table:
+	// disk footprint for the disk backend, measured wire costs for the rpc
+	// backend (Kind is the backend of the runtime's stores).
+	Backend dht.BackendStats
+	Wall    time.Duration
+	Sim     time.Duration
+	Phases  []PhaseStat
 }
 
 // Runtime executes AMPC computations.
@@ -297,6 +330,7 @@ type Runtime struct {
 
 	mu         sync.Mutex
 	stores     []*dht.Store
+	diskBase   string // per-runtime parent dir of disk-backend stores
 	stats      Stats
 	phaseStack []phaseFrame
 	started    time.Time
@@ -403,9 +437,11 @@ func (r *Runtime) currentOwnership(keys int) *dht.Ownership {
 	return nil
 }
 
-// Close releases the runtime's persistent worker pool, waiting for any
-// in-flight round to drain first.  It is safe to call more than once and on
-// runtimes that never ran a round; statistics remain readable after Close.
+// Close releases the runtime's persistent worker pool and the resources of
+// every store it created (log files of the disk backend, sockets of the rpc
+// backend), waiting for any in-flight round to drain first.  It is safe to
+// call more than once and on runtimes that never ran a round; statistics —
+// including the stores' operation counters — remain readable after Close.
 // Close must not be called from inside a Round body.
 func (r *Runtime) Close() {
 	r.lifecycle.Lock()
@@ -415,9 +451,17 @@ func (r *Runtime) Close() {
 	}
 	r.mu.Lock()
 	p := r.pool
+	stores := append([]*dht.Store(nil), r.stores...)
+	diskBase := r.diskBase
 	r.mu.Unlock()
 	if p != nil {
 		p.close()
+	}
+	for _, s := range stores {
+		s.Close()
+	}
+	if diskBase != "" {
+		os.RemoveAll(diskBase)
 	}
 }
 
@@ -493,16 +537,57 @@ func (r *Runtime) BlockOwnerPartitioner(size, items int) func(int) int {
 }
 
 // NewStore creates and registers the next distributed hash table (D0, D1, …).
+// It panics when the configured backend cannot be constructed (unknown kind,
+// unusable disk directory); callers that want to handle those errors use
+// OpenStore.
 func (r *Runtime) NewStore(name string) *dht.Store {
-	s := dht.NewStore(name, dht.Options{
+	s, err := r.OpenStore(name)
+	if err != nil {
+		panic(fmt.Sprintf("ampc: creating store %q: %v", name, err))
+	}
+	return s
+}
+
+// OpenStore creates and registers the next distributed hash table, reporting
+// backend construction errors instead of panicking.
+func (r *Runtime) OpenStore(name string) (*dht.Store, error) {
+	opts := dht.Options{
 		Shards:    r.cfg.Shards,
 		Replicate: r.cfg.Replicate,
 		Placement: r.placement(),
-	})
+		Backend:   dht.BackendKind(r.cfg.Backend),
+	}
+	if opts.Backend == dht.BackendDisk {
+		dir, err := r.diskDirFor(name)
+		if err != nil {
+			return nil, err
+		}
+		opts.DiskDir = dir
+	}
+	s, err := dht.NewStore(name, opts)
+	if err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
 	r.stores = append(r.stores, s)
 	r.mu.Unlock()
-	return s
+	return s, nil
+}
+
+// diskDirFor returns a fresh per-store log directory under the runtime's
+// private disk base, creating the base on first use.  Every store gets its
+// own directory — reusing one would replay another store's logs.
+func (r *Runtime) diskDirFor(name string) (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.diskBase == "" {
+		base, err := os.MkdirTemp(r.cfg.DiskDir, "ampc-disk-*")
+		if err != nil {
+			return "", fmt.Errorf("ampc: creating disk base dir: %w", err)
+		}
+		r.diskBase = base
+	}
+	return filepath.Join(r.diskBase, fmt.Sprintf("%03d-%s", len(r.stores), name)), nil
 }
 
 // fenceCaches is the per-store cache fence: when store's write count has
@@ -623,6 +708,15 @@ func (r *Runtime) Stats() Stats {
 		st.LocalReads += ds.LocalReads
 		st.RemoteReads += ds.RemoteReads
 		st.KVRemoteBytes += ds.RemoteBytes
+		bs := s.BackendStats()
+		st.Backend.Kind = bs.Kind
+		st.Backend.DiskBytes += bs.DiskBytes
+		st.Backend.ResidentBytes += bs.ResidentBytes
+		st.Backend.WireReadOps += bs.WireReadOps
+		st.Backend.WireWriteOps += bs.WireWriteOps
+		st.Backend.WireBytes += bs.WireBytes
+		st.Backend.WireReadTime += bs.WireReadTime
+		st.Backend.WireWriteTime += bs.WireWriteTime
 	}
 	st.KVBytesTotal = st.KVBytesRead + st.KVBytesWritten
 	if reads := st.LocalReads + st.RemoteReads; reads > 0 {
@@ -643,6 +737,19 @@ func (r *Runtime) Stats() Stats {
 	return st
 }
 
+// MeasuredCostModel derives a cost model from the wire round trips measured
+// across all of the runtime's stores.  It reports false unless the runtime
+// uses a transport-backed backend (rpc) that has served at least one
+// operation; callers then fall back to the configured simulated model.
+func (r *Runtime) MeasuredCostModel() (simtime.CostModel, bool) {
+	bs := r.Stats().Backend
+	read, write := bs.MeasuredReadRTT(), bs.MeasuredWriteRTT()
+	if read == 0 && write == 0 {
+		return simtime.CostModel{}, false
+	}
+	return simtime.Measured(string(bs.Kind), read, write), true
+}
+
 // Ctx is the handle through which a machine accesses the hash tables during a
 // round.  A Ctx is shared by all threads of one machine and is safe for
 // concurrent use.
@@ -651,8 +758,16 @@ type Ctx struct {
 	Machine int
 	rt      *Runtime
 	read    *dht.Store
-	cache   *dht.Cache
-	coal    *coalescer
+	// readView is the input store's view bound to this machine; all reads
+	// go through it so they are classified (and charged) against the
+	// machine without threading it through every call.
+	readView *dht.View
+	cache    *dht.Cache
+	coal     *coalescer
+	// viewCache memoizes machine-bound views of output stores (keyed by
+	// *dht.Store): after the first write to a store, looking up its view is
+	// a lock-free load.
+	viewCache sync.Map
 
 	queries     atomic.Int64
 	writes      atomic.Int64
@@ -669,6 +784,16 @@ var dramLookupLatency = simtime.DRAM().LookupLatency
 
 // Config returns the runtime configuration (space budgets, seed, ...).
 func (c *Ctx) Config() Config { return c.rt.cfg }
+
+// viewFor returns out's view bound to this machine, memoized per Ctx.
+func (c *Ctx) viewFor(out *dht.Store) *dht.View {
+	if v, ok := c.viewCache.Load(out); ok {
+		return v.(*dht.View)
+	}
+	v := out.View(c.Machine)
+	c.viewCache.Store(out, v)
+	return v
+}
 
 // Lookup reads key from the round's input hash table.  With caching enabled
 // the per-machine cache is consulted first; a hit costs DRAM latency instead
@@ -692,7 +817,7 @@ func (c *Ctx) Lookup(key uint64) ([]byte, bool, error) {
 		// whole batch.
 		return c.coal.lookup(key)
 	}
-	readCost := int64(c.rt.cfg.Model.ReadCost(c.read.LocalTo(c.Machine, key)))
+	readCost := int64(c.rt.cfg.Model.ReadCost(c.readView.Local(key)))
 	if c.cache != nil {
 		v, ok, err := c.cache.GetFrom(c.Machine, key)
 		if err != nil {
@@ -701,7 +826,7 @@ func (c *Ctx) Lookup(key uint64) ([]byte, bool, error) {
 		c.latency.Add(readCost)
 		return v, ok, nil
 	}
-	v, ok, err := c.read.GetFrom(c.Machine, key)
+	v, ok, err := c.readView.Get(key)
 	if err != nil {
 		return nil, false, err
 	}
@@ -711,17 +836,19 @@ func (c *Ctx) Lookup(key uint64) ([]byte, bool, error) {
 
 // Write stores a key-value pair into the given output hash table.
 func (c *Ctx) Write(out *dht.Store, key uint64, value []byte) error {
+	view := c.viewFor(out)
 	c.writes.Add(1)
-	c.latency.Add(int64(c.rt.cfg.Model.WriteCost(out.LocalTo(c.Machine, key))))
-	return out.PutFrom(c.Machine, key, value)
+	c.latency.Add(int64(c.rt.cfg.Model.WriteCost(view.Local(key))))
+	return view.Put(key, value)
 }
 
 // Emit appends a record under key in the given output hash table (multi-value
 // semantics).
 func (c *Ctx) Emit(out *dht.Store, key uint64, value []byte) error {
+	view := c.viewFor(out)
 	c.writes.Add(1)
-	c.latency.Add(int64(c.rt.cfg.Model.WriteCost(out.LocalTo(c.Machine, key))))
-	return out.AppendFrom(c.Machine, key, value)
+	c.latency.Add(int64(c.rt.cfg.Model.WriteCost(view.Local(key))))
+	return view.Append(key, value)
 }
 
 // ChargeCompute records that the machine performed n units of local
@@ -815,6 +942,9 @@ func (r *Runtime) prepareRound(round Round, onErr func(error)) *preparedRound {
 	ctxs := make([]*Ctx, cfg.Machines)
 	for m := range ctxs {
 		ctxs[m] = &Ctx{Machine: m, rt: r, read: round.Read}
+		if round.Read != nil {
+			ctxs[m].readView = round.Read.View(m)
+		}
 		if cfg.EnableCache && round.Read != nil {
 			ctxs[m].cache = r.cacheFor(round.Read, m)
 		}

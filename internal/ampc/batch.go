@@ -60,7 +60,7 @@ func (c *Ctx) ReadMany(keys []uint64) ([][]byte, []bool, error) {
 			return vals, oks, nil
 		}
 	}
-	mv, mo, visits, err := c.read.BatchGetFrom(c.Machine, missKeys)
+	mv, mo, visits, err := c.readView.BatchGet(missKeys)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -135,7 +135,7 @@ func (c *Ctx) FetchInto(keys []uint64, fill func(key uint64, raw []byte, ok bool
 // WriteMany stores all pairs into the given output hash table in one
 // shard-grouped batch.
 func (c *Ctx) WriteMany(out *dht.Store, pairs []dht.Pair) error {
-	visits, err := out.BatchPutFrom(c.Machine, pairs)
+	visits, err := c.viewFor(out).BatchPut(pairs)
 	if err != nil {
 		return err
 	}
@@ -148,7 +148,7 @@ func (c *Ctx) WriteMany(out *dht.Store, pairs []dht.Pair) error {
 // EmitMany appends all pairs into the given output hash table in one
 // shard-grouped batch (multi-value semantics).
 func (c *Ctx) EmitMany(out *dht.Store, pairs []dht.Pair) error {
-	visits, err := out.BatchAppendFrom(c.Machine, pairs)
+	visits, err := c.viewFor(out).BatchAppend(pairs)
 	if err != nil {
 		return err
 	}
@@ -310,7 +310,7 @@ func (co *coalescer) flush() {
 		}
 		pos[i] = j
 	}
-	vals, oks, visits, err := co.ctx.read.BatchGetFrom(co.ctx.Machine, keys)
+	vals, oks, visits, err := co.ctx.readView.BatchGet(keys)
 	if err == nil {
 		co.ctx.recordBatch(len(keys), visits.Total())
 		co.ctx.latency.Add(int64(co.ctx.rt.cfg.Model.BatchReadCostSplit(visits.Local, visits.Remote, len(keys))))

@@ -105,6 +105,11 @@ type Smoke struct {
 	// a pure function of the pinned graphs, so the gate metric carries no
 	// run-to-run noise.
 	Rebalance []RebalanceSmokeRow `json:"rebalance,omitempty"`
+	// Backend tracks the storage-backend seam (see BackendSmoke): the disk
+	// and rpc backends must keep producing results byte-identical to the
+	// in-memory reference, and the disk backend must keep its spill
+	// headroom.  Both gate metrics are deterministic for the pinned seed.
+	Backend []BackendSmokeRow `json:"backend,omitempty"`
 }
 
 // BatchSmoke runs the batched-vs-unbatched comparison for the snapshot and
@@ -123,6 +128,12 @@ func BatchSmoke(opts Options) (Smoke, Report, error) {
 	}
 	rebalanceOpts := opts
 	rebalanceOpts.Datasets = nil // RebalanceSmoke pins CW+HL
+	backendOpts := opts
+	backendOpts.Datasets = nil // BackendSmoke pins OK
+	backendRows, err := BackendSmoke(backendOpts)
+	if err != nil {
+		return Smoke{}, rep, err
+	}
 	return Smoke{
 		Seed:      opts.Seed,
 		Datasets:  opts.Datasets,
@@ -131,6 +142,7 @@ func BatchSmoke(opts Options) (Smoke, Report, error) {
 		Threads:   opts.Threads,
 		Rows:      rows,
 		Rebalance: RebalanceSmoke(rebalanceOpts),
+		Backend:   backendRows,
 	}, rep, nil
 }
 

@@ -63,6 +63,11 @@ type Options struct {
 	// dedicated "pipeline" experiment compares barrier and pipelined
 	// schedules directly and ignores this field.
 	Pipeline bool
+	// Backend selects the shard storage engine (ampc.BackendMem,
+	// BackendDisk or BackendRPC) for the AMPC runs of every experiment.
+	// The dedicated "backend" experiment compares all three directly and
+	// ignores this field.
+	Backend string
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +100,7 @@ func (o Options) ampcConfig() ampc.Config {
 		Batch:       o.Batch,
 		Placement:   o.Placement,
 		Pipeline:    o.Pipeline,
+		Backend:     o.Backend,
 		Seed:        o.Seed,
 	}
 }

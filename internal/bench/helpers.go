@@ -41,7 +41,7 @@ func AllExperiments() []string {
 	return []string{
 		"table2", "table3", "figure3", "figure4", "figure5", "figure6",
 		"figure7", "figure8", "figure9", "table4", "cycle", "connectivity",
-		"batch", "locality", "pipeline", "rebalance",
+		"batch", "locality", "pipeline", "rebalance", "backend",
 	}
 }
 
@@ -94,6 +94,9 @@ func RunByName(name string, opts Options) (Report, error) {
 		return rep, err
 	case "rebalance":
 		_, rep, err := RebalanceComparison(opts)
+		return rep, err
+	case "backend":
+		_, rep, err := BackendComparison(opts)
 		return rep, err
 	default:
 		return Report{}, errUnknownExperiment(name)

@@ -50,7 +50,12 @@ func MergeBestRows(best map[string]BatchRow, rows []BatchRow) {
 // or when the fresh weighted split left a machine with zero keys (the
 // empty-tail bug the balanced split fixed).  A nil map skips the rebalance
 // section only if the baseline records no rebalance rows.
-func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[string]RebalanceSmokeRow, tolerance float64) (lines []string, failures int) {
+//
+// freshBackend carries the storage-backend rows (keyed by graph/backend); a
+// baseline backend row fails when it is missing from the fresh run, when the
+// backend's output stopped being byte-identical to the in-memory reference,
+// or when the disk backend's spill_ratio regressed below the floor.
+func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[string]RebalanceSmokeRow, freshBackend map[string]BackendSmokeRow, tolerance float64) (lines []string, failures int) {
 	floor := 1 - tolerance
 	lines = append(lines, fmt.Sprintf("%-10s %-22s %10s %10s %8s", "row", "metric", "baseline", "fresh", "ratio"))
 	for _, want := range baseline.Rows {
@@ -93,6 +98,24 @@ func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[st
 		}
 		line, failed := checkSmokeMetric(key, "load_imbalance_reduction",
 			want.LoadImbalanceReduction, got.LoadImbalanceReduction, floor)
+		lines = append(lines, line)
+		if failed {
+			failures++
+		}
+	}
+	for _, want := range baseline.Backend {
+		key := want.Graph + "/" + want.Backend
+		got, ok := freshBackend[key]
+		if !ok {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s missing from fresh run", key))
+			continue
+		}
+		if !got.Identical {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s results differ from the in-memory reference", key))
+		}
+		line, failed := checkSmokeMetric(key, "spill_ratio", want.SpillRatio, got.SpillRatio, floor)
 		lines = append(lines, line)
 		if failed {
 			failures++

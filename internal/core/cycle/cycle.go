@@ -96,7 +96,10 @@ func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, er
 	// the KV-write produces, so the two rounds form one staged sequence:
 	// per-round barriers by default, one dependency-scheduled pipeline
 	// under Config.Pipeline.
-	store := rt.NewStore("cycle-adjacency")
+	store, err := rt.OpenStore("cycle-adjacency")
+	if err != nil {
+		return nil, err
+	}
 	err = rt.Phase("Shuffle", func() error {
 		var bytes int64
 		for v := 0; v < n; v++ {

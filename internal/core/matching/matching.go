@@ -213,7 +213,10 @@ func sortedStore(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, tag string) ([
 	if err != nil {
 		return nil, nil, ampc.Round{}, err
 	}
-	store := rt.NewStore("edge-sorted-graph" + tag)
+	store, err := rt.OpenStore("edge-sorted-graph" + tag)
+	if err != nil {
+		return nil, nil, ampc.Round{}, err
+	}
 	write := rt.WriteTableRound("kv-write"+tag, store, g.NumNodes(), 1, func(item int) []byte {
 		return codec.EncodeNodeIDs(sorted[item])
 	})
@@ -314,7 +317,10 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 		return nil, 0, err
 	}
 	searchRounds := 0
-	mateStore := rt.NewStore("matching-status" + tag)
+	mateStore, err := rt.OpenStore("matching-status" + tag)
+	if err != nil {
+		return nil, 0, err
+	}
 
 	pass := 0
 	prevRemaining := -1

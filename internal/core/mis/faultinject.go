@@ -43,8 +43,11 @@ func runWithFaultInjection(rt *ampc.Runtime, g *graph.Graph, inject func([]store
 		sort.Slice(earlier, func(i, j int) bool { return less(earlier[i], earlier[j]) })
 		directed[v] = earlier
 	}
-	store := rt.NewStore("directed-graph")
-	err := rt.Run(ampc.Round{
+	store, err := rt.OpenStore("directed-graph")
+	if err != nil {
+		return nil, err
+	}
+	err = rt.Run(ampc.Round{
 		Name:        "kv-write",
 		Items:       n,
 		Partitioner: rt.OwnerPartitioner(n),

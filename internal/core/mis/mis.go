@@ -139,7 +139,10 @@ func directedStore(rt *ampc.Runtime, g *graph.Graph, prio []uint64) ([][]graph.N
 	if err != nil {
 		return nil, nil, ampc.Round{}, err
 	}
-	store := rt.NewStore("directed-graph")
+	store, err := rt.OpenStore("directed-graph")
+	if err != nil {
+		return nil, nil, ampc.Round{}, err
+	}
 	write := rt.WriteTableRound("kv-write", store, g.NumNodes(), 1, func(item int) []byte {
 		return codec.EncodeNodeIDs(directed[item])
 	})
@@ -244,7 +247,10 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 	// here and consulted by the searches of round i+1 (the store is
 	// cumulative across rounds, which is equivalent to the per-round stores
 	// of the model since statuses never change once set).
-	statusStore := rt.NewStore("mis-status")
+	statusStore, err := rt.OpenStore("mis-status")
+	if err != nil {
+		return nil, err
+	}
 	pass := 0
 	for {
 		pass++

@@ -136,7 +136,10 @@ func runPrimPipeline(rt *ampc.Runtime, g *graph.Graph, tag string) (*Result, err
 	}
 
 	// Phase 2: write the weight-sorted graph to the key-value store.
-	store := rt.NewStore("weight-sorted-graph" + tag)
+	store, err := rt.OpenStore("weight-sorted-graph" + tag)
+	if err != nil {
+		return nil, err
+	}
 	writeRound := rt.WriteTableRound("kv-write"+tag, store, n, 1, func(item int) []byte {
 		return codec.EncodeWeightedNeighbors(sorted[item])
 	})
@@ -386,10 +389,13 @@ func (s *primSearcher) fetch(v graph.NodeID) ([]codec.WeightedNeighbor, error) {
 func PointerJump(rt *ampc.Runtime, parent []graph.NodeID, tag string) ([]graph.NodeID, int, error) {
 	n := len(parent)
 	rt.SetKeyspace(n)
-	store := rt.NewStore("parents" + tag)
+	store, err := rt.OpenStore("parents" + tag)
+	if err != nil {
+		return nil, 0, err
+	}
 	roots := make([]graph.NodeID, n)
 	chains := make([]int, n)
-	err := rt.Phase("PointerJump"+tag, func() error {
+	err = rt.Phase("PointerJump"+tag, func() error {
 		rt.RecordShuffle("parent-map"+tag, int64(n)*8)
 		writeRound := rt.WriteTableRound("write-parents"+tag, store, n, 0, func(item int) []byte {
 			return codec.EncodeNodeID(parent[item])

@@ -1,0 +1,345 @@
+package dht
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The ShardBackend seam.
+//
+// The paper's system runs on an RDMA-backed key-value store with a TCP/IP
+// fallback; the store façade in this package only routes keys to shards and
+// accounts operations, while the bytes themselves live behind a ShardBackend.
+// Three backends ship with the repository:
+//
+//   - mem  (BackendMem):  one Go map per shard — the original store, and the
+//     byte-compatible default;
+//   - disk (BackendDisk): a log-structured append file plus an in-memory
+//     offset index per shard, so a store whose data outgrows RAM keeps
+//     working with only the index resident (see disk.go);
+//   - rpc  (BackendRPC):  a net/rpc client/server pair over a loopback
+//     transport, which pays — and measures — real serialization and wire
+//     costs per operation instead of simulating them (see rpc.go).
+//
+// A backend stores bytes; it never decides placement, latency charging or
+// statistics classification — those stay in the Store façade, which is why
+// every optimization layered on the store (batching, placement, pipelining)
+// behaves identically across backends.
+
+// BackendKind names a shard storage backend in Options and reports.
+type BackendKind string
+
+const (
+	// BackendMem keeps every shard in an in-memory map (the default).
+	BackendMem BackendKind = "mem"
+	// BackendDisk keeps every shard in a log-structured append file with an
+	// in-memory offset index, spilling values past RAM.
+	BackendDisk BackendKind = "disk"
+	// BackendRPC serves every shard from a net/rpc server reached over a
+	// loopback connection, measuring real wire costs per operation.
+	BackendRPC BackendKind = "rpc"
+)
+
+// BackendKinds lists the known backend kinds in the order they are
+// documented.
+func BackendKinds() []BackendKind {
+	return []BackendKind{BackendMem, BackendDisk, BackendRPC}
+}
+
+// BackendStats are backend-specific counters surfaced through
+// Store.BackendStats: where the bytes live (disk) and what the transport
+// actually cost (rpc).  The zero value of a field means "not applicable to
+// this backend".
+type BackendStats struct {
+	// Kind identifies the backend.
+	Kind BackendKind
+	// DiskBytes is the total number of bytes appended to the backend's log
+	// files (disk backend): the store footprint that does NOT occupy RAM.
+	DiskBytes int64
+	// ResidentBytes estimates the backend's in-memory footprint: value
+	// bytes for mem, index overhead for disk.  The disk backend completes
+	// stores whose DiskBytes far exceed ResidentBytes — that is the point.
+	ResidentBytes int64
+	// WireReadOps / WireWriteOps count operations that crossed the rpc
+	// transport (batched operations count once).
+	WireReadOps  int64
+	WireWriteOps int64
+	// WireBytes approximates payload bytes moved over the transport.
+	WireBytes int64
+	// WireReadTime / WireWriteTime accumulate the measured round-trip time
+	// of those operations; divided by the op counts they calibrate a
+	// simtime.Measured cost model (see Store.MeasuredCostModel).
+	WireReadTime  time.Duration
+	WireWriteTime time.Duration
+}
+
+// MeasuredReadRTT returns the mean measured round trip of one wire read, or
+// 0 when the backend has no transport.
+func (b BackendStats) MeasuredReadRTT() time.Duration {
+	if b.WireReadOps == 0 {
+		return 0
+	}
+	return b.WireReadTime / time.Duration(b.WireReadOps)
+}
+
+// MeasuredWriteRTT returns the mean measured round trip of one wire write,
+// or 0 when the backend has no transport.
+func (b BackendStats) MeasuredWriteRTT() time.Duration {
+	if b.WireWriteOps == 0 {
+		return 0
+	}
+	return b.WireWriteTime / time.Duration(b.WireWriteOps)
+}
+
+// ShardBackend is the storage engine behind a Store: it owns the per-shard
+// data (primary and, when replication is enabled, a synchronous replica) and
+// the simulated shard-failure state.  The Store façade above it owns key
+// routing (placement), freeze semantics, statistics and latency charging.
+//
+// Contracts shared by every implementation:
+//
+//   - Values are copied on write and must not be modified by callers after a
+//     read (exactly the map semantics of the original store).
+//   - A write mirrors into the replica when replication is enabled.
+//   - A read of a failed shard is served from the replica (reported as a
+//     failover) or returns ErrUnavailable when the backend is unreplicated.
+//   - Batch methods touch exactly one shard per call: one lock acquisition,
+//     one wire round trip.  Grouping keys by shard is the façade's job.
+//   - Implementations must be safe for concurrent use.
+type ShardBackend interface {
+	// Kind identifies the backend in stats and error messages.
+	Kind() BackendKind
+	// Get returns the value stored under key on shard.  failover reports
+	// that the read was served by the replica of a failed shard.
+	Get(shard int, key uint64) (val []byte, ok, failover bool, err error)
+	// Put stores a copy of value under key on shard.
+	Put(shard int, key uint64, value []byte) error
+	// Append appends value to the existing entry for key on shard
+	// (multi-value semantics), creating it when absent.
+	Append(shard int, key uint64, value []byte) error
+	// BatchGet serves keys from one shard under a single visit.  failovers
+	// is the number of keys served by the replica of a failed shard.
+	BatchGet(shard int, keys []uint64) (vals [][]byte, oks []bool, failovers int, err error)
+	// BatchWrite applies pairs to one shard under a single visit;
+	// appendMode selects Append over Put semantics.
+	BatchWrite(shard int, pairs []Pair, appendMode bool) error
+	// Freeze is the backend's half of Store.Freeze: the store becomes
+	// read-only, so the backend may flush buffered state to stable storage
+	// (the disk backend syncs its logs).
+	Freeze() error
+	// FailShard simulates the loss of shard; RecoverShard undoes it,
+	// rebuilding the primary from the replica when one exists.
+	FailShard(shard int)
+	RecoverShard(shard int)
+	// LenShard returns the number of distinct keys on shard.
+	LenShard(shard int) int
+	// Range calls fn for every key-value pair on shard until fn returns
+	// false; it returns false when fn stopped the iteration early.
+	Range(shard int, fn func(key uint64, value []byte) bool) bool
+	// Stats returns the backend-specific counters.
+	Stats() BackendStats
+	// Close releases backend resources (files, sockets).  The backend is
+	// unusable afterwards; Close is idempotent.
+	Close() error
+}
+
+// newBackend constructs the backend selected by opts, validating the kind.
+func newBackend(opts Options) (ShardBackend, error) {
+	switch opts.Backend {
+	case "", BackendMem:
+		return newMemBackend(opts.Shards, opts.Replicate), nil
+	case BackendDisk:
+		return newDiskBackend(opts.Shards, opts.Replicate, opts.DiskDir)
+	case BackendRPC:
+		return newRPCBackend(opts.Shards, opts.Replicate)
+	default:
+		return nil, fmt.Errorf("dht: unknown backend kind %q (known: %v)", opts.Backend, BackendKinds())
+	}
+}
+
+// memShard is one in-memory shard: the primary map, the optional replica and
+// the simulated failure flag.
+type memShard struct {
+	mu      sync.RWMutex
+	data    map[uint64][]byte
+	replica map[uint64][]byte
+	failed  bool
+}
+
+// memBackend is the original in-memory storage engine: one map per shard.
+// It also serves as the server-side engine of the rpc backend.
+type memBackend struct {
+	shards   []*memShard
+	resident atomic.Int64 // approximate bytes held by primary values
+}
+
+// memKeyOverhead approximates the per-key bookkeeping of a map entry (hash
+// bucket slot, key, slice header) for the resident-bytes estimate.
+const memKeyOverhead = 48
+
+func newMemBackend(shards int, replicate bool) *memBackend {
+	b := &memBackend{shards: make([]*memShard, shards)}
+	for i := range b.shards {
+		b.shards[i] = &memShard{data: make(map[uint64][]byte)}
+		if replicate {
+			b.shards[i].replica = make(map[uint64][]byte)
+		}
+	}
+	return b
+}
+
+func (b *memBackend) Kind() BackendKind { return BackendMem }
+
+func (b *memBackend) Get(shard int, key uint64) ([]byte, bool, bool, error) {
+	sh := b.shards[shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.failed {
+		if sh.replica == nil {
+			return nil, false, false, ErrUnavailable
+		}
+		v, ok := sh.replica[key]
+		return v, ok, true, nil
+	}
+	v, ok := sh.data[key]
+	return v, ok, false, nil
+}
+
+// accountStore updates the resident estimate for storing next under key,
+// replacing prev bytes (0 for a new key, which also pays the key overhead).
+func (b *memBackend) accountStore(isNew bool, prev, next int) {
+	delta := int64(next - prev)
+	if isNew {
+		delta += memKeyOverhead
+	}
+	b.resident.Add(delta)
+}
+
+func (b *memBackend) Put(shard int, key uint64, value []byte) error {
+	sh := b.shards[shard]
+	cp := append([]byte(nil), value...)
+	sh.mu.Lock()
+	prev, existed := sh.data[key]
+	sh.data[key] = cp
+	if sh.replica != nil {
+		sh.replica[key] = cp
+	}
+	sh.mu.Unlock()
+	b.accountStore(!existed, len(prev), len(cp))
+	return nil
+}
+
+func (b *memBackend) Append(shard int, key uint64, value []byte) error {
+	sh := b.shards[shard]
+	sh.mu.Lock()
+	cur, existed := sh.data[key]
+	next := make([]byte, 0, len(cur)+len(value))
+	next = append(next, cur...)
+	next = append(next, value...)
+	sh.data[key] = next
+	if sh.replica != nil {
+		sh.replica[key] = next
+	}
+	sh.mu.Unlock()
+	b.accountStore(!existed, len(cur), len(next))
+	return nil
+}
+
+func (b *memBackend) BatchGet(shard int, keys []uint64) ([][]byte, []bool, int, error) {
+	sh := b.shards[shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.failed && sh.replica == nil {
+		return nil, nil, 0, ErrUnavailable
+	}
+	data := sh.data
+	failovers := 0
+	if sh.failed {
+		data = sh.replica
+		failovers = len(keys)
+	}
+	vals := make([][]byte, len(keys))
+	oks := make([]bool, len(keys))
+	for i, k := range keys {
+		vals[i], oks[i] = data[k]
+	}
+	return vals, oks, failovers, nil
+}
+
+func (b *memBackend) BatchWrite(shard int, pairs []Pair, appendMode bool) error {
+	sh := b.shards[shard]
+	var delta int64
+	sh.mu.Lock()
+	for _, p := range pairs {
+		cur, existed := sh.data[p.Key]
+		var next []byte
+		if appendMode {
+			next = make([]byte, 0, len(cur)+len(p.Value))
+			next = append(next, cur...)
+			next = append(next, p.Value...)
+		} else {
+			next = append([]byte(nil), p.Value...)
+		}
+		sh.data[p.Key] = next
+		if sh.replica != nil {
+			sh.replica[p.Key] = next
+		}
+		delta += int64(len(next) - len(cur))
+		if !existed {
+			delta += memKeyOverhead
+		}
+	}
+	sh.mu.Unlock()
+	b.resident.Add(delta)
+	return nil
+}
+
+func (b *memBackend) Freeze() error { return nil }
+
+func (b *memBackend) FailShard(shard int) {
+	sh := b.shards[shard]
+	sh.mu.Lock()
+	sh.failed = true
+	sh.mu.Unlock()
+}
+
+func (b *memBackend) RecoverShard(shard int) {
+	sh := b.shards[shard]
+	sh.mu.Lock()
+	sh.failed = false
+	if sh.replica != nil {
+		// Rebuild the primary from the replica, as a recovering server would.
+		sh.data = make(map[uint64][]byte, len(sh.replica))
+		for k, v := range sh.replica {
+			sh.data[k] = v
+		}
+	}
+	sh.mu.Unlock()
+}
+
+func (b *memBackend) LenShard(shard int) int {
+	sh := b.shards[shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.data)
+}
+
+func (b *memBackend) Range(shard int, fn func(key uint64, value []byte) bool) bool {
+	sh := b.shards[shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for k, v := range sh.data {
+		if !fn(k, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *memBackend) Stats() BackendStats {
+	return BackendStats{Kind: BackendMem, ResidentBytes: b.resident.Load()}
+}
+
+func (b *memBackend) Close() error { return nil }

@@ -4,19 +4,20 @@ import "fmt"
 
 // Batched operations.
 //
-// Single-key Get/Put/Append pay one shard lock acquisition, one hash and one
-// latency round trip per key.  The batched variants group their keys by shard
-// and visit every shard exactly once, taking its lock once for the whole
-// group; the latency model charges one BatchShardLatency per shard visited
-// plus a BatchPerKey marginal per key, which is how the per-request overhead
-// amortization of §5.3 (the source of the practical AMPC wins over MPC) is
-// modeled.  With a machine-affine placement policy the *From variants
-// additionally split the shard visits into local (co-located with the
-// calling machine) and remote, charging each side its own latency.
-// Replication and failover behave exactly as in the single-key operations:
-// writes mirror into the replica, reads of a failed shard fail over to the
-// replica (counted as failovers) or return ErrUnavailable when the store is
-// unreplicated.
+// Single-key Get/Put/Append pay one shard visit, one hash and one latency
+// round trip per key.  The batched variants group their keys by shard and
+// visit every shard exactly once — one backend call, which for the mem and
+// disk backends is one lock acquisition and for the rpc backend one wire
+// round trip; the latency model charges one BatchShardLatency per shard
+// visited plus a BatchPerKey marginal per key, which is how the per-request
+// overhead amortization of §5.3 (the source of the practical AMPC wins over
+// MPC) is modeled.  With a machine-affine placement policy the batched
+// operations of a View (or the deprecated *From variants) additionally split
+// the shard visits into local (co-located with the calling machine) and
+// remote, charging each side its own latency.  Replication and failover
+// behave exactly as in the single-key operations: writes mirror into the
+// replica, reads of a failed shard fail over to the replica (counted as
+// failovers) or return ErrUnavailable when the store is unreplicated.
 
 // Visits classifies the shard visits of one batched operation.
 type Visits struct {
@@ -46,7 +47,7 @@ func (s *Store) shardLocalTo(machine, idx int) bool {
 	if machine < 0 {
 		return false
 	}
-	return s.placement.MachineFor(idx, len(s.shards)) == machine
+	return s.shardMachine[idx] == machine
 }
 
 // BatchGet returns the values stored under keys, visiting each shard once.
@@ -54,14 +55,20 @@ func (s *Store) shardLocalTo(machine, idx int) bool {
 // the same shard visit.  shardVisits is the number of distinct shards (lock
 // acquisitions) the batch touched.  The returned slices must not be modified.
 func (s *Store) BatchGet(keys []uint64) (vals [][]byte, oks []bool, shardVisits int, err error) {
-	vals, oks, visits, err := s.BatchGetFrom(-1, keys)
+	vals, oks, visits, err := s.batchGetFrom(-1, keys)
 	return vals, oks, visits.Total(), err
 }
 
 // BatchGetFrom is BatchGet performed by the given machine: visits to shards
 // co-located with the machine are classified (and charged) as local.  A
 // negative machine is an anonymous, always-remote caller.
+//
+// Deprecated: use Store.View(machine).BatchGet instead.
 func (s *Store) BatchGetFrom(machine int, keys []uint64) (vals [][]byte, oks []bool, visits Visits, err error) {
+	return s.batchGetFrom(machine, keys)
+}
+
+func (s *Store) batchGetFrom(machine int, keys []uint64) (vals [][]byte, oks []bool, visits Visits, err error) {
 	vals = make([][]byte, len(keys))
 	oks = make([]bool, len(keys))
 	if len(keys) == 0 {
@@ -93,16 +100,18 @@ func (s *Store) BatchGetFrom(machine int, keys []uint64) (vals [][]byte, oks []b
 			remoteKeys += int64(positions)
 		}
 	}
-	for idx := 0; idx < len(s.shards); idx++ {
+	for idx := 0; idx < s.numShards; idx++ {
 		positions, ok := groups[idx]
 		if !ok {
 			continue
 		}
 		local := s.shardLocalTo(machine, idx)
-		sh := s.shards[idx]
-		sh.mu.RLock()
-		if sh.failed && sh.replica == nil {
-			sh.mu.RUnlock()
+		shardKeys := make([]uint64, len(positions))
+		for i, p := range positions {
+			shardKeys[i] = keys[p]
+		}
+		shardVals, shardOKs, failovers, err := s.backend.BatchGet(idx, shardKeys)
+		if err != nil {
 			// Flush what the shards served before the failure so the
 			// fault-tolerance counters stay consistent with the
 			// single-key path: every requested key counts as a read, with
@@ -112,13 +121,9 @@ func (s *Store) BatchGetFrom(machine int, keys []uint64) (vals [][]byte, oks []b
 			flush()
 			return nil, nil, visits, fmt.Errorf("%w: key %d", ErrUnavailable, keys[positions[0]])
 		}
-		data := sh.data
-		if sh.failed {
-			data = sh.replica
-			failedOver += int64(len(positions))
-		}
-		for _, p := range positions {
-			v, ok := data[keys[p]]
+		failedOver += int64(failovers)
+		for i, p := range positions {
+			v, ok := shardVals[i], shardOKs[i]
 			vals[p] = v
 			oks[p] = ok
 			if ok {
@@ -130,8 +135,7 @@ func (s *Store) BatchGetFrom(machine int, keys []uint64) (vals [][]byte, oks []b
 				missed++
 			}
 		}
-		sh.mu.RUnlock()
-		sh.ops.Add(int64(len(positions)))
+		s.shardOps[idx].Add(int64(len(positions)))
 		countVisit(local, len(positions))
 	}
 	flush()
@@ -141,11 +145,13 @@ func (s *Store) BatchGetFrom(machine int, keys []uint64) (vals [][]byte, oks []b
 // BatchPut stores all pairs, visiting each shard once.  Values are copied.
 // It returns ErrFrozen after Freeze has been called.
 func (s *Store) BatchPut(pairs []Pair) (shardVisits int, err error) {
-	visits, err := s.BatchPutFrom(-1, pairs)
+	visits, err := s.batchWrite(-1, pairs, false)
 	return visits.Total(), err
 }
 
 // BatchPutFrom is BatchPut performed by the given machine (see BatchGetFrom).
+//
+// Deprecated: use Store.View(machine).BatchPut instead.
 func (s *Store) BatchPutFrom(machine int, pairs []Pair) (Visits, error) {
 	return s.batchWrite(machine, pairs, false)
 }
@@ -153,12 +159,14 @@ func (s *Store) BatchPutFrom(machine int, pairs []Pair) (Visits, error) {
 // BatchAppend appends every pair's value to the existing entry for its key
 // (multi-value semantics), visiting each shard once.
 func (s *Store) BatchAppend(pairs []Pair) (shardVisits int, err error) {
-	visits, err := s.BatchAppendFrom(-1, pairs)
+	visits, err := s.batchWrite(-1, pairs, true)
 	return visits.Total(), err
 }
 
 // BatchAppendFrom is BatchAppend performed by the given machine (see
 // BatchGetFrom).
+//
+// Deprecated: use Store.View(machine).BatchAppend instead.
 func (s *Store) BatchAppendFrom(machine int, pairs []Pair) (Visits, error) {
 	return s.batchWrite(machine, pairs, true)
 }
@@ -179,35 +187,23 @@ func (s *Store) batchWrite(machine int, pairs []Pair, appendMode bool) (Visits, 
 	groups := s.shardGroups(keys)
 	var visits Visits
 	var remoteBytes int64
-	for idx := 0; idx < len(s.shards); idx++ {
+	for idx := 0; idx < s.numShards; idx++ {
 		positions, ok := groups[idx]
 		if !ok {
 			continue
 		}
 		local := s.shardLocalTo(machine, idx)
-		sh := s.shards[idx]
-		sh.mu.Lock()
-		for _, p := range positions {
-			pair := pairs[p]
-			var next []byte
-			if appendMode {
-				cur := sh.data[pair.Key]
-				next = make([]byte, 0, len(cur)+len(pair.Value))
-				next = append(next, cur...)
-				next = append(next, pair.Value...)
-			} else {
-				next = append([]byte(nil), pair.Value...)
-			}
-			sh.data[pair.Key] = next
-			if sh.replica != nil {
-				sh.replica[pair.Key] = next
-			}
+		shardPairs := make([]Pair, len(positions))
+		for i, p := range positions {
+			shardPairs[i] = pairs[p]
 			if !local {
-				remoteBytes += int64(len(pair.Value)) + 8
+				remoteBytes += int64(len(pairs[p].Value)) + 8
 			}
 		}
-		sh.mu.Unlock()
-		sh.ops.Add(int64(len(positions)))
+		if err := s.backend.BatchWrite(idx, shardPairs, appendMode); err != nil {
+			return visits, err
+		}
+		s.shardOps[idx].Add(int64(len(positions)))
 		if local {
 			visits.Local++
 		} else {

@@ -53,7 +53,7 @@ func (c *Cache) GetFrom(machine int, key uint64) ([]byte, bool, error) {
 	}
 	c.mu.RUnlock()
 
-	v, ok, err := c.store.GetFrom(machine, key)
+	v, ok, err := c.store.getFrom(machine, key)
 	if err != nil {
 		return nil, false, err
 	}

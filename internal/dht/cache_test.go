@@ -3,7 +3,7 @@ package dht
 import "testing"
 
 func TestCacheInvalidateDropsEntriesKeepsCounters(t *testing.T) {
-	s := NewStore("c", Options{Shards: 4})
+	s := MustStore("c", Options{Shards: 4})
 	if err := s.Put(1, []byte{10}); err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestCacheInvalidateDropsEntriesKeepsCounters(t *testing.T) {
 }
 
 func TestWriteCountCoversSingleAndBatchedWrites(t *testing.T) {
-	s := NewStore("w", Options{Shards: 4})
+	s := MustStore("w", Options{Shards: 4})
 	if got := s.WriteCount(); got != 0 {
 		t.Fatalf("fresh store write count %d", got)
 	}

@@ -1,17 +1,25 @@
 // Package dht implements the distributed hash table (distributed key-value
 // store) at the heart of the AMPC model.
 //
-// The store is sharded: keys are hashed onto a fixed number of shards, each
-// standing in for one key-value server.  The implementation tracks exactly
-// the quantities the paper measures — number of reads and writes, bytes
-// transferred, and per-shard load (query contention, §2) — and exposes the
-// freeze semantics of the model: within round i machines read D_{i-1}
-// (frozen, read-only) and write D_i.
+// The store is sharded: keys are routed onto a fixed number of shards, each
+// standing in for one key-value server.  Where the bytes of a shard actually
+// live is decided by a pluggable ShardBackend (see backend.go): an in-memory
+// map per shard (the default), a log-structured file per shard that spills
+// stores past RAM, or a net/rpc server reached over a loopback transport that
+// measures real wire costs.  The Store type itself is a thin routing and
+// accounting façade: it owns key→shard placement, freeze semantics, and
+// exactly the quantities the paper measures — number of reads and writes,
+// bytes transferred, and per-shard load (query contention, §2) — while the
+// backend owns the bytes.  Freeze implements the round discipline of the
+// model: within round i machines read D_{i-1} (frozen, read-only) and write
+// D_i.
 //
 // The real system in the paper uses an RDMA-backed key-value store with a
 // TCP/IP fallback; here the latency of each operation is charged to a
 // simulated clock according to a simtime.CostModel, which is how the Table 4
-// experiments are reproduced.
+// experiments are reproduced.  The rpc backend additionally measures the real
+// round-trip of every operation, from which Store.MeasuredCostModel derives
+// an empirically calibrated cost model.
 package dht
 
 import (
@@ -55,23 +63,27 @@ type Pair struct {
 	Value []byte
 }
 
-type shard struct {
-	mu      sync.RWMutex
-	data    map[uint64][]byte
-	replica map[uint64][]byte
-	failed  bool
-	ops     atomic.Int64
-}
-
-// Store is a sharded in-memory key-value store.
+// Store is a sharded key-value store: a routing/accounting façade over a
+// ShardBackend.
 type Store struct {
 	name      string
-	shards    []*shard
+	backend   ShardBackend
+	numShards int
 	placement Placement
-	model     simtime.CostModel
-	clock     *simtime.Clock
-	frozen    atomic.Bool
-	replicate bool
+	// shardMachine memoizes placement.MachineFor for every shard: placements
+	// are pure functions of their inputs (see Placement), so the map never
+	// changes after construction, and the hot-path read classifiers
+	// (LocalTo, shardLocalTo) become a slice load instead of a policy call.
+	shardMachine []int
+	model        simtime.CostModel
+	clock        *simtime.Clock
+	frozen       atomic.Bool
+	replicate    bool
+
+	// shardOps counts reads+writes per shard for the MaxShardOps contention
+	// statistic; it stays in the façade so every backend reports it the same
+	// way.
+	shardOps []atomic.Int64
 
 	reads        atomic.Int64
 	writes       atomic.Int64
@@ -85,6 +97,12 @@ type Store struct {
 	localReads   atomic.Int64
 	remoteReads  atomic.Int64
 	remoteBytes  atomic.Int64
+
+	viewMu sync.Mutex
+	views  map[int]*View
+
+	closed    atomic.Bool
+	finalKeys int64 // Len snapshot taken by Close
 }
 
 // Options configures a Store.
@@ -102,29 +120,53 @@ type Options struct {
 	// shard is co-located with.  Nil defaults to HashRandom (uniform hashing,
 	// no co-location), the behavior of the unmodified model.
 	Placement Placement
+	// Backend selects the shard storage engine: BackendMem (default),
+	// BackendDisk or BackendRPC.  NewStore rejects unknown kinds.
+	Backend BackendKind
+	// DiskDir is the directory holding the shard log files of the disk
+	// backend (required for BackendDisk, ignored otherwise).  Reopening a
+	// store over an existing directory replays its logs.
+	DiskDir string
 }
 
-// NewStore creates an empty store named name.
-func NewStore(name string, opts Options) *Store {
+// NewStore creates an empty store named name.  It returns an error when the
+// options select an unknown backend kind or the backend fails to initialize
+// (for example, the disk backend's directory cannot be created).
+func NewStore(name string, opts Options) (*Store, error) {
 	if opts.Shards <= 0 {
 		opts.Shards = 16
 	}
 	if opts.Placement == nil {
 		opts.Placement = HashRandom()
 	}
-	s := &Store{
-		name:      name,
-		shards:    make([]*shard, opts.Shards),
-		placement: opts.Placement,
-		model:     opts.Model,
-		clock:     opts.Clock,
-		replicate: opts.Replicate,
+	backend, err := newBackend(opts)
+	if err != nil {
+		return nil, err
 	}
-	for i := range s.shards {
-		s.shards[i] = &shard{data: make(map[uint64][]byte)}
-		if opts.Replicate {
-			s.shards[i].replica = make(map[uint64][]byte)
-		}
+	s := &Store{
+		name:         name,
+		backend:      backend,
+		numShards:    opts.Shards,
+		placement:    opts.Placement,
+		shardMachine: make([]int, opts.Shards),
+		model:        opts.Model,
+		clock:        opts.Clock,
+		replicate:    opts.Replicate,
+		shardOps:     make([]atomic.Int64, opts.Shards),
+		views:        make(map[int]*View),
+	}
+	for i := range s.shardMachine {
+		s.shardMachine[i] = opts.Placement.MachineFor(i, opts.Shards)
+	}
+	return s, nil
+}
+
+// MustStore is NewStore panicking on error, for callers whose options are
+// statically known to be valid (tests, the default mem backend).
+func MustStore(name string, opts Options) *Store {
+	s, err := NewStore(name, opts)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
@@ -133,14 +175,17 @@ func NewStore(name string, opts Options) *Store {
 func (s *Store) Name() string { return s.name }
 
 // NumShards returns the number of shards.
-func (s *Store) NumShards() int { return len(s.shards) }
+func (s *Store) NumShards() int { return s.numShards }
+
+// Backend returns the kind of the store's storage backend.
+func (s *Store) Backend() BackendKind { return s.backend.Kind() }
+
+// BackendStats returns the backend-specific counters (disk footprint, wire
+// costs).
+func (s *Store) BackendStats() BackendStats { return s.backend.Stats() }
 
 func (s *Store) shardIndexFor(key uint64) int {
-	return s.placement.ShardFor(key, len(s.shards))
-}
-
-func (s *Store) shardFor(key uint64) *shard {
-	return s.shards[s.shardIndexFor(key)]
+	return s.placement.ShardFor(key, s.numShards)
 }
 
 // Placement returns the store's placement policy.
@@ -152,7 +197,7 @@ func (s *Store) LocalTo(machine int, key uint64) bool {
 	if machine < 0 {
 		return false
 	}
-	return s.placement.MachineFor(s.shardIndexFor(key), len(s.shards)) == machine
+	return s.shardMachine[s.shardIndexFor(key)] == machine
 }
 
 // countRead records the local/remote classification of one served read of
@@ -177,27 +222,30 @@ func (s *Store) countWrite(local bool, bytes int64) {
 // Put stores value under key.  It returns ErrFrozen after Freeze has been
 // called.  The value is copied.
 func (s *Store) Put(key uint64, value []byte) error {
-	return s.PutFrom(-1, key, value)
+	return s.putFrom(-1, key, value)
 }
 
 // PutFrom is Put performed by the given machine; a write to a shard
 // co-located with the machine is charged the local latency and excluded from
 // the remote-byte count.  A negative machine is an anonymous (always remote)
 // caller.
+//
+// Deprecated: use Store.View(machine).Put instead; the View API replaces the
+// per-method caller-machine parameter.
 func (s *Store) PutFrom(machine int, key uint64, value []byte) error {
+	return s.putFrom(machine, key, value)
+}
+
+func (s *Store) putFrom(machine int, key uint64, value []byte) error {
 	if s.frozen.Load() {
 		return ErrFrozen
 	}
 	local := s.LocalTo(machine, key)
-	sh := s.shardFor(key)
-	cp := append([]byte(nil), value...)
-	sh.mu.Lock()
-	sh.data[key] = cp
-	if sh.replica != nil {
-		sh.replica[key] = cp
+	idx := s.shardIndexFor(key)
+	if err := s.backend.Put(idx, key, value); err != nil {
+		return err
 	}
-	sh.mu.Unlock()
-	sh.ops.Add(1)
+	s.shardOps[idx].Add(1)
 	s.shardVisits.Add(1)
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(value)) + 8)
@@ -211,27 +259,26 @@ func (s *Store) PutFrom(machine int, key uint64, value []byte) error {
 // semantics of the model, used by algorithms that emit several records per
 // key.
 func (s *Store) Append(key uint64, value []byte) error {
-	return s.AppendFrom(-1, key, value)
+	return s.appendFrom(-1, key, value)
 }
 
 // AppendFrom is Append performed by the given machine (see PutFrom).
+//
+// Deprecated: use Store.View(machine).Append instead.
 func (s *Store) AppendFrom(machine int, key uint64, value []byte) error {
+	return s.appendFrom(machine, key, value)
+}
+
+func (s *Store) appendFrom(machine int, key uint64, value []byte) error {
 	if s.frozen.Load() {
 		return ErrFrozen
 	}
 	local := s.LocalTo(machine, key)
-	sh := s.shardFor(key)
-	sh.mu.Lock()
-	cur := sh.data[key]
-	next := make([]byte, 0, len(cur)+len(value))
-	next = append(next, cur...)
-	next = append(next, value...)
-	sh.data[key] = next
-	if sh.replica != nil {
-		sh.replica[key] = next
+	idx := s.shardIndexFor(key)
+	if err := s.backend.Append(idx, key, value); err != nil {
+		return err
 	}
-	sh.mu.Unlock()
-	sh.ops.Add(1)
+	s.shardOps[idx].Add(1)
 	s.shardVisits.Add(1)
 	s.writes.Add(1)
 	s.bytesWritten.Add(int64(len(value)) + 8)
@@ -243,34 +290,35 @@ func (s *Store) AppendFrom(machine int, key uint64, value []byte) error {
 // Get returns the value stored under key.  The returned slice must not be
 // modified.  A read of an absent key counts as a miss.
 func (s *Store) Get(key uint64) ([]byte, bool, error) {
-	return s.GetFrom(-1, key)
+	return s.getFrom(-1, key)
 }
 
 // GetFrom is Get performed by the given machine; a read served by a shard
 // co-located with the machine counts as a local read and is charged the
 // local latency.  A negative machine is an anonymous (always remote) caller.
+//
+// Deprecated: use Store.View(machine).Get instead.
 func (s *Store) GetFrom(machine int, key uint64) ([]byte, bool, error) {
+	return s.getFrom(machine, key)
+}
+
+func (s *Store) getFrom(machine int, key uint64) ([]byte, bool, error) {
 	local := s.LocalTo(machine, key)
-	sh := s.shardFor(key)
-	sh.mu.RLock()
-	var v []byte
-	var ok bool
-	if sh.failed {
-		if sh.replica == nil {
-			sh.mu.RUnlock()
-			s.reads.Add(1)
-			s.shardVisits.Add(1)
-			s.countRead(local, 0)
-			s.charge(s.model.ReadCost(local))
-			return nil, false, fmt.Errorf("%w: key %d", ErrUnavailable, key)
-		}
-		v, ok = sh.replica[key]
-		s.failovers.Add(1)
-	} else {
-		v, ok = sh.data[key]
+	idx := s.shardIndexFor(key)
+	v, ok, failover, err := s.backend.Get(idx, key)
+	if err != nil {
+		// A failed, unreplicated shard: the lookup is paid for (and counted)
+		// even though it cannot be served.
+		s.reads.Add(1)
+		s.shardVisits.Add(1)
+		s.countRead(local, 0)
+		s.charge(s.model.ReadCost(local))
+		return nil, false, fmt.Errorf("%w: key %d", ErrUnavailable, key)
 	}
-	sh.mu.RUnlock()
-	sh.ops.Add(1)
+	if failover {
+		s.failovers.Add(1)
+	}
+	s.shardOps[idx].Add(1)
 	s.shardVisits.Add(1)
 	s.reads.Add(1)
 	if ok {
@@ -292,8 +340,17 @@ func (s *Store) GetFrom(machine int, key uint64) ([]byte, bool, error) {
 func (s *Store) WriteCount() int64 { return s.writes.Load() }
 
 // Freeze makes the store read-only; subsequent Put and Append calls fail.
-// In the AMPC model D_{i-1} is immutable while round i runs.
-func (s *Store) Freeze() { s.frozen.Store(true) }
+// In the AMPC model D_{i-1} is immutable while round i runs.  The backend
+// may use the transition to flush buffered state (the disk backend syncs
+// its logs).
+func (s *Store) Freeze() {
+	if s.frozen.Swap(true) {
+		return
+	}
+	if err := s.backend.Freeze(); err != nil {
+		panic(fmt.Sprintf("dht: freezing %s: %v", s.name, err))
+	}
+}
 
 // Frozen reports whether the store is read-only.
 func (s *Store) Frozen() bool { return s.frozen.Load() }
@@ -302,55 +359,44 @@ func (s *Store) Frozen() bool { return s.frozen.Load() }
 // continue to succeed (and are counted as failovers); without replication
 // reads of keys on the failed shard return ErrUnavailable.
 func (s *Store) FailShard(i int) {
-	sh := s.shards[i%len(s.shards)]
-	sh.mu.Lock()
-	sh.failed = true
-	sh.mu.Unlock()
+	s.backend.FailShard(i % s.numShards)
 }
 
-// RecoverShard undoes FailShard.
+// RecoverShard undoes FailShard, rebuilding the primary from the replica
+// when one exists.
 func (s *Store) RecoverShard(i int) {
-	sh := s.shards[i%len(s.shards)]
-	sh.mu.Lock()
-	sh.failed = false
-	if sh.replica != nil {
-		// Rebuild the primary from the replica, as a recovering server would.
-		sh.data = make(map[uint64][]byte, len(sh.replica))
-		for k, v := range sh.replica {
-			sh.data[k] = v
-		}
-	}
-	sh.mu.Unlock()
+	s.backend.RecoverShard(i % s.numShards)
 }
 
-// Len returns the number of distinct keys stored.
+// Len returns the number of distinct keys stored.  After Close it returns
+// the key count snapshotted at close time.
 func (s *Store) Len() int {
+	if s.closed.Load() {
+		return int(s.finalKeys)
+	}
 	n := 0
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		n += len(sh.data)
-		sh.mu.RUnlock()
+	for i := 0; i < s.numShards; i++ {
+		n += s.backend.LenShard(i)
 	}
 	return n
 }
 
 // Range calls fn for every key-value pair until fn returns false.  Iteration
 // order is unspecified.  It is intended for draining a store at the end of a
-// round, not for point lookups.
+// round, not for point lookups.  Range is a no-op on a closed store.
 func (s *Store) Range(fn func(key uint64, value []byte) bool) {
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-		for k, v := range sh.data {
-			if !fn(k, v) {
-				sh.mu.RUnlock()
-				return
-			}
+	if s.closed.Load() {
+		return
+	}
+	for i := 0; i < s.numShards; i++ {
+		if !s.backend.Range(i, fn) {
+			return
 		}
-		sh.mu.RUnlock()
 	}
 }
 
-// Stats returns a snapshot of the operation counters.
+// Stats returns a snapshot of the operation counters.  It remains valid
+// after Close (the key count freezes at its close-time value).
 func (s *Store) Stats() Stats {
 	st := Stats{
 		Reads:        s.reads.Load(),
@@ -367,8 +413,8 @@ func (s *Store) Stats() Stats {
 		RemoteReads:  s.remoteReads.Load(),
 		RemoteBytes:  s.remoteBytes.Load(),
 	}
-	for _, sh := range s.shards {
-		if ops := sh.ops.Load(); ops > st.MaxShardOps {
+	for i := range s.shardOps {
+		if ops := s.shardOps[i].Load(); ops > st.MaxShardOps {
 			st.MaxShardOps = ops
 		}
 	}
@@ -379,6 +425,31 @@ func (s *Store) Stats() Stats {
 // Figures 3 and 9 of the paper ("communication with the key-value store").
 func (s *Store) TotalBytes() int64 {
 	return s.bytesRead.Load() + s.bytesWritten.Load()
+}
+
+// MeasuredCostModel derives a cost model from the wire round trips measured
+// by the store's backend.  It reports false when the backend has no transport
+// (mem, disk) or has not yet served any operation; callers then fall back to
+// the simulated models.
+func (s *Store) MeasuredCostModel() (simtime.CostModel, bool) {
+	bs := s.backend.Stats()
+	read, write := bs.MeasuredReadRTT(), bs.MeasuredWriteRTT()
+	if read == 0 && write == 0 {
+		return simtime.CostModel{}, false
+	}
+	return simtime.Measured(string(bs.Kind), read, write), true
+}
+
+// Close releases the backend's resources (files, sockets).  Operation
+// counters and Stats stay readable; data operations on a closed store are
+// undefined.  Close is idempotent.
+func (s *Store) Close() error {
+	if s.closed.Load() {
+		return nil
+	}
+	s.finalKeys = int64(s.Len())
+	s.closed.Store(true)
+	return s.backend.Close()
 }
 
 // charge adds a latency charge to the simulated clock when one is attached.

@@ -12,7 +12,7 @@ import (
 )
 
 func TestPutGetRoundTrip(t *testing.T) {
-	s := NewStore("d0", Options{Shards: 4})
+	s := MustStore("d0", Options{Shards: 4})
 	if err := s.Put(1, []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 }
 
 func TestPutCopiesValue(t *testing.T) {
-	s := NewStore("d0", Options{})
+	s := MustStore("d0", Options{})
 	buf := []byte{1, 2, 3}
 	s.Put(7, buf)
 	buf[0] = 99
@@ -42,7 +42,7 @@ func TestPutCopiesValue(t *testing.T) {
 }
 
 func TestFreeze(t *testing.T) {
-	s := NewStore("d0", Options{})
+	s := MustStore("d0", Options{})
 	s.Put(1, []byte("a"))
 	s.Freeze()
 	if !s.Frozen() {
@@ -61,7 +61,7 @@ func TestFreeze(t *testing.T) {
 }
 
 func TestAppendAccumulates(t *testing.T) {
-	s := NewStore("d0", Options{})
+	s := MustStore("d0", Options{})
 	s.Append(5, []byte("ab"))
 	s.Append(5, []byte("cd"))
 	v, ok, _ := s.Get(5)
@@ -71,7 +71,7 @@ func TestAppendAccumulates(t *testing.T) {
 }
 
 func TestLenAndRange(t *testing.T) {
-	s := NewStore("d0", Options{Shards: 3})
+	s := MustStore("d0", Options{Shards: 3})
 	for i := uint64(0); i < 100; i++ {
 		s.Put(i, []byte{byte(i)})
 	}
@@ -97,7 +97,7 @@ func TestLenAndRange(t *testing.T) {
 }
 
 func TestFailShardWithoutReplication(t *testing.T) {
-	s := NewStore("d0", Options{Shards: 1})
+	s := MustStore("d0", Options{Shards: 1})
 	s.Put(1, []byte("x"))
 	s.FailShard(0)
 	_, _, err := s.Get(1)
@@ -113,7 +113,7 @@ func TestFailShardWithoutReplication(t *testing.T) {
 }
 
 func TestFailShardWithReplication(t *testing.T) {
-	s := NewStore("d0", Options{Shards: 2, Replicate: true})
+	s := MustStore("d0", Options{Shards: 2, Replicate: true})
 	for i := uint64(0); i < 50; i++ {
 		s.Put(i, []byte{byte(i)})
 	}
@@ -132,7 +132,7 @@ func TestFailShardWithReplication(t *testing.T) {
 
 func TestLatencyCharging(t *testing.T) {
 	clock := &simtime.Clock{}
-	s := NewStore("d0", Options{Model: simtime.RDMA(), Clock: clock})
+	s := MustStore("d0", Options{Model: simtime.RDMA(), Clock: clock})
 	s.Put(1, []byte("x"))
 	s.Get(1)
 	want := simtime.RDMA().LookupLatency + simtime.RDMA().WriteLatency
@@ -144,7 +144,7 @@ func TestLatencyCharging(t *testing.T) {
 func TestTCPCostsMoreThanRDMA(t *testing.T) {
 	run := func(m simtime.CostModel) time.Duration {
 		clock := &simtime.Clock{}
-		s := NewStore("d0", Options{Model: m, Clock: clock})
+		s := MustStore("d0", Options{Model: m, Clock: clock})
 		for i := uint64(0); i < 100; i++ {
 			s.Put(i, []byte("x"))
 			s.Get(i)
@@ -160,7 +160,7 @@ func TestTCPCostsMoreThanRDMA(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
-	s := NewStore("d0", Options{Shards: 8})
+	s := MustStore("d0", Options{Shards: 8})
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -193,7 +193,7 @@ func TestConcurrentAccess(t *testing.T) {
 }
 
 func TestStatsBytes(t *testing.T) {
-	s := NewStore("d0", Options{})
+	s := MustStore("d0", Options{})
 	s.Put(1, make([]byte, 100))
 	s.Get(1)
 	st := s.Stats()
@@ -206,7 +206,7 @@ func TestStatsBytes(t *testing.T) {
 }
 
 func TestPropertyRoundTripArbitrary(t *testing.T) {
-	s := NewStore("d0", Options{Shards: 5})
+	s := MustStore("d0", Options{Shards: 5})
 	f := func(key uint64, val []byte) bool {
 		if err := s.Put(key, val); err != nil {
 			return false
@@ -231,7 +231,7 @@ func TestPropertyRoundTripArbitrary(t *testing.T) {
 }
 
 func TestCacheReadThrough(t *testing.T) {
-	s := NewStore("d0", Options{})
+	s := MustStore("d0", Options{})
 	s.Put(1, []byte("v"))
 	c := NewCache(s)
 	for i := 0; i < 10; i++ {
@@ -250,7 +250,7 @@ func TestCacheReadThrough(t *testing.T) {
 }
 
 func TestCacheNegativeEntries(t *testing.T) {
-	s := NewStore("d0", Options{})
+	s := MustStore("d0", Options{})
 	c := NewCache(s)
 	for i := 0; i < 5; i++ {
 		if _, ok, err := c.Get(42); ok || err != nil {
@@ -266,7 +266,7 @@ func TestCacheNegativeEntries(t *testing.T) {
 }
 
 func TestCacheConcurrent(t *testing.T) {
-	s := NewStore("d0", Options{})
+	s := MustStore("d0", Options{})
 	for i := uint64(0); i < 100; i++ {
 		s.Put(i, []byte{byte(i)})
 	}

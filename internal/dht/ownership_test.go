@@ -83,7 +83,7 @@ func TestOwnerAffineZeroKeyspaceFallsBackToHash(t *testing.T) {
 	}
 	// The store built on the degenerate placement classifies everything
 	// remote — no machine can claim local reads it does not deserve.
-	s := NewStore("d0", Options{Shards: 8, Placement: OwnerAffine(4, 0)})
+	s := MustStore("d0", Options{Shards: 8, Placement: OwnerAffine(4, 0)})
 	if err := s.PutFrom(0, 1, []byte("x")); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,187 @@
+package dht
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// The View API binds a machine once instead of threading it through the
+// *From methods; these tests pin the contract — views are cached per
+// machine, their operations match the deprecated *From wrappers call for
+// call, and the accounting (local/remote classification) is identical.
+
+func TestViewIsCachedPerMachine(t *testing.T) {
+	s := MustStore("d0", Options{Shards: 4, Placement: OwnerAffine(2, 1<<10)})
+	if s.View(1) != s.View(1) {
+		t.Fatal("View(1) is not cached")
+	}
+	if s.View(0) == s.View(1) {
+		t.Fatal("distinct machines share a view")
+	}
+	v := s.View(1)
+	if v.Store() != s {
+		t.Fatal("View.Store does not return the owning store")
+	}
+	if v.Machine() != 1 {
+		t.Fatalf("View.Machine = %d, want 1", v.Machine())
+	}
+}
+
+func TestViewOperationsMatchDeprecatedFromWrappers(t *testing.T) {
+	// Two stores with identical options, one driven through Views, the
+	// other through the deprecated *From wrappers: contents and every
+	// counter must come out identical.
+	opts := Options{Shards: 8, Placement: OwnerAffine(4, 1<<10)}
+	viaView := MustStore("d0", opts)
+	viaFrom := MustStore("d0", opts)
+	// Machine 0 owns the low key range under the owner-affine placement, so
+	// the small keys below classify as local and exercise both splits.
+	const machine = 0
+	v := viaView.View(machine)
+
+	for k := uint64(0); k < 32; k++ {
+		if err := v.Put(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := viaFrom.PutFrom(machine, k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Append(3, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := viaFrom.AppendFrom(machine, 3, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	pairs := []Pair{{Key: 100, Value: []byte("a")}, {Key: 101, Value: []byte("b")}}
+	if _, err := v.BatchPut(pairs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := viaFrom.BatchPutFrom(machine, pairs); err != nil {
+		t.Fatal(err)
+	}
+	apps := []Pair{{Key: 100, Value: []byte("+")}, {Key: 102, Value: []byte("c")}}
+	if _, err := v.BatchAppend(apps); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := viaFrom.BatchAppendFrom(machine, apps); err != nil {
+		t.Fatal(err)
+	}
+
+	keys := []uint64{0, 3, 7, 100, 101, 102, 999}
+	for _, k := range keys {
+		gotV, okV, errV := v.Get(k)
+		gotF, okF, errF := viaFrom.GetFrom(machine, k)
+		if okV != okF || (errV == nil) != (errF == nil) || !bytes.Equal(gotV, gotF) {
+			t.Fatalf("key %d: view read (%v,%v,%v) != wrapper read (%v,%v,%v)",
+				k, gotV, okV, errV, gotF, okF, errF)
+		}
+		if v.Local(k) != viaFrom.LocalTo(machine, k) {
+			t.Fatalf("key %d: view locality disagrees with LocalTo", k)
+		}
+	}
+	valsV, oksV, visitsV, err := v.BatchGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valsF, oksF, visitsF, err := viaFrom.BatchGetFrom(machine, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(valsV, valsF) || !reflect.DeepEqual(oksV, oksF) || visitsV != visitsF {
+		t.Fatal("batched view reads differ from the deprecated wrapper")
+	}
+
+	if viaView.Stats() != viaFrom.Stats() {
+		t.Fatalf("counter divergence:\nview:    %+v\nwrapper: %+v", viaView.Stats(), viaFrom.Stats())
+	}
+	if viaView.Stats().LocalReads == 0 {
+		t.Fatal("no local reads: the machine binding did not reach the accounting")
+	}
+}
+
+func TestStoreAccessors(t *testing.T) {
+	for _, kind := range BackendKinds() {
+		s := storeForBackend(t, kind, Options{Shards: 4})
+		if s.Name() != "d0" {
+			t.Fatalf("Name = %q", s.Name())
+		}
+		if s.Backend() != kind {
+			t.Fatalf("Backend() = %q, want %q", s.Backend(), kind)
+		}
+		if got := s.BackendStats().Kind; got != kind {
+			t.Fatalf("BackendStats().Kind = %q, want %q", got, kind)
+		}
+		if s.Placement() == nil {
+			t.Fatal("Placement() = nil")
+		}
+		if s.NumShards() != 4 {
+			t.Fatalf("NumShards = %d", s.NumShards())
+		}
+	}
+}
+
+func TestBackendsRange(t *testing.T) {
+	for _, kind := range BackendKinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			s := storeForBackend(t, kind, Options{Shards: 4})
+			want := map[uint64][]byte{}
+			for k := uint64(0); k < 40; k++ {
+				val := []byte{byte(k), byte(k >> 1)}
+				if err := s.Put(k, val); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = val
+			}
+			got := map[uint64][]byte{}
+			s.Range(func(k uint64, v []byte) bool {
+				got[k] = append([]byte(nil), v...)
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("Range visited %d keys, want %d", len(got), len(want))
+			}
+			for k, v := range want {
+				if !bytes.Equal(got[k], v) {
+					t.Fatalf("key %d: Range saw %v, want %v", k, got[k], v)
+				}
+			}
+			// An early-stopping callback visits strictly fewer keys.
+			visited := 0
+			s.Range(func(uint64, []byte) bool {
+				visited++
+				return visited < 5
+			})
+			if visited != 5 {
+				t.Fatalf("early stop visited %d keys, want 5", visited)
+			}
+		})
+	}
+}
+
+func TestFreezeIsIdempotent(t *testing.T) {
+	for _, kind := range BackendKinds() {
+		s := storeForBackend(t, kind, Options{Shards: 2})
+		if err := s.Put(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		s.Freeze()
+		s.Freeze() // second freeze is a no-op, not a double backend flush
+		if !s.Frozen() {
+			t.Fatal("store not frozen")
+		}
+		if err := s.Put(2, []byte("y")); err != ErrFrozen {
+			t.Fatalf("Put on frozen store: %v, want ErrFrozen", err)
+		}
+	}
+}
+
+func TestMustStorePanicsOnInvalidOptions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustStore with an unknown backend did not panic")
+		}
+	}()
+	MustStore("d0", Options{Shards: 2, Backend: BackendKind("bogus")})
+}

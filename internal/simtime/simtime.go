@@ -229,6 +229,37 @@ func DRAM() CostModel {
 	return m
 }
 
+// Measured returns a cost model calibrated from real transport measurements:
+// read and write are the mean round-trip times observed for one key-value
+// read and write over an actual wire (the rpc store backend measures them).
+// The derived model keeps the compute and shuffle shape of the RDMA model —
+// those costs are unrelated to the key-value transport — but replaces every
+// lookup latency with the measured values: a batch still pays one full round
+// trip per shard visited (BatchShardLatency = read) plus a marginal per key
+// set to read/8, the same amortization ratio the simulated models use.  A
+// zero read or write falls back to the other direction, so a workload that
+// only measured one direction still yields a usable model.
+func Measured(name string, read, write time.Duration) CostModel {
+	if read == 0 {
+		read = write
+	}
+	if write == 0 {
+		write = read
+	}
+	m := RDMA()
+	m.Name = "measured-" + name
+	m.LookupLatency = read
+	m.WriteLatency = write
+	m.BatchShardLatency = read
+	m.BatchPerKey = read / 8
+	// Measurements come from a real transport where every operation crosses
+	// the wire; the measured latency applies to remote shards, keeping the
+	// DRAM-speed local split of the base model for co-located shards.
+	m.RemoteShardLatency = 0
+	m.BatchRemoteShardLatency = 0
+	return m
+}
+
 // Clock is a concurrency-safe accumulator of simulated time.  The zero value
 // is ready to use.
 type Clock struct {
