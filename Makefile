@@ -7,7 +7,7 @@ COVER_FLOOR_DHT  ?= 90
 # Per-target budget for the short fuzz pass (fuzz-smoke).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt ci bench-smoke bench-check cover-check fuzz-smoke examples-smoke backend-matrix
+.PHONY: all build test race vet fmt ci bench-smoke bench-check cover-check fuzz-smoke examples-smoke backend-matrix deprecation-gate
 
 all: build
 
@@ -26,7 +26,26 @@ vet:
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 
-ci: fmt vet build test race cover-check fuzz-smoke bench-check examples-smoke
+ci: fmt vet build test race deprecation-gate cover-check fuzz-smoke bench-check examples-smoke
+
+# deprecation-gate fails when any caller uses the deprecated machine-threading
+# *From store methods instead of Store.View.  The wrappers' own definitions
+# (internal/dht) and view_test.go (which pins the wrappers' equivalence with
+# the View API on purpose) are exempt, as is Cache.GetFrom, which is not
+# deprecated — a cache read-through has no View equivalent.
+deprecation-gate:
+	@out=$$(grep -rnE '\.(Get|Put|Append|BatchGet|BatchPut|BatchAppend)From\(' \
+		--include='*.go' . \
+		| grep -v '^\./internal/dht/dht\.go:' \
+		| grep -v '^\./internal/dht/batch\.go:' \
+		| grep -v '^\./internal/dht/cache\.go:' \
+		| grep -v '^\./internal/dht/view_test\.go:' \
+		| grep -vi 'cache\.GetFrom'); \
+	if [ -n "$$out" ]; then \
+		echo "deprecated *From store methods called (use Store.View):" >&2; \
+		echo "$$out" >&2; exit 1; \
+	fi
+	@echo "deprecation-gate: no deprecated *From call sites"
 
 # examples-smoke builds and runs every example end to end (they were
 # compiled but never executed by CI before); each must exit 0 on its own
@@ -82,6 +101,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzRangeOwner -fuzztime=$(FUZZTIME) ./internal/dht
 	$(GO) test -run=NONE -fuzz=FuzzOwnerAffinePlacement -fuzztime=$(FUZZTIME) ./internal/dht
 	$(GO) test -run=NONE -fuzz=FuzzOwnershipOwnerOf -fuzztime=$(FUZZTIME) ./internal/dht
+	$(GO) test -run=NONE -fuzz='FuzzRangeSet$$' -fuzztime=$(FUZZTIME) ./internal/dht
 	$(GO) test -run=NONE -fuzz=FuzzDecodeNodeIDs -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run=NONE -fuzz=FuzzDecodeWeightedNeighbors -fuzztime=$(FUZZTIME) ./internal/codec
 	$(GO) test -run=NONE -fuzz=FuzzNodeIDRoundTrip -fuzztime=$(FUZZTIME) ./internal/codec

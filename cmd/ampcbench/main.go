@@ -12,19 +12,17 @@
 //
 // Each experiment prints a text table whose rows mirror the corresponding
 // table or figure of the paper; EXPERIMENTS.md records how the shapes compare
-// with the published numbers.  -batch runs the AMPC algorithms through the
-// shard-grouped batch pipeline; the dedicated "batch" experiment compares
-// batched against unbatched runs directly and, with -json, writes the
-// comparison as a machine-readable snapshot (the BENCH_smoke.json of `make
-// bench-smoke`).  -placement owner runs the AMPC algorithms with the
-// owner-affine shard placement and -placement weighted with the
-// degree-weighted ownership; the dedicated "locality" experiment compares
-// hash against owner placement, and the dedicated "rebalance" experiment
-// compares range against degree-weighted ownership on the hub-heavy
-// stand-ins (per-machine load balance, straggler idle, remote fraction).
-// -backend selects the shard storage engine (mem, disk or rpc) for the AMPC
-// runs; the dedicated "backend" experiment compares all three directly
-// (byte-identity, disk footprint, measured wire latencies).
+// with the published numbers.  Every experiment accepts the same flag set,
+// registered once by benchFlags: -batch runs the AMPC algorithms through the
+// shard-grouped batch pipeline, -placement selects the shard placement policy
+// (hash, owner, or weighted), -pipeline runs the rounds through the
+// dependency-aware pipelined scheduler, and -backend selects the shard
+// storage engine (mem, disk or rpc).  An experiment whose comparison axis IS
+// one of those flags (batch, locality, rebalance, pipeline, backend) rejects
+// an explicit setting of that flag instead of silently ignoring it (see
+// bench.UnsupportedFlags).  The dedicated "batch" experiment with -json
+// writes the batched-vs-unbatched comparison as a machine-readable snapshot
+// (the BENCH_smoke.json of `make bench-smoke`).
 package main
 
 import (
@@ -36,57 +34,102 @@ import (
 	"ampcgraph/internal/bench"
 )
 
-func main() {
-	var (
-		experiment = flag.String("experiment", "all", "experiment to run: "+strings.Join(bench.AllExperiments(), ", ")+", or 'all'")
-		datasets   = flag.String("datasets", "", "comma-separated dataset names (default: all of OK,TW,FS,CW,HL)")
-		scale      = flag.Int("scale", 1, "dataset scale multiplier")
-		seed       = flag.Int64("seed", 1, "random seed")
-		machines   = flag.Int("machines", 8, "number of AMPC machines")
-		threads    = flag.Int("threads", 4, "threads per AMPC machine")
-		threshold  = flag.Int("mpc-threshold", 2000, "in-memory switch-over threshold (edges) for the MPC baselines")
-		batch      = flag.Bool("batch", false, "run the AMPC algorithms with the shard-grouped batch pipeline")
-		placement  = flag.String("placement", "", "shard placement policy for the AMPC runs: hash (default), owner, or weighted (degree-balanced ownership)")
-		pipeline   = flag.Bool("pipeline", false, "run the AMPC algorithms with dependency-aware round pipelining")
-		backend    = flag.String("backend", "", "shard storage backend for the AMPC runs: mem (default), disk, or rpc")
-		jsonPath   = flag.String("json", "", "write the 'batch' experiment's comparison to this path as JSON")
-	)
-	flag.Parse()
+// benchFlags is the shared flag set: every experiment sees the same flags,
+// registered in one place, so no experiment grows a private dialect.
+type benchFlags struct {
+	experiment string
+	datasets   string
+	scale      int
+	seed       int64
+	machines   int
+	threads    int
+	threshold  int
+	batch      bool
+	placement  string
+	pipeline   bool
+	backend    string
+	jsonPath   string
+}
 
+func (f *benchFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&f.experiment, "experiment", "all", "experiment to run: "+strings.Join(bench.AllExperiments(), ", ")+", or 'all'")
+	fs.StringVar(&f.datasets, "datasets", "", "comma-separated dataset names (default: all of OK,TW,FS,CW,HL)")
+	fs.IntVar(&f.scale, "scale", 1, "dataset scale multiplier")
+	fs.Int64Var(&f.seed, "seed", 1, "random seed")
+	fs.IntVar(&f.machines, "machines", 8, "number of AMPC machines")
+	fs.IntVar(&f.threads, "threads", 4, "threads per AMPC machine")
+	fs.IntVar(&f.threshold, "mpc-threshold", 2000, "in-memory switch-over threshold (edges) for the MPC baselines")
+	fs.BoolVar(&f.batch, "batch", false, "run the AMPC algorithms with the shard-grouped batch pipeline")
+	fs.StringVar(&f.placement, "placement", "", "shard placement policy for the AMPC runs: hash (default), owner, or weighted (degree-balanced ownership)")
+	fs.BoolVar(&f.pipeline, "pipeline", false, "run the AMPC algorithms with dependency-aware round pipelining")
+	fs.StringVar(&f.backend, "backend", "", "shard storage backend for the AMPC runs: mem (default), disk, or rpc")
+	fs.StringVar(&f.jsonPath, "json", "", "write the 'batch' experiment's comparison to this path as JSON")
+}
+
+func (f *benchFlags) options() bench.Options {
 	opts := bench.Options{
-		Scale:        *scale,
-		Seed:         *seed,
-		Machines:     *machines,
-		Threads:      *threads,
-		MPCThreshold: *threshold,
-		Batch:        *batch,
-		Placement:    *placement,
-		Pipeline:     *pipeline,
-		Backend:      *backend,
+		Scale:        f.scale,
+		Seed:         f.seed,
+		Machines:     f.machines,
+		Threads:      f.threads,
+		MPCThreshold: f.threshold,
+		Batch:        f.batch,
+		Placement:    f.placement,
+		Pipeline:     f.pipeline,
+		Backend:      f.backend,
 	}
-	if *datasets != "" {
-		opts.Datasets = strings.Split(*datasets, ",")
+	if f.datasets != "" {
+		opts.Datasets = strings.Split(f.datasets, ",")
 	}
+	return opts
+}
 
-	names := []string{*experiment}
-	if *experiment == "all" {
+// rejectUnsupported returns an error when one of the explicitly set flags is
+// fixed internally by an experiment about to run — the flag is that
+// experiment's comparison axis, so accepting it would silently ignore it.
+func rejectUnsupported(names []string, set map[string]bool) error {
+	for _, name := range names {
+		for _, fl := range bench.UnsupportedFlags(name) {
+			if set[fl] {
+				return fmt.Errorf("experiment %s sweeps -%s itself (it is the comparison axis); drop -%s or pick another experiment", name, fl, fl)
+			}
+		}
+	}
+	return nil
+}
+
+func main() {
+	var f benchFlags
+	f.register(flag.CommandLine)
+	flag.Parse()
+	opts := f.options()
+
+	explicit := make(map[string]bool)
+	flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+
+	names := []string{f.experiment}
+	if f.experiment == "all" {
 		names = bench.AllExperiments()
+	}
+	if err := rejectUnsupported(names, explicit); err != nil {
+		fmt.Fprintf(os.Stderr, "ampcbench: %v\n", err)
+		os.Exit(2)
 	}
 	wroteJSON := false
 	for _, name := range names {
-		if name == "batch" && *jsonPath != "" {
+		if name == "batch" && f.jsonPath != "" {
 			wroteJSON = true
 			smoke, rep, err := bench.BatchSmoke(opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "ampcbench: %s: %v\n", name, err)
 				os.Exit(1)
 			}
-			if err := bench.WriteSmokeJSON(*jsonPath, smoke); err != nil {
+			if err := bench.WriteSmokeJSON(f.jsonPath, smoke); err != nil {
 				fmt.Fprintf(os.Stderr, "ampcbench: %s: %v\n", name, err)
 				os.Exit(1)
 			}
 			fmt.Println(rep.String())
-			fmt.Printf("wrote %s\n", *jsonPath)
+			fmt.Printf("wrote %s\n", f.jsonPath)
 			continue
 		}
 		rep, err := bench.RunByName(name, opts)
@@ -96,8 +139,8 @@ func main() {
 		}
 		fmt.Println(rep.String())
 	}
-	if *jsonPath != "" && !wroteJSON {
-		fmt.Fprintf(os.Stderr, "ampcbench: -json only applies to the 'batch' experiment; %s was not written\n", *jsonPath)
+	if f.jsonPath != "" && !wroteJSON {
+		fmt.Fprintf(os.Stderr, "ampcbench: -json only applies to the 'batch' experiment; %s was not written\n", f.jsonPath)
 		os.Exit(1)
 	}
 }

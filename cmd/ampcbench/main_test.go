@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"ampcgraph/internal/bench"
+)
+
+// TestSharedFlagSetRegistersUniformly pins the CLI contract: one shared flag
+// struct registers every flag once, and the axis flags exist for every
+// experiment (no per-experiment dialects).
+func TestSharedFlagSetRegistersUniformly(t *testing.T) {
+	fs := flag.NewFlagSet("ampcbench", flag.ContinueOnError)
+	var f benchFlags
+	f.register(fs)
+	for _, name := range []string{"experiment", "datasets", "scale", "seed", "machines", "threads", "mpc-threshold", "batch", "placement", "pipeline", "backend", "json"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("shared flag set missing -%s", name)
+		}
+	}
+	if err := fs.Parse([]string{"-placement", "owner", "-backend", "disk", "-pipeline", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	opts := f.options()
+	if opts.Placement != "owner" || opts.Backend != "disk" || !opts.Pipeline || opts.Seed != 7 {
+		t.Fatalf("options did not carry the shared flags: %+v", opts)
+	}
+}
+
+func TestRejectUnsupportedFlagsErrors(t *testing.T) {
+	// An explicitly set axis flag is an error for the experiment sweeping
+	// that axis...
+	err := rejectUnsupported([]string{"locality"}, map[string]bool{"placement": true})
+	if err == nil || !strings.Contains(err.Error(), "-placement") {
+		t.Fatalf("locality + -placement not rejected: %v", err)
+	}
+	if err := rejectUnsupported([]string{"backend"}, map[string]bool{"backend": true}); err == nil {
+		t.Fatal("backend + -backend not rejected")
+	}
+	// ...but fine for experiments that honor it, and unset flags never err.
+	if err := rejectUnsupported([]string{"table3"}, map[string]bool{"placement": true}); err != nil {
+		t.Fatalf("table3 + -placement rejected: %v", err)
+	}
+	if err := rejectUnsupported([]string{"locality"}, map[string]bool{"seed": true}); err != nil {
+		t.Fatalf("locality + -seed rejected: %v", err)
+	}
+}
+
+// TestUnsupportedFlagsNamesAreRealExperiments guards the list against drift:
+// every experiment naming unsupported flags must exist, and the axis
+// experiments must each fix exactly their own axis.
+func TestUnsupportedFlagsNamesAreRealExperiments(t *testing.T) {
+	known := make(map[string]bool)
+	for _, name := range bench.AllExperiments() {
+		known[name] = true
+	}
+	want := map[string]string{
+		"batch":     "batch",
+		"locality":  "placement",
+		"rebalance": "placement",
+		"pipeline":  "pipeline",
+		"backend":   "backend",
+	}
+	for name, axis := range want {
+		if !known[name] {
+			t.Errorf("experiment %s not in AllExperiments", name)
+		}
+		got := bench.UnsupportedFlags(name)
+		if len(got) != 1 || got[0] != axis {
+			t.Errorf("UnsupportedFlags(%s) = %v, want [%s]", name, got, axis)
+		}
+	}
+	for _, name := range bench.AllExperiments() {
+		if want[name] == "" && bench.UnsupportedFlags(name) != nil {
+			t.Errorf("experiment %s unexpectedly rejects flags: %v", name, bench.UnsupportedFlags(name))
+		}
+	}
+}

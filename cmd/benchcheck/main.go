@@ -49,6 +49,7 @@ func main() {
 	freshRows := make(map[string]bench.BatchRow, len(baseline.Rows))
 	freshRebalance := make(map[string]bench.RebalanceSmokeRow, len(baseline.Rebalance))
 	freshBackend := make(map[string]bench.BackendSmokeRow, len(baseline.Backend))
+	freshPipeline := make(map[string]bench.PipelineRow, len(baseline.Pipeline))
 	for attempt := 0; attempt < *runs; attempt++ {
 		fresh, _, err := bench.BatchSmoke(bench.Options{
 			Seed:     baseline.Seed,
@@ -77,9 +78,13 @@ func main() {
 		for _, row := range fresh.Backend {
 			freshBackend[row.Graph+"/"+row.Backend] = row
 		}
+		// The pipeline rows' idle metric is noisy by nature; keep the best
+		// run per graph (bench.MergeBestPipelineRows), mirroring the batch
+		// rows.
+		bench.MergeBestPipelineRows(freshPipeline, fresh.Pipeline)
 	}
 
-	lines, failures := bench.CheckSmoke(baseline, freshRows, freshRebalance, freshBackend, *tolerance)
+	lines, failures := bench.CheckSmoke(baseline, freshRows, freshRebalance, freshBackend, freshPipeline, *tolerance)
 	for _, line := range lines {
 		fmt.Println(line)
 	}

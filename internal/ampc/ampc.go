@@ -58,18 +58,34 @@
 // EnableCache the per-machine caches survive across rounds that read the
 // same frozen hash table.  Call Runtime.Close to release the pool.
 //
-// # Round pipelining
+// # Round pipelining and key-range conflict declarations
 //
 // The model's global per-round barrier makes every machine wait for the
-// slowest.  Rounds declare the stores they read and write (Round.Reads /
-// Round.Writes), and with Config.Pipeline set, sequences executed through
-// RunPipeline (or RunStaged) are scheduled by those dependencies instead: a
-// machine finished with its partition of round i starts round i+1 work
-// whose input stores round i no longer writes, while stragglers drain.
+// slowest.  Rounds declare the resources they read and write as Access
+// values (Round.Reads / Round.Writes): a store plus, optionally, the key
+// spans touched — per machine when the partitioning is known (Ranged,
+// RangedBy, Runtime.OwnedRanges) — or a zero-storage scheduling Token.
+// With Config.Pipeline set, sequences executed through RunPipeline (or
+// RunStaged) are scheduled at sub-round granularity: machine m's share of
+// round j waits only for the earlier sub-rounds whose declared write spans
+// conflict with the spans machine m reads or writes, so a machine finished
+// with its own partition flows past stragglers still writing ranges it
+// never touches.
+//
+// Migration note: before this redesign Reads/Writes were whole-store sets
+// ([]*dht.Store).  An Access whose span set is the zero value declares the
+// whole store, so the old declaration `Writes: []*dht.Store{s}` becomes
+// `Writes: []ampc.Access{{Store: s}}` (or ampc.Whole(s)) with identical —
+// conservative — scheduling.  Narrowing is opt-in and is a contract: a
+// span-declared sub-round must not touch keys outside its spans.  Widen
+// strips the spans back off a round sequence to recover the whole-store
+// behavior for comparison.
+//
 // Results are byte-identical with pipelining on or off; modeled time
-// becomes a per-machine critical-path maximum, with the barrier accounting
-// of the same durations reported alongside (Stats.BarrierSim/PipelineSim,
-// BarrierIdle/PipelineIdle).  See pipeline.go for the scheduler.
+// becomes a per-sub-round critical-path maximum, with the barrier
+// accounting of the same durations reported alongside
+// (Stats.BarrierSim/PipelineSim, BarrierIdle/PipelineIdle).  See
+// pipeline.go for the scheduler and access.go for the declaration types.
 package ampc
 
 import (
@@ -536,6 +552,71 @@ func (r *Runtime) BlockOwnerPartitioner(size, items int) func(int) int {
 	}
 }
 
+// OwnedSpan returns the contiguous key span [lo, hi) that machine owns under
+// the runtime's partition of the keyspace [0, keys) — exactly the items
+// OwnerPartitioner(keys) assigns to it.  Rounds partitioned by ownership use
+// it (via OwnedRanges) to declare per-machine access spans, letting the
+// pipelined scheduler overlap sub-rounds on disjoint ranges.
+func (r *Runtime) OwnedSpan(machine, keys int) dht.Span {
+	machines := r.cfg.Machines
+	if keys <= 0 || machine < 0 || machine >= machines {
+		return dht.Span{}
+	}
+	if own := r.currentOwnership(keys); own != nil {
+		lo, hi := own.Range(machine)
+		return dht.Span{Lo: uint64(lo), Hi: uint64(hi)}
+	}
+	lo := dht.RangeOwnerStart(machine, machines, keys)
+	hi := dht.RangeOwnerStart(machine+1, machines, keys)
+	return dht.Span{Lo: uint64(lo), Hi: uint64(hi)}
+}
+
+// OwnedRanges returns, per machine, the key spans it owns in [0, keys) —
+// the per-machine access declaration matching OwnerPartitioner(keys).
+func (r *Runtime) OwnedRanges(keys int) []dht.RangeSet {
+	sets := make([]dht.RangeSet, r.cfg.Machines)
+	for m := range sets {
+		sets[m] = dht.NewRangeSet(r.OwnedSpan(m, keys))
+	}
+	return sets
+}
+
+// BlockOwnedRanges returns, per machine, the key spans covered by the
+// lock-step blocks BlockOwnerPartitioner(size, items) assigns to it — the
+// per-machine access declaration matching block-partitioned rounds.  Blocks
+// straddling an ownership boundary belong wholly to the owner of their first
+// key, so these spans can exceed the machine's owned range; declaring the
+// actual block assignment keeps the declaration exact.
+func (r *Runtime) BlockOwnedRanges(size, items int) []dht.RangeSet {
+	machines := r.cfg.Machines
+	part := r.BlockOwnerPartitioner(size, items)
+	per := make([][]dht.Span, machines)
+	for b := 0; b < NumBlocks(items, size); b++ {
+		m := part(b)
+		if m < 0 || m >= machines {
+			m = ((m % machines) + machines) % machines
+		}
+		lo, hi := BlockBounds(b, size, items)
+		per[m] = append(per[m], dht.Span{Lo: uint64(lo), Hi: uint64(hi)})
+	}
+	sets := make([]dht.RangeSet, machines)
+	for m := range sets {
+		sets[m] = dht.NewRangeSet(per[m]...)
+	}
+	return sets
+}
+
+// WriteRanges returns the per-machine spans a table-write round over items
+// keys touches under the current configuration: the block assignment when
+// batching (WriteTableRound writes whole blocks), the owned key ranges
+// otherwise.
+func (r *Runtime) WriteRanges(items int) []dht.RangeSet {
+	if r.cfg.Batch {
+		return r.BlockOwnedRanges(r.cfg.BatchSize, items)
+	}
+	return r.OwnedRanges(items)
+}
+
 // NewStore creates and registers the next distributed hash table (D0, D1, …).
 // It panics when the configured backend cannot be constructed (unknown kind,
 // unusable disk directory); callers that want to handle those errors use
@@ -874,21 +955,27 @@ type Round struct {
 	// Read is the input hash table; it is frozen for the duration of the
 	// round.  May be nil for rounds that only compute locally.
 	Read *dht.Store
-	// Reads declares additional hash tables the round's Body reads beyond
-	// Read (for example a status store consulted directly).  The pipelined
-	// scheduler (RunPipeline) serializes this round after any earlier
-	// round writing one of them.  Unlike Read, declared reads are NOT
-	// frozen — a cumulative store (statuses published across passes) may
-	// appear in both Reads and Writes of the same round.
-	Reads []*dht.Store
-	// Writes declares every hash table the round's Body writes (via
-	// Ctx.Write / Ctx.Emit / the batched variants).  RunPipeline uses the
-	// declaration to order rounds: a later round reading or writing one of
-	// these stores cannot start anywhere until this round has completed on
-	// every machine.  A round executed through RunPipeline MUST declare
-	// all its writes — an undeclared write could race a dependent round
-	// that the scheduler believed independent.  Run ignores the field.
-	Writes []*dht.Store
+	// Reads declares the resources the round's Body reads beyond Read: a
+	// status store consulted directly, or a scheduling Token published by
+	// an earlier round.  The pipelined scheduler (RunPipeline) orders each
+	// machine's share of this round after every earlier sub-round whose
+	// write declaration conflicts with it — same resource, overlapping key
+	// spans.  An Access naming Read narrows the span of the default input
+	// access instead of adding a second one.  Unlike Read, declared reads
+	// are NOT frozen — a cumulative store (statuses published across
+	// passes) may appear in both Reads and Writes of the same round.
+	Reads []Access
+	// Writes declares every resource the round's Body writes (hash tables
+	// via Ctx.Write / Ctx.Emit / the batched variants, plus any host-side
+	// state published under a Token).  RunPipeline orders a later
+	// conflicting sub-round after this round: whole-store declarations
+	// gate on every machine, while per-machine span declarations let
+	// disjoint-range sub-rounds overlap.  A round executed through
+	// RunPipeline MUST declare all its writes, and a span-narrowed
+	// declaration MUST cover every key the machine writes — an undeclared
+	// write could race a dependent round the scheduler believed
+	// independent.  Run ignores the field.
+	Writes []Access
 	// Body processes one work item on the machine owning it.
 	Body func(ctx *Ctx, item int) error
 	// Partitioner assigns work item i to a machine in [0, Machines); nil
@@ -901,18 +988,20 @@ type Round struct {
 	Partitioner func(item int) int
 }
 
-// readSet returns every store the round declares it reads: Read plus Reads,
-// deduplicated.
-func (rd Round) readSet() []*dht.Store {
+// readSet returns every access the round declares it reads: the declared
+// Reads plus a whole-store access for Read.  A declared access naming Read
+// replaces the default, which is how a round narrows the span of its own
+// input store.
+func (rd Round) readSet() []Access {
 	if rd.Read == nil {
 		return rd.Reads
 	}
-	for _, s := range rd.Reads {
-		if s == rd.Read {
+	for _, a := range rd.Reads {
+		if a.Store == rd.Read {
 			return rd.Reads
 		}
 	}
-	return append([]*dht.Store{rd.Read}, rd.Reads...)
+	return append([]Access{{Store: rd.Read}}, rd.Reads...)
 }
 
 // preparedRound is one round made ready for execution: input stores frozen
@@ -923,17 +1012,23 @@ type preparedRound struct {
 	jobs  []*machineJob
 }
 
-// prepareRound freezes the round's input store, fences the caches of every
-// store the round reads, counts the round, builds the per-machine contexts
-// and partitions the work items into machine jobs.  onErr receives every
-// item error.
-func (r *Runtime) prepareRound(round Round, onErr func(error)) *preparedRound {
+// prepareRound counts the round, builds the per-machine contexts and
+// partitions the work items into machine jobs.  With fence set it also
+// freezes the round's input store and fences the caches of every store the
+// round reads (the barrier path); the pipelined scheduler passes false and
+// manages freezing and fencing itself, deferring both past in-flight
+// declared writers.  onErr receives every item error.
+func (r *Runtime) prepareRound(round Round, onErr func(error), fence bool) *preparedRound {
 	cfg := r.cfg
-	if round.Read != nil {
-		round.Read.Freeze()
-	}
-	for _, s := range round.readSet() {
-		r.fenceCaches(s)
+	if fence {
+		if round.Read != nil {
+			round.Read.Freeze()
+		}
+		for _, a := range round.readSet() {
+			if a.Store != nil {
+				r.fenceCaches(a.Store)
+			}
+		}
 	}
 	r.mu.Lock()
 	r.stats.Rounds++
@@ -1059,7 +1154,7 @@ func (r *Runtime) runBarrier(round Round) error {
 		errMu.Unlock()
 	}
 
-	pr := r.prepareRound(round, recordErr)
+	pr := r.prepareRound(round, recordErr, true)
 	r.workers().dispatch(pr.jobs)
 
 	// Simulated round time: slowest machine plus the round-spawn overhead.

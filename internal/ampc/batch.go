@@ -81,44 +81,10 @@ func (c *Ctx) ReadMany(keys []uint64) ([][]byte, []bool, error) {
 	return vals, oks, nil
 }
 
-// LockStep drives a block of suspendable computations to completion.  Each
-// iteration advances every active unit as far as it can: advance returns the
-// key of the record the unit is missing (true) or reports the unit finished
-// (false).  The iteration's missing records — deduplicated — are then
-// fetched with one shard-grouped batch and handed to fill, after which the
-// suspended units resume.  It is the shared driver of the lock-step batch
-// rounds in the mis, matching and msf packages; the pointer-chase and
-// cycle-walk rounds keep hand-written loops because they bound memory with
-// per-hop fetch maps instead of a block-lifetime cache.
-func LockStep[T any](ctx *Ctx, units []T, advance func(u T) (key uint64, missing bool), fill func(key uint64, raw []byte, ok bool) error) error {
-	active := units
-	for len(active) > 0 {
-		var retry []T
-		var need []uint64
-		needSet := make(map[uint64]bool)
-		for _, u := range active {
-			key, missing := advance(u)
-			if !missing {
-				continue
-			}
-			if !needSet[key] {
-				needSet[key] = true
-				need = append(need, key)
-			}
-			retry = append(retry, u)
-		}
-		if err := ctx.FetchInto(need, fill); err != nil {
-			return err
-		}
-		active = retry
-	}
-	return nil
-}
-
 // FetchInto reads all keys in one shard-grouped batch and hands each result
-// to fill.  It is the shared tail of the lock-step drivers in the core
-// algorithm packages: collect a block's missing keys, fetch them together,
-// decode into local state.
+// to fill.  It is the shared tail of the streaming iterator driver (see
+// Ctx.Stream): collect a cycle's missing keys, fetch them together, decode
+// into local state.
 func (c *Ctx) FetchInto(keys []uint64, fill func(key uint64, raw []byte, ok bool) error) error {
 	vals, oks, err := c.ReadMany(keys)
 	if err != nil {
@@ -203,13 +169,15 @@ func (r *Runtime) WriteTable(name string, store *dht.Store, items, computePerIte
 // BatchSize keys; otherwise one Put per key, exactly as the hand-written
 // kv-write rounds did.  Items are partitioned by key ownership, so under the
 // owner-affine placement every machine writes its own keys to its co-located
-// shards.
+// shards — and the write declaration carries those per-machine spans
+// (WriteRanges), so the pipelined scheduler can overlap later sub-rounds
+// that only touch other machines' ranges.
 func (r *Runtime) WriteTableRound(name string, store *dht.Store, items, computePerItem int, value func(int) []byte) Round {
 	if !r.cfg.Batch {
 		return Round{
 			Name:        name,
 			Items:       items,
-			Writes:      []*dht.Store{store},
+			Writes:      []Access{RangedBy(store, r.WriteRanges(items))},
 			Partitioner: r.OwnerPartitioner(items),
 			Body: func(ctx *Ctx, item int) error {
 				ctx.ChargeCompute(computePerItem)
@@ -221,7 +189,7 @@ func (r *Runtime) WriteTableRound(name string, store *dht.Store, items, computeP
 	return Round{
 		Name:        name,
 		Items:       NumBlocks(items, size),
-		Writes:      []*dht.Store{store},
+		Writes:      []Access{RangedBy(store, r.WriteRanges(items))},
 		Partitioner: r.BlockOwnerPartitioner(size, items),
 		Body: func(ctx *Ctx, block int) error {
 			lo, hi := BlockBounds(block, size, items)

@@ -206,6 +206,70 @@ func TestCoalescedLookupMatchesDirect(t *testing.T) {
 	}
 }
 
+func TestStreamDrivesIteratorsAcrossWindows(t *testing.T) {
+	// Ten pull-based iterators, each suspending on three distinct keys in
+	// sequence.  Every window size must resolve every unit to the same
+	// result; the window only changes how the fetches group into batches.
+	const units, hops = 10, 3
+	for _, tc := range []struct {
+		window      int
+		wantBatches int64
+	}{
+		{0, hops},         // full window: one batch per lock-step cycle
+		{1, units * hops}, // serial: one batch per suspension
+		{4, 0 /* unchecked */},
+	} {
+		rt := New(Config{Machines: 1})
+		store := rt.NewStore("d0")
+		fillStore(t, rt, store, 64)
+		sums := make([]int, units)
+		err := rt.Run(Round{
+			Name:  "stream",
+			Items: 1,
+			Read:  store,
+			Body: func(ctx *Ctx, item int) error {
+				got := make(map[uint64]byte)
+				its := make([]Iterator, units)
+				for u := 0; u < units; u++ {
+					u := u
+					hop := 0
+					its[u] = PullFunc(func() (uint64, bool) {
+						for hop < hops {
+							key := uint64(u*hops + hop)
+							v, ok := got[key]
+							if !ok {
+								return key, true
+							}
+							sums[u] += int(v)
+							hop++
+						}
+						return 0, false
+					})
+				}
+				return ctx.Stream(tc.window, its, func(key uint64, raw []byte, ok bool) error {
+					if !ok {
+						return fmt.Errorf("key %d missing", key)
+					}
+					got[key] = raw[0]
+					return nil
+				})
+			},
+		})
+		if err != nil {
+			t.Fatalf("window %d: %v", tc.window, err)
+		}
+		for u, sum := range sums {
+			if want := 3*(u*hops) + 3; sum != want {
+				t.Fatalf("window %d: unit %d resolved to %d, want %d", tc.window, u, sum, want)
+			}
+		}
+		if st := rt.Stats(); tc.wantBatches != 0 && st.BatchesIssued != tc.wantBatches {
+			t.Fatalf("window %d: %d batches, want %d", tc.window, st.BatchesIssued, tc.wantBatches)
+		}
+		rt.Close()
+	}
+}
+
 func TestNumBlocksAndBounds(t *testing.T) {
 	if got := NumBlocks(0, 10); got != 0 {
 		t.Fatalf("NumBlocks(0,10) = %d", got)

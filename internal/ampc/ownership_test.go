@@ -146,7 +146,7 @@ func TestWeightedPlacementKeepsOwnedTrafficLocal(t *testing.T) {
 	err := r.Run(Round{
 		Name:        "write-own",
 		Items:       n,
-		Writes:      []*dht.Store{store},
+		Writes:      []Access{{Store: store}},
 		Partitioner: r.OwnerPartitioner(n),
 		Body: func(ctx *Ctx, item int) error {
 			var buf [8]byte

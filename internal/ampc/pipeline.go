@@ -10,65 +10,93 @@ import (
 	"ampcgraph/internal/simtime"
 )
 
-// Dependency-aware round pipelining.
+// Range-gated round pipelining.
 //
 // The AMPC model is barrier-synchronized: round i+1 starts only after every
 // machine has finished round i, so one straggler machine idles the whole
 // persistent pool.  Most of that synchronization is over-conservative — a
-// round only truly needs the stores it reads to be fully written.  Rounds
-// therefore declare their store access sets (Round.Reads / Round.Writes),
-// and RunPipeline schedules a round sequence so that:
+// machine only truly needs the keys it reads to be fully written.  Rounds
+// therefore declare their accesses (Round.Reads / Round.Writes) as Access
+// values: the store touched plus, optionally, the key spans touched per
+// machine.  RunPipeline schedules a round sequence at sub-round granularity
+// — one sub-round being machine m's share of round j — so that:
 //
-//   - each machine executes its partitions in program order (round j after
+//   - each machine executes its shares in program order (round j after
 //     round j-1, enforced by the per-machine FIFO job feeds of the pool);
-//   - round j starts on ANY machine only once every machine has finished
-//     round dep(j), where dep(j) is the latest earlier round that conflicts
-//     with j (writes a store j reads, reads a store j writes, or writes a
-//     store j writes).
+//   - sub-round (j, m) starts only once every conflicting earlier sub-round
+//     (i, m') has finished, where a conflict is a RAW, WAR or WAW pair on
+//     the same store with overlapping declared spans (see subroundDeps).
 //
-// A machine that has finished its partition of round i therefore moves
-// straight into round i+1 work whose input stores round i no longer writes,
-// while stragglers drain round i.  (With several threads per machine the
-// overlap is even finer: a thread that has drained its machine's share of
-// round i may pull co-dispatched round i+1 work while a sibling thread
-// finishes round i's last items — safe for the same reason the cross-machine
-// overlap is, since only rounds whose dependency gate has opened are ever
-// co-dispatched.)  Because reads still begin only after every write to their
-// store has completed (and the store is frozen and its caches fenced at that
-// point), the computation observes exactly the same store contents as the
-// barrier execution: results are byte-identical with pipelining on or off.
-// Only the schedule — and therefore the modeled wall-clock, computed as a
-// per-machine critical-path max instead of a sum of per-round maxima —
-// changes.  The old barrier accounting is preserved in Stats.BarrierSim so
-// the two can be compared on the same run.
+// Whole-store declarations (the zero span set) make every machine of a
+// writing round a predecessor — the conservative store-set behavior this
+// scheduler generalizes.  Per-machine span declarations let a machine whose
+// reads fall inside its own owned range flow past a straggler still writing
+// a different range of the same store.
+//
+// Coherence bookkeeping follows the same granularity.  A read store is
+// frozen when its last declared write sub-round completes (immediately at
+// prepare when no declared writes are pending).  Per-machine caches are
+// fenced with exactly the spans completed write sub-rounds have dirtied
+// since the machine's cache was last fenced (dht.Cache.InvalidateRange), so
+// disjoint-range sub-rounds no longer thrash caches that cannot hold stale
+// entries; when the segment drains, the remaining dirty spans are applied
+// and the whole-store fence point (Runtime.cacheFence) is recorded so later
+// barrier rounds see coherent caches.  Because a sub-round's reads begin
+// only after every write overlapping its declared spans has completed —
+// and reads outside the declared spans are a contract violation — the
+// computation observes exactly the same store contents as the barrier
+// execution: results are byte-identical with pipelining on or off.  Only
+// the schedule — and therefore the modeled wall-clock, computed as a
+// per-sub-round critical-path max (simtime.SubroundSchedule) instead of a
+// sum of per-round maxima — changes.  The old barrier accounting is
+// preserved in Stats.BarrierSim so the two can be compared on the same run.
 
-// pipelineDeps returns, for every round, the index of the latest earlier
-// round it conflicts with (-1 when independent of all earlier rounds).
-func pipelineDeps(rounds []Round) []int {
-	deps := make([]int, len(rounds))
+// subroundDeps returns, for every sub-round (j, m), its scheduling
+// predecessors: for each source machine m', the latest round i < j whose
+// (i, m') share conflicts with (j, m).  Only the latest conflicting round
+// per source machine is recorded — machine m' executes its shares in
+// program order, so (i, m') finishing implies every (i” < i, m') has too.
+func subroundDeps(rounds []Round, machines int) [][][]simtime.SubDep {
+	reads := make([][]Access, len(rounds))
+	for i := range rounds {
+		reads[i] = rounds[i].readSet()
+	}
+	deps := make([][][]simtime.SubDep, len(rounds))
 	for j := range rounds {
-		deps[j] = -1
-		for i := j - 1; i > deps[j]; i-- {
-			if roundsConflict(rounds[i], rounds[j]) {
-				deps[j] = i
+		deps[j] = make([][]simtime.SubDep, machines)
+		for m := 0; m < machines; m++ {
+			for m2 := 0; m2 < machines; m2++ {
+				for i := j - 1; i >= 0; i-- {
+					if subroundsConflict(rounds[i], reads[i], m2, rounds[j], reads[j], m) {
+						deps[j][m] = append(deps[j][m], simtime.SubDep{Round: i, Machine: m2})
+						break
+					}
+				}
 			}
 		}
 	}
 	return deps
 }
 
-// roundsConflict reports whether the two rounds must be ordered: a store
-// written by one and read by the other, or written by both.
-func roundsConflict(a, b Round) bool {
-	return storesIntersect(a.Writes, b.readSet()) ||
-		storesIntersect(a.readSet(), b.Writes) ||
-		storesIntersect(a.Writes, b.Writes)
-}
-
-func storesIntersect(a, b []*dht.Store) bool {
-	for _, x := range a {
-		for _, y := range b {
-			if x != nil && x == y {
+// subroundsConflict reports whether sub-round (a, am) must precede (b, bm):
+// a write of one overlapping a read or write of the other on the same
+// resource.
+func subroundsConflict(a Round, aReads []Access, am int, b Round, bReads []Access, bm int) bool {
+	for _, wa := range a.Writes {
+		for _, rb := range bReads {
+			if wa.conflictsWith(am, rb, bm) {
+				return true
+			}
+		}
+		for _, wb := range b.Writes {
+			if wa.conflictsWith(am, wb, bm) {
+				return true
+			}
+		}
+	}
+	for _, ra := range aReads {
+		for _, wb := range b.Writes {
+			if ra.conflictsWith(am, wb, bm) {
 				return true
 			}
 		}
@@ -80,10 +108,11 @@ func storesIntersect(a, b []*dht.Store) bool {
 // is exactly equivalent to calling Run on each round in order (per-round
 // barriers, byte-identical accounting).  With Pipeline set the rounds run as
 // one dependency-scheduled segment: machines proceed through the sequence in
-// program order, and a round is gated globally only on its latest
-// conflicting predecessor (see the package comment above).  Every round must
-// declare its full store access sets via Read/Reads and Writes.  The first
-// item error of any round is returned after the whole segment has drained.
+// program order, and each machine's share of a round is gated on exactly the
+// conflicting predecessor sub-rounds (see the package comment above).  Every
+// round must declare its full access sets via Read/Reads and Writes.  The
+// first item error of any round is returned after the whole segment has
+// drained.
 func (r *Runtime) RunPipeline(rounds []Round) error {
 	if len(rounds) == 0 {
 		return nil
@@ -103,6 +132,14 @@ func (r *Runtime) RunPipeline(rounds []Round) error {
 
 // pipeDone is one (round, machine) completion event.
 type pipeDone struct{ round, machine int }
+
+// dirtyLog tracks the spans declared write sub-rounds have written to one
+// store since the segment began, and how much of the log each machine's
+// cache has already been fenced with.
+type dirtyLog struct {
+	spans  []dht.RangeSet // one entry per completed write sub-round
+	fenced []int          // per machine: log prefix already applied
+}
 
 func (r *Runtime) runPipelined(rounds []Round) error {
 	cfg := r.cfg
@@ -127,32 +164,104 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 
 	k := len(rounds)
 	machines := cfg.Machines
-	deps := pipelineDeps(rounds)
+	deps := subroundDeps(rounds, machines)
 	prepared := make([]*preparedRound, k)
 	busy := make([][]time.Duration, k)
+
+	// writersLeft counts, per store, the declared write sub-rounds still
+	// outstanding; a store freezes — and its whole-store fence point can be
+	// recorded — only once it reaches zero.
+	writersLeft := make(map[*dht.Store]int)
+	for _, rd := range rounds {
+		for _, w := range rd.Writes {
+			if w.Store != nil {
+				writersLeft[w.Store] += machines
+			}
+		}
+	}
+	pendingFreeze := make(map[*dht.Store]bool)
+	logs := make(map[*dht.Store]*dirtyLog)
+	logFor := func(s *dht.Store) *dirtyLog {
+		lg := logs[s]
+		if lg == nil {
+			lg = &dirtyLog{fenced: make([]int, machines)}
+			logs[s] = lg
+		}
+		return lg
+	}
 
 	// Every (round, machine) pair produces exactly one event, so the
 	// buffered channel never blocks a sender.
 	events := make(chan pipeDone, k*machines)
+	doneSub := make([][]bool, k)
+	for j := range doneSub {
+		doneSub[j] = make([]bool, machines)
+	}
 	nextRound := make([]int, machines) // next round to enqueue, per machine
-	doneCount := make([]int, k)        // machines finished, per round
-	barrierDone := -1                  // all rounds <= barrierDone done on every machine
 
-	// pump enqueues, for every machine, each next round whose dependency
-	// gate is open.  A round is prepared — its input stores frozen and
-	// fenced, its items partitioned — the first time any machine reaches
-	// it, which is after every write to its input stores has completed.
-	// The per-machine feeds keep program order, so enqueueing ahead of the
-	// machine's current work is safe.
+	ready := func(j, m int) bool {
+		for _, dep := range deps[j][m] {
+			if !doneSub[dep.Round][dep.Machine] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// prepare partitions round j the first time any machine reaches it.
+	// Freezing the input store must wait for its stragglers: with declared
+	// write sub-rounds still in flight the freeze (and the legacy
+	// whole-store fence) is deferred to the last writer's completion, and
+	// the caches are instead fenced range-exactly at sub-round dispatch.
+	prepare := func(j int) {
+		prepared[j] = r.prepareRound(rounds[j], recordErr, false)
+		busy[j] = make([]time.Duration, machines)
+		if s := rounds[j].Read; s != nil {
+			if writersLeft[s] == 0 {
+				s.Freeze()
+			} else {
+				pendingFreeze[s] = true
+			}
+		}
+		for _, a := range rounds[j].readSet() {
+			if a.Store != nil && writersLeft[a.Store] == 0 && logs[a.Store] == nil {
+				// No declared writer pending and none completed in this
+				// segment: fence against writes from before the segment.
+				r.fenceCaches(a.Store)
+			}
+		}
+	}
+
+	// fenceSub applies, to machine m's caches, the dirty spans completed
+	// write sub-rounds have logged for round j's read stores since m was
+	// last fenced.
+	fenceSub := func(j, m int) {
+		for _, a := range rounds[j].readSet() {
+			lg := logs[a.Store]
+			if a.Store == nil || lg == nil || lg.fenced[m] >= len(lg.spans) {
+				continue
+			}
+			set := dht.EmptyRange()
+			for _, spans := range lg.spans[lg.fenced[m]:] {
+				set = set.Union(spans)
+			}
+			lg.fenced[m] = len(lg.spans)
+			r.invalidateMachineCache(a.Store, m, set)
+		}
+	}
+
+	// pump enqueues, for every machine, each next round whose predecessor
+	// sub-rounds have all finished.  The per-machine feeds keep program
+	// order, so enqueueing ahead of the machine's current work is safe.
 	pump := func() {
 		for m := 0; m < machines; m++ {
-			for nextRound[m] < k && deps[nextRound[m]] <= barrierDone {
+			for nextRound[m] < k && ready(nextRound[m], m) {
 				j := nextRound[m]
 				nextRound[m]++
 				if prepared[j] == nil {
-					prepared[j] = r.prepareRound(rounds[j], recordErr)
-					busy[j] = make([]time.Duration, machines)
+					prepare(j)
 				}
+				fenceSub(j, m)
 				job := prepared[j].jobs[m]
 				if job == nil {
 					// No items for this machine: complete immediately.
@@ -165,32 +274,74 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 		}
 	}
 
+	// Read stores this segment's declared writers will dirty are fenced up
+	// front: nothing of the segment has run yet, so a write-count fence here
+	// catches exactly the pre-segment writes, and the in-segment writes are
+	// fenced range-exactly at sub-round dispatch.
+	fencedUpfront := make(map[*dht.Store]bool)
+	for _, rd := range rounds {
+		for _, a := range rd.readSet() {
+			if a.Store != nil && writersLeft[a.Store] > 0 && !fencedUpfront[a.Store] {
+				fencedUpfront[a.Store] = true
+				r.fenceCaches(a.Store)
+			}
+		}
+	}
+
 	pump()
 	for remaining := k * machines; remaining > 0; remaining-- {
 		ev := <-events
 		// Only machine ev.machine's threads ever touched this context, and
 		// they are all done with it, so its counters are final.
 		busy[ev.round][ev.machine] = r.machineDuration(prepared[ev.round].ctxs[ev.machine])
-		doneCount[ev.round]++
-		advanced := false
-		for barrierDone+1 < k && doneCount[barrierDone+1] == machines {
-			barrierDone++
-			advanced = true
+		doneSub[ev.round][ev.machine] = true
+		for _, w := range rounds[ev.round].Writes {
+			if w.Store == nil {
+				continue
+			}
+			lg := logFor(w.Store)
+			lg.spans = append(lg.spans, w.spansFor(ev.machine))
+			writersLeft[w.Store]--
+			if writersLeft[w.Store] == 0 && pendingFreeze[w.Store] {
+				w.Store.Freeze()
+				delete(pendingFreeze, w.Store)
+			}
 		}
-		if advanced {
-			pump()
+		pump()
+	}
+
+	// Segment-end fence finalization: apply the dirty spans each machine has
+	// not yet been fenced with, then record the stores' whole-store fence
+	// points — a later barrier round fences by write count, and without the
+	// recorded point it would mistake this segment's writes for coherent
+	// cache state.
+	for s, lg := range logs {
+		for m := 0; m < machines; m++ {
+			if lg.fenced[m] >= len(lg.spans) {
+				continue
+			}
+			set := dht.EmptyRange()
+			for _, spans := range lg.spans[lg.fenced[m]:] {
+				set = set.Union(spans)
+			}
+			lg.fenced[m] = len(lg.spans)
+			r.invalidateMachineCache(s, m, set)
 		}
+		w := s.WriteCount()
+		r.mu.Lock()
+		r.cacheFence[s] = w
+		r.mu.Unlock()
 	}
 
 	for _, pr := range prepared {
 		r.absorbRoundStats(pr.ctxs)
 	}
 
-	// Modeled time: the critical-path makespan of the pipelined schedule,
-	// with the classic barrier accounting of the same durations kept
-	// alongside for comparison.
+	// Modeled time: the critical-path makespan of the range-gated sub-round
+	// schedule, with the classic barrier accounting of the same durations
+	// kept alongside for comparison.
 	overhead := time.Duration(k) * cfg.Model.RoundOverhead
-	pipe := simtime.PipelineSchedule(busy, deps)
+	pipe := simtime.SubroundSchedule(busy, deps)
 	barrier := simtime.BarrierSchedule(busy)
 	r.clock.Charge(pipe.Makespan + overhead)
 	r.mu.Lock()
@@ -202,6 +353,19 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 	r.stats.BarrierIdle += barrier.Idle
 	r.mu.Unlock()
 	return firstErr
+}
+
+// invalidateMachineCache range-fences one machine's cache for store.
+func (r *Runtime) invalidateMachineCache(store *dht.Store, machine int, set dht.RangeSet) {
+	r.mu.Lock()
+	var c *dht.Cache
+	if cs := r.caches[store]; machine < len(cs) {
+		c = cs[machine]
+	}
+	r.mu.Unlock()
+	if c != nil {
+		c.InvalidateRange(set)
+	}
 }
 
 // StagedRound couples a Round with the Phase it runs under when the sequence

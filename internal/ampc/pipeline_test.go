@@ -18,37 +18,92 @@ func testModel() simtime.CostModel {
 	return simtime.CostModel{Name: "test", ComputePerItem: time.Millisecond}
 }
 
-func TestPipelineDepsFromDeclaredStores(t *testing.T) {
-	r := New(Config{Machines: 2})
+func TestSubroundDepsFromDeclaredAccesses(t *testing.T) {
+	const machines = 2
+	r := New(Config{Machines: machines})
 	defer r.Close()
 	a := r.NewStore("a")
 	b := r.NewStore("b")
+
+	// checkRound asserts that every machine's share of round j depends on
+	// exactly the named predecessor round (on every machine), or on nothing
+	// when want < 0.
+	checkRound := func(deps [][][]simtime.SubDep, j, want int) {
+		t.Helper()
+		for m := 0; m < machines; m++ {
+			got := deps[j][m]
+			if want < 0 {
+				if len(got) != 0 {
+					t.Fatalf("deps[%d][%d] = %v, want none", j, m, got)
+				}
+				continue
+			}
+			if len(got) != machines {
+				t.Fatalf("deps[%d][%d] = %v, want all machines of round %d", j, m, got, want)
+			}
+			for _, dep := range got {
+				if dep.Round != want {
+					t.Fatalf("deps[%d][%d] = %v, want round %d", j, m, got, want)
+				}
+			}
+		}
+	}
+
+	// Whole-store declarations gate each reader on every machine of the
+	// round writing its store — and on nothing else.
 	rounds := []Round{
-		{Name: "w-a", Writes: []*dht.Store{a}},
-		{Name: "w-b", Writes: []*dht.Store{b}},
+		{Name: "w-a", Writes: []Access{{Store: a}}},
+		{Name: "w-b", Writes: []Access{{Store: b}}},
 		{Name: "r-a", Read: a},
 		{Name: "r-b", Read: b},
 	}
-	deps := pipelineDeps(rounds)
-	want := []int{-1, -1, 0, 1}
-	for j := range deps {
-		if deps[j] != want[j] {
-			t.Fatalf("deps = %v, want %v", deps, want)
-		}
+	deps := subroundDeps(rounds, machines)
+	for j, want := range []int{-1, -1, 0, 1} {
+		checkRound(deps, j, want)
 	}
+
 	// Write-write and read-write hazards also order rounds.
 	rounds = []Round{
-		{Name: "w-a", Writes: []*dht.Store{a}},
-		{Name: "w-a-again", Writes: []*dht.Store{a}},
-		{Name: "r-b-w-a", Read: b, Writes: []*dht.Store{a}},
+		{Name: "w-a", Writes: []Access{{Store: a}}},
+		{Name: "w-a-again", Writes: []Access{{Store: a}}},
+		{Name: "r-b-w-a", Read: b, Writes: []Access{{Store: a}}},
 	}
-	deps = pipelineDeps(rounds)
-	want = []int{-1, 0, 1}
-	for j := range deps {
-		if deps[j] != want[j] {
-			t.Fatalf("hazard deps = %v, want %v", deps, want)
+	deps = subroundDeps(rounds, machines)
+	for j, want := range []int{-1, 0, 1} {
+		checkRound(deps, j, want)
+	}
+
+	// Per-machine span declarations cut the gating to the diagonal: each
+	// machine's read of its own range waits only for its own write
+	// sub-round.  An Access naming the Read store narrows the default
+	// whole-store input access instead of adding a second one.
+	spans := []dht.RangeSet{
+		dht.NewRangeSet(dht.Span{Lo: 0, Hi: 50}),
+		dht.NewRangeSet(dht.Span{Lo: 50, Hi: 100}),
+	}
+	ranged := []Round{
+		{Name: "w", Writes: []Access{RangedBy(a, spans)}},
+		{Name: "r", Read: a, Reads: []Access{RangedBy(a, spans)}},
+	}
+	deps = subroundDeps(ranged, machines)
+	for m := 0; m < machines; m++ {
+		got := deps[1][m]
+		if len(got) != 1 || got[0] != (simtime.SubDep{Round: 0, Machine: m}) {
+			t.Fatalf("ranged deps[1][%d] = %v, want own-machine dep only", m, got)
 		}
 	}
+	// Widen strips the spans and restores the whole-store gating.
+	deps = subroundDeps(Widen(ranged), machines)
+	checkRound(deps, 1, 0)
+
+	// Tokens order rounds that exchange host-side state: spans do not apply.
+	tok := NewToken("stage")
+	tokens := []Round{
+		{Name: "publish", Writes: []Access{{Token: tok}}},
+		{Name: "consume", Reads: []Access{{Token: tok}}},
+	}
+	deps = subroundDeps(tokens, machines)
+	checkRound(deps, 1, 0)
 }
 
 func TestRunPipelineBarrierFallbackMatchesRun(t *testing.T) {
@@ -198,7 +253,7 @@ func TestPipelineGateBlocksDependentRound(t *testing.T) {
 		{
 			Name:        "write",
 			Items:       machines,
-			Writes:      []*dht.Store{store},
+			Writes:      []Access{{Store: store}},
 			Partitioner: func(item int) int { return item },
 			Body: func(ctx *Ctx, item int) error {
 				if ctx.Machine == 0 {
@@ -254,7 +309,7 @@ func TestPipelineWriteReadCacheCoherence(t *testing.T) {
 		{
 			Name:        "stagger",
 			Items:       machines,
-			Writes:      []*dht.Store{filler},
+			Writes:      []Access{{Store: filler}},
 			Partitioner: func(item int) int { return item },
 			Body: func(ctx *Ctx, item int) error {
 				time.Sleep(time.Duration(item) * 30 * time.Millisecond)

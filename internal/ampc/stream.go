@@ -1,0 +1,79 @@
+package ampc
+
+// Streaming search-round execution.
+//
+// The algorithms' batched rounds drive many suspendable searches (an MIS
+// status recursion, a matching proposal walk, a pointer chase) against the
+// frozen input table.  Each search is naturally a pull-based iterator: pull
+// it and it either completes or names the one record it is missing.  Stream
+// composes such iterators into a round body: every cycle it pulls the live
+// iterators, deduplicates the keys they suspended on, fetches them as ONE
+// shard-grouped batch (FetchInto) and pulls again, admitting fresh
+// iterators from the backlog as live ones complete.  The lock-step block
+// driver this replaces advanced a fixed block of units with an unbounded
+// wavefront; the streaming driver bounds the live window, which keeps
+// per-machine memory at O(window) suspended searches while preserving the
+// batch amortization — with the window covering the whole block the fetch
+// cycles are key-for-key identical to the old lock-step schedule.
+
+// Iterator is one resumable unit of work.  Pull advances the unit as far as
+// it can with the records it has already been fed: it returns the key of
+// the record it is missing (suspended == true) — after which the driver
+// fetches the record, hands it to the round's fill function and pulls again
+// — or reports completion (suspended == false), after which the driver
+// never pulls it again.
+type Iterator interface {
+	Pull() (key uint64, suspended bool)
+}
+
+// PullFunc adapts a closure to the Iterator interface.
+type PullFunc func() (uint64, bool)
+
+// Pull implements Iterator.
+func (f PullFunc) Pull() (uint64, bool) { return f() }
+
+// Stream drives the iterators to completion against the round's input
+// store.  At most window iterators are live at once; window <= 0 means all
+// of them (the lock-step-compatible default).  Each cycle pulls every live
+// iterator, collects the suspended keys in first-seen order (deduplicated),
+// fetches them in one shard-grouped batch and hands each record to fill;
+// completed iterators free their slots and the next backlog iterators are
+// admitted — and pulled — within the same cycle, so their first missing
+// keys join the same batch.
+func (c *Ctx) Stream(window int, its []Iterator, fill func(key uint64, raw []byte, ok bool) error) error {
+	if window <= 0 || window > len(its) {
+		window = len(its)
+	}
+	next := 0 // backlog cursor
+	live := make([]Iterator, 0, window)
+	for {
+		var need []uint64
+		seen := make(map[uint64]bool)
+		still := live[:0]
+		pull := func(it Iterator) {
+			key, suspended := it.Pull()
+			if !suspended {
+				return
+			}
+			still = append(still, it)
+			if !seen[key] {
+				seen[key] = true
+				need = append(need, key)
+			}
+		}
+		for _, it := range live {
+			pull(it)
+		}
+		for len(still) < window && next < len(its) {
+			pull(its[next])
+			next++
+		}
+		live = still
+		if len(live) == 0 {
+			return nil
+		}
+		if err := c.FetchInto(need, fill); err != nil {
+			return err
+		}
+	}
+}

@@ -110,6 +110,12 @@ type Smoke struct {
 	// in-memory reference, and the disk backend must keep its spill
 	// headroom.  Both gate metrics are deterministic for the pinned seed.
 	Backend []BackendSmokeRow `json:"backend,omitempty"`
+	// Pipeline tracks the range-declared pipelining win on the hub-heavy
+	// CW/HL stand-ins (see PipelineSmoke): the fused MIS+MM segment's
+	// straggler-idle reduction under key-range conflict declarations, its
+	// advantage over the whole-store declarations, and the variance-derived
+	// regression floor.
+	Pipeline []PipelineRow `json:"pipeline,omitempty"`
 }
 
 // BatchSmoke runs the batched-vs-unbatched comparison for the snapshot and
@@ -134,6 +140,12 @@ func BatchSmoke(opts Options) (Smoke, Report, error) {
 	if err != nil {
 		return Smoke{}, rep, err
 	}
+	pipelineOpts := opts
+	pipelineOpts.Datasets = nil // PipelineSmoke pins CW+HL
+	pipelineRows, err := PipelineSmoke(pipelineOpts)
+	if err != nil {
+		return Smoke{}, rep, err
+	}
 	return Smoke{
 		Seed:      opts.Seed,
 		Datasets:  opts.Datasets,
@@ -143,6 +155,7 @@ func BatchSmoke(opts Options) (Smoke, Report, error) {
 		Rows:      rows,
 		Rebalance: RebalanceSmoke(rebalanceOpts),
 		Backend:   backendRows,
+		Pipeline:  pipelineRows,
 	}, rep, nil
 }
 

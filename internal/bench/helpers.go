@@ -1,9 +1,32 @@
 package bench
 
 import (
+	"math"
+
 	"ampcgraph/internal/core/connectivity"
 	"ampcgraph/internal/graph"
 )
+
+// meanStd returns the mean and sample standard deviation of xs (std 0 for
+// fewer than two samples).
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
 
 // safeRatio returns num/den guarded against the zero-denominator rows of
 // the comparison experiments (a baseline with no remote reads or no idle on
@@ -43,6 +66,27 @@ func AllExperiments() []string {
 		"figure7", "figure8", "figure9", "table4", "cycle", "connectivity",
 		"batch", "locality", "pipeline", "rebalance", "backend",
 	}
+}
+
+// UnsupportedFlags returns the CLI flag names the named experiment fixes
+// internally because they are its comparison axis: the "batch" experiment
+// runs batching off and on itself, "locality" and "rebalance" sweep the
+// placement policies, "pipeline" runs barrier and pipelined schedules, and
+// "backend" sweeps the storage engines.  cmd/ampcbench rejects an explicitly
+// set flag from this list instead of silently ignoring it.  Every other
+// experiment accepts the full shared flag set and returns nil.
+func UnsupportedFlags(name string) []string {
+	switch name {
+	case "batch":
+		return []string{"batch"}
+	case "locality", "rebalance":
+		return []string{"placement"}
+	case "pipeline":
+		return []string{"pipeline"}
+	case "backend":
+		return []string{"backend"}
+	}
+	return nil
 }
 
 // RunByName runs the named experiment and returns its formatted report.

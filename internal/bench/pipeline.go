@@ -11,47 +11,77 @@ import (
 	"ampcgraph/internal/graph"
 )
 
+// pipelineRepeats is the number of independent fused runs per conflict
+// variant.  The straggler-idle metric depends slightly on goroutine
+// scheduling, so the row reports mean and standard deviation over the
+// repeats and the smoke gate derives its floor from the spread.
+const pipelineRepeats = 3
+
 // PipelineRow is one dataset of the barrier-vs-pipeline comparison: a fused
-// MIS + maximal matching workload (four rounds — two independent KV-writes,
-// two searches each depending only on its own write) executed once with the
-// dependency-aware pipelined scheduler, next to the two standalone
-// barrier-mode runs whose outputs the fused run must reproduce exactly.
+// MIS + maximal matching workload (six rounds — two independent KV-writes,
+// two range-confined local searches, two spill searches) executed with the
+// dependency-aware pipelined scheduler under two conflict declarations —
+// the key-range spans the plans declare, and the same rounds widened to
+// whole-store conflicts (ampc.Widen) — next to the standalone barrier-mode
+// runs whose outputs every fused run must reproduce exactly.
 type PipelineRow struct {
 	Graph string `json:"graph"`
-	// Identical reports whether the fused pipelined run produced exactly
+	// Identical reports whether every fused pipelined run produced exactly
 	// the outputs of the standalone barrier runs (it must: pipelining only
 	// reorders which machine works when).
 	Identical bool `json:"identical"`
 	// PipelinedRounds is the number of rounds in the fused segment.
 	PipelinedRounds int `json:"pipelined_rounds"`
+	// Repeats is the number of independent fused runs per variant behind
+	// the mean/std columns.
+	Repeats int `json:"repeats"`
 	// BarrierSim is the modeled time the fused rounds would cost at
 	// per-round barriers; PipelineSim is the modeled critical-path time
-	// actually charged.  SimDelta is their difference (the modeled time
-	// the pipeline saved), SimSpeedup the ratio.
+	// actually charged under the range declarations.  SimDelta is their
+	// difference (the modeled time the pipeline saved), SimSpeedup the
+	// ratio.
 	BarrierSim  time.Duration `json:"barrier_sim_ns"`
 	PipelineSim time.Duration `json:"pipeline_sim_ns"`
 	SimDelta    time.Duration `json:"sim_delta_ns"`
 	SimSpeedup  float64       `json:"sim_speedup"`
 	// BarrierIdle is the total straggler idle (summed over machines) the
 	// barrier schedule pays; PipelineIdle is what remains under the
-	// pipelined schedule; IdleReductionPct is the percentage removed.
+	// range-declared pipelined schedule; IdleReductionPct is the mean
+	// percentage removed (== RangedIdleReductionMeanPct).
 	BarrierIdle      time.Duration `json:"barrier_idle_ns"`
 	PipelineIdle     time.Duration `json:"pipeline_idle_ns"`
 	IdleReductionPct float64       `json:"idle_reduction_pct"`
+	// Ranged*/Whole* characterize the straggler-idle reduction of the two
+	// conflict declarations over the repeats: mean and sample standard
+	// deviation, in percent of the barrier idle.
+	RangedIdleReductionMeanPct float64 `json:"ranged_idle_reduction_mean_pct"`
+	RangedIdleReductionStdPct  float64 `json:"ranged_idle_reduction_std_pct"`
+	WholeIdleReductionMeanPct  float64 `json:"whole_idle_reduction_mean_pct"`
+	WholeIdleReductionStdPct   float64 `json:"whole_idle_reduction_std_pct"`
+	// RangedAdvantagePct is the ranged mean minus the whole-store mean: the
+	// idle reduction bought by declaring key-range conflicts instead of
+	// whole stores.  The smoke gate requires it to stay positive.
+	RangedAdvantagePct float64 `json:"ranged_advantage_pct"`
+	// GateFloorPct is the variance-derived regression floor for the ranged
+	// mean: mean - 3 x std.  A fresh run whose ranged mean falls below the
+	// committed floor fails the smoke gate.
+	GateFloorPct float64 `json:"gate_floor_pct"`
 }
 
-// PipelineComparison measures dependency-aware round pipelining on skewed
+// PipelineComparison measures range-declared round pipelining on skewed
 // (hub-heavy) inputs.  For each dataset it runs MIS and maximal matching
 // standalone at per-round barriers, then fuses the two algorithms' rounds
-// into one four-round RunPipeline segment: both KV-writes, then both
-// searches, with each search gated only on its own write.  The two searches
-// are partitioned onto offset machine assignments, the way a production
-// scheduler spreads different jobs' hot partitions, so the machine that
-// owns a hub for one algorithm is not the straggler of the other — and a
-// machine finished with its share of the MIS search starts matching work
-// while the MIS straggler drains.  Outputs must be byte-identical to the
-// standalone runs; the row reports the straggler-idle reduction and the
-// modeled-time delta.
+// into one six-round RunPipeline segment, software-pipelined: MM's KV-write
+// and range-confined local search, then MIS's KV-write and local search,
+// then both spill searches.  The machine owning the hubs straggles in MM's
+// local round, so its share of the MIS write lands late; under the
+// key-range declarations only reads of the hub's own range wait for it,
+// while widening the same rounds to whole-store conflicts (ampc.Widen)
+// re-propagates the straggle through the MIS store into every machine's
+// local search.  The difference between the two idle reductions is what
+// the key-range API buys.  Outputs must be byte-identical to the
+// standalone runs under both declarations; each variant runs
+// pipelineRepeats times and the row reports mean/std.
 func PipelineComparison(opts Options) ([]PipelineRow, Report, error) {
 	if len(opts.Datasets) == 0 {
 		// The hub-heavy web stand-ins, where one machine owning the hubs
@@ -60,13 +90,14 @@ func PipelineComparison(opts Options) ([]PipelineRow, Report, error) {
 	}
 	opts = opts.withDefaults()
 	rep := Report{
-		Title: "Dependency-aware round pipelining: barrier vs pipelined schedule (fused MIS+MM)",
-		Header: fmt.Sprintf("%-8s %10s %7s %14s %14s %12s %10s %10s",
-			"graph", "identical", "rounds", "barrier-sim", "pipeline-sim", "sim-delta", "idle-cut", "speedup"),
+		Title: "Range-declared round pipelining: barrier vs pipelined schedule (fused MIS+MM)",
+		Header: fmt.Sprintf("%-8s %10s %7s %14s %14s %16s %16s %10s",
+			"graph", "identical", "rounds", "barrier-sim", "pipeline-sim", "ranged-idle-cut", "whole-idle-cut", "advantage"),
 		Notes: []string{
-			"four fused rounds: write(MIS), write(MM), search(MIS), search(MM); each search depends only on its own write, so machines done with one search flow into the other",
-			"the two searches run on offset machine assignments so their straggler machines differ (partitioning never changes results)",
-			"results are required to be byte-identical to the standalone barrier-mode runs",
+			"six fused rounds: write(MM), local(MM), write(MIS), local(MIS), spill(MM), spill(MIS); a local search reads only its machine's owned key range, so it waits for that machine's write sub-round alone",
+			"the whole-idle-cut column re-runs the same segment with ampc.Widen (whole-store conflict declarations); the advantage column is the idle reduction bought by the key-range spans",
+			"results are required to be byte-identical to the standalone barrier-mode runs under both declarations",
+			fmt.Sprintf("idle cuts are mean +/- std over %d independent runs per variant", pipelineRepeats),
 		},
 	}
 	var rows []PipelineRow
@@ -76,16 +107,54 @@ func PipelineComparison(opts Options) ([]PipelineRow, Report, error) {
 			return nil, rep, err
 		}
 		rows = append(rows, row)
-		rep.Rows = append(rep.Rows, fmt.Sprintf("%-8s %10v %7d %14s %14s %12s %9.1f%% %7.2fx",
+		rep.Rows = append(rep.Rows, fmt.Sprintf("%-8s %10v %7d %14s %14s %9.1f%%+/-%4.1f %9.1f%%+/-%4.1f %9.1f%%",
 			row.Graph, row.Identical, row.PipelinedRounds,
 			row.BarrierSim.Round(10*time.Microsecond), row.PipelineSim.Round(10*time.Microsecond),
-			row.SimDelta.Round(10*time.Microsecond), row.IdleReductionPct, row.SimSpeedup))
+			row.RangedIdleReductionMeanPct, row.RangedIdleReductionStdPct,
+			row.WholeIdleReductionMeanPct, row.WholeIdleReductionStdPct,
+			row.RangedAdvantagePct))
 	}
 	return rows, rep, nil
 }
 
+// fusedPipelineRun executes one fused MIS+MM pipeline segment on a fresh
+// runtime and reports whether its outputs match the references.  With widen
+// set the rounds' conflict declarations are stripped to whole stores
+// (ampc.Widen) — same bodies, same work, coarser scheduling.
+func fusedPipelineRun(g *graph.Graph, cfg ampc.Config, widen bool,
+	wantMIS []bool, wantMate []graph.NodeID) (bool, ampc.Stats, error) {
+	rt := ampc.New(cfg)
+	defer rt.Close()
+	misPlan, err := mis.NewPlan(rt, g)
+	if err != nil {
+		return false, ampc.Stats{}, err
+	}
+	mmPlan, err := matching.NewPlan(rt, g)
+	if err != nil {
+		return false, ampc.Stats{}, err
+	}
+	mr, qr := misPlan.Rounds(), mmPlan.Rounds()
+	// Software-pipelined arrangement: MM's write+local first, then MIS's
+	// write+local, then both spill passes.  The hub machine straggles in
+	// MM's local round, so its MIS write lands late; whole-store
+	// declarations re-propagate that straggle through the MIS store into
+	// every machine's local round, while the key-range declarations confine
+	// it to the hub's own range — that scheduling difference is what the
+	// ranged-vs-whole comparison measures.
+	rounds := []ampc.Round{qr[0], qr[1], mr[0], mr[1], qr[2], mr[2]}
+	if widen {
+		rounds = ampc.Widen(rounds)
+	}
+	if err := rt.RunPipeline(rounds); err != nil {
+		return false, ampc.Stats{}, err
+	}
+	identical := reflect.DeepEqual(misPlan.InMIS, wantMIS) &&
+		reflect.DeepEqual(mmPlan.Matching.Mate, wantMate)
+	return identical, rt.Stats(), nil
+}
+
 func pipelineRow(name string, g *graph.Graph, opts Options) (PipelineRow, error) {
-	row := PipelineRow{Graph: name}
+	row := PipelineRow{Graph: name, Identical: true, Repeats: pipelineRepeats}
 
 	// Standalone barrier-mode runs: the reference outputs.
 	cfg := opts.ampcConfig()
@@ -99,46 +168,45 @@ func pipelineRow(name string, g *graph.Graph, opts Options) (PipelineRow, error)
 		return row, err
 	}
 
-	// Fused pipelined run: one runtime, four declared-dependency rounds.
 	cfgOn := cfg
 	cfgOn.Pipeline = true
-	rt := ampc.New(cfgOn)
-	defer rt.Close()
-	misPlan, err := mis.NewPlan(rt, g)
-	if err != nil {
-		return row, err
-	}
-	mmPlan, err := matching.NewPlan(rt, g)
-	if err != nil {
-		return row, err
-	}
-	// Spread the two searches' hot partitions: the matching search runs on
-	// machine assignments offset by half the pool, so the machine owning a
-	// hub's MIS work is not also the matching straggler.  Partitioning only
-	// decides which machine does the work, never the result.
-	machines := rt.Config().Machines
-	base := mmPlan.Search.Partitioner
-	if machines > 1 && base != nil {
-		offset := machines / 2
-		mmPlan.Search.Partitioner = func(item int) int {
-			return (base(item) + offset) % machines
+	var ranged, whole []float64
+	for i := 0; i < pipelineRepeats; i++ {
+		identical, st, err := fusedPipelineRun(g, cfgOn, false, misRef.InMIS, mmRef.Matching.Mate)
+		if err != nil {
+			return row, err
 		}
-	}
-	err = rt.RunPipeline([]ampc.Round{misPlan.Write, mmPlan.Write, misPlan.Search, mmPlan.Search})
-	if err != nil {
-		return row, err
-	}
-	st := rt.Stats()
+		row.Identical = row.Identical && identical
+		ranged = append(ranged, safeReductionPct(float64(st.BarrierIdle), float64(st.PipelineIdle)))
+		// The duration columns report the last ranged run's schedule.
+		row.PipelinedRounds = st.PipelinedRounds
+		row.BarrierSim = st.BarrierSim
+		row.PipelineSim = st.PipelineSim
+		row.SimDelta = st.BarrierSim - st.PipelineSim
+		row.SimSpeedup = safeRatio(float64(st.BarrierSim), float64(st.PipelineSim))
+		row.BarrierIdle = st.BarrierIdle
+		row.PipelineIdle = st.PipelineIdle
 
-	row.Identical = reflect.DeepEqual(misPlan.InMIS, misRef.InMIS) &&
-		reflect.DeepEqual(mmPlan.Matching.Mate, mmRef.Matching.Mate)
-	row.PipelinedRounds = st.PipelinedRounds
-	row.BarrierSim = st.BarrierSim
-	row.PipelineSim = st.PipelineSim
-	row.SimDelta = st.BarrierSim - st.PipelineSim
-	row.SimSpeedup = safeRatio(float64(st.BarrierSim), float64(st.PipelineSim))
-	row.BarrierIdle = st.BarrierIdle
-	row.PipelineIdle = st.PipelineIdle
-	row.IdleReductionPct = safeReductionPct(float64(st.BarrierIdle), float64(st.PipelineIdle))
+		identical, st, err = fusedPipelineRun(g, cfgOn, true, misRef.InMIS, mmRef.Matching.Mate)
+		if err != nil {
+			return row, err
+		}
+		row.Identical = row.Identical && identical
+		whole = append(whole, safeReductionPct(float64(st.BarrierIdle), float64(st.PipelineIdle)))
+	}
+	row.RangedIdleReductionMeanPct, row.RangedIdleReductionStdPct = meanStd(ranged)
+	row.WholeIdleReductionMeanPct, row.WholeIdleReductionStdPct = meanStd(whole)
+	row.IdleReductionPct = row.RangedIdleReductionMeanPct
+	row.RangedAdvantagePct = row.RangedIdleReductionMeanPct - row.WholeIdleReductionMeanPct
+	row.GateFloorPct = row.RangedIdleReductionMeanPct - 3*row.RangedIdleReductionStdPct
 	return row, nil
+}
+
+// PipelineSmoke computes the pipeline rows of the smoke snapshot on the
+// hub-heavy CW/HL stand-ins (where the straggler-idle win lives),
+// regardless of the smoke run's own dataset selection.
+func PipelineSmoke(opts Options) ([]PipelineRow, error) {
+	opts.Datasets = []string{"CW", "HL"}
+	rows, _, err := PipelineComparison(opts)
+	return rows, err
 }

@@ -145,11 +145,13 @@ func TestPipelineEquivalenceAllFiveAlgorithms(t *testing.T) {
 
 // TestPipelineComparison guards the acceptance bar of the pipelined
 // scheduler: on a skewed (hub) dataset the fused MIS+MM pipeline must report
-// a straggler-idle reduction over the barrier schedule, a non-negative
-// modeled-time delta, and outputs identical to the standalone runs.
+// a straggler-idle reduction over the barrier schedule under the key-range
+// declarations, a strictly larger reduction than the whole-store (Widen)
+// variant, a non-negative modeled-time delta, and outputs identical to the
+// standalone runs under both declarations.
 func TestPipelineComparison(t *testing.T) {
 	if testing.Short() {
-		t.Skip("pipeline comparison runs MIS and MM three times")
+		t.Skip("pipeline comparison runs MIS and MM many times")
 	}
 	rows, rep, err := PipelineComparison(Options{Datasets: []string{"CW"}, Seed: 1})
 	if err != nil {
@@ -162,11 +164,22 @@ func TestPipelineComparison(t *testing.T) {
 	if !row.Identical {
 		t.Error("fused pipelined outputs differ from the standalone barrier runs")
 	}
-	if row.PipelinedRounds != 4 {
-		t.Errorf("pipelined rounds %d, want 4", row.PipelinedRounds)
+	if row.PipelinedRounds != 6 {
+		t.Errorf("pipelined rounds %d, want 6 (write, local, spill x MIS, MM)", row.PipelinedRounds)
+	}
+	if row.Repeats != pipelineRepeats {
+		t.Errorf("repeats %d, want %d", row.Repeats, pipelineRepeats)
 	}
 	if row.IdleReductionPct <= 0 {
 		t.Errorf("straggler-idle reduction %.2f%%, want > 0%%", row.IdleReductionPct)
+	}
+	if row.RangedAdvantagePct <= 0 {
+		t.Errorf("ranged advantage %.2f%% over whole-store declarations, want > 0%%",
+			row.RangedAdvantagePct)
+	}
+	if row.GateFloorPct > row.RangedIdleReductionMeanPct {
+		t.Errorf("gate floor %.2f%% above the mean %.2f%%",
+			row.GateFloorPct, row.RangedIdleReductionMeanPct)
 	}
 	if row.SimDelta < 0 || row.PipelineSim > row.BarrierSim {
 		t.Errorf("pipelined schedule modeled slower than barrier: %v vs %v", row.PipelineSim, row.BarrierSim)

@@ -35,6 +35,28 @@ func MergeBestRows(best map[string]BatchRow, rows []BatchRow) {
 	}
 }
 
+// MergeBestPipelineRows folds one run's pipeline rows into best, keeping
+// per graph the run with the best ranged idle-reduction mean and the best
+// ranged-over-whole advantage.  Identical must hold in every run.
+func MergeBestPipelineRows(best map[string]PipelineRow, rows []PipelineRow) {
+	for _, row := range rows {
+		cur, seen := best[row.Graph]
+		if !seen {
+			best[row.Graph] = row
+			continue
+		}
+		if row.RangedIdleReductionMeanPct > cur.RangedIdleReductionMeanPct {
+			cur.RangedIdleReductionMeanPct = row.RangedIdleReductionMeanPct
+			cur.RangedIdleReductionStdPct = row.RangedIdleReductionStdPct
+		}
+		if row.RangedAdvantagePct > cur.RangedAdvantagePct {
+			cur.RangedAdvantagePct = row.RangedAdvantagePct
+		}
+		cur.Identical = cur.Identical && row.Identical
+		best[row.Graph] = cur
+	}
+}
+
 // CheckSmoke compares the freshly measured rows against the committed
 // baseline with the given fractional tolerance (0.10 = a metric may fall to
 // 90% of its committed value).  It returns one human-readable line per
@@ -55,7 +77,17 @@ func MergeBestRows(best map[string]BatchRow, rows []BatchRow) {
 // baseline backend row fails when it is missing from the fresh run, when the
 // backend's output stopped being byte-identical to the in-memory reference,
 // or when the disk backend's spill_ratio regressed below the floor.
-func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[string]RebalanceSmokeRow, freshBackend map[string]BackendSmokeRow, tolerance float64) (lines []string, failures int) {
+//
+// freshPipeline carries the range-declared pipelining rows (keyed by
+// graph); a baseline pipeline row fails when it is missing from the fresh
+// run, when any fused run's outputs stopped being byte-identical to the
+// standalone barrier runs, when the ranged declarations lost their
+// advantage over the whole-store ones (RangedAdvantagePct <= 0), or when
+// the fresh ranged idle-reduction mean fell below the committed
+// variance-derived floor (baseline mean - 3 x std) — an absolute floor, not
+// the fractional tolerance, because the metric's run-to-run noise is
+// already measured into it.
+func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[string]RebalanceSmokeRow, freshBackend map[string]BackendSmokeRow, freshPipeline map[string]PipelineRow, tolerance float64) (lines []string, failures int) {
 	floor := 1 - tolerance
 	lines = append(lines, fmt.Sprintf("%-10s %-22s %10s %10s %8s", "row", "metric", "baseline", "fresh", "ratio"))
 	for _, want := range baseline.Rows {
@@ -120,6 +152,31 @@ func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[st
 		if failed {
 			failures++
 		}
+	}
+	for _, want := range baseline.Pipeline {
+		key := want.Graph + "/pipeline"
+		got, ok := freshPipeline[want.Graph]
+		if !ok {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s missing from fresh run", key))
+			continue
+		}
+		if !got.Identical {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s fused pipelined outputs differ from the standalone runs", key))
+		}
+		if got.RangedAdvantagePct <= 0 {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s ranged declarations lost their advantage over whole-store (%.2f%%)", key, got.RangedAdvantagePct))
+		}
+		status := ""
+		failed := got.RangedIdleReductionMeanPct < want.GateFloorPct
+		if failed {
+			failures++
+			status = "  REGRESSED"
+		}
+		lines = append(lines, fmt.Sprintf("%-10s %-22s %10.3f %10.3f %8s%s",
+			key, "ranged_idle_mean_pct", want.GateFloorPct, got.RangedIdleReductionMeanPct, "(floor)", status))
 	}
 	return lines, failures
 }

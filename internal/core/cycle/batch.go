@@ -14,15 +14,16 @@ import (
 //
 // Each sampled vertex walks the cycle in both directions; every step of the
 // single-key implementation is one key-value round trip.  The batched round
-// advances all of a block's walks in lock-step — one shard-grouped ReadMany
-// per hop serves every walk in the block — and a per-block cache of decoded
-// adjacency lists means a cycle segment shared by two walks is fetched once.
-// The walks themselves are unchanged, so the contracted multigraph (and the
-// 1-vs-2 answer) is identical to the unbatched run.
+// drives all of a block's walks as pull-based iterators (ampc.Stream) — one
+// shard-grouped ReadMany per cycle serves every walk in the block — and a
+// per-block map of decoded adjacency lists means a cycle segment shared by
+// two walks is fetched once.  The walks themselves are unchanged, so the
+// contracted multigraph (and the 1-vs-2 answer) is identical to the
+// unbatched run.
 
 // batchWalkRound builds the round that walks from every sample of a block
-// in lock-step, reporting each finished walk through report (called under
-// mu); the caller runs it (or stages it into a pipeline).
+// as streaming iterators, reporting each finished walk through report
+// (called under mu); the caller runs it (or stages it into a pipeline).
 func batchWalkRound(rt *ampc.Runtime, store *dht.Store, g *graph.Graph,
 	samples []graph.NodeID, sampled []bool, mu *sync.Mutex,
 	report func(start, end graph.NodeID, steps int)) ampc.Round {
@@ -44,72 +45,63 @@ func batchWalkRound(rt *ampc.Runtime, store *dht.Store, g *graph.Graph,
 				start, prev, cur graph.NodeID
 				steps            int
 			}
-			var active []*walker
 			finish := func(w *walker) {
 				mu.Lock()
 				report(w.start, w.cur, w.steps)
 				mu.Unlock()
 			}
+			// Fetched lists persist for the whole block, so the two walks
+			// covering one cycle segment in opposite directions fetch each
+			// vertex of the segment only once.
+			adj := make(map[graph.NodeID][]graph.NodeID)
+			var walkErr error
+			var its []ampc.Iterator
 			for i := lo; i < hi; i++ {
 				start := samples[i]
 				for _, first := range g.Neighbors(start) {
 					w := &walker{start: start, prev: start, cur: first, steps: 1}
-					if sampled[w.cur] {
-						finish(w)
-						continue
-					}
-					active = append(active, w)
+					its = append(its, ampc.PullFunc(func() (uint64, bool) {
+						for {
+							if sampled[w.cur] {
+								finish(w)
+								return 0, false
+							}
+							nbrs, ok := adj[w.cur]
+							if !ok {
+								return uint64(w.cur), true
+							}
+							next := nbrs[0]
+							if next == w.prev {
+								next = nbrs[1]
+							}
+							w.prev, w.cur = w.cur, next
+							w.steps++
+							ctx.ChargeCompute(1)
+							if w.steps > n+1 {
+								if walkErr == nil {
+									walkErr = fmt.Errorf("cycle: walk from %d did not terminate", w.start)
+								}
+								return 0, false
+							}
+						}
+					}))
 				}
 			}
-			for len(active) > 0 {
-				// A fresh per-hop map keeps memory bounded by the block's
-				// active walks (a walk never revisits a vertex); reuse
-				// between the two walks covering one segment in opposite
-				// directions is served by the per-machine cache instead.
-				adj := make(map[graph.NodeID][]graph.NodeID, len(active))
-				var need []uint64
-				for _, w := range active {
-					if _, ok := adj[w.cur]; !ok {
-						adj[w.cur] = nil
-						need = append(need, uint64(w.cur))
-					}
+			err := ctx.Stream(0, its, func(k uint64, raw []byte, ok bool) error {
+				if !ok {
+					return fmt.Errorf("cycle: vertex %d missing from the key-value store", k)
 				}
-				err := ctx.FetchInto(need, func(k uint64, raw []byte, ok bool) error {
-					if !ok {
-						return fmt.Errorf("cycle: vertex %d missing from the key-value store", k)
-					}
-					nbrs, err := codec.DecodeNodeIDs(raw)
-					if err != nil {
-						return err
-					}
-					adj[graph.NodeID(k)] = nbrs
-					return nil
-				})
+				nbrs, err := codec.DecodeNodeIDs(raw)
 				if err != nil {
 					return err
 				}
-				var retry []*walker
-				for _, w := range active {
-					nbrs := adj[w.cur]
-					next := nbrs[0]
-					if next == w.prev {
-						next = nbrs[1]
-					}
-					w.prev, w.cur = w.cur, next
-					w.steps++
-					ctx.ChargeCompute(1)
-					if w.steps > n+1 {
-						return fmt.Errorf("cycle: walk from %d did not terminate", w.start)
-					}
-					if sampled[w.cur] {
-						finish(w)
-						continue
-					}
-					retry = append(retry, w)
-				}
-				active = retry
+				adj[graph.NodeID(k)] = nbrs
+				return nil
+			})
+			if err != nil {
+				return err
 			}
-			return nil
+			return walkErr
 		},
 	}
 }

@@ -13,11 +13,12 @@ import (
 // Batched IsInMM round (Config.Batch).
 //
 // Like the MIS variant in internal/core/mis/batch.go, a block of vertex
-// searches runs in lock-step: each search proceeds until it needs an
-// adjacency list that is not locally known, the block's missing lists are
-// fetched with one shard-grouped ReadMany, and the searches resume.  The
-// edge oracle computed is exactly the recursive process of §5.4, so the
-// matching is identical to the unbatched run for the same seed.
+// searches runs as pull-based iterators (ampc.Stream): each search proceeds
+// until it needs an adjacency list that is not locally known, the block's
+// missing lists are fetched with one shard-grouped ReadMany, and the
+// searches resume.  The edge oracle computed is exactly the recursive
+// process of §5.4, so the matching is identical to the unbatched run for
+// the same seed.
 
 type batchMatcher struct {
 	ctx   *ampc.Ctx
@@ -138,10 +139,15 @@ func (s *batchMatcher) evalEdge(u, v graph.NodeID) (in bool, miss graph.NodeID) 
 	return true, graph.None
 }
 
-// batchSearchRound builds the lock-step IsInMM round over blocks of
-// vertices; the caller runs it (or stages it into a pipeline).
+// batchSearchRound builds one stage of the streaming IsInMM round over
+// blocks of vertices; the caller runs it (or stages it into a pipeline).
+// With spans set (the local stage) each machine's searches only fetch keys
+// inside spans[machine]: a search that suspends on an out-of-range key
+// escapes — its iterator completes without resolving the vertex — and the
+// spill stage (spans == nil) finishes it against the whole store.
 func batchSearchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, sorted [][]graph.NodeID,
-	rank RankFunc, caches []*matchCache, matching []graph.NodeID, resolved []bool, mu *sync.Mutex) ampc.Round {
+	rank RankFunc, caches []*matchCache, matching []graph.NodeID, resolved []bool, mu *sync.Mutex,
+	spans []dht.RangeSet) ampc.Round {
 	n := len(sorted)
 	size := rt.Config().BatchSize
 	return ampc.Round{
@@ -155,6 +161,10 @@ func batchSearchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, sort
 			if cache == nil {
 				cache = newMatchCache()
 			}
+			var span dht.RangeSet
+			if spans != nil {
+				span = spans[ctx.Machine]
+			}
 			s := &batchMatcher{
 				ctx:     ctx,
 				cache:   cache,
@@ -162,15 +172,19 @@ func batchSearchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, sort
 				lists:   make(map[graph.NodeID][]graph.NodeID, hi-lo),
 				charged: make(map[uint64]bool),
 			}
-			active := make([]graph.NodeID, 0, hi-lo)
+			its := make([]ampc.Iterator, 0, hi-lo)
 			for v := lo; v < hi; v++ {
-				s.lists[graph.NodeID(v)] = sorted[v]
-				active = append(active, graph.NodeID(v))
-			}
-			return ampc.LockStep(ctx, active,
-				func(v graph.NodeID) (uint64, bool) {
+				if resolved[v] {
+					continue
+				}
+				v := graph.NodeID(v)
+				s.lists[v] = sorted[v]
+				its = append(its, ampc.PullFunc(func() (uint64, bool) {
 					mate, miss := s.evalVertex(v)
 					if miss != graph.None {
+						if !span.Contains(uint64(miss)) {
+							return 0, false // escaped; the spill stage finishes v
+						}
 						return uint64(miss), true
 					}
 					mu.Lock()
@@ -178,7 +192,9 @@ func batchSearchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, sort
 					resolved[v] = true
 					mu.Unlock()
 					return 0, false
-				},
+				}))
+			}
+			return ctx.Stream(0, its,
 				func(k uint64, raw []byte, ok bool) error {
 					if !ok {
 						return fmt.Errorf("matching: vertex %d missing from the key-value store", k)

@@ -229,12 +229,21 @@ func sortedStore(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, tag string) ([
 // they can be staged into a larger RunPipeline sequence next to another
 // algorithm's rounds (see the bench "pipeline" experiment).
 type Plan struct {
-	// Write stores the edge-sorted adjacency lists; Search resolves every
-	// vertex.  Search reads exactly the store Write produces.
-	Write, Search ampc.Round
-	// Matching is filled by the search round.
+	// Write stores the edge-sorted adjacency lists.  Search (the local
+	// stage) resolves every vertex whose edge-oracle recursion stays inside
+	// the executing machine's owned key range, reading only that range;
+	// Spill finishes the searches that escaped their range, reading the
+	// whole store.  The local stage of machine m therefore conflicts only
+	// with m's own write sub-round, which is what lets RunPipeline overlap
+	// it with the other machines' writes.
+	Write, Search, Spill ampc.Round
+	// Matching is filled by the two search stages together.
 	Matching *seq.Matching
 }
+
+// Rounds returns the plan's rounds in execution order, ready to be staged
+// into a RunPipeline sequence (possibly interleaved with another plan's).
+func (p *Plan) Rounds() []ampc.Round { return []ampc.Round{p.Write, p.Search, p.Spill} }
 
 // NewPlan runs the host-side PermuteGraph shuffle for g (under the uniform
 // edge ranking of the runtime's seed, as Run uses) and prepares the KV-write
@@ -261,15 +270,25 @@ func newPlan(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, tag string) (*Plan
 		}
 	}
 	var mu sync.Mutex
-	var search ampc.Round
+	// The local stage reads the same per-machine key ranges the write round
+	// declares, so local(m) depends on write(m) alone; a token orders every
+	// spill sub-round after every local one without naming any storage.
+	spans := rt.WriteRanges(n)
+	tok := ampc.NewToken("mm-local" + tag)
+	var local, spill ampc.Round
 	if cfgD.Batch {
-		// Lock-step block evaluation over shard-grouped batches (see
+		// Streaming block evaluation over shard-grouped batches (see
 		// batch.go).
-		search = batchSearchRound(rt, "IsInMM"+tag, store, sorted, rank, caches, matching.Mate, resolved, &mu)
+		local = batchSearchRound(rt, "IsInMM"+tag, store, sorted, rank, caches, matching.Mate, resolved, &mu, spans)
+		spill = batchSearchRound(rt, "IsInMM-spill"+tag, store, sorted, rank, caches, matching.Mate, resolved, &mu, nil)
 	} else {
-		search = searchRound(rt, "IsInMM"+tag, store, sorted, rank, caches, matching.Mate, resolved, &mu)
+		local = searchRound(rt, "IsInMM"+tag, store, sorted, rank, caches, matching.Mate, resolved, &mu, spans)
+		spill = searchRound(rt, "IsInMM-spill"+tag, store, sorted, rank, caches, matching.Mate, resolved, &mu, nil)
 	}
-	return &Plan{Write: write, Search: search, Matching: matching}, nil
+	local.Reads = []ampc.Access{ampc.RangedBy(store, spans)}
+	local.Writes = []ampc.Access{{Token: tok}}
+	spill.Reads = []ampc.Access{{Token: tok}}
+	return &Plan{Write: write, Search: local, Spill: spill, Matching: matching}, nil
 }
 
 // computeMatching runs the shuffle + KV-write + search pipeline on an
@@ -296,6 +315,7 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 		err = rt.RunStaged([]ampc.StagedRound{
 			{Phase: "KV-Write" + tag, Round: plan.Write},
 			{Phase: "IsInMM" + tag, Round: plan.Search},
+			{Phase: "IsInMM-spill" + tag, Round: plan.Spill},
 		})
 		if err != nil {
 			return nil, 0, err
@@ -357,7 +377,7 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 				Name:        phaseName,
 				Items:       n,
 				Read:        store,
-				Writes:      []*dht.Store{mateStore},
+				Writes:      []ampc.Access{{Store: mateStore}},
 				Partitioner: rt.OwnerPartitioner(n),
 				Body: func(ctx *ampc.Ctx, item int) error {
 					if resolved[item] {
@@ -394,7 +414,7 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 				},
 			}
 			if pass > 1 {
-				round.Reads = []*dht.Store{mateStore}
+				round.Reads = []ampc.Access{{Store: mateStore}}
 			}
 			return rt.Run(round)
 		})
@@ -412,12 +432,16 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 	return matching, searchRounds, nil
 }
 
-// searchRound builds the single-key IsInMM round: every vertex runs the
-// vertex-centric query process against the frozen edge-sorted store.  The
-// round reads only that store and writes nothing, which is exactly the
-// dependency declaration the pipelined scheduler needs.
+// searchRound builds one stage of the single-key IsInMM search: every
+// unresolved vertex runs the vertex-centric query process against the frozen
+// edge-sorted store.  With spans set (the local stage) each machine's
+// searches are confined to spans[machine]: a recursion that needs a key
+// outside the range escapes and is left unresolved for the spill stage,
+// which passes spans == nil and finishes the remainder against the whole
+// store.
 func searchRound(rt *ampc.Runtime, name string, store *dht.Store, sorted [][]graph.NodeID,
-	rank RankFunc, caches []*matchCache, mate []graph.NodeID, resolved []bool, mu *sync.Mutex) ampc.Round {
+	rank RankFunc, caches []*matchCache, mate []graph.NodeID, resolved []bool, mu *sync.Mutex,
+	spans []dht.RangeSet) ampc.Round {
 	n := len(sorted)
 	return ampc.Round{
 		Name:        name,
@@ -425,12 +449,21 @@ func searchRound(rt *ampc.Runtime, name string, store *dht.Store, sorted [][]gra
 		Read:        store,
 		Partitioner: rt.OwnerPartitioner(n),
 		Body: func(ctx *ampc.Ctx, item int) error {
+			if resolved[item] {
+				return nil
+			}
 			cache := caches[ctx.Machine]
 			if cache == nil {
 				cache = newMatchCache()
 			}
 			s := &searcher{ctx: ctx, cache: cache, rank: rank}
+			if spans != nil {
+				s.span = spans[ctx.Machine]
+			}
 			got, err := s.vertexProcess(graph.NodeID(item), sorted[item])
+			if err == errEscape {
+				return nil // finished by the spill stage
+			}
 			if err != nil {
 				return err
 			}
@@ -445,11 +478,20 @@ func searchRound(rt *ampc.Runtime, name string, store *dht.Store, sorted [][]gra
 
 var errTruncated = fmt.Errorf("matching: search truncated")
 
+// errEscape reports that a span-confined search needed a key outside its
+// range; the vertex stays unresolved and the spill stage finishes it.
+// Vertex states and edge-oracle results cached before the escape are
+// complete results and stay valid.
+var errEscape = fmt.Errorf("matching: search escaped its key range")
+
 // searcher runs the vertex and edge query processes for one work item.
 type searcher struct {
-	ctx       *ampc.Ctx
-	cache     *matchCache
-	rank      RankFunc
+	ctx   *ampc.Ctx
+	cache *matchCache
+	rank  RankFunc
+	// span confines the search to a key range (zero value: unconfined);
+	// fetching a key outside it aborts the search with errEscape.
+	span      dht.RangeSet
 	budget    int
 	queries   int
 	mateStore *dht.Store
@@ -579,6 +621,9 @@ func (s *searcher) edgeProcess(u, v graph.NodeID) (bool, error) {
 }
 
 func (s *searcher) fetchNeighbors(v graph.NodeID) ([]graph.NodeID, error) {
+	if !s.span.Contains(uint64(v)) {
+		return nil, errEscape
+	}
 	if s.budget > 0 {
 		s.queries++
 		if s.queries > s.budget {

@@ -15,13 +15,13 @@ import (
 // The recursive query process resolves one vertex at a time, so the
 // single-key implementation pays one key-value round trip (one shard lock,
 // one latency charge) per neighborhood it expands.  The batched round
-// evaluates a whole block of vertices in lock-step instead: every search
-// runs until it needs a directed neighbor list that is not yet known
-// locally, the block's missing lists are fetched with one shard-grouped
-// ReadMany, and the searches resume.  The vertex-status function being
-// computed is unchanged, so batched and unbatched runs produce identical
-// independent sets for the same seed; only the grouping of key-value
-// requests differs.
+// drives a whole block of vertices as pull-based iterators instead
+// (ampc.Stream): every search runs until it needs a directed neighbor list
+// that is not yet known locally, the block's missing lists are fetched with
+// one shard-grouped ReadMany, and the searches resume.  The vertex-status
+// function being computed is unchanged, so batched and unbatched runs
+// produce identical independent sets for the same seed; only the grouping
+// of key-value requests differs.
 
 // batchSearcher shares one memoized status cache (per machine, as in §5.3)
 // and a per-block map of fetched neighbor lists.
@@ -59,10 +59,14 @@ func (s *batchSearcher) eval(v graph.NodeID) (status, graph.NodeID) {
 	return statusIn, graph.None
 }
 
-// batchSearchRound builds the lock-step IsInMIS round over blocks of
-// vertices; the caller runs it (or stages it into a pipeline).
+// batchSearchRound builds one stage of the streaming IsInMIS round over
+// blocks of vertices; the caller runs it (or stages it into a pipeline).
+// With spans set (the local stage) each machine's searches only fetch keys
+// inside spans[machine]: a search that suspends on an out-of-range key
+// escapes — its iterator completes without resolving the vertex — and the
+// spill stage (spans == nil) finishes it against the whole store.
 func batchSearchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, directed [][]graph.NodeID,
-	caches []*statusCache, inMIS, resolved []bool, mu *sync.Mutex) ampc.Round {
+	caches []*statusCache, inMIS, resolved []bool, mu *sync.Mutex, spans []dht.RangeSet) ampc.Round {
 	n := len(directed)
 	size := rt.Config().BatchSize
 	return ampc.Round{
@@ -76,20 +80,28 @@ func batchSearchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, dire
 			if cache == nil {
 				cache = newStatusCache()
 			}
+			var span dht.RangeSet
+			if spans != nil {
+				span = spans[ctx.Machine]
+			}
 			s := &batchSearcher{
 				ctx:   ctx,
 				cache: cache,
 				lists: make(map[graph.NodeID][]graph.NodeID, hi-lo),
 			}
-			active := make([]graph.NodeID, 0, hi-lo)
+			its := make([]ampc.Iterator, 0, hi-lo)
 			for v := lo; v < hi; v++ {
-				s.lists[graph.NodeID(v)] = directed[v]
-				active = append(active, graph.NodeID(v))
-			}
-			return ampc.LockStep(ctx, active,
-				func(v graph.NodeID) (uint64, bool) {
+				if resolved[v] {
+					continue
+				}
+				v := graph.NodeID(v)
+				s.lists[v] = directed[v]
+				its = append(its, ampc.PullFunc(func() (uint64, bool) {
 					st, miss := s.eval(v)
 					if miss != graph.None {
+						if !span.Contains(uint64(miss)) {
+							return 0, false // escaped; the spill stage finishes v
+						}
 						return uint64(miss), true
 					}
 					mu.Lock()
@@ -97,7 +109,9 @@ func batchSearchRound(rt *ampc.Runtime, phaseName string, store *dht.Store, dire
 					resolved[v] = true
 					mu.Unlock()
 					return 0, false
-				},
+				}))
+			}
+			return ctx.Stream(0, its,
 				func(k uint64, raw []byte, ok bool) error {
 					if !ok {
 						return fmt.Errorf("mis: vertex %d missing from the key-value store", k)

@@ -156,12 +156,21 @@ func directedStore(rt *ampc.Runtime, g *graph.Graph, prio []uint64) ([][]graph.N
 // rounds — the bench "pipeline" experiment fuses them with the maximal
 // matching rounds to overlap independent rounds across algorithms.
 type Plan struct {
-	// Write stores the directed adjacency lists; Search resolves every
-	// vertex.  Search reads exactly the store Write produces.
-	Write, Search ampc.Round
-	// InMIS is filled by the search round.
+	// Write stores the directed adjacency lists.  Search (the local stage)
+	// resolves every vertex whose recursion stays inside the executing
+	// machine's owned key range, reading only that range; Spill finishes the
+	// searches that escaped their range, reading the whole store.  The local
+	// stage of machine m therefore conflicts only with m's own write
+	// sub-round, which is what lets RunPipeline overlap it with the other
+	// machines' writes (and with another algorithm's rounds).
+	Write, Search, Spill ampc.Round
+	// InMIS is filled by the two search stages together.
 	InMIS []bool
 }
+
+// Rounds returns the plan's rounds in execution order, ready to be staged
+// into a RunPipeline sequence (possibly interleaved with another plan's).
+func (p *Plan) Rounds() []ampc.Round { return []ampc.Round{p.Write, p.Search, p.Spill} }
 
 // NewPlan runs the host-side DirectGraph shuffle for g and prepares the
 // KV-write and search rounds on rt.  Executing the two rounds (in order,
@@ -185,15 +194,25 @@ func NewPlan(rt *ampc.Runtime, g *graph.Graph) (*Plan, error) {
 	inMIS := make([]bool, n)
 	resolved := make([]bool, n)
 	var mu sync.Mutex
-	var search ampc.Round
+	// The local stage reads the same per-machine key ranges the write round
+	// declares, so local(m) depends on write(m) alone; a token orders every
+	// spill sub-round after every local one without naming any storage.
+	spans := rt.WriteRanges(n)
+	tok := ampc.NewToken("mis-local")
+	var local, spill ampc.Round
 	if cfgD.Batch {
-		// Lock-step block evaluation: fan-out reads travel as
+		// Streaming block evaluation: fan-out reads travel as
 		// shard-grouped batches (see batch.go).
-		search = batchSearchRound(rt, "IsInMIS", store, directed, caches, inMIS, resolved, &mu)
+		local = batchSearchRound(rt, "IsInMIS", store, directed, caches, inMIS, resolved, &mu, spans)
+		spill = batchSearchRound(rt, "IsInMIS-spill", store, directed, caches, inMIS, resolved, &mu, nil)
 	} else {
-		search = searchRound(rt, store, directed, prio, caches, inMIS, resolved, &mu)
+		local = searchRound(rt, "IsInMIS", store, directed, prio, caches, inMIS, resolved, &mu, spans)
+		spill = searchRound(rt, "IsInMIS-spill", store, directed, prio, caches, inMIS, resolved, &mu, nil)
 	}
-	return &Plan{Write: write, Search: search, InMIS: inMIS}, nil
+	local.Reads = []ampc.Access{ampc.RangedBy(store, spans)}
+	local.Writes = []ampc.Access{{Token: tok}}
+	spill.Reads = []ampc.Access{{Token: tok}}
+	return &Plan{Write: write, Search: local, Spill: spill, InMIS: inMIS}, nil
 }
 
 func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
@@ -220,6 +239,7 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 		err = rt.RunStaged([]ampc.StagedRound{
 			{Phase: "KV-Write", Round: plan.Write},
 			{Phase: "IsInMIS", Round: plan.Search},
+			{Phase: "IsInMIS-spill", Round: plan.Spill},
 		})
 		if err != nil {
 			return nil, err
@@ -279,7 +299,7 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 				Name:        phaseName,
 				Items:       n,
 				Read:        store,
-				Writes:      []*dht.Store{statusStore},
+				Writes:      []ampc.Access{{Store: statusStore}},
 				Partitioner: rt.OwnerPartitioner(n),
 				Body: func(ctx *ampc.Ctx, item int) error {
 					if resolved[item] {
@@ -322,7 +342,7 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 				},
 			}
 			if pass > 1 {
-				round.Reads = []*dht.Store{statusStore}
+				round.Reads = []ampc.Access{{Store: statusStore}}
 			}
 			return rt.Run(round)
 		})
@@ -341,19 +361,25 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 	return result, nil
 }
 
-// searchRound builds the single-key IsInMIS round: every vertex runs the
-// recursive query process of Yoshida et al. against the frozen
-// directed-graph store.  The round reads only that store and writes nothing,
-// which is exactly the dependency declaration the pipelined scheduler needs.
-func searchRound(rt *ampc.Runtime, store *dht.Store, directed [][]graph.NodeID, prio []uint64,
-	caches []*statusCache, inMIS, resolved []bool, mu *sync.Mutex) ampc.Round {
+// searchRound builds one stage of the single-key IsInMIS search: every
+// unresolved vertex runs the recursive query process of Yoshida et al.
+// against the frozen directed-graph store.  With spans set (the local stage)
+// each machine's searches are confined to spans[machine]: a recursion that
+// needs a key outside the range escapes and is left unresolved for the spill
+// stage, which passes spans == nil and finishes the remainder against the
+// whole store.
+func searchRound(rt *ampc.Runtime, name string, store *dht.Store, directed [][]graph.NodeID, prio []uint64,
+	caches []*statusCache, inMIS, resolved []bool, mu *sync.Mutex, spans []dht.RangeSet) ampc.Round {
 	n := len(directed)
 	return ampc.Round{
-		Name:        "IsInMIS",
+		Name:        name,
 		Items:       n,
 		Read:        store,
 		Partitioner: rt.OwnerPartitioner(n),
 		Body: func(ctx *ampc.Ctx, item int) error {
+			if resolved[item] {
+				return nil
+			}
 			cache := caches[ctx.Machine]
 			if cache == nil {
 				// Without the caching optimization, statuses are still
@@ -363,7 +389,13 @@ func searchRound(rt *ampc.Runtime, store *dht.Store, directed [][]graph.NodeID, 
 				cache = newStatusCache()
 			}
 			s := &searcher{ctx: ctx, cache: cache, prio: prio}
+			if spans != nil {
+				s.span = spans[ctx.Machine]
+			}
 			in, err := s.inMIS(graph.NodeID(item), directed[item])
+			if err == errEscape {
+				return nil // finished by the spill stage
+			}
 			if err != nil {
 				return err
 			}
@@ -379,11 +411,19 @@ func searchRound(rt *ampc.Runtime, store *dht.Store, directed [][]graph.NodeID, 
 // errTruncated reports that a search exceeded its query budget.
 var errTruncated = fmt.Errorf("mis: search truncated")
 
+// errEscape reports that a span-confined search needed a key outside its
+// range; the vertex stays unresolved and the spill stage finishes it.
+// Statuses memoized before the escape are complete results and stay valid.
+var errEscape = fmt.Errorf("mis: search escaped its key range")
+
 // searcher runs the recursive IsInMIS query process for one work item.
 type searcher struct {
-	ctx         *ampc.Ctx
-	cache       *statusCache
-	prio        []uint64
+	ctx   *ampc.Ctx
+	cache *statusCache
+	prio  []uint64
+	// span confines the search to a key range (zero value: unconfined);
+	// fetching a key outside it aborts the search with errEscape.
+	span        dht.RangeSet
 	budget      int // 0 = unlimited
 	queries     int
 	statusStore *dht.Store
@@ -429,6 +469,9 @@ func (s *searcher) inMIS(v graph.NodeID, neighbors []graph.NodeID) (bool, error)
 }
 
 func (s *searcher) fetchNeighbors(v graph.NodeID) ([]graph.NodeID, error) {
+	if !s.span.Contains(uint64(v)) {
+		return nil, errEscape
+	}
 	if s.budget > 0 {
 		s.queries++
 		if s.queries > s.budget {

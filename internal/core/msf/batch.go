@@ -15,11 +15,12 @@ import (
 // A truncated Prim search expands one vertex at a time, so the single-key
 // implementation pays one key-value round trip per expansion.  The batched
 // round keeps one resumable search state per start vertex of a block and
-// advances them in lock-step: each search runs until it pops a vertex whose
-// adjacency list is not locally known, the block's missing lists are fetched
-// with one shard-grouped ReadMany, and the searches continue exactly where
-// they stopped.  Every decision (heap order, stop cases, budget) is the same
-// as the single-key search, so the discovered forest is identical.
+// drives them as pull-based iterators (ampc.Stream): each search runs until
+// it pops a vertex whose adjacency list is not locally known, the block's
+// missing lists are fetched with one shard-grouped ReadMany, and the
+// searches continue exactly where they stopped.  Every decision (heap
+// order, stop cases, budget) is the same as the single-key search, so the
+// discovered forest is identical.
 
 // primState is a primSearcher whose fetches can be suspended and resumed.
 type primState struct {
@@ -157,9 +158,9 @@ func (s *primState) advance() graph.NodeID {
 	return graph.None
 }
 
-// batchPrimRound builds the PrimSearch round over lock-step blocks, handing
-// every search's outcome to commit (called under the caller's lock); the
-// caller runs it (or stages it into a pipeline).
+// batchPrimRound builds the streaming PrimSearch round over blocks of start
+// vertices, handing every search's outcome to commit (called under the
+// caller's lock); the caller runs it (or stages it into a pipeline).
 func batchPrimRound(rt *ampc.Runtime, name string, store *dht.Store,
 	sorted [][]codec.WeightedNeighbor, prio []uint64, budget int,
 	mu *sync.Mutex, commit func(start graph.NodeID, out *primOutcome)) ampc.Round {
@@ -179,17 +180,19 @@ func batchPrimRound(rt *ampc.Runtime, name string, store *dht.Store,
 				lists[graph.NodeID(v)] = sorted[v]
 			}
 			states := make([]*primState, 0, hi-lo)
+			its := make([]ampc.Iterator, 0, hi-lo)
 			for v := lo; v < hi; v++ {
-				states = append(states, newPrimState(ctx, prio, budget, graph.NodeID(v), sorted[v], lists))
-			}
-			err := ampc.LockStep(ctx, states,
-				func(st *primState) (uint64, bool) {
+				st := newPrimState(ctx, prio, budget, graph.NodeID(v), sorted[v], lists)
+				states = append(states, st)
+				its = append(its, ampc.PullFunc(func() (uint64, bool) {
 					miss := st.advance()
 					if miss == graph.None {
 						return 0, false
 					}
 					return uint64(miss), true
-				},
+				}))
+			}
+			err := ctx.Stream(0, its,
 				func(k uint64, raw []byte, ok bool) error {
 					if !ok {
 						return fmt.Errorf("msf: vertex %d missing from the key-value store", k)
@@ -214,9 +217,12 @@ func batchPrimRound(rt *ampc.Runtime, name string, store *dht.Store,
 	}
 }
 
-// batchChaseRound builds the batched pointer chase of PointerJump: every
-// vertex of a block follows its parent chain one hop per lock-step, with the
-// block's current pointers fetched as one shard-grouped batch per hop.
+// batchChaseRound builds the streaming pointer chase of PointerJump: every
+// vertex of a block is a pull-based iterator that follows its parent chain
+// through the pointers fetched so far and suspends on the first unknown one;
+// each cycle fetches the block's missing pointers as one shard-grouped
+// batch.  Fetched pointers persist for the whole block, so a chain hops
+// through already-known pointers without suspending again.
 func batchChaseRound(rt *ampc.Runtime, name string, store *dht.Store, n int,
 	roots []graph.NodeID, chains []int) ampc.Round {
 	size := rt.Config().BatchSize
@@ -227,57 +233,50 @@ func batchChaseRound(rt *ampc.Runtime, name string, store *dht.Store, n int,
 		Partitioner: rt.BlockOwnerPartitioner(size, n),
 		Body: func(ctx *ampc.Ctx, block int) error {
 			lo, hi := ampc.BlockBounds(block, size, n)
-			type walker struct {
-				item  int
-				cur   graph.NodeID
-				steps int
-			}
-			active := make([]*walker, 0, hi-lo)
+			parentOf := make(map[graph.NodeID]graph.NodeID, hi-lo)
+			var chaseErr error
+			its := make([]ampc.Iterator, 0, hi-lo)
 			for v := lo; v < hi; v++ {
-				active = append(active, &walker{item: v, cur: graph.NodeID(v)})
+				item := v
+				cur := graph.NodeID(v)
+				steps := 0
+				its = append(its, ampc.PullFunc(func() (uint64, bool) {
+					for {
+						p, ok := parentOf[cur]
+						if !ok {
+							return uint64(cur), true
+						}
+						if p == cur {
+							roots[item] = cur
+							chains[item] = steps
+							return 0, false
+						}
+						cur = p
+						steps++
+						if steps > n {
+							if chaseErr == nil {
+								chaseErr = fmt.Errorf("msf: pointer chain from %d does not terminate", item)
+							}
+							return 0, false
+						}
+					}
+				}))
 			}
-			for len(active) > 0 {
-				var need []uint64
-				needSet := make(map[graph.NodeID]bool)
-				for _, w := range active {
-					if !needSet[w.cur] {
-						needSet[w.cur] = true
-						need = append(need, uint64(w.cur))
-					}
+			err := ctx.Stream(0, its, func(k uint64, raw []byte, ok bool) error {
+				if !ok {
+					return fmt.Errorf("msf: missing parent pointer for %d", k)
 				}
-				parentOf := make(map[graph.NodeID]graph.NodeID, len(need))
-				err := ctx.FetchInto(need, func(k uint64, raw []byte, ok bool) error {
-					if !ok {
-						return fmt.Errorf("msf: missing parent pointer for %d", k)
-					}
-					p, err := codec.DecodeNodeID(raw)
-					if err != nil {
-						return err
-					}
-					parentOf[graph.NodeID(k)] = p
-					return nil
-				})
+				p, err := codec.DecodeNodeID(raw)
 				if err != nil {
 					return err
 				}
-				var retry []*walker
-				for _, w := range active {
-					p := parentOf[w.cur]
-					if p == w.cur {
-						roots[w.item] = w.cur
-						chains[w.item] = w.steps
-						continue
-					}
-					w.cur = p
-					w.steps++
-					if w.steps > n {
-						return fmt.Errorf("msf: pointer chain from %d does not terminate", w.item)
-					}
-					retry = append(retry, w)
-				}
-				active = retry
+				parentOf[graph.NodeID(k)] = p
+				return nil
+			})
+			if err != nil {
+				return err
 			}
-			return nil
+			return chaseErr
 		},
 	}
 }

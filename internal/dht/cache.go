@@ -120,6 +120,35 @@ func (c *Cache) Invalidate() {
 	c.mu.Unlock()
 }
 
+// InvalidateRange drops only the cached entries whose keys fall inside set,
+// leaving the rest of the cache warm.  It is the range-aware counterpart of
+// Invalidate: the pipelined scheduler fences a machine's cache with exactly
+// the spans that declared write sub-rounds have completed since the cache
+// was last fenced, so disjoint-range sub-rounds no longer thrash caches
+// that cannot hold stale entries.  A whole-keyspace set degenerates to
+// Invalidate; an empty set is a no-op.
+func (c *Cache) InvalidateRange(set RangeSet) {
+	if set.Whole() {
+		c.Invalidate()
+		return
+	}
+	if set.Empty() {
+		return
+	}
+	c.mu.Lock()
+	for k := range c.local {
+		if set.Contains(k) {
+			delete(c.local, k)
+		}
+	}
+	for k := range c.absent {
+		if set.Contains(k) {
+			delete(c.absent, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
 // Hits returns the number of lookups served from the cache.
 func (c *Cache) Hits() int64 { return c.hits.Load() }
 

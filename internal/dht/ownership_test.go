@@ -84,10 +84,10 @@ func TestOwnerAffineZeroKeyspaceFallsBackToHash(t *testing.T) {
 	// The store built on the degenerate placement classifies everything
 	// remote — no machine can claim local reads it does not deserve.
 	s := MustStore("d0", Options{Shards: 8, Placement: OwnerAffine(4, 0)})
-	if err := s.PutFrom(0, 1, []byte("x")); err != nil {
+	if err := s.View(0).Put(1, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.GetFrom(0, 1); err != nil {
+	if _, _, err := s.View(0).Get(1); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.Stats(); st.LocalReads != 0 || st.RemoteReads != 1 {

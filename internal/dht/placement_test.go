@@ -96,7 +96,7 @@ func TestStoreClassifiesLocalAndRemoteReads(t *testing.T) {
 	const machines, keys = 4, 100
 	s := MustStore("d0", Options{Shards: 16, Placement: OwnerAffine(machines, keys)})
 	for k := uint64(0); k < keys; k++ {
-		if err := s.PutFrom(RangeOwner(k, machines, keys), k, []byte{1}); err != nil {
+		if err := s.View(RangeOwner(k, machines, keys)).Put(k, []byte{1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -111,12 +111,12 @@ func TestStoreClassifiesLocalAndRemoteReads(t *testing.T) {
 		t.Fatal("LocalTo misclassifies")
 	}
 	for k := uint64(0); k < 25; k++ {
-		if _, _, err := s.GetFrom(0, k); err != nil {
+		if _, _, err := s.View(0).Get(k); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for k := uint64(75); k < 100; k++ {
-		if _, _, err := s.GetFrom(0, k); err != nil {
+		if _, _, err := s.View(0).Get(k); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -157,11 +157,11 @@ func TestLocalReadsChargeLocalLatency(t *testing.T) {
 			Shards: 16, Placement: OwnerAffine(machines, keys),
 			Model: model, Clock: clock,
 		})
-		if err := s.PutFrom(-1, 3, []byte("x")); err != nil {
+		if err := s.View(-1).Put(3, []byte("x")); err != nil {
 			t.Fatal(err)
 		}
 		clock.Reset()
-		if _, _, err := s.GetFrom(machine, 3); err != nil {
+		if _, _, err := s.View(machine).Get(3); err != nil {
 			t.Fatal(err)
 		}
 		return clock.Elapsed()
@@ -189,7 +189,7 @@ func TestBatchGetFromSplitsVisits(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	vals, oks, visits, err := s.BatchGetFrom(1, all)
+	vals, oks, visits, err := s.View(1).BatchGet(all)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestBatchPutFromLocalWritesMoveNoRemoteBytes(t *testing.T) {
 	for k := uint64(25); k < 50; k++ { // all owned by machine 1
 		pairs = append(pairs, Pair{Key: k, Value: []byte{byte(k)}})
 	}
-	visits, err := s.BatchPutFrom(1, pairs)
+	visits, err := s.View(1).BatchPut(pairs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +235,7 @@ func TestBatchPutFromLocalWritesMoveNoRemoteBytes(t *testing.T) {
 		t.Fatalf("owner batch write moved %d remote bytes", st.RemoteBytes)
 	}
 	// The same write from a non-owner is fully remote.
-	visits, err = s.BatchAppendFrom(2, pairs)
+	visits, err = s.View(2).BatchAppend(pairs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,181 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is a half-open key interval [Lo, Hi).  A span with Hi <= Lo is empty.
+type Span struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+}
+
+// Empty reports whether the span covers no keys.
+func (s Span) Empty() bool { return s.Hi <= s.Lo }
+
+// Contains reports whether key lies inside the span.
+func (s Span) Contains(key uint64) bool { return key >= s.Lo && key < s.Hi }
+
+// Overlaps reports whether the two spans share at least one key.
+func (s Span) Overlaps(o Span) bool {
+	if s.Empty() || o.Empty() {
+		return false
+	}
+	return s.Lo < o.Hi && o.Lo < s.Hi
+}
+
+// RangeSet is a set of key spans used to declare which part of a store a
+// round touches.  The zero value is the *whole* keyspace — a declaration
+// that names a store without naming spans stays as conservative as the old
+// whole-store API, so existing code keeps its meaning.  NewRangeSet builds
+// a limited set; an explicitly limited set with no spans is empty and
+// overlaps nothing.
+type RangeSet struct {
+	limited bool
+	spans   []Span // normalized: sorted by Lo, non-empty, disjoint, non-adjacent
+}
+
+// WholeRange returns the unlimited set covering every key (the zero value).
+func WholeRange() RangeSet { return RangeSet{} }
+
+// EmptyRange returns the limited set covering no keys.
+func EmptyRange() RangeSet { return RangeSet{limited: true} }
+
+// NewRangeSet builds a limited set from the given spans, normalizing them:
+// empty spans are dropped, overlapping and adjacent spans are merged, and
+// the result is sorted by Lo.
+func NewRangeSet(spans ...Span) RangeSet {
+	kept := make([]Span, 0, len(spans))
+	for _, s := range spans {
+		if !s.Empty() {
+			kept = append(kept, s)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Lo != kept[j].Lo {
+			return kept[i].Lo < kept[j].Lo
+		}
+		return kept[i].Hi < kept[j].Hi
+	})
+	merged := kept[:0]
+	for _, s := range kept {
+		if n := len(merged); n > 0 && s.Lo <= merged[n-1].Hi {
+			if s.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = s.Hi
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	return RangeSet{limited: true, spans: merged}
+}
+
+// Whole reports whether the set covers the entire keyspace (the zero value).
+func (r RangeSet) Whole() bool { return !r.limited }
+
+// Empty reports whether the set covers no keys at all.
+func (r RangeSet) Empty() bool { return r.limited && len(r.spans) == 0 }
+
+// Spans returns the normalized spans of a limited set (nil for the whole
+// keyspace).  The returned slice must not be mutated.
+func (r RangeSet) Spans() []Span { return r.spans }
+
+// Contains reports whether key lies inside the set.
+func (r RangeSet) Contains(key uint64) bool {
+	if !r.limited {
+		return true
+	}
+	// First span with Hi > key; it is the only candidate.
+	i := sort.Search(len(r.spans), func(i int) bool { return key < r.spans[i].Hi })
+	return i < len(r.spans) && r.spans[i].Contains(key)
+}
+
+// Overlaps reports whether the two sets share at least one key.
+func (r RangeSet) Overlaps(o RangeSet) bool {
+	if !r.limited {
+		return !o.Empty()
+	}
+	if !o.limited {
+		return !r.Empty()
+	}
+	// Both normalized and sorted: a single merge pass.
+	i, j := 0, 0
+	for i < len(r.spans) && j < len(o.spans) {
+		if r.spans[i].Overlaps(o.spans[j]) {
+			return true
+		}
+		if r.spans[i].Hi <= o.spans[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// Union returns the set covering every key in either set.
+func (r RangeSet) Union(o RangeSet) RangeSet {
+	if !r.limited || !o.limited {
+		return WholeRange()
+	}
+	return NewRangeSet(append(append([]Span{}, r.spans...), o.spans...)...)
+}
+
+// Intersect returns the set covering the keys in both sets.
+func (r RangeSet) Intersect(o RangeSet) RangeSet {
+	if !r.limited {
+		return o
+	}
+	if !o.limited {
+		return r
+	}
+	var out []Span
+	i, j := 0, 0
+	for i < len(r.spans) && j < len(o.spans) {
+		a, b := r.spans[i], o.spans[j]
+		lo, hi := maxU64(a.Lo, b.Lo), minU64(a.Hi, b.Hi)
+		if lo < hi {
+			out = append(out, Span{Lo: lo, Hi: hi})
+		}
+		if a.Hi <= b.Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return RangeSet{limited: true, spans: out}
+}
+
+// String renders the set for diagnostics.
+func (r RangeSet) String() string {
+	if !r.limited {
+		return "[whole]"
+	}
+	if len(r.spans) == 0 {
+		return "[empty]"
+	}
+	var b strings.Builder
+	for i, s := range r.spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "[%d,%d)", s.Lo, s.Hi)
+	}
+	return b.String()
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -107,6 +107,64 @@ func PipelineSchedule(busy [][]time.Duration, deps []int) Schedule {
 	return s
 }
 
+// SubDep names one sub-round — the share of one round executed by one
+// machine — as a scheduling predecessor.
+type SubDep struct {
+	Round   int
+	Machine int
+}
+
+// SubroundSchedule models the range-gated pipelined execution at sub-round
+// granularity: machine m starts its share of round j as soon as it has
+// finished its own round j-1 AND every predecessor sub-round in deps[j][m]
+// has finished.  This is the accounting for key-range conflict declarations:
+// a round that only conflicts with a predecessor on some machines' owned
+// ranges gates each machine on exactly those (round, machine) pairs instead
+// of on a whole-round barrier.  With deps[j][m] naming every machine of
+// round j-1 for all j and m, this degenerates to BarrierSchedule; with
+// deps[j][m] naming every machine of one predecessor round it reproduces
+// PipelineSchedule.
+func SubroundSchedule(busy [][]time.Duration, deps [][][]SubDep) Schedule {
+	var s Schedule
+	machines := scheduleWidth(busy)
+	if machines == 0 {
+		return s
+	}
+	finish := make([][]time.Duration, len(busy))
+	total := make([]time.Duration, machines)
+	for j, round := range busy {
+		finish[j] = make([]time.Duration, machines)
+		for m := 0; m < machines; m++ {
+			var start time.Duration
+			if j > 0 {
+				start = finish[j-1][m] // per-machine program order
+			}
+			if j < len(deps) && m < len(deps[j]) {
+				for _, dep := range deps[j][m] {
+					if dep.Round < 0 || dep.Round >= j || dep.Machine < 0 || dep.Machine >= machines {
+						continue
+					}
+					if f := finish[dep.Round][dep.Machine]; f > start {
+						start = f
+					}
+				}
+			}
+			d := durAt(round, m)
+			finish[j][m] = start + d
+			total[m] += d
+		}
+	}
+	for m := 0; m < machines; m++ {
+		if n := len(busy); n > 0 && finish[n-1][m] > s.Makespan {
+			s.Makespan = finish[n-1][m]
+		}
+	}
+	for m := 0; m < machines; m++ {
+		s.Idle += s.Makespan - total[m]
+	}
+	return s
+}
+
 func scheduleWidth(busy [][]time.Duration) int {
 	w := 0
 	for _, round := range busy {
