@@ -16,8 +16,10 @@
 // registered once by benchFlags: -batch runs the AMPC algorithms through the
 // shard-grouped batch pipeline, -placement selects the shard placement policy
 // (hash, owner, or weighted), -pipeline runs the rounds through the
-// dependency-aware pipelined scheduler, and -backend selects the shard
-// storage engine (mem, disk or rpc).  An experiment whose comparison axis IS
+// dependency-aware pipelined scheduler, -backend selects the shard storage
+// engine (mem, disk or rpc), and -adaptive switches the "rebalance"
+// experiment to its adaptive arm (online ownership rebalancing between
+// pipeline segments).  An experiment whose comparison axis IS
 // one of those flags (batch, locality, rebalance, pipeline, backend) rejects
 // an explicit setting of that flag instead of silently ignoring it (see
 // bench.UnsupportedFlags).  The dedicated "batch" experiment with -json
@@ -48,6 +50,7 @@ type benchFlags struct {
 	placement  string
 	pipeline   bool
 	backend    string
+	adaptive   bool
 	jsonPath   string
 }
 
@@ -63,6 +66,7 @@ func (f *benchFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&f.placement, "placement", "", "shard placement policy for the AMPC runs: hash (default), owner, or weighted (degree-balanced ownership)")
 	fs.BoolVar(&f.pipeline, "pipeline", false, "run the AMPC algorithms with dependency-aware round pipelining")
 	fs.StringVar(&f.backend, "backend", "", "shard storage backend for the AMPC runs: mem (default), disk, or rpc")
+	fs.BoolVar(&f.adaptive, "adaptive", false, "run the 'rebalance' experiment's adaptive arm: online ownership rebalancing between pipeline segments")
 	fs.StringVar(&f.jsonPath, "json", "", "write the 'batch' experiment's comparison to this path as JSON")
 }
 
@@ -77,6 +81,7 @@ func (f *benchFlags) options() bench.Options {
 		Placement:    f.placement,
 		Pipeline:     f.pipeline,
 		Backend:      f.backend,
+		Adaptive:     f.adaptive,
 	}
 	if f.datasets != "" {
 		opts.Datasets = strings.Split(f.datasets, ",")
@@ -114,6 +119,18 @@ func main() {
 	if err := rejectUnsupported(names, explicit); err != nil {
 		fmt.Fprintf(os.Stderr, "ampcbench: %v\n", err)
 		os.Exit(2)
+	}
+	if explicit["adaptive"] {
+		found := false
+		for _, name := range names {
+			if name == "rebalance" {
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "ampcbench: -adaptive is the rebalance experiment's axis; run -experiment rebalance -adaptive\n")
+			os.Exit(2)
+		}
 	}
 	wroteJSON := false
 	for _, name := range names {

@@ -50,6 +50,8 @@ func main() {
 	freshRebalance := make(map[string]bench.RebalanceSmokeRow, len(baseline.Rebalance))
 	freshBackend := make(map[string]bench.BackendSmokeRow, len(baseline.Backend))
 	freshPipeline := make(map[string]bench.PipelineRow, len(baseline.Pipeline))
+	freshLocality := make(map[string]bench.LocalitySmokeRow, len(baseline.Locality))
+	freshAdaptive := make(map[string]bench.AdaptiveRow, len(baseline.Adaptive))
 	for attempt := 0; attempt < *runs; attempt++ {
 		fresh, _, err := bench.BatchSmoke(bench.Options{
 			Seed:     baseline.Seed,
@@ -78,13 +80,14 @@ func main() {
 		for _, row := range fresh.Backend {
 			freshBackend[row.Graph+"/"+row.Backend] = row
 		}
-		// The pipeline rows' idle metric is noisy by nature; keep the best
-		// run per graph (bench.MergeBestPipelineRows), mirroring the batch
-		// rows.
+		// The pipeline, locality and adaptive rows' metrics are noisy by
+		// nature; keep the best run per row, mirroring the batch rows.
 		bench.MergeBestPipelineRows(freshPipeline, fresh.Pipeline)
+		bench.MergeBestLocalityRows(freshLocality, fresh.Locality)
+		bench.MergeBestAdaptiveRows(freshAdaptive, fresh.Adaptive)
 	}
 
-	lines, failures := bench.CheckSmoke(baseline, freshRows, freshRebalance, freshBackend, freshPipeline, *tolerance)
+	lines, failures := bench.CheckSmoke(baseline, freshRows, freshRebalance, freshBackend, freshPipeline, freshLocality, freshAdaptive, *tolerance)
 	for _, line := range lines {
 		fmt.Println(line)
 	}

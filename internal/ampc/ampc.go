@@ -323,6 +323,22 @@ type Stats struct {
 	// the straggler-idle reduction reported by the pipeline experiment.
 	BarrierIdle  time.Duration
 	PipelineIdle time.Duration
+	// MachineQueries is the cumulative per-machine lookup count across every
+	// round run so far (MaxMachineQueries is the per-round maximum; this is
+	// the whole-run distribution).  Its max/mean is the observed query
+	// imbalance the adaptive-ownership rebalance targets; diffing snapshots
+	// isolates one pipeline segment.
+	MachineQueries []int64
+	// Rebalances counts Runtime.Rebalance calls that installed a new
+	// ownership table and migrated shard data.
+	Rebalances int
+	// MigratedKeys / MigratedBytes total the shard data moved by those
+	// rebalances across all stores.
+	MigratedKeys  int64
+	MigratedBytes int64
+	// MigrationSim is the modeled time charged for the migrations
+	// (simtime.CostModel.MigrateCost), already included in Sim.
+	MigrationSim time.Duration
 	// Backend aggregates the backend-specific counters of every hash table:
 	// disk footprint for the disk backend, measured wire costs for the rpc
 	// backend (Kind is the backend of the runtime's stores).
@@ -361,6 +377,21 @@ type Runtime struct {
 	// at the barrier" assumption with a per-store fence that stays sound
 	// when rounds overlap under pipelining.
 	cacheFence map[*dht.Store]int64
+	// machineQueries / machineLatency accumulate, per machine, the lookup
+	// count and the modeled lookup latency of every round since the last
+	// Rebalance.  They are the observed load that Rebalance re-derives the
+	// ownership boundaries from: queries are the first-order weight,
+	// latency the sampled search-cost second-order weight.
+	machineQueries []int64
+	machineLatency []int64
+	// baseWeights is the per-key weight vector last declared through
+	// SetOwnership (degrees, typically); Rebalance apportions observed
+	// per-machine load across a machine's keys proportionally to it.
+	// adaptive marks the current ownership table as rebalance-derived, so
+	// SetOwnership for the same keyspace refreshes baseWeights without
+	// clobbering the adapted table.
+	baseWeights []int
+	adaptive    bool
 
 	// runMu serializes round execution: Run and RunPipeline hold it for
 	// their whole duration, so concurrent callers queue instead of
@@ -395,6 +426,8 @@ func New(cfg Config) *Runtime {
 		caches:     make(map[*dht.Store][]*dht.Cache),
 		cacheFence: make(map[*dht.Store]int64),
 	}
+	r.machineQueries = make([]int64, r.cfg.Machines)
+	r.machineLatency = make([]int64, r.cfg.Machines)
 	return r
 }
 
@@ -416,6 +449,8 @@ func (r *Runtime) SetKeyspace(n int) {
 	r.keyspace = n
 	if r.ownership != nil && r.ownership.Keys() != n {
 		r.ownership = nil
+		r.baseWeights = nil
+		r.adaptive = false
 	}
 	r.mu.Unlock()
 }
@@ -429,13 +464,24 @@ func (r *Runtime) SetKeyspace(n int) {
 // like SetKeyspace — the partitioners keep using the uniform range split
 // that matches the owner-affine placement.  Either way placement never
 // changes results, only where keys live and which machine does which work.
+//
+// When the current table was derived by Rebalance for the same keyspace,
+// SetOwnership keeps the adapted table (plans declaring the same keyspace
+// must not undo an online rebalance) and only refreshes the base weights;
+// declaring a different keyspace rebuilds from scratch.
 func (r *Runtime) SetOwnership(weights []int) {
 	r.mu.Lock()
 	r.keyspace = len(weights)
 	if r.cfg.Placement == PlacementWeighted && len(weights) > 0 {
-		r.ownership = dht.NewOwnership(r.cfg.Machines, weights)
+		if !r.adaptive || r.ownership == nil || r.ownership.Keys() != len(weights) {
+			r.ownership = dht.NewOwnership(r.cfg.Machines, weights)
+			r.adaptive = false
+		}
+		r.baseWeights = append([]int(nil), weights...)
 	} else {
 		r.ownership = nil
+		r.baseWeights = nil
+		r.adaptive = false
 	}
 	r.mu.Unlock()
 }
@@ -779,6 +825,7 @@ func (r *Runtime) Stats() Stats {
 	defer r.mu.Unlock()
 	st := r.stats
 	st.Phases = append([]PhaseStat(nil), r.stats.Phases...)
+	st.MachineQueries = append([]int64(nil), r.stats.MachineQueries...)
 	for _, s := range r.stores {
 		ds := s.Stats()
 		st.KVReads += ds.Reads
@@ -1116,6 +1163,18 @@ func (r *Runtime) absorbRoundStats(ctxs []*Ctx) {
 	r.stats.BatchesIssued += batches
 	r.stats.BatchedKeys += batchedKeys
 	r.stats.ShardVisitsSaved += visitsSaved
+	if r.stats.MachineQueries == nil {
+		r.stats.MachineQueries = make([]int64, r.cfg.Machines)
+	}
+	for _, ctx := range ctxs {
+		if ctx.Machine < 0 || ctx.Machine >= r.cfg.Machines {
+			continue
+		}
+		q, lat := ctx.queries.Load(), ctx.latency.Load()
+		r.stats.MachineQueries[ctx.Machine] += q
+		r.machineQueries[ctx.Machine] += q
+		r.machineLatency[ctx.Machine] += lat
+	}
 	r.mu.Unlock()
 }
 

@@ -1,0 +1,160 @@
+package ampc
+
+import (
+	"fmt"
+	"time"
+
+	"ampcgraph/internal/dht"
+)
+
+// Online ownership rebalancing.
+//
+// The weighted ownership table built by SetOwnership is static: it splits
+// the keyspace by declared per-key weights (degrees) before any round runs.
+// Observed load can disagree with it — search rounds walk far past the keys
+// a machine owns, and caches shift where lookups actually land — so between
+// pipeline segments the runtime can re-derive the boundaries from what the
+// finished segment measured.  Rebalance folds the per-machine query counts
+// (first-order) and modeled lookup latency (a sampled search-cost
+// second-order weight) into a per-key cost vector, rebuilds the prefix-sum
+// boundaries, migrates the affected shards of every weighted-placed store
+// through the ShardBackend seam, invalidates exactly the migrated key spans
+// from the per-machine caches, and charges the migration payload to the
+// simulated clock.  Placement never changes results, so outputs stay
+// byte-identical; only where keys live — and therefore which machine does
+// which work — moves.
+
+// RebalanceStats summarizes one Runtime.Rebalance call.
+type RebalanceStats struct {
+	// Moved reports whether a new ownership table was installed and shard
+	// data migrated.  False means the call was a no-op: placement is not
+	// weighted, no ownership table is declared, no load was observed since
+	// the last rebalance, or the re-derived boundaries were unchanged.
+	Moved bool
+	// MigratedKeys / MigratedBytes total the shard data moved across all of
+	// the runtime's weighted-placed stores.
+	MigratedKeys  int64
+	MigratedBytes int64
+	// Changed is the set of key spans whose owner changed — exactly the
+	// spans invalidated from the per-machine caches.
+	Changed dht.RangeSet
+	// Cost is the modeled migration time charged to the simulated clock.
+	Cost time.Duration
+}
+
+// Rebalance re-derives the weighted ownership boundaries from the load
+// observed since the last rebalance (or since New) and migrates shard data
+// accordingly.  It is meant to be called between pipeline segments: it takes
+// the same run lock as Run and RunPipeline, so concurrent callers queue and
+// the migration never interleaves with an in-flight round.  Partitioners and
+// stores built after the call answer from the updated table.
+//
+// Under any placement other than PlacementWeighted, or before any ownership
+// table and observed load exist, Rebalance is a documented no-op that
+// returns zero stats and a nil error — callers can run the same adaptive
+// arm against every placement without branching.
+func (r *Runtime) Rebalance() (RebalanceStats, error) {
+	var st RebalanceStats
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	r.lifecycle.RLock()
+	defer r.lifecycle.RUnlock()
+	if r.closed.Load() {
+		return st, fmt.Errorf("ampc: rebalance: runtime is closed")
+	}
+
+	r.mu.Lock()
+	old := r.ownership
+	base := r.baseWeights
+	load := r.observedLoadLocked()
+	r.mu.Unlock()
+	if r.cfg.Placement != PlacementWeighted || old == nil || load == nil {
+		return st, nil
+	}
+
+	next := dht.RederiveBoundaries(old, load, base)
+	changed := dht.ChangedSpans(old, next)
+
+	// The observation window closes here whether or not the boundaries
+	// moved: the next segment's load is measured against the table it
+	// actually runs under.
+	r.mu.Lock()
+	for i := range r.machineQueries {
+		r.machineQueries[i] = 0
+		r.machineLatency[i] = 0
+	}
+	r.mu.Unlock()
+	if changed.Empty() {
+		return st, nil
+	}
+
+	// Install the new table first so stores and partitioners created while
+	// the migration below runs already answer from it, then migrate every
+	// weighted-placed store.  Migration relocates bytes through backend
+	// operations without touching the stores' write counters, so the cache
+	// fences recorded at segment ends stay valid; the migrated spans are
+	// invalidated explicitly instead.
+	r.mu.Lock()
+	r.ownership = next
+	r.adaptive = true
+	stores := append([]*dht.Store(nil), r.stores...)
+	r.mu.Unlock()
+
+	place := dht.OwnershipPlacement(next)
+	for _, s := range stores {
+		if s.Placement().Name() != place.Name() {
+			continue
+		}
+		ms, err := s.Rebalance(place)
+		if err != nil {
+			return st, fmt.Errorf("ampc: rebalance: %w", err)
+		}
+		st.MigratedKeys += ms.KeysMoved
+		st.MigratedBytes += ms.BytesMoved
+		r.mu.Lock()
+		for _, c := range r.caches[s] {
+			if c != nil {
+				c.InvalidateRange(changed)
+			}
+		}
+		r.mu.Unlock()
+	}
+
+	st.Moved = true
+	st.Changed = changed
+	st.Cost = r.cfg.Model.MigrateCost(st.MigratedBytes)
+	r.clock.Charge(st.Cost)
+	r.mu.Lock()
+	r.stats.Rebalances++
+	r.stats.MigratedKeys += st.MigratedKeys
+	r.stats.MigratedBytes += st.MigratedBytes
+	r.stats.MigrationSim += st.Cost
+	r.mu.Unlock()
+	return st, nil
+}
+
+// observedLoadLocked blends the per-machine query counts and modeled lookup
+// latency accumulated since the last rebalance into one load vector for
+// RederiveBoundaries.  Each signal is normalized to its own total so neither
+// unit dominates, averaged, and scaled to integers.  Returns nil when
+// nothing was observed.  Caller holds r.mu.
+func (r *Runtime) observedLoadLocked() []int64 {
+	var qTotal, lTotal int64
+	for i := range r.machineQueries {
+		qTotal += r.machineQueries[i]
+		lTotal += r.machineLatency[i]
+	}
+	if qTotal <= 0 {
+		return nil
+	}
+	const scale = 1 << 20
+	load := make([]int64, len(r.machineQueries))
+	for i := range load {
+		f := float64(r.machineQueries[i]) / float64(qTotal)
+		if lTotal > 0 {
+			f = (f + float64(r.machineLatency[i])/float64(lTotal)) / 2
+		}
+		load[i] = int64(f * scale)
+	}
+	return load
+}

@@ -116,6 +116,15 @@ type Smoke struct {
 	// advantage over the whole-store declarations, and the variance-derived
 	// regression floor.
 	Pipeline []PipelineRow `json:"pipeline,omitempty"`
+	// Locality tracks the remote-read reduction of the owner-affine
+	// placement on the OK stand-in (see LocalitySmoke); identical outputs
+	// plus a fractionally-gated reduction ratio.
+	Locality []LocalitySmokeRow `json:"locality,omitempty"`
+	// Adaptive tracks the online ownership rebalancing win on the hub-heavy
+	// CW/HL stand-ins (see AdaptiveSmoke): how much of the second segment's
+	// observed query imbalance a between-segment rebalance removes, with a
+	// variance-derived regression floor.
+	Adaptive []AdaptiveRow `json:"adaptive,omitempty"`
 }
 
 // BatchSmoke runs the batched-vs-unbatched comparison for the snapshot and
@@ -146,6 +155,18 @@ func BatchSmoke(opts Options) (Smoke, Report, error) {
 	if err != nil {
 		return Smoke{}, rep, err
 	}
+	localityOpts := opts
+	localityOpts.Datasets = nil // LocalitySmoke pins OK
+	localityRows, err := LocalitySmoke(localityOpts)
+	if err != nil {
+		return Smoke{}, rep, err
+	}
+	adaptiveOpts := opts
+	adaptiveOpts.Datasets = nil // AdaptiveSmoke pins CW+HL
+	adaptiveRows, err := AdaptiveSmoke(adaptiveOpts)
+	if err != nil {
+		return Smoke{}, rep, err
+	}
 	return Smoke{
 		Seed:      opts.Seed,
 		Datasets:  opts.Datasets,
@@ -156,6 +177,8 @@ func BatchSmoke(opts Options) (Smoke, Report, error) {
 		Rebalance: RebalanceSmoke(rebalanceOpts),
 		Backend:   backendRows,
 		Pipeline:  pipelineRows,
+		Locality:  localityRows,
+		Adaptive:  adaptiveRows,
 	}, rep, nil
 }
 

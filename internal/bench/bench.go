@@ -68,6 +68,11 @@ type Options struct {
 	// The dedicated "backend" experiment compares all three directly and
 	// ignores this field.
 	Backend string
+	// Adaptive switches the "rebalance" experiment to its adaptive arm
+	// (AdaptiveComparison): online ownership rebalancing between pipeline
+	// segments instead of the static range-vs-weighted table comparison.
+	// Other experiments ignore it.
+	Adaptive bool
 }
 
 func (o Options) withDefaults() Options {

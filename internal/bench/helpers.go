@@ -137,6 +137,10 @@ func RunByName(name string, opts Options) (Report, error) {
 		_, rep, err := PipelineComparison(opts)
 		return rep, err
 	case "rebalance":
+		if opts.Adaptive {
+			_, rep, err := AdaptiveComparison(opts)
+			return rep, err
+		}
 		_, rep, err := RebalanceComparison(opts)
 		return rep, err
 	case "backend":

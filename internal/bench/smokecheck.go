@@ -57,6 +57,46 @@ func MergeBestPipelineRows(best map[string]PipelineRow, rows []PipelineRow) {
 	}
 }
 
+// MergeBestLocalityRows folds one run's locality rows into best, keeping
+// per (graph, algo) the best remote-read reduction.  Identical must hold in
+// every run.
+func MergeBestLocalityRows(best map[string]LocalitySmokeRow, rows []LocalitySmokeRow) {
+	for _, row := range rows {
+		key := row.Graph + "/" + row.Algo
+		cur, seen := best[key]
+		if !seen {
+			best[key] = row
+			continue
+		}
+		if row.RemoteReduction > cur.RemoteReduction {
+			cur.RemoteReduction = row.RemoteReduction
+		}
+		cur.Identical = cur.Identical && row.Identical
+		best[key] = cur
+	}
+}
+
+// MergeBestAdaptiveRows folds one run's adaptive-ownership rows into best,
+// keeping per graph the run with the best improvement mean.  Identical must
+// hold in every run.
+func MergeBestAdaptiveRows(best map[string]AdaptiveRow, rows []AdaptiveRow) {
+	for _, row := range rows {
+		cur, seen := best[row.Graph]
+		if !seen {
+			best[row.Graph] = row
+			continue
+		}
+		if row.ImprovementMeanPct > cur.ImprovementMeanPct {
+			cur.ImprovementMeanPct = row.ImprovementMeanPct
+			cur.ImprovementStdPct = row.ImprovementStdPct
+			cur.AdaptiveMaxMeanMean = row.AdaptiveMaxMeanMean
+			cur.AdaptiveMaxMeanStd = row.AdaptiveMaxMeanStd
+		}
+		cur.Identical = cur.Identical && row.Identical
+		best[row.Graph] = cur
+	}
+}
+
 // CheckSmoke compares the freshly measured rows against the committed
 // baseline with the given fractional tolerance (0.10 = a metric may fall to
 // 90% of its committed value).  It returns one human-readable line per
@@ -87,7 +127,19 @@ func MergeBestPipelineRows(best map[string]PipelineRow, rows []PipelineRow) {
 // variance-derived floor (baseline mean - 3 x std) — an absolute floor, not
 // the fractional tolerance, because the metric's run-to-run noise is
 // already measured into it.
-func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[string]RebalanceSmokeRow, freshBackend map[string]BackendSmokeRow, freshPipeline map[string]PipelineRow, tolerance float64) (lines []string, failures int) {
+//
+// freshLocality carries the remote-read reduction rows (keyed by
+// graph/algo); a baseline locality row fails when it is missing from the
+// fresh run, when the two placements' outputs diverged, or when the
+// remote_reduction regressed below the fractional floor.
+//
+// freshAdaptive carries the online ownership rebalancing rows (keyed by
+// graph); a baseline adaptive row fails when it is missing from the fresh
+// run, when an adaptive run's outputs stopped being byte-identical to the
+// static run, or when the fresh improvement mean fell below the committed
+// variance-derived floor (baseline mean - 3 x std), mirroring the pipeline
+// section.
+func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[string]RebalanceSmokeRow, freshBackend map[string]BackendSmokeRow, freshPipeline map[string]PipelineRow, freshLocality map[string]LocalitySmokeRow, freshAdaptive map[string]AdaptiveRow, tolerance float64) (lines []string, failures int) {
 	floor := 1 - tolerance
 	lines = append(lines, fmt.Sprintf("%-10s %-22s %10s %10s %8s", "row", "metric", "baseline", "fresh", "ratio"))
 	for _, want := range baseline.Rows {
@@ -177,6 +229,45 @@ func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[st
 		}
 		lines = append(lines, fmt.Sprintf("%-10s %-22s %10.3f %10.3f %8s%s",
 			key, "ranged_idle_mean_pct", want.GateFloorPct, got.RangedIdleReductionMeanPct, "(floor)", status))
+	}
+	for _, want := range baseline.Locality {
+		key := want.Graph + "/" + want.Algo + "/loc"
+		got, ok := freshLocality[want.Graph+"/"+want.Algo]
+		if !ok {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s missing from fresh run", key))
+			continue
+		}
+		if !got.Identical {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s hash and owner-affine results differ", key))
+		}
+		line, failed := checkSmokeMetric(key, "remote_reduction", want.RemoteReduction, got.RemoteReduction, floor)
+		lines = append(lines, line)
+		if failed {
+			failures++
+		}
+	}
+	for _, want := range baseline.Adaptive {
+		key := want.Graph + "/adaptive"
+		got, ok := freshAdaptive[want.Graph]
+		if !ok {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s missing from fresh run", key))
+			continue
+		}
+		if !got.Identical {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s adaptive outputs differ from the static run", key))
+		}
+		status := ""
+		failed := got.ImprovementMeanPct < want.GateFloorPct
+		if failed {
+			failures++
+			status = "  REGRESSED"
+		}
+		lines = append(lines, fmt.Sprintf("%-10s %-22s %10.3f %10.3f %8s%s",
+			key, "improvement_mean_pct", want.GateFloorPct, got.ImprovementMeanPct, "(floor)", status))
 	}
 	return lines, failures
 }

@@ -20,7 +20,7 @@ func TestCheckSmokeZeroBaselineNeverFails(t *testing.T) {
 	// whatever the fresh run measures, the gate must not fail on it.
 	base := smokeWith(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 0, SimSpeedup: 0})
 	fresh := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 0, SimSpeedup: 0})
-	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, 0.10)
+	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, 0.10)
 	if failures != 0 {
 		t.Fatalf("zero-baseline metrics failed the gate: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -32,7 +32,7 @@ func TestCheckSmokeMissingRowFails(t *testing.T) {
 		BatchRow{Graph: "TW", Algo: "MM", Identical: true, VisitReduction: 2, SimSpeedup: 1.5},
 	)
 	fresh := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5})
-	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, 0.10)
+	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 {
 		t.Fatalf("missing row: %d failures, want 1\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -47,11 +47,11 @@ func TestCheckSmokeExactlyAtThresholdPasses(t *testing.T) {
 	// landing exactly on the floor must pass, one epsilon below must fail.
 	base := smokeWith(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2.0, SimSpeedup: 1.0})
 	atFloor := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 1.8, SimSpeedup: 0.9})
-	if lines, failures := CheckSmoke(base, atFloor, nil, nil, nil, 0.10); failures != 0 {
+	if lines, failures := CheckSmoke(base, atFloor, nil, nil, nil, nil, nil, 0.10); failures != 0 {
 		t.Fatalf("exactly-at-threshold failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
 	}
 	below := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 1.79, SimSpeedup: 0.9})
-	lines, failures := CheckSmoke(base, below, nil, nil, nil, 0.10)
+	lines, failures := CheckSmoke(base, below, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 {
 		t.Fatalf("below-threshold regression not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -63,7 +63,7 @@ func TestCheckSmokeExactlyAtThresholdPasses(t *testing.T) {
 func TestCheckSmokeNonIdenticalFails(t *testing.T) {
 	base := smokeWith(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5})
 	fresh := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: false, VisitReduction: 2, SimSpeedup: 1.5})
-	_, failures := CheckSmoke(base, fresh, nil, nil, nil, 0.10)
+	_, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 {
 		t.Fatalf("non-identical row: %d failures, want 1", failures)
 	}
@@ -100,11 +100,11 @@ func TestCheckSmokeRebalanceGate(t *testing.T) {
 
 	// At the floor (0.90 x baseline) passes; below fails.
 	ok := map[string]RebalanceSmokeRow{"CW": rebalanceRow("CW", 1.8, 0)}
-	if lines, failures := CheckSmoke(base, fresh, ok, nil, nil, 0.10); failures != 0 {
+	if lines, failures := CheckSmoke(base, fresh, ok, nil, nil, nil, nil, 0.10); failures != 0 {
 		t.Fatalf("at-floor rebalance row failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
 	}
 	regressed := map[string]RebalanceSmokeRow{"CW": rebalanceRow("CW", 1.79, 0)}
-	lines, failures := CheckSmoke(base, fresh, regressed, nil, nil, 0.10)
+	lines, failures := CheckSmoke(base, fresh, regressed, nil, nil, nil, nil, 0.10)
 	if failures != 1 {
 		t.Fatalf("regressed rebalance row: %d failures, want 1\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -114,13 +114,13 @@ func TestCheckSmokeRebalanceGate(t *testing.T) {
 
 	// A zero-key machine is an outright failure, whatever the reduction.
 	starved := map[string]RebalanceSmokeRow{"CW": rebalanceRow("CW", 3.0, 1)}
-	lines, failures = CheckSmoke(base, fresh, starved, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, starved, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "zero keys") {
 		t.Fatalf("zero-key machine not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// A baseline rebalance row missing from the fresh computation fails.
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "CW/rebalance") {
 		t.Fatalf("missing rebalance row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -138,7 +138,7 @@ func TestCheckSmokeBackendGate(t *testing.T) {
 		"OK/disk": {Graph: "OK", Backend: "disk", Identical: true, SpillRatio: 1.8},
 		"OK/rpc":  {Graph: "OK", Backend: "rpc", Identical: true},
 	}
-	if lines, failures := CheckSmoke(base, fresh, nil, ok, nil, 0.10); failures != 0 {
+	if lines, failures := CheckSmoke(base, fresh, nil, ok, nil, nil, nil, 0.10); failures != 0 {
 		t.Fatalf("healthy backend rows failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
 	}
 
@@ -148,7 +148,7 @@ func TestCheckSmokeBackendGate(t *testing.T) {
 		"OK/disk": {Graph: "OK", Backend: "disk", Identical: true, SpillRatio: 2.0},
 		"OK/rpc":  {Graph: "OK", Backend: "rpc", Identical: false},
 	}
-	lines, failures := CheckSmoke(base, fresh, nil, diverged, nil, 0.10)
+	lines, failures := CheckSmoke(base, fresh, nil, diverged, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "differ from the in-memory reference") {
 		t.Fatalf("diverged backend not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -158,13 +158,13 @@ func TestCheckSmokeBackendGate(t *testing.T) {
 		"OK/disk": {Graph: "OK", Backend: "disk", Identical: true, SpillRatio: 1.0},
 		"OK/rpc":  {Graph: "OK", Backend: "rpc", Identical: true},
 	}
-	lines, failures = CheckSmoke(base, fresh, nil, collapsed, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, collapsed, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "spill_ratio") {
 		t.Fatalf("collapsed spill ratio not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// A baseline backend row missing from the fresh run fails.
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, 0.10)
 	if failures != 2 || !strings.Contains(strings.Join(lines, "\n"), "OK/disk") {
 		t.Fatalf("missing backend rows not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -190,20 +190,20 @@ func TestCheckSmokePipelineGate(t *testing.T) {
 	// A fresh mean at (or above) the committed floor (mean - 3 x std = 34)
 	// passes, whatever the fractional tolerance would say.
 	ok := map[string]PipelineRow{"CW": pipelineSmokeRow("CW", 34, 3, 4)}
-	if lines, failures := CheckSmoke(base, fresh, nil, nil, ok, 0.10); failures != 0 {
+	if lines, failures := CheckSmoke(base, fresh, nil, nil, ok, nil, nil, 0.10); failures != 0 {
 		t.Fatalf("at-floor pipeline row failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// Below the variance-derived floor fails, even within 10% of the mean.
 	regressed := map[string]PipelineRow{"CW": pipelineSmokeRow("CW", 33.9, 3, 4)}
-	lines, failures := CheckSmoke(base, fresh, nil, nil, regressed, 0.10)
+	lines, failures := CheckSmoke(base, fresh, nil, nil, regressed, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "ranged_idle_mean_pct") {
 		t.Fatalf("below-floor pipeline row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// Losing the ranged-over-whole advantage fails.
 	lost := map[string]PipelineRow{"CW": pipelineSmokeRow("CW", 40, 2, 0)}
-	lines, failures = CheckSmoke(base, fresh, nil, nil, lost, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, lost, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "advantage") {
 		t.Fatalf("lost advantage not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -211,13 +211,13 @@ func TestCheckSmokePipelineGate(t *testing.T) {
 	// A fused run whose outputs diverged fails, whatever the metrics say.
 	diverged := pipelineSmokeRow("CW", 40, 2, 5)
 	diverged.Identical = false
-	lines, failures = CheckSmoke(base, fresh, nil, nil, map[string]PipelineRow{"CW": diverged}, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, map[string]PipelineRow{"CW": diverged}, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "differ") {
 		t.Fatalf("diverged pipeline row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// A baseline pipeline row missing from the fresh run fails.
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "CW/pipeline") {
 		t.Fatalf("missing pipeline row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -238,6 +238,101 @@ func TestMergeBestPipelineRowsKeepsBestPerMetric(t *testing.T) {
 	bad := pipelineSmokeRow("CW", 50, 1, 3)
 	bad.Identical = false
 	MergeBestPipelineRows(best, []PipelineRow{bad})
+	if best["CW"].Identical {
+		t.Fatal("a non-identical run did not poison the merged row")
+	}
+}
+
+func localitySmokeRow(graph, algo string, reduction float64) LocalitySmokeRow {
+	return LocalitySmokeRow{Graph: graph, Algo: algo, Identical: true, RemoteReduction: reduction}
+}
+
+func TestCheckSmokeLocalityGate(t *testing.T) {
+	base := smokeWith(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5})
+	base.Locality = []LocalitySmokeRow{localitySmokeRow("OK", "MIS", 2.0)}
+	fresh := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5})
+
+	// At the fractional floor (0.90 x baseline) passes; below fails.
+	ok := map[string]LocalitySmokeRow{"OK/MIS": localitySmokeRow("OK", "MIS", 1.8)}
+	if lines, failures := CheckSmoke(base, fresh, nil, nil, nil, ok, nil, 0.10); failures != 0 {
+		t.Fatalf("at-floor locality row failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
+	}
+	regressed := map[string]LocalitySmokeRow{"OK/MIS": localitySmokeRow("OK", "MIS", 1.79)}
+	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, regressed, nil, 0.10)
+	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "remote_reduction") {
+		t.Fatalf("regressed locality row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
+	}
+
+	// Divergent hash-vs-owner outputs fail, whatever the reduction says.
+	diverged := localitySmokeRow("OK", "MIS", 2.0)
+	diverged.Identical = false
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, map[string]LocalitySmokeRow{"OK/MIS": diverged}, nil, 0.10)
+	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "differ") {
+		t.Fatalf("diverged locality row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
+	}
+
+	// A baseline locality row missing from the fresh run fails.
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, 0.10)
+	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "OK/MIS/loc") {
+		t.Fatalf("missing locality row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
+	}
+}
+
+func adaptiveSmokeRow(graph string, mean, std float64) AdaptiveRow {
+	return AdaptiveRow{
+		Graph:              graph,
+		Identical:          true,
+		Repeats:            adaptiveRepeats,
+		ImprovementMeanPct: mean,
+		ImprovementStdPct:  std,
+		GateFloorPct:       mean - 3*std,
+	}
+}
+
+func TestCheckSmokeAdaptiveGate(t *testing.T) {
+	base := smokeWith(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5})
+	base.Adaptive = []AdaptiveRow{adaptiveSmokeRow("CW", 60, 4)}
+	fresh := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5})
+
+	// A fresh improvement at (or above) the committed variance floor
+	// (mean - 3 x std = 48) passes; below it fails even within 10%.
+	ok := map[string]AdaptiveRow{"CW": adaptiveSmokeRow("CW", 48, 5)}
+	if lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, ok, 0.10); failures != 0 {
+		t.Fatalf("at-floor adaptive row failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
+	}
+	regressed := map[string]AdaptiveRow{"CW": adaptiveSmokeRow("CW", 47.9, 5)}
+	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, regressed, 0.10)
+	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "improvement_mean_pct") {
+		t.Fatalf("below-floor adaptive row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
+	}
+
+	// Adaptive outputs diverging from the static run fail outright.
+	diverged := adaptiveSmokeRow("CW", 60, 4)
+	diverged.Identical = false
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, map[string]AdaptiveRow{"CW": diverged}, 0.10)
+	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "differ") {
+		t.Fatalf("diverged adaptive row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
+	}
+
+	// A baseline adaptive row missing from the fresh run fails.
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, 0.10)
+	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "CW/adaptive") {
+		t.Fatalf("missing adaptive row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
+	}
+}
+
+func TestMergeBestAdaptiveRowsKeepsBestImprovement(t *testing.T) {
+	best := make(map[string]AdaptiveRow)
+	MergeBestAdaptiveRows(best, []AdaptiveRow{adaptiveSmokeRow("CW", 50, 8)})
+	MergeBestAdaptiveRows(best, []AdaptiveRow{adaptiveSmokeRow("CW", 70, 2)})
+	got := best["CW"]
+	if got.ImprovementMeanPct != 70 || got.ImprovementStdPct != 2 {
+		t.Fatalf("best improvement not kept with its std: %+v", got)
+	}
+	// Identical must hold in EVERY run, not just the best one.
+	bad := adaptiveSmokeRow("CW", 80, 1)
+	bad.Identical = false
+	MergeBestAdaptiveRows(best, []AdaptiveRow{bad})
 	if best["CW"].Identical {
 		t.Fatal("a non-identical run did not poison the merged row")
 	}

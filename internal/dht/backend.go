@@ -125,6 +125,12 @@ type ShardBackend interface {
 	// BatchWrite applies pairs to one shard under a single visit;
 	// appendMode selects Append over Put semantics.
 	BatchWrite(shard int, pairs []Pair, appendMode bool) error
+	// BatchDelete removes keys from one shard under a single visit,
+	// mirroring into the replica; absent keys are ignored.  It exists for
+	// shard migration (Store.Rebalance), which copies a key's bytes to its
+	// new shard and then deletes them here — it is not part of the store's
+	// public write API, whose entries are immutable-once-written.
+	BatchDelete(shard int, keys []uint64) error
 	// Freeze is the backend's half of Store.Freeze: the store becomes
 	// read-only, so the backend may flush buffered state to stable storage
 	// (the disk backend syncs its logs).
@@ -289,6 +295,24 @@ func (b *memBackend) BatchWrite(shard int, pairs []Pair, appendMode bool) error 
 		delta += int64(len(next) - len(cur))
 		if !existed {
 			delta += memKeyOverhead
+		}
+	}
+	sh.mu.Unlock()
+	b.resident.Add(delta)
+	return nil
+}
+
+func (b *memBackend) BatchDelete(shard int, keys []uint64) error {
+	sh := b.shards[shard]
+	var delta int64
+	sh.mu.Lock()
+	for _, k := range keys {
+		if prev, existed := sh.data[k]; existed {
+			delta -= int64(len(prev)) + memKeyOverhead
+			delete(sh.data, k)
+		}
+		if sh.replica != nil {
+			delete(sh.replica, k)
 		}
 	}
 	sh.mu.Unlock()

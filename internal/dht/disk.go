@@ -26,11 +26,14 @@ import (
 //
 //	[1B op] [8B key] [4B payload length] [payload]
 //
-// op 1 = put (replaces the key's extents), op 2 = append (adds an extent).
+// op 1 = put (replaces the key's extents), op 2 = append (adds an extent),
+// op 3 = delete (a zero-payload tombstone that drops the key's extents; the
+// dead payload bytes stay in the log until the shard is rewritten).
 
 const (
 	diskOpPut    = 1
 	diskOpAppend = 2
+	diskOpDelete = 3
 	diskHeader   = 1 + 8 + 4
 )
 
@@ -88,17 +91,20 @@ func (t *diskTable) replay() error {
 		op := hdr[0]
 		key := binary.LittleEndian.Uint64(hdr[1:9])
 		n := int32(binary.LittleEndian.Uint32(hdr[9:13]))
-		if (op != diskOpPut && op != diskOpAppend) || n < 0 {
+		if (op != diskOpPut && op != diskOpAppend && op != diskOpDelete) || n < 0 {
 			return fmt.Errorf("dht: corrupt disk log %s at offset %d", t.f.Name(), off)
 		}
 		if off+diskHeader+int64(n) > total {
 			break // torn tail: record header written but payload incomplete
 		}
 		ext := extent{off: off + diskHeader, n: n}
-		if op == diskOpPut {
+		switch op {
+		case diskOpPut:
 			t.index[key] = []extent{ext}
-		} else {
+		case diskOpAppend:
 			t.index[key] = append(t.index[key], ext)
+		case diskOpDelete:
+			delete(t.index, key)
 		}
 		off += diskHeader + int64(n)
 	}
@@ -122,10 +128,13 @@ func (t *diskTable) write(op byte, key uint64, value []byte) (int64, error) {
 		return 0, err
 	}
 	ext := extent{off: t.size + diskHeader, n: int32(len(value))}
-	if op == diskOpPut {
+	switch op {
+	case diskOpPut:
 		t.index[key] = []extent{ext}
-	} else {
+	case diskOpAppend:
 		t.index[key] = append(t.index[key], ext)
+	case diskOpDelete:
+		delete(t.index, key)
 	}
 	t.size += int64(len(rec))
 	return int64(len(rec)), nil
@@ -321,6 +330,35 @@ func (b *diskBackend) BatchWrite(shard int, pairs []Pair, appendMode bool) error
 	for _, p := range pairs {
 		if err := b.writeLocked(sh, op, p.Key, p.Value); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// BatchDelete appends one tombstone record per present key, dropping the
+// keys' index entries.  The dead payload bytes stay in the log (DiskBytes
+// grows by the tombstone headers) while the resident index shrinks — the
+// same footprint trade every log-structured store makes until compaction.
+func (b *diskBackend) BatchDelete(shard int, keys []uint64) error {
+	sh := b.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, k := range keys {
+		exts, ok := sh.prim.index[k]
+		if ok {
+			n, err := sh.prim.write(diskOpDelete, k, nil)
+			if err != nil {
+				return err
+			}
+			b.disk.Add(n)
+			b.resident.Add(-(diskKeyOverhead + int64(len(exts))*diskIndexEntryBytes))
+		}
+		if sh.rep != nil {
+			if _, ok := sh.rep.index[k]; ok {
+				if _, err := sh.rep.write(diskOpDelete, k, nil); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

@@ -71,6 +71,12 @@ type WireBatchWriteArgs struct {
 	Append bool
 }
 
+// WireBatchDeleteArgs carries a one-shard batched delete (shard migration).
+type WireBatchDeleteArgs struct {
+	Shard int
+	Keys  []uint64
+}
+
 // WireShardArgs addresses a shard for fail/recover/len/dump calls.
 type WireShardArgs struct {
 	Shard int
@@ -125,6 +131,10 @@ func (s *StoreService) BatchGet(args *WireBatchGetArgs, reply *WireBatchGetReply
 
 func (s *StoreService) BatchWrite(args *WireBatchWriteArgs, reply *WireNone) error {
 	return s.engine.BatchWrite(args.Shard, args.Pairs, args.Append)
+}
+
+func (s *StoreService) BatchDelete(args *WireBatchDeleteArgs, reply *WireNone) error {
+	return s.engine.BatchDelete(args.Shard, args.Keys)
 }
 
 func (s *StoreService) FailShard(args *WireShardArgs, reply *WireNone) error {
@@ -290,6 +300,15 @@ func (b *rpcBackend) BatchWrite(shard int, pairs []Pair, appendMode bool) error 
 	err := b.timeCall("Store.BatchWrite", &WireBatchWriteArgs{Shard: shard, Pairs: pairs, Append: appendMode}, &reply, false, payload)
 	if err != nil {
 		return fmt.Errorf("dht: rpc batch write: %w", err)
+	}
+	return nil
+}
+
+func (b *rpcBackend) BatchDelete(shard int, keys []uint64) error {
+	var reply WireNone
+	err := b.timeCall("Store.BatchDelete", &WireBatchDeleteArgs{Shard: shard, Keys: keys}, &reply, false, 8*len(keys))
+	if err != nil {
+		return fmt.Errorf("dht: rpc batch delete: %w", err)
 	}
 	return nil
 }

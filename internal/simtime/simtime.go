@@ -68,6 +68,16 @@ type CostModel struct {
 	// visited by a batched operation.  Zero falls back to BatchShardLatency
 	// and then to the single-operation remote latency.
 	BatchRemoteShardLatency time.Duration
+	// MigrateFixed is the fixed cost of one ownership rebalance: draining
+	// in-flight work and swinging the routing tables before any byte moves.
+	// Zero falls back to RoundOverhead, so models predating migration still
+	// charge a rebalance like the round barrier it replaces.
+	MigrateFixed time.Duration
+	// MigratePerByte is the cost per byte of shard data copied between
+	// machines during an ownership rebalance.  Zero falls back to
+	// ShufflePerByte — migrated bytes cross the same interconnect as
+	// shuffled ones.
+	MigratePerByte time.Duration
 }
 
 // remoteSingle resolves the remote single-operation latency for a direction's
@@ -176,6 +186,22 @@ func (m CostModel) BatchWriteCostSplit(localVisits, remoteVisits, keys int) time
 		time.Duration(keys)*perKey
 }
 
+// MigrateCost returns the modeled latency of one ownership rebalance that
+// copied bytes bytes of shard data between machines: the fixed
+// drain-and-reroute overhead plus the per-byte transfer cost, resolved
+// through the zero-value fallbacks documented on the fields.
+func (m CostModel) MigrateCost(bytes int64) time.Duration {
+	fixed := m.MigrateFixed
+	if fixed == 0 {
+		fixed = m.RoundOverhead
+	}
+	perByte := m.MigratePerByte
+	if perByte == 0 {
+		perByte = m.ShufflePerByte
+	}
+	return fixed + time.Duration(bytes)*perByte
+}
+
 // RDMA returns the cost model of the RDMA-backed key-value store used for
 // most experiments in the paper (§5.1 reports latencies of a few
 // microseconds).
@@ -199,6 +225,11 @@ func RDMA() CostModel {
 		// an RDMA lookup.
 		LocalShardLatency:      100 * time.Nanosecond,
 		BatchLocalShardLatency: 100 * time.Nanosecond,
+		// An ownership rebalance drains the segment boundary (about one
+		// round overhead) and then streams shard data over the same
+		// interconnect as a shuffle.
+		MigrateFixed:   25 * time.Millisecond,
+		MigratePerByte: 3 * time.Nanosecond,
 	}
 }
 
