@@ -9,7 +9,7 @@ COVER_FLOOR_DHT  ?= 90
 # Per-target budget for the short fuzz pass (fuzz-smoke).
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet fmt ci bench-smoke bench-check cover-check fuzz-smoke examples-smoke backend-matrix deprecation-gate
+.PHONY: all build test race vet fmt ci bench-smoke bench-check cover-check fuzz-smoke examples-smoke backend-matrix chaos-smoke deprecation-gate
 
 all: build
 
@@ -66,6 +66,15 @@ backend-matrix:
 	BENCH_BACKEND=mem $(GO) test -run 'TestBackendsPreserveAllFiveAlgorithms|TestDiskBackendCompletesPastMemoryBudget|TestAdaptiveOwnershipPreservesAlgorithms' ./internal/bench/
 	BENCH_BACKEND=disk $(GO) test -run 'TestBackendsPreserveAllFiveAlgorithms|TestDiskBackendCompletesPastMemoryBudget|TestAdaptiveOwnershipPreservesAlgorithms' ./internal/bench/
 	BENCH_BACKEND=rpc $(GO) test -run 'TestBackendsPreserveAllFiveAlgorithms|TestDiskBackendCompletesPastMemoryBudget|TestAdaptiveOwnershipPreservesAlgorithms' ./internal/bench/
+
+# chaos-smoke runs the five-algorithm fault-injection equivalence suite under
+# the race detector: every core algorithm, on every storage backend and both
+# placement policies, must produce byte-identical output while the pinned
+# fault schedule (bench.ChaosFaultPlan) injects transient errors, latency
+# spikes, shard crash windows, torn disk tails and rpc connection drops —
+# with the suite asserting that every recovery tier actually fired.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaos|TestSubroundRecovery|TestFaultPlan|TestTornTail|TestRPC' ./internal/bench/ ./internal/ampc/ ./internal/dht/
 
 # bench-smoke runs the pinned-seed batched-vs-unbatched comparison (OK and
 # TW stand-ins, seed 1) and writes the machine-readable snapshot that tracks

@@ -20,11 +20,19 @@
 // engine (mem, disk or rpc), and -adaptive switches the "rebalance"
 // experiment to its adaptive arm (online ownership rebalancing between
 // pipeline segments).  An experiment whose comparison axis IS
-// one of those flags (batch, locality, rebalance, pipeline, backend) rejects
-// an explicit setting of that flag instead of silently ignoring it (see
-// bench.UnsupportedFlags).  The dedicated "batch" experiment with -json
+// one of those flags (batch, locality, rebalance, pipeline, backend, chaos)
+// rejects an explicit setting of that flag instead of silently ignoring it
+// (see bench.UnsupportedFlags).  The dedicated "batch" experiment with -json
 // writes the batched-vs-unbatched comparison as a machine-readable snapshot
 // (the BENCH_smoke.json of `make bench-smoke`).
+//
+// The "chaos" experiment runs all five core algorithms fault-free and under
+// the pinned deterministic fault schedule (bench.ChaosFaultPlan: transient
+// errors, latency spikes, shard crash windows, torn disk tails, rpc
+// connection drops), verifying byte-identical outputs with zero failed jobs
+// and reporting the recovery overhead:
+//
+//	ampcbench -experiment chaos -datasets OK
 package main
 
 import (

@@ -62,6 +62,7 @@ func TestUnsupportedFlagsNamesAreRealExperiments(t *testing.T) {
 		"rebalance": "placement",
 		"pipeline":  "pipeline",
 		"backend":   "backend",
+		"chaos":     "batch", // chaos pins batching on in both arms
 	}
 	for name, axis := range want {
 		if !known[name] {

@@ -52,6 +52,7 @@ func main() {
 	freshPipeline := make(map[string]bench.PipelineRow, len(baseline.Pipeline))
 	freshLocality := make(map[string]bench.LocalitySmokeRow, len(baseline.Locality))
 	freshAdaptive := make(map[string]bench.AdaptiveRow, len(baseline.Adaptive))
+	freshChaos := make(map[string]bench.ChaosSmokeRow, len(baseline.Chaos))
 	for attempt := 0; attempt < *runs; attempt++ {
 		fresh, _, err := bench.BatchSmoke(bench.Options{
 			Seed:     baseline.Seed,
@@ -85,9 +86,10 @@ func main() {
 		bench.MergeBestPipelineRows(freshPipeline, fresh.Pipeline)
 		bench.MergeBestLocalityRows(freshLocality, fresh.Locality)
 		bench.MergeBestAdaptiveRows(freshAdaptive, fresh.Adaptive)
+		bench.MergeBestChaosRows(freshChaos, fresh.Chaos)
 	}
 
-	lines, failures := bench.CheckSmoke(baseline, freshRows, freshRebalance, freshBackend, freshPipeline, freshLocality, freshAdaptive, *tolerance)
+	lines, failures := bench.CheckSmoke(baseline, freshRows, freshRebalance, freshBackend, freshPipeline, freshLocality, freshAdaptive, freshChaos, *tolerance)
 	for _, line := range lines {
 		fmt.Println(line)
 	}

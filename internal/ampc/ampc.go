@@ -175,6 +175,31 @@ type Config struct {
 	// directories; empty uses the system temporary directory.  The runtime
 	// creates a private subdirectory per run and removes it on Close.
 	DiskDir string
+	// Faults installs a deterministic seeded fault-injection plan
+	// (dht.FaultPlan) in every hash table the runtime creates: transient
+	// errors, latency spikes, scheduled shard crashes, torn disk tails,
+	// dropped rpc connections.  Injection is a pure function of the plan
+	// seed and each op's identity, so a faulty run paired with Retry and
+	// FaultBudget produces byte-identical results to a fault-free one.
+	Faults *dht.FaultPlan
+	// Retry installs a store-level retry policy (dht.RetryPolicy) in every
+	// hash table: transient backend errors are absorbed by capped
+	// exponential backoff, slow batch reads are hedged.  This is the first
+	// recovery tier; failures that escape it fall through to sub-round
+	// recovery (FaultBudget).
+	Retry *dht.RetryPolicy
+	// FaultBudget enables sub-round recovery: a (round, machine) share that
+	// fails — a fatal injected fault, a retry deadline, a real backend
+	// error — is re-executed from scratch instead of failing the run, up to
+	// FaultBudget re-executions across the run (Stats.SubroundRetries
+	// counts them).  While the budget is active every Ctx write is buffered
+	// per sub-round and applied only on success (discarded before a retry),
+	// so re-execution cannot double-apply appends; round bodies must keep
+	// their host-side effects idempotent under re-execution (per-item
+	// assignment is, shared accumulation is not).  Zero disables recovery
+	// and buffering: the first sub-round failure fails the run, exactly the
+	// pre-budget behavior.
+	FaultBudget int
 	// Seed drives all hash-based randomness.
 	Seed int64
 }
@@ -339,6 +364,19 @@ type Stats struct {
 	// MigrationSim is the modeled time charged for the migrations
 	// (simtime.CostModel.MigrateCost), already included in Sim.
 	MigrationSim time.Duration
+	// KVFailovers counts key-value reads served by the replica of a failed
+	// shard, summed across all hash tables (fault tolerance, §2).
+	KVFailovers int64
+	// KVRetries / KVHedges / KVDeadlineExceeded aggregate the stores'
+	// retry-policy counters (Config.Retry): transient faults absorbed by a
+	// retry, hedged batch reads issued against latency spikes, and ops
+	// abandoned at the per-op retry deadline.
+	KVRetries          int64
+	KVHedges           int64
+	KVDeadlineExceeded int64
+	// SubroundRetries counts failed (round, machine) sub-rounds that were
+	// re-executed under Config.FaultBudget.
+	SubroundRetries int
 	// Backend aggregates the backend-specific counters of every hash table:
 	// disk footprint for the disk backend, measured wire costs for the rpc
 	// backend (Kind is the backend of the runtime's stores).
@@ -392,6 +430,9 @@ type Runtime struct {
 	// clobbering the adapted table.
 	baseWeights []int
 	adaptive    bool
+	// faultBudgetUsed counts the sub-round re-executions spent against
+	// Config.FaultBudget (see consumeFaultBudget).
+	faultBudgetUsed int
 
 	// runMu serializes round execution: Run and RunPipeline hold it for
 	// their whole duration, so concurrent callers queue instead of
@@ -683,6 +724,8 @@ func (r *Runtime) OpenStore(name string) (*dht.Store, error) {
 		Replicate: r.cfg.Replicate,
 		Placement: r.placement(),
 		Backend:   dht.BackendKind(r.cfg.Backend),
+		Faults:    r.cfg.Faults,
+		Retry:     r.cfg.Retry,
 	}
 	if opts.Backend == dht.BackendDisk {
 		dir, err := r.diskDirFor(name)
@@ -836,6 +879,10 @@ func (r *Runtime) Stats() Stats {
 		st.LocalReads += ds.LocalReads
 		st.RemoteReads += ds.RemoteReads
 		st.KVRemoteBytes += ds.RemoteBytes
+		st.KVFailovers += ds.Failovers
+		st.KVRetries += ds.Retries
+		st.KVHedges += ds.Hedges
+		st.KVDeadlineExceeded += ds.DeadlineExceeded
 		bs := s.BackendStats()
 		st.Backend.Kind = bs.Kind
 		st.Backend.DiskBytes += bs.DiskBytes
@@ -845,6 +892,7 @@ func (r *Runtime) Stats() Stats {
 		st.Backend.WireBytes += bs.WireBytes
 		st.Backend.WireReadTime += bs.WireReadTime
 		st.Backend.WireWriteTime += bs.WireWriteTime
+		st.Backend.Reconnects += bs.Reconnects
 	}
 	st.KVBytesTotal = st.KVBytesRead + st.KVBytesWritten
 	if reads := st.LocalReads + st.RemoteReads; reads > 0 {
@@ -896,6 +944,11 @@ type Ctx struct {
 	// *dht.Store): after the first write to a store, looking up its view is
 	// a lock-free load.
 	viewCache sync.Map
+	// buffered defers every write into buf until the scheduler flushes the
+	// sub-round (Config.FaultBudget > 0) — see recover.go.
+	buffered bool
+	bufMu    sync.Mutex
+	buf      []bufferedWrite
 
 	queries     atomic.Int64
 	writes      atomic.Int64
@@ -962,20 +1015,29 @@ func (c *Ctx) Lookup(key uint64) ([]byte, bool, error) {
 	return v, ok, nil
 }
 
-// Write stores a key-value pair into the given output hash table.
+// Write stores a key-value pair into the given output hash table.  Under a
+// fault budget the write is buffered and applied when the sub-round
+// completes without error (see recover.go).
 func (c *Ctx) Write(out *dht.Store, key uint64, value []byte) error {
 	view := c.viewFor(out)
 	c.writes.Add(1)
 	c.latency.Add(int64(c.rt.cfg.Model.WriteCost(view.Local(key))))
+	if c.buffered {
+		return c.bufferWrite(out, key, value, false)
+	}
 	return view.Put(key, value)
 }
 
 // Emit appends a record under key in the given output hash table (multi-value
-// semantics).
+// semantics).  Under a fault budget the append is buffered like Write —
+// which is what makes a re-executed sub-round unable to append twice.
 func (c *Ctx) Emit(out *dht.Store, key uint64, value []byte) error {
 	view := c.viewFor(out)
 	c.writes.Add(1)
 	c.latency.Add(int64(c.rt.cfg.Model.WriteCost(view.Local(key))))
+	if c.buffered {
+		return c.bufferWrite(out, key, value, true)
+	}
 	return view.Append(key, value)
 }
 
@@ -1052,11 +1114,14 @@ func (rd Round) readSet() []Access {
 }
 
 // preparedRound is one round made ready for execution: input stores frozen
-// and fenced, per-machine contexts built and jobs partitioned.
+// and fenced, per-machine contexts built and jobs partitioned.  err carries
+// a preparation failure (the input store could not be frozen); the round
+// must not be dispatched when it is set.
 type preparedRound struct {
 	round Round
 	ctxs  []*Ctx
 	jobs  []*machineJob
+	err   error
 }
 
 // prepareRound counts the round, builds the per-machine contexts and
@@ -1064,12 +1129,15 @@ type preparedRound struct {
 // freezes the round's input store and fences the caches of every store the
 // round reads (the barrier path); the pipelined scheduler passes false and
 // manages freezing and fencing itself, deferring both past in-flight
-// declared writers.  onErr receives every item error.
-func (r *Runtime) prepareRound(round Round, onErr func(error), fence bool) *preparedRound {
+// declared writers.  Item errors are captured per job (machineJob.recordErr).
+func (r *Runtime) prepareRound(round Round, fence bool) *preparedRound {
 	cfg := r.cfg
+	pr := &preparedRound{round: round}
 	if fence {
 		if round.Read != nil {
-			round.Read.Freeze()
+			if err := round.Read.Freeze(); err != nil {
+				pr.err = fmt.Errorf("ampc: round %q: freezing input store: %w", round.Name, err)
+			}
 		}
 		for _, a := range round.readSet() {
 			if a.Store != nil {
@@ -1083,7 +1151,7 @@ func (r *Runtime) prepareRound(round Round, onErr func(error), fence bool) *prep
 
 	ctxs := make([]*Ctx, cfg.Machines)
 	for m := range ctxs {
-		ctxs[m] = &Ctx{Machine: m, rt: r, read: round.Read}
+		ctxs[m] = &Ctx{Machine: m, rt: r, read: round.Read, buffered: cfg.FaultBudget > 0}
 		if round.Read != nil {
 			ctxs[m].readView = round.Read.View(m)
 		}
@@ -1095,17 +1163,19 @@ func (r *Runtime) prepareRound(round Round, onErr func(error), fence bool) *prep
 		}
 	}
 
+	abortOnErr := cfg.FaultBudget > 0 // the failed share will be retried whole
 	jobs := make([]*machineJob, cfg.Machines)
 	if round.Partitioner == nil {
 		// Items owned by machine m: m, m+P, m+2P, ...
 		for m := 0; m < cfg.Machines && m < round.Items; m++ {
 			jobs[m] = &machineJob{
-				name:   round.Name,
-				ctx:    ctxs[m],
-				body:   round.Body,
-				count:  (round.Items - m + cfg.Machines - 1) / cfg.Machines,
-				itemAt: func(k int) int { return m + k*cfg.Machines },
-				onErr:  onErr,
+				name:       round.Name,
+				machine:    m,
+				ctx:        ctxs[m],
+				body:       round.Body,
+				count:      (round.Items - m + cfg.Machines - 1) / cfg.Machines,
+				itemAt:     func(k int) int { return m + k*cfg.Machines },
+				abortOnErr: abortOnErr,
 			}
 		}
 	} else {
@@ -1122,16 +1192,18 @@ func (r *Runtime) prepareRound(round Round, onErr func(error), fence bool) *prep
 				continue
 			}
 			jobs[m] = &machineJob{
-				name:   round.Name,
-				ctx:    ctxs[m],
-				body:   round.Body,
-				count:  len(items),
-				itemAt: func(k int) int { return items[k] },
-				onErr:  onErr,
+				name:       round.Name,
+				machine:    m,
+				ctx:        ctxs[m],
+				body:       round.Body,
+				count:      len(items),
+				itemAt:     func(k int) int { return items[k] },
+				abortOnErr: abortOnErr,
 			}
 		}
 	}
-	return &preparedRound{round: round, ctxs: ctxs, jobs: jobs}
+	pr.ctxs, pr.jobs = ctxs, jobs
+	return pr
 }
 
 // machineDuration returns the modeled busy time of one machine in a round:
@@ -1200,23 +1272,49 @@ func (r *Runtime) runBarrier(round Round) error {
 		return fmt.Errorf("ampc: round %q: runtime is closed", round.Name)
 	}
 
-	var firstErr error
-	var errMu sync.Mutex
-	recordErr := func(err error) {
-		if err == nil {
-			return
-		}
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
+	pr := r.prepareRound(round, true)
+	if pr.err != nil {
+		return pr.err
 	}
 
-	pr := r.prepareRound(round, recordErr, true)
-	r.workers().dispatch(pr.jobs)
+	// Dispatch-and-recover loop.  Each pass runs the pending sub-rounds to
+	// the barrier; a failed share is discarded and re-dispatched while the
+	// fault budget lasts (see recover.go), a successful one flushes its
+	// buffered writes.  With FaultBudget 0 the buffers are pass-throughs,
+	// every sub-round runs exactly once, and the first failure (lowest
+	// machine index, deterministically) is the round's error.
+	var firstErr error
+	pending := pr.jobs
+	for len(pending) > 0 && firstErr == nil {
+		r.workers().dispatch(pending)
+		var retry []*machineJob
+		for _, job := range pending {
+			if job == nil {
+				continue
+			}
+			if !job.failed.Load() {
+				if err := job.ctx.flushWrites(); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("ampc: round %q: flushing machine %d writes: %w",
+						round.Name, job.machine, err)
+				}
+				continue
+			}
+			if r.consumeFaultBudget() {
+				job.ctx.discardWrites()
+				job.reset()
+				retry = append(retry, job)
+				continue
+			}
+			if err := job.takeErr(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		pending = retry
+	}
 
 	// Simulated round time: slowest machine plus the round-spawn overhead.
+	// Re-executed shares accumulate their counters across attempts, so
+	// recovery overhead lands in the modeled duration.
 	var slowest time.Duration
 	for _, ctx := range pr.ctxs {
 		if d := r.machineDuration(ctx); d > slowest {

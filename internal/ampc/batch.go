@@ -99,8 +99,14 @@ func (c *Ctx) FetchInto(keys []uint64, fill func(key uint64, raw []byte, ok bool
 }
 
 // WriteMany stores all pairs into the given output hash table in one
-// shard-grouped batch.
+// shard-grouped batch.  Under a fault budget the batch is buffered and
+// applied — with its shard-visit accounting — when the sub-round completes
+// without error (see recover.go).
 func (c *Ctx) WriteMany(out *dht.Store, pairs []dht.Pair) error {
+	if c.buffered {
+		c.writes.Add(int64(len(pairs)))
+		return c.bufferBatch(out, pairs, false)
+	}
 	visits, err := c.viewFor(out).BatchPut(pairs)
 	if err != nil {
 		return err
@@ -112,8 +118,13 @@ func (c *Ctx) WriteMany(out *dht.Store, pairs []dht.Pair) error {
 }
 
 // EmitMany appends all pairs into the given output hash table in one
-// shard-grouped batch (multi-value semantics).
+// shard-grouped batch (multi-value semantics).  Buffered under a fault
+// budget, like WriteMany.
 func (c *Ctx) EmitMany(out *dht.Store, pairs []dht.Pair) error {
+	if c.buffered {
+		c.writes.Add(int64(len(pairs)))
+		return c.bufferBatch(out, pairs, true)
+	}
 	visits, err := c.viewFor(out).BatchAppend(pairs)
 	if err != nil {
 		return err

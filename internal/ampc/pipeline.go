@@ -52,10 +52,14 @@ import (
 // preserved in Stats.BarrierSim so the two can be compared on the same run.
 
 // subroundDeps returns, for every sub-round (j, m), its scheduling
-// predecessors: for each source machine m', the latest round i < j whose
-// (i, m') share conflicts with (j, m).  Only the latest conflicting round
-// per source machine is recorded — machine m' executes its shares in
-// program order, so (i, m') finishing implies every (i” < i, m') has too.
+// predecessors: every round i < j whose (i, m') share conflicts with (j, m),
+// for each source machine m'.  Every conflicting round is recorded, not just
+// the latest per source machine: sub-round recovery (Config.FaultBudget) can
+// re-execute a failed share after later non-conflicting shares of the same
+// machine have completed, so "latest round done" no longer implies "earlier
+// conflicting rounds done".  The redundant edges cost nothing in the modeled
+// schedule — simtime.SubroundSchedule already serializes a machine's shares
+// in program order, so the extra edges are dominated.
 func subroundDeps(rounds []Round, machines int) [][][]simtime.SubDep {
 	reads := make([][]Access, len(rounds))
 	for i := range rounds {
@@ -69,7 +73,6 @@ func subroundDeps(rounds []Round, machines int) [][][]simtime.SubDep {
 				for i := j - 1; i >= 0; i-- {
 					if subroundsConflict(rounds[i], reads[i], m2, rounds[j], reads[j], m) {
 						deps[j][m] = append(deps[j][m], simtime.SubDep{Round: i, Machine: m2})
-						break
 					}
 				}
 			}
@@ -214,11 +217,14 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 	// whole-store fence) is deferred to the last writer's completion, and
 	// the caches are instead fenced range-exactly at sub-round dispatch.
 	prepare := func(j int) {
-		prepared[j] = r.prepareRound(rounds[j], recordErr, false)
+		prepared[j] = r.prepareRound(rounds[j], false)
+		recordErr(prepared[j].err)
 		busy[j] = make([]time.Duration, machines)
 		if s := rounds[j].Read; s != nil {
 			if writersLeft[s] == 0 {
-				s.Freeze()
+				if err := s.Freeze(); err != nil {
+					recordErr(fmt.Errorf("ampc: round %q: freezing input store: %w", rounds[j].Name, err))
+				}
 			} else {
 				pendingFreeze[s] = true
 			}
@@ -289,10 +295,34 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 	}
 
 	pump()
-	for remaining := k * machines; remaining > 0; remaining-- {
+	for remaining := k * machines; remaining > 0; {
 		ev := <-events
 		// Only machine ev.machine's threads ever touched this context, and
 		// they are all done with it, so its counters are final.
+		job := prepared[ev.round].jobs[ev.machine]
+		if job != nil && job.failed.Load() {
+			if r.consumeFaultBudget() {
+				// Re-execute just this sub-round: drop the failed attempt's
+				// buffered writes, re-fence the machine's caches against any
+				// spans dirtied since dispatch, and resubmit.  Conflicting
+				// later sub-rounds are still gated on doneSub, which is only
+				// set after a successful flush, so the retry is invisible to
+				// the rest of the schedule — except in the modeled time,
+				// where the re-executed share's counters land twice.
+				job.ctx.discardWrites()
+				job.reset()
+				fenceSub(ev.round, ev.machine)
+				r.workers().submit(ev.machine, job)
+				continue
+			}
+			recordErr(job.takeErr())
+		} else if job != nil {
+			if err := job.ctx.flushWrites(); err != nil {
+				recordErr(fmt.Errorf("ampc: round %q: flushing machine %d writes: %w",
+					rounds[ev.round].Name, ev.machine, err))
+			}
+		}
+		remaining--
 		busy[ev.round][ev.machine] = r.machineDuration(prepared[ev.round].ctxs[ev.machine])
 		doneSub[ev.round][ev.machine] = true
 		for _, w := range rounds[ev.round].Writes {
@@ -303,7 +333,9 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 			lg.spans = append(lg.spans, w.spansFor(ev.machine))
 			writersLeft[w.Store]--
 			if writersLeft[w.Store] == 0 && pendingFreeze[w.Store] {
-				w.Store.Freeze()
+				if err := w.Store.Freeze(); err != nil {
+					recordErr(fmt.Errorf("ampc: pipeline: freezing store after last writer: %w", err))
+				}
 				delete(pendingFreeze, w.Store)
 			}
 		}

@@ -26,24 +26,26 @@ func TestSubroundDepsFromDeclaredAccesses(t *testing.T) {
 	b := r.NewStore("b")
 
 	// checkRound asserts that every machine's share of round j depends on
-	// exactly the named predecessor round (on every machine), or on nothing
-	// when want < 0.
-	checkRound := func(deps [][][]simtime.SubDep, j, want int) {
+	// exactly the named predecessor rounds (on every machine), or on nothing
+	// when no round is named.  Every conflicting round is recorded, not just
+	// the latest per machine — sub-round recovery can reorder a machine's
+	// completions, so the scheduler gates on each conflict explicitly.
+	checkRound := func(deps [][][]simtime.SubDep, j int, want ...int) {
 		t.Helper()
+		wanted := make(map[simtime.SubDep]bool)
+		for _, i := range want {
+			for m := 0; m < machines; m++ {
+				wanted[simtime.SubDep{Round: i, Machine: m}] = true
+			}
+		}
 		for m := 0; m < machines; m++ {
 			got := deps[j][m]
-			if want < 0 {
-				if len(got) != 0 {
-					t.Fatalf("deps[%d][%d] = %v, want none", j, m, got)
-				}
-				continue
-			}
-			if len(got) != machines {
-				t.Fatalf("deps[%d][%d] = %v, want all machines of round %d", j, m, got, want)
+			if len(got) != len(wanted) {
+				t.Fatalf("deps[%d][%d] = %v, want all machines of rounds %v", j, m, got, want)
 			}
 			for _, dep := range got {
-				if dep.Round != want {
-					t.Fatalf("deps[%d][%d] = %v, want round %d", j, m, got, want)
+				if !wanted[dep] {
+					t.Fatalf("deps[%d][%d] = %v, want all machines of rounds %v", j, m, got, want)
 				}
 			}
 		}
@@ -58,9 +60,10 @@ func TestSubroundDepsFromDeclaredAccesses(t *testing.T) {
 		{Name: "r-b", Read: b},
 	}
 	deps := subroundDeps(rounds, machines)
-	for j, want := range []int{-1, -1, 0, 1} {
-		checkRound(deps, j, want)
-	}
+	checkRound(deps, 0)
+	checkRound(deps, 1)
+	checkRound(deps, 2, 0)
+	checkRound(deps, 3, 1)
 
 	// Write-write and read-write hazards also order rounds.
 	rounds = []Round{
@@ -69,9 +72,9 @@ func TestSubroundDepsFromDeclaredAccesses(t *testing.T) {
 		{Name: "r-b-w-a", Read: b, Writes: []Access{{Store: a}}},
 	}
 	deps = subroundDeps(rounds, machines)
-	for j, want := range []int{-1, 0, 1} {
-		checkRound(deps, j, want)
-	}
+	checkRound(deps, 0)
+	checkRound(deps, 1, 0)
+	checkRound(deps, 2, 0, 1)
 
 	// Per-machine span declarations cut the gating to the diagonal: each
 	// machine's read of its own range waits only for its own write

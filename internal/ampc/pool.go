@@ -28,21 +28,61 @@ import (
 // in program order while different machines run different rounds.  Close
 // releases the pool; a Runtime that never runs a round never spawns it.
 
-// machineJob is one machine's share of one round.
+// machineJob is one machine's share of one round — a sub-round.  It captures
+// its own first item error, so the schedulers can decide per sub-round
+// whether to surface the failure or re-execute the share (sub-round recovery
+// under Config.FaultBudget).
 type machineJob struct {
-	name   string
-	ctx    *Ctx
-	body   func(*Ctx, int) error
-	count  int           // number of items assigned to this machine
-	itemAt func(int) int // k-th assigned item
-	next   atomic.Int64  // shared pull cursor over [0, count)
+	name    string
+	machine int
+	ctx     *Ctx
+	body    func(*Ctx, int) error
+	count   int           // number of items assigned to this machine
+	itemAt  func(int) int // k-th assigned item
+	next    atomic.Int64  // shared pull cursor over [0, count)
 	// threadsLeft counts the worker threads that have not yet drained the
 	// job; the thread that decrements it to zero fires done.  At that point
 	// every item has been fully processed: an item is only claimed by a
 	// thread that finishes it before leaving the job.
 	threadsLeft atomic.Int32
 	done        func(*machineJob)
-	onErr       func(error)
+	// abortOnErr makes the job's threads stop claiming items once one item
+	// has failed.  Set when the scheduler will retry the whole sub-round
+	// (Config.FaultBudget > 0): the remaining items would be re-executed
+	// anyway, so finishing them only delays recovery.  Items already claimed
+	// still run to completion — their writes are buffered and discarded.
+	abortOnErr bool
+
+	errMu    sync.Mutex
+	firstErr error
+	failed   atomic.Bool
+}
+
+// recordErr notes one item failure; the first error is kept.
+func (j *machineJob) recordErr(err error) {
+	j.errMu.Lock()
+	if j.firstErr == nil {
+		j.firstErr = err
+	}
+	j.errMu.Unlock()
+	j.failed.Store(true)
+}
+
+// takeErr returns the job's first item error, nil when it succeeded.
+func (j *machineJob) takeErr() error {
+	j.errMu.Lock()
+	defer j.errMu.Unlock()
+	return j.firstErr
+}
+
+// reset rearms a failed job for re-execution: the cursor rewinds and the
+// error state clears.  threadsLeft is rearmed by submit.
+func (j *machineJob) reset() {
+	j.next.Store(0)
+	j.failed.Store(false)
+	j.errMu.Lock()
+	j.firstErr = nil
+	j.errMu.Unlock()
 }
 
 // jobNode is one link of a machine's job feed.  Worker threads each keep
@@ -98,13 +138,16 @@ func poolWorker(f *machineFeed, cur *jobNode) {
 
 		job := cur.job
 		for {
+			if job.abortOnErr && job.failed.Load() {
+				break
+			}
 			k := int(job.next.Add(1) - 1)
 			if k >= job.count {
 				break
 			}
 			item := job.itemAt(k)
 			if err := job.body(job.ctx, item); err != nil {
-				job.onErr(fmt.Errorf("ampc: round %q item %d: %w", job.name, item, err))
+				job.recordErr(fmt.Errorf("ampc: round %q item %d: %w", job.name, item, err))
 			}
 		}
 		if job.threadsLeft.Add(-1) == 0 && job.done != nil {
@@ -128,17 +171,18 @@ func (p *workerPool) submit(m int, job *machineJob) {
 }
 
 // dispatch hands each machine its job and waits for every job to complete
-// (the barrier execution of Run).  jobs[m] may be nil when machine m has no
-// items this round.
+// (the barrier execution of Run).  Entries may be nil when a machine has no
+// items this round; jobs carry their own machine index, so retry subsets
+// dispatch the same way as full rounds.
 func (p *workerPool) dispatch(jobs []*machineJob) {
 	var wg sync.WaitGroup
-	for m, job := range jobs {
+	for _, job := range jobs {
 		if job == nil {
 			continue
 		}
 		wg.Add(1)
 		job.done = func(*machineJob) { wg.Done() }
-		p.submit(m, job)
+		p.submit(job.machine, job)
 	}
 	wg.Wait()
 }

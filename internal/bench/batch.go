@@ -125,6 +125,12 @@ type Smoke struct {
 	// observed query imbalance a between-segment rebalance removes, with a
 	// variance-derived regression floor.
 	Adaptive []AdaptiveRow `json:"adaptive,omitempty"`
+	// Chaos tracks the fault-tolerance acceptance property on the OK
+	// stand-in (see ChaosSmoke): the five algorithms under the pinned fault
+	// schedule must stay byte-identical to the clean run with zero failed
+	// jobs, every recovery tier must stay exercised, and the recovery
+	// overhead is gated by a variance-derived ceiling.
+	Chaos []ChaosSmokeRow `json:"chaos,omitempty"`
 }
 
 // BatchSmoke runs the batched-vs-unbatched comparison for the snapshot and
@@ -167,6 +173,12 @@ func BatchSmoke(opts Options) (Smoke, Report, error) {
 	if err != nil {
 		return Smoke{}, rep, err
 	}
+	chaosOpts := opts
+	chaosOpts.Datasets = nil // ChaosSmoke pins OK
+	chaosRows, err := ChaosSmoke(chaosOpts)
+	if err != nil {
+		return Smoke{}, rep, err
+	}
 	return Smoke{
 		Seed:      opts.Seed,
 		Datasets:  opts.Datasets,
@@ -179,6 +191,7 @@ func BatchSmoke(opts Options) (Smoke, Report, error) {
 		Pipeline:  pipelineRows,
 		Locality:  localityRows,
 		Adaptive:  adaptiveRows,
+		Chaos:     chaosRows,
 	}, rep, nil
 }
 

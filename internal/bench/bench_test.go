@@ -245,7 +245,7 @@ func TestRunByName(t *testing.T) {
 	if _, err := RunByName("nope", quickOpts()); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if len(AllExperiments()) != 17 {
+	if len(AllExperiments()) != 18 {
 		t.Fatalf("experiment registry %v", AllExperiments())
 	}
 }

@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/core/connectivity"
+	"ampcgraph/internal/core/cycle"
+	"ampcgraph/internal/core/matching"
+	"ampcgraph/internal/core/mis"
+	"ampcgraph/internal/core/msf"
+	"ampcgraph/internal/dht"
+	"ampcgraph/internal/gen"
+	"ampcgraph/internal/graph"
+)
+
+// The chaos experiment runs all five core algorithms under a pinned,
+// deterministic fault schedule — transient store errors, latency spikes,
+// whole-shard crash windows, torn disk tails and dropped rpc connections
+// (dht.FaultPlan) — with the full recovery stack enabled: store-level retry,
+// failover and hedging (dht.RetryPolicy), synchronous replication, and
+// sub-round re-execution in the runtime (ampc.Config.FaultBudget).  The
+// headline claim is the fault-tolerance acceptance property: every chaotic
+// run must produce output byte-identical to the fault-free run, with zero
+// failed jobs; what chaos costs is reported as modeled-time overhead.
+
+// chaosRepeats is the number of independent chaotic runs per dataset.  The
+// fault schedule is deterministic per op identity, but goroutine scheduling
+// moves which sub-round absorbs each injected fatal fault, so the recovery
+// overhead carries run-to-run spread; the smoke gate derives its ceiling
+// from it.
+const chaosRepeats = 3
+
+// chaosFaultBudget caps sub-round re-executions per algorithm run.  Injected
+// fatal faults fire once per op identity, so the budget only needs to cover
+// the (small, seed-determined) number of faulty identities each run reads.
+const chaosFaultBudget = 256
+
+// ChaosFaultPlan returns the pinned fault schedule shared by the "chaos"
+// experiment and the equivalence suite: every fault class armed, at rates
+// that keep recovery exercised on the laptop-scale stand-ins without
+// drowning the run in backoff sleeps.
+func ChaosFaultPlan(seed int64) *dht.FaultPlan {
+	return &dht.FaultPlan{
+		Seed:       seed,
+		PTransient: 0.01,
+		PFatal:     0.0005,
+		PSpike:     0.001,
+		Spike:      2 * time.Millisecond,
+		// Crash thresholds are in injector read calls per shard, and batching
+		// collapses whole fan-outs into single calls, so the windows open
+		// early enough to fire on every store size the stand-ins produce.
+		Crashes: []dht.ShardCrash{
+			{Shard: 0, AfterReads: 30, RecoverReads: 120},
+			{Shard: 1, AfterReads: 80, RecoverReads: 60},
+		},
+		TornTail: true,
+		PDrop:    0.02,
+	}
+}
+
+// ChaosRetryPolicy returns the store-level retry policy paired with
+// ChaosFaultPlan: enough attempts to absorb every transient and drain the
+// crash windows, short seeded backoffs, and a hedge timer under the spike
+// duration so hedged batch reads cut the injected tail latency.
+func ChaosRetryPolicy(seed int64) *dht.RetryPolicy {
+	return &dht.RetryPolicy{
+		MaxAttempts: 6,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  2 * time.Millisecond,
+		HedgeAfter:  time.Millisecond,
+		Seed:        seed,
+	}
+}
+
+// chaosConfig arms cfg with the pinned fault schedule and the full recovery
+// stack.
+func chaosConfig(cfg ampc.Config) ampc.Config {
+	cfg.Faults = ChaosFaultPlan(cfg.Seed)
+	cfg.Retry = ChaosRetryPolicy(cfg.Seed)
+	cfg.FaultBudget = chaosFaultBudget
+	return cfg
+}
+
+// ChaosRow is one dataset of the fault-injection comparison: the five
+// algorithms run clean and under the pinned fault schedule.
+type ChaosRow struct {
+	Graph string `json:"graph"`
+	// Identical reports whether every chaotic run's output was byte-identical
+	// to the fault-free run's — the acceptance property of the recovery
+	// stack.
+	Identical bool `json:"identical"`
+	// FailedRuns counts algorithm runs that returned an error under chaos.
+	// The fault budget must absorb every injected failure, so any value but
+	// zero is a regression.
+	FailedRuns int `json:"failed_runs"`
+	// CleanSim and ChaosSim are the summed modeled running times of the five
+	// algorithms without and with faults; OverheadPct is the recovery
+	// overhead (re-executed shares land their counters twice).
+	CleanSim    time.Duration `json:"clean_sim_ns"`
+	ChaosSim    time.Duration `json:"chaos_sim_ns"`
+	OverheadPct float64       `json:"overhead_pct"`
+	// Recovery-tier counters summed over the five chaotic runs: transient
+	// faults absorbed by store-level retry, crash-window reads served by the
+	// replica, batch reads rescued by a hedge, and sub-rounds re-executed by
+	// the runtime.
+	Retries         int64 `json:"retries"`
+	Failovers       int64 `json:"failovers"`
+	Hedges          int64 `json:"hedges"`
+	SubroundRetries int   `json:"subround_retries"`
+}
+
+// chaosAlgo is one of the five core algorithms in a shape the chaos harness
+// can run uniformly: the returned output is the byte-identity comparison key.
+type chaosAlgo struct {
+	name string
+	run  func(cfg ampc.Config) (any, ampc.Stats, error)
+}
+
+func chaosAlgos(g, weighted, cycleG *graph.Graph) []chaosAlgo {
+	return []chaosAlgo{
+		{"MIS", func(cfg ampc.Config) (any, ampc.Stats, error) {
+			res, err := mis.Run(g, cfg)
+			if err != nil {
+				return nil, ampc.Stats{}, err
+			}
+			return res.InMIS, res.Stats, nil
+		}},
+		{"MM", func(cfg ampc.Config) (any, ampc.Stats, error) {
+			res, err := matching.Run(g, cfg)
+			if err != nil {
+				return nil, ampc.Stats{}, err
+			}
+			return res.Matching.Mate, res.Stats, nil
+		}},
+		{"MSF", func(cfg ampc.Config) (any, ampc.Stats, error) {
+			res, err := msf.Run(weighted, cfg)
+			if err != nil {
+				return nil, ampc.Stats{}, err
+			}
+			return res.Edges, res.Stats, nil
+		}},
+		{"CC", func(cfg ampc.Config) (any, ampc.Stats, error) {
+			res, err := connectivity.Run(g, cfg)
+			if err != nil {
+				return nil, ampc.Stats{}, err
+			}
+			return res.Components, res.Stats, nil
+		}},
+		{"CY", func(cfg ampc.Config) (any, ampc.Stats, error) {
+			res, err := cycle.Run(cycleG, cfg)
+			if err != nil {
+				return nil, ampc.Stats{}, err
+			}
+			return [2]any{res.SingleCycle, res.NumCycles}, res.Stats, nil
+		}},
+	}
+}
+
+// chaosPass is one full pass over the five algorithms under one config.
+type chaosPass struct {
+	outs            []any
+	sim             time.Duration
+	retries         int64
+	failovers       int64
+	hedges          int64
+	subroundRetries int
+	failed          int
+}
+
+// runChaosPass runs every algorithm under cfg.  strict failures (the clean
+// reference run) propagate; under chaos an algorithm error is counted in
+// failed and leaves a nil output, so the caller can still gate on the rest.
+func runChaosPass(algos []chaosAlgo, cfg ampc.Config, strict bool) (chaosPass, error) {
+	p := chaosPass{outs: make([]any, len(algos))}
+	for i, a := range algos {
+		out, st, err := a.run(cfg)
+		if err != nil {
+			if strict {
+				return p, fmt.Errorf("%s: %w", a.name, err)
+			}
+			p.failed++
+			continue
+		}
+		p.outs[i] = out
+		p.sim += st.Sim
+		p.retries += st.KVRetries
+		p.failovers += st.KVFailovers
+		p.hedges += st.KVHedges
+		p.subroundRetries += st.SubroundRetries
+	}
+	return p, nil
+}
+
+// chaosIdentical reports whether a chaotic pass reproduced the clean pass
+// byte for byte (a failed run's nil output counts as divergence).
+func chaosIdentical(clean, chaos chaosPass) bool {
+	for i := range clean.outs {
+		if chaos.outs[i] == nil || !reflect.DeepEqual(clean.outs[i], chaos.outs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ChaosComparison runs the five core algorithms on every dataset of opts,
+// once fault-free and chaosRepeats times under the pinned fault schedule,
+// verifying byte-identical outputs and reporting the recovery overhead.
+// Both arms run with synchronous replication so the overhead isolates fault
+// recovery, and with batching on so hedged batch reads are exercised.
+func ChaosComparison(opts Options) ([]ChaosRow, Report, error) {
+	opts = opts.withDefaults()
+	rep := Report{
+		Title: "Deterministic chaos: five algorithms under seeded fault injection",
+		Header: fmt.Sprintf("%-8s %10s %8s %12s %12s %10s %9s %10s %8s %9s",
+			"graph", "identical", "failed", "clean-sim", "chaos-sim", "overhead", "retries", "failovers", "hedges", "re-execs"),
+		Notes: []string{
+			"the fault schedule (dht.FaultPlan) injects transient errors, latency spikes, shard crash windows, torn disk tails and rpc connection drops, each decided by a pure hash of the plan seed and the op identity",
+			"outputs are required to be byte-identical to the fault-free run: store-level retry/failover/hedging plus sub-round re-execution (ampc.Config.FaultBudget) absorb every injected fault",
+			fmt.Sprintf("overhead is modeled-time cost of recovery, worst of %d chaotic runs; re-executed sub-rounds charge their counters twice", chaosRepeats),
+		},
+	}
+	cycleG := gen.TwoCycles(2_500)
+	var rows []ChaosRow
+	for _, ng := range opts.graphs() {
+		cfg := opts.ampcConfig()
+		cfg.Batch = true
+		cfg.Replicate = true
+		algos := chaosAlgos(ng.g, gen.DegreeProportionalWeights(ng.g), cycleG)
+		clean, err := runChaosPass(algos, cfg, true)
+		if err != nil {
+			return nil, rep, fmt.Errorf("%s clean reference: %w", ng.name, err)
+		}
+		row := ChaosRow{Graph: ng.name, Identical: true, CleanSim: clean.sim}
+		for rep := 0; rep < chaosRepeats; rep++ {
+			chaos, err := runChaosPass(algos, chaosConfig(cfg), false)
+			if err != nil {
+				return nil, Report{}, err // unreachable: non-strict pass
+			}
+			row.Identical = row.Identical && chaosIdentical(clean, chaos)
+			row.FailedRuns += chaos.failed
+			if chaos.sim > row.ChaosSim {
+				row.ChaosSim = chaos.sim
+			}
+			row.Retries += chaos.retries
+			row.Failovers += chaos.failovers
+			row.Hedges += chaos.hedges
+			row.SubroundRetries += chaos.subroundRetries
+		}
+		if clean.sim > 0 {
+			row.OverheadPct = 100 * float64(row.ChaosSim-row.CleanSim) / float64(row.CleanSim)
+		}
+		rows = append(rows, row)
+		rep.Rows = append(rep.Rows, fmt.Sprintf("%-8s %10v %8d %12s %12s %9.2f%% %9d %10d %8d %9d",
+			row.Graph, row.Identical, row.FailedRuns,
+			row.CleanSim.Round(time.Millisecond), row.ChaosSim.Round(time.Millisecond),
+			row.OverheadPct, row.Retries, row.Failovers, row.Hedges, row.SubroundRetries))
+	}
+	return rows, rep, nil
+}
+
+// ChaosSmokeRow is the pinned-seed chaos snapshot tracked in
+// BENCH_smoke.json.  Identical and FailedRuns gate absolutely (the recovery
+// stack either preserves outputs or it does not); the recovery overhead is
+// gated by a variance-derived ceiling, inverted relative to the floor gates
+// of the other sections because here smaller is better.
+type ChaosSmokeRow struct {
+	Graph string `json:"graph"`
+	// Identical must hold in every run: chaotic outputs match the clean run.
+	Identical bool `json:"identical"`
+	// FailedRuns must stay zero: the fault budget absorbs every failure.
+	FailedRuns int `json:"failed_runs"`
+	// OverheadMeanPct/StdPct summarize the recovery overhead over the
+	// chaotic repeats of the pinned run.
+	OverheadMeanPct float64 `json:"overhead_mean_pct"`
+	OverheadStdPct  float64 `json:"overhead_std_pct"`
+	// GateCeilingPct is the variance-derived regression ceiling: a fresh
+	// overhead mean above it fails benchcheck.  Committed as mean + 3 x std
+	// (with a small absolute pad for near-zero spreads).
+	GateCeilingPct float64 `json:"gate_ceiling_pct"`
+	// Retries, Failovers and SubroundRetries are the minimum counter values
+	// observed across the chaotic repeats; the gate requires them positive,
+	// proving the schedule still exercises every recovery tier.
+	Retries         int64 `json:"retries"`
+	Failovers       int64 `json:"failovers"`
+	SubroundRetries int   `json:"subround_retries"`
+	// Hedges is informational: hedged batch reads rescued from spikes.
+	Hedges int64 `json:"hedges"`
+}
+
+// ChaosSmoke computes the chaos row of the smoke snapshot on the OK stand-in
+// (regardless of the smoke run's own dataset selection): one clean reference
+// pass plus chaosRepeats chaotic passes over the five algorithms.
+func ChaosSmoke(opts Options) ([]ChaosSmokeRow, error) {
+	opts.Datasets = []string{"OK"}
+	opts = opts.withDefaults()
+	cycleG := gen.TwoCycles(2_500)
+	var rows []ChaosSmokeRow
+	for _, ng := range opts.graphs() {
+		cfg := opts.ampcConfig()
+		cfg.Batch = true
+		cfg.Replicate = true
+		algos := chaosAlgos(ng.g, gen.DegreeProportionalWeights(ng.g), cycleG)
+		clean, err := runChaosPass(algos, cfg, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s clean reference: %w", ng.name, err)
+		}
+		row := ChaosSmokeRow{Graph: ng.name, Identical: true}
+		var overheads []float64
+		for rep := 0; rep < chaosRepeats; rep++ {
+			chaos, _ := runChaosPass(algos, chaosConfig(cfg), false)
+			row.Identical = row.Identical && chaosIdentical(clean, chaos)
+			row.FailedRuns += chaos.failed
+			if clean.sim > 0 {
+				overheads = append(overheads, 100*float64(chaos.sim-clean.sim)/float64(clean.sim))
+			}
+			if rep == 0 || chaos.retries < row.Retries {
+				row.Retries = chaos.retries
+			}
+			if rep == 0 || chaos.failovers < row.Failovers {
+				row.Failovers = chaos.failovers
+			}
+			if rep == 0 || chaos.subroundRetries < row.SubroundRetries {
+				row.SubroundRetries = chaos.subroundRetries
+			}
+			row.Hedges += chaos.hedges
+		}
+		row.OverheadMeanPct, row.OverheadStdPct = meanStd(overheads)
+		row.GateCeilingPct = row.OverheadMeanPct + 3*row.OverheadStdPct + 1
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

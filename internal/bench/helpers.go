@@ -64,17 +64,19 @@ func AllExperiments() []string {
 	return []string{
 		"table2", "table3", "figure3", "figure4", "figure5", "figure6",
 		"figure7", "figure8", "figure9", "table4", "cycle", "connectivity",
-		"batch", "locality", "pipeline", "rebalance", "backend",
+		"batch", "locality", "pipeline", "rebalance", "backend", "chaos",
 	}
 }
 
 // UnsupportedFlags returns the CLI flag names the named experiment fixes
 // internally because they are its comparison axis: the "batch" experiment
 // runs batching off and on itself, "locality" and "rebalance" sweep the
-// placement policies, "pipeline" runs barrier and pipelined schedules, and
-// "backend" sweeps the storage engines.  cmd/ampcbench rejects an explicitly
-// set flag from this list instead of silently ignoring it.  Every other
-// experiment accepts the full shared flag set and returns nil.
+// placement policies, "pipeline" runs barrier and pipelined schedules,
+// "backend" sweeps the storage engines, and "chaos" pins batching on in both
+// of its arms (hedged batch reads are part of the recovery stack under
+// test).  cmd/ampcbench rejects an explicitly set flag from this list
+// instead of silently ignoring it.  Every other experiment accepts the full
+// shared flag set and returns nil.
 func UnsupportedFlags(name string) []string {
 	switch name {
 	case "batch":
@@ -85,6 +87,8 @@ func UnsupportedFlags(name string) []string {
 		return []string{"pipeline"}
 	case "backend":
 		return []string{"backend"}
+	case "chaos":
+		return []string{"batch"}
 	}
 	return nil
 }
@@ -145,6 +149,9 @@ func RunByName(name string, opts Options) (Report, error) {
 		return rep, err
 	case "backend":
 		_, rep, err := BackendComparison(opts)
+		return rep, err
+	case "chaos":
+		_, rep, err := ChaosComparison(opts)
 		return rep, err
 	default:
 		return Report{}, errUnknownExperiment(name)

@@ -97,6 +97,36 @@ func MergeBestAdaptiveRows(best map[string]AdaptiveRow, rows []AdaptiveRow) {
 	}
 }
 
+// MergeBestChaosRows folds one run's chaos rows into best, keeping per graph
+// the run with the lowest recovery-overhead mean (the chaos gate is a
+// ceiling: smaller is better) and the largest recovery-tier counters.
+// Identical must hold — and FailedRuns must stay zero — in every run.
+func MergeBestChaosRows(best map[string]ChaosSmokeRow, rows []ChaosSmokeRow) {
+	for _, row := range rows {
+		cur, seen := best[row.Graph]
+		if !seen {
+			best[row.Graph] = row
+			continue
+		}
+		if row.OverheadMeanPct < cur.OverheadMeanPct {
+			cur.OverheadMeanPct = row.OverheadMeanPct
+			cur.OverheadStdPct = row.OverheadStdPct
+		}
+		if row.Retries > cur.Retries {
+			cur.Retries = row.Retries
+		}
+		if row.Failovers > cur.Failovers {
+			cur.Failovers = row.Failovers
+		}
+		if row.SubroundRetries > cur.SubroundRetries {
+			cur.SubroundRetries = row.SubroundRetries
+		}
+		cur.Identical = cur.Identical && row.Identical
+		cur.FailedRuns += row.FailedRuns
+		best[row.Graph] = cur
+	}
+}
+
 // CheckSmoke compares the freshly measured rows against the committed
 // baseline with the given fractional tolerance (0.10 = a metric may fall to
 // 90% of its committed value).  It returns one human-readable line per
@@ -139,7 +169,17 @@ func MergeBestAdaptiveRows(best map[string]AdaptiveRow, rows []AdaptiveRow) {
 // static run, or when the fresh improvement mean fell below the committed
 // variance-derived floor (baseline mean - 3 x std), mirroring the pipeline
 // section.
-func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[string]RebalanceSmokeRow, freshBackend map[string]BackendSmokeRow, freshPipeline map[string]PipelineRow, freshLocality map[string]LocalitySmokeRow, freshAdaptive map[string]AdaptiveRow, tolerance float64) (lines []string, failures int) {
+//
+// freshChaos carries the fault-injection rows (keyed by graph); a baseline
+// chaos row fails when it is missing from the fresh run, when a chaotic
+// run's outputs stopped being byte-identical to the clean run, when any
+// algorithm run failed outright (the fault budget must absorb every injected
+// failure), when a recovery tier went unexercised (zero retries, failovers
+// or sub-round re-executions means the schedule no longer reaches that
+// tier), or when the fresh recovery-overhead mean rose above the committed
+// variance-derived ceiling (baseline mean + 3 x std) — a ceiling, not a
+// floor, because for overhead smaller is better.
+func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[string]RebalanceSmokeRow, freshBackend map[string]BackendSmokeRow, freshPipeline map[string]PipelineRow, freshLocality map[string]LocalitySmokeRow, freshAdaptive map[string]AdaptiveRow, freshChaos map[string]ChaosSmokeRow, tolerance float64) (lines []string, failures int) {
 	floor := 1 - tolerance
 	lines = append(lines, fmt.Sprintf("%-10s %-22s %10s %10s %8s", "row", "metric", "baseline", "fresh", "ratio"))
 	for _, want := range baseline.Rows {
@@ -268,6 +308,44 @@ func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[st
 		}
 		lines = append(lines, fmt.Sprintf("%-10s %-22s %10.3f %10.3f %8s%s",
 			key, "improvement_mean_pct", want.GateFloorPct, got.ImprovementMeanPct, "(floor)", status))
+	}
+	for _, want := range baseline.Chaos {
+		key := want.Graph + "/chaos"
+		got, ok := freshChaos[want.Graph]
+		if !ok {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s missing from fresh run", key))
+			continue
+		}
+		if !got.Identical {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s chaotic outputs differ from the fault-free run", key))
+		}
+		if got.FailedRuns > 0 {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s %d algorithm run(s) failed under chaos (the fault budget must absorb every injected failure)", key, got.FailedRuns))
+		}
+		for _, c := range []struct {
+			name string
+			min  int64
+		}{
+			{"retries", got.Retries},
+			{"failovers", got.Failovers},
+			{"subround_retries", int64(got.SubroundRetries)},
+		} {
+			if c.min <= 0 {
+				failures++
+				lines = append(lines, fmt.Sprintf("%-10s %s = 0: the fault schedule no longer exercises this recovery tier", key, c.name))
+			}
+		}
+		status := ""
+		failed := got.OverheadMeanPct > want.GateCeilingPct
+		if failed {
+			failures++
+			status = "  REGRESSED"
+		}
+		lines = append(lines, fmt.Sprintf("%-10s %-22s %10.3f %10.3f %8s%s",
+			key, "overhead_mean_pct", want.GateCeilingPct, got.OverheadMeanPct, "(ceil)", status))
 	}
 	return lines, failures
 }

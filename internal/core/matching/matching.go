@@ -22,6 +22,7 @@
 package matching
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -402,7 +403,7 @@ func computeMatching(rt *ampc.Runtime, g *graph.Graph, rank RankFunc, budget int
 						s.mateStore = mateStore
 					}
 					mate, err := s.vertexProcess(graph.NodeID(item), sorted[item])
-					if err == errTruncated {
+					if errors.Is(err, errTruncated) {
 						return nil // retry next pass
 					}
 					if err != nil {
@@ -461,7 +462,7 @@ func searchRound(rt *ampc.Runtime, name string, store *dht.Store, sorted [][]gra
 				s.span = spans[ctx.Machine]
 			}
 			got, err := s.vertexProcess(graph.NodeID(item), sorted[item])
-			if err == errEscape {
+			if errors.Is(err, errEscape) {
 				return nil // finished by the spill stage
 			}
 			if err != nil {

@@ -21,6 +21,7 @@
 package mis
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -324,7 +325,7 @@ func run(g *graph.Graph, cfg ampc.Config, budget int) (*Result, error) {
 						s.statusStore = statusStore
 					}
 					in, err := s.inMIS(graph.NodeID(item), directed[item])
-					if err == errTruncated {
+					if errors.Is(err, errTruncated) {
 						return nil // retry next pass
 					}
 					if err != nil {
@@ -393,7 +394,7 @@ func searchRound(rt *ampc.Runtime, name string, store *dht.Store, directed [][]g
 				s.span = spans[ctx.Machine]
 			}
 			in, err := s.inMIS(graph.NodeID(item), directed[item])
-			if err == errEscape {
+			if errors.Is(err, errEscape) {
 				return nil // finished by the spill stage
 			}
 			if err != nil {

@@ -73,6 +73,10 @@ type BackendStats struct {
 	// simtime.Measured cost model (see Store.MeasuredCostModel).
 	WireReadTime  time.Duration
 	WireWriteTime time.Duration
+	// Reconnects counts rpc client connections that were re-established
+	// after a connection error (including drops injected via
+	// FaultPlan.PDrop); the failed call was re-sent on the new connection.
+	Reconnects int64
 }
 
 // MeasuredReadRTT returns the mean measured round trip of one wire read, or
@@ -136,9 +140,11 @@ type ShardBackend interface {
 	// (the disk backend syncs its logs).
 	Freeze() error
 	// FailShard simulates the loss of shard; RecoverShard undoes it,
-	// rebuilding the primary from the replica when one exists.
+	// rebuilding the primary from the replica when one exists (an error
+	// means the rebuild itself failed — e.g. the disk backend could not
+	// rewrite the primary log).
 	FailShard(shard int)
-	RecoverShard(shard int)
+	RecoverShard(shard int) error
 	// LenShard returns the number of distinct keys on shard.
 	LenShard(shard int) int
 	// Range calls fn for every key-value pair on shard until fn returns
@@ -151,18 +157,34 @@ type ShardBackend interface {
 	Close() error
 }
 
-// newBackend constructs the backend selected by opts, validating the kind.
+// newBackend constructs the backend selected by opts, validating the kind,
+// and wraps it in the fault injector when a FaultPlan is installed.  The rpc
+// backend additionally receives the plan directly: dropped connections live
+// inside the transport, below the ShardBackend seam.
 func newBackend(opts Options) (ShardBackend, error) {
+	var engine ShardBackend
 	switch opts.Backend {
 	case "", BackendMem:
-		return newMemBackend(opts.Shards, opts.Replicate), nil
+		engine = newMemBackend(opts.Shards, opts.Replicate)
 	case BackendDisk:
-		return newDiskBackend(opts.Shards, opts.Replicate, opts.DiskDir)
+		e, err := newDiskBackend(opts.Shards, opts.Replicate, opts.DiskDir)
+		if err != nil {
+			return nil, err
+		}
+		engine = e
 	case BackendRPC:
-		return newRPCBackend(opts.Shards, opts.Replicate)
+		e, err := newRPCBackend(opts.Shards, opts.Replicate, opts.Faults)
+		if err != nil {
+			return nil, err
+		}
+		engine = e
 	default:
 		return nil, fmt.Errorf("dht: unknown backend kind %q (known: %v)", opts.Backend, BackendKinds())
 	}
+	if opts.Faults != nil && opts.Faults.injects() {
+		engine = newFaultBackend(engine, opts.Shards, opts.Faults)
+	}
+	return engine, nil
 }
 
 // memShard is one in-memory shard: the primary map, the optional replica and
@@ -329,7 +351,7 @@ func (b *memBackend) FailShard(shard int) {
 	sh.mu.Unlock()
 }
 
-func (b *memBackend) RecoverShard(shard int) {
+func (b *memBackend) RecoverShard(shard int) error {
 	sh := b.shards[shard]
 	sh.mu.Lock()
 	sh.failed = false
@@ -341,6 +363,7 @@ func (b *memBackend) RecoverShard(shard int) {
 		}
 	}
 	sh.mu.Unlock()
+	return nil
 }
 
 func (b *memBackend) LenShard(shard int) int {

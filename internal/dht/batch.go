@@ -1,6 +1,9 @@
 package dht
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Batched operations.
 //
@@ -110,7 +113,14 @@ func (s *Store) batchGetFrom(machine int, keys []uint64) (vals [][]byte, oks []b
 		for i, p := range positions {
 			shardKeys[i] = keys[p]
 		}
-		shardVals, shardOKs, failovers, err := s.backend.BatchGet(idx, shardKeys)
+		var shardVals [][]byte
+		var shardOKs []bool
+		var failovers int
+		err := s.withRetry(true, func() error {
+			var aerr error
+			shardVals, shardOKs, failovers, aerr = s.hedgedBatchGet(idx, shardKeys)
+			return aerr
+		})
 		if err != nil {
 			// Flush what the shards served before the failure so the
 			// fault-tolerance counters stay consistent with the
@@ -119,7 +129,10 @@ func (s *Store) batchGetFrom(machine int, keys []uint64) (vals [][]byte, oks []b
 			countVisit(local, len(positions))
 			remoteKeys = int64(len(keys)) - localKeys
 			flush()
-			return nil, nil, visits, fmt.Errorf("%w: key %d", ErrUnavailable, keys[positions[0]])
+			if errors.Is(err, ErrUnavailable) {
+				return nil, nil, visits, fmt.Errorf("%w: key %d", ErrUnavailable, keys[positions[0]])
+			}
+			return nil, nil, visits, fmt.Errorf("dht: %s: batch get shard %d: %w", s.name, idx, err)
 		}
 		failedOver += int64(failovers)
 		for i, p := range positions {
@@ -200,7 +213,9 @@ func (s *Store) batchWrite(machine int, pairs []Pair, appendMode bool) (Visits, 
 				remoteBytes += int64(len(pairs[p].Value)) + 8
 			}
 		}
-		if err := s.backend.BatchWrite(idx, shardPairs, appendMode); err != nil {
+		if err := s.withRetry(false, func() error {
+			return s.backend.BatchWrite(idx, shardPairs, appendMode)
+		}); err != nil {
 			return visits, err
 		}
 		s.shardOps[idx].Add(int64(len(positions)))

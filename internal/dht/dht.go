@@ -20,6 +20,30 @@
 // experiments are reproduced.  The rpc backend additionally measures the real
 // round-trip of every operation, from which Store.MeasuredCostModel derives
 // an empirically calibrated cost model.
+//
+// # Failure semantics
+//
+// The model's fault-tolerance assumption (§2) is that the DHT absorbs
+// machine failures between rounds, and the store façade implements the
+// client half of that contract.  Failures surface in three escalating
+// tiers.  Transient errors — a dropped connection, an injected chaos fault,
+// a crashed shard that is about to recover — are absorbed inside the façade
+// when Options.Retry installs a RetryPolicy: capped exponential backoff
+// with seeded jitter, a per-op wall-clock deadline, and hedged batch reads
+// that duplicate a request stuck past a tail-latency threshold
+// (Stats.{Retries, Hedges, DeadlineExceeded} count the absorbed work).
+// Shard loss is the next tier: with Options.Replicate every write mirrors
+// into a synchronous replica, a read of a failed shard is served from the
+// replica and counted as a failover, and RecoverShard rebuilds the primary;
+// without replication such reads fail with ErrUnavailable — which a retry
+// policy keeps re-trying, because an unavailable shard is expected to
+// recover.  Errors that outlive every retry budget are the caller's to
+// handle; the ampc runtime recovers from them by re-executing the failing
+// (round, machine) sub-round under its Config.FaultBudget.  All of this is
+// testable deterministically: Options.Faults installs a seeded FaultPlan
+// that injects transient errors, latency spikes, scheduled shard crashes,
+// torn disk tails at the Freeze point and dropped rpc connections, keyed so
+// that a chaos run returns byte-identical results to a clean one.
 package dht
 
 import (
@@ -55,6 +79,10 @@ type Stats struct {
 	LocalReads   int64 // reads served by a shard co-located with the caller
 	RemoteReads  int64 // reads that crossed the network (includes anonymous callers)
 	RemoteBytes  int64 // bytes moved by remote reads and writes
+
+	Retries          int64 // extra attempts absorbed by the RetryPolicy
+	Hedges           int64 // duplicate batch reads issued past HedgeAfter
+	DeadlineExceeded int64 // ops abandoned at the RetryPolicy deadline
 }
 
 // Pair is one key-value record of a batched write.
@@ -79,6 +107,7 @@ type Store struct {
 	clock        *simtime.Clock
 	frozen       atomic.Bool
 	replicate    bool
+	retry        *RetryPolicy
 
 	// shardOps counts reads+writes per shard for the MaxShardOps contention
 	// statistic; it stays in the façade so every backend reports it the same
@@ -97,6 +126,11 @@ type Store struct {
 	localReads   atomic.Int64
 	remoteReads  atomic.Int64
 	remoteBytes  atomic.Int64
+
+	retries          atomic.Int64
+	hedges           atomic.Int64
+	deadlineExceeded atomic.Int64
+	retrySeq         atomic.Uint64 // jitter stream position
 
 	viewMu sync.Mutex
 	views  map[int]*View
@@ -127,6 +161,12 @@ type Options struct {
 	// backend (required for BackendDisk, ignored otherwise).  Reopening a
 	// store over an existing directory replays its logs.
 	DiskDir string
+	// Faults installs a deterministic, seeded fault-injection plan between
+	// the façade and the backend (see FaultPlan).  Nil injects nothing.
+	Faults *FaultPlan
+	// Retry installs the façade's retry policy (see RetryPolicy).  Nil
+	// disables retries: every backend error surfaces immediately.
+	Retry *RetryPolicy
 }
 
 // NewStore creates an empty store named name.  It returns an error when the
@@ -152,6 +192,7 @@ func NewStore(name string, opts Options) (*Store, error) {
 		model:        opts.Model,
 		clock:        opts.Clock,
 		replicate:    opts.Replicate,
+		retry:        opts.Retry,
 		shardOps:     make([]atomic.Int64, opts.Shards),
 		views:        make(map[int]*View),
 	}
@@ -242,7 +283,7 @@ func (s *Store) putFrom(machine int, key uint64, value []byte) error {
 	}
 	local := s.LocalTo(machine, key)
 	idx := s.shardIndexFor(key)
-	if err := s.backend.Put(idx, key, value); err != nil {
+	if err := s.withRetry(false, func() error { return s.backend.Put(idx, key, value) }); err != nil {
 		return err
 	}
 	s.shardOps[idx].Add(1)
@@ -275,7 +316,7 @@ func (s *Store) appendFrom(machine int, key uint64, value []byte) error {
 	}
 	local := s.LocalTo(machine, key)
 	idx := s.shardIndexFor(key)
-	if err := s.backend.Append(idx, key, value); err != nil {
+	if err := s.withRetry(false, func() error { return s.backend.Append(idx, key, value) }); err != nil {
 		return err
 	}
 	s.shardOps[idx].Add(1)
@@ -305,15 +346,24 @@ func (s *Store) GetFrom(machine int, key uint64) ([]byte, bool, error) {
 func (s *Store) getFrom(machine int, key uint64) ([]byte, bool, error) {
 	local := s.LocalTo(machine, key)
 	idx := s.shardIndexFor(key)
-	v, ok, failover, err := s.backend.Get(idx, key)
+	var v []byte
+	var ok, failover bool
+	err := s.withRetry(true, func() error {
+		var aerr error
+		v, ok, failover, aerr = s.backend.Get(idx, key)
+		return aerr
+	})
 	if err != nil {
-		// A failed, unreplicated shard: the lookup is paid for (and counted)
-		// even though it cannot be served.
+		// A read that failed past any retry budget: the lookup is paid for
+		// (and counted) even though it cannot be served.
 		s.reads.Add(1)
 		s.shardVisits.Add(1)
 		s.countRead(local, 0)
 		s.charge(s.model.ReadCost(local))
-		return nil, false, fmt.Errorf("%w: key %d", ErrUnavailable, key)
+		if errors.Is(err, ErrUnavailable) {
+			return nil, false, fmt.Errorf("%w: key %d", ErrUnavailable, key)
+		}
+		return nil, false, fmt.Errorf("dht: %s: get key %d: %w", s.name, key, err)
 	}
 	if failover {
 		s.failovers.Add(1)
@@ -342,14 +392,16 @@ func (s *Store) WriteCount() int64 { return s.writes.Load() }
 // Freeze makes the store read-only; subsequent Put and Append calls fail.
 // In the AMPC model D_{i-1} is immutable while round i runs.  The backend
 // may use the transition to flush buffered state (the disk backend syncs
-// its logs).
-func (s *Store) Freeze() {
+// its logs); an error means that flush failed — the store is frozen
+// regardless, but its durability point was not reached.
+func (s *Store) Freeze() error {
 	if s.frozen.Swap(true) {
-		return
+		return nil
 	}
 	if err := s.backend.Freeze(); err != nil {
-		panic(fmt.Sprintf("dht: freezing %s: %v", s.name, err))
+		return fmt.Errorf("dht: freezing %s: %w", s.name, err)
 	}
+	return nil
 }
 
 // Frozen reports whether the store is read-only.
@@ -363,9 +415,9 @@ func (s *Store) FailShard(i int) {
 }
 
 // RecoverShard undoes FailShard, rebuilding the primary from the replica
-// when one exists.
-func (s *Store) RecoverShard(i int) {
-	s.backend.RecoverShard(i % s.numShards)
+// when one exists.  An error means the rebuild itself failed.
+func (s *Store) RecoverShard(i int) error {
+	return s.backend.RecoverShard(i % s.numShards)
 }
 
 // Len returns the number of distinct keys stored.  After Close it returns
@@ -412,6 +464,10 @@ func (s *Store) Stats() Stats {
 		LocalReads:   s.localReads.Load(),
 		RemoteReads:  s.remoteReads.Load(),
 		RemoteBytes:  s.remoteBytes.Load(),
+
+		Retries:          s.retries.Load(),
+		Hedges:           s.hedges.Load(),
+		DeadlineExceeded: s.deadlineExceeded.Load(),
 	}
 	for i := range s.shardOps {
 		if ops := s.shardOps[i].Load(); ops > st.MaxShardOps {

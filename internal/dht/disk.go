@@ -391,18 +391,18 @@ func (b *diskBackend) FailShard(shard int) {
 // RecoverShard clears the failure flag and, when a replica exists, rebuilds
 // the primary from it — rewriting the primary log with one put per key, in
 // sorted key order for determinism.
-func (b *diskBackend) RecoverShard(shard int) {
+func (b *diskBackend) RecoverShard(shard int) error {
 	sh := b.shards[shard]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.failed = false
 	if sh.rep == nil {
-		return
+		return nil
 	}
 	b.resident.Add(-b.indexCost(sh.prim))
 	b.disk.Add(-sh.prim.size)
 	if err := sh.prim.f.Truncate(0); err != nil {
-		panic(fmt.Sprintf("dht: truncating primary during recovery: %v", err))
+		return fmt.Errorf("dht: truncating primary during recovery: %w", err)
 	}
 	sh.prim.size = 0
 	sh.prim.index = make(map[uint64][]extent, len(sh.rep.index))
@@ -414,14 +414,15 @@ func (b *diskBackend) RecoverShard(shard int) {
 	for _, k := range keys {
 		v, ok, err := sh.rep.read(k)
 		if err != nil || !ok {
-			panic(fmt.Sprintf("dht: reading replica during recovery: ok=%v err=%v", ok, err))
+			return fmt.Errorf("dht: reading replica during recovery of shard %d: ok=%v err=%v", shard, ok, err)
 		}
 		n, err := sh.prim.write(diskOpPut, k, v)
 		if err != nil {
-			panic(fmt.Sprintf("dht: rebuilding primary during recovery: %v", err))
+			return fmt.Errorf("dht: rebuilding primary during recovery: %w", err)
 		}
 		b.accountWrite(n, true, false)
 	}
+	return nil
 }
 
 func (b *diskBackend) LenShard(shard int) int {

@@ -1,7 +1,9 @@
 package dht
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/rpc"
 	"os"
@@ -9,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ampcgraph/internal/rng"
 )
 
 // The rpc backend.
@@ -24,11 +28,24 @@ import (
 // a simtime.Measured cost model via Store.MeasuredCostModel, which can then be
 // compared against the simulated TCP model.
 //
+// The client side keeps a small pool of connections and reconnects on
+// connection errors: a call that fails before reaching the server (a closed
+// or dropped connection, including the drops a FaultPlan injects via PDrop)
+// is re-sent once on a fresh connection.  On this loopback transport a
+// connection only breaks by being closed locally — before the request is
+// written — so the re-send cannot double-apply a write.  The server tracks
+// every ServeConn in a WaitGroup and Close drains them (net/rpc itself waits
+// for in-flight handlers before ServeConn returns), so a closed store leaks
+// no goroutines.
+//
 // net/rpc requires exported service methods with exported argument and reply
 // types, hence the Wire* types below.  Errors returned by a service method
 // cross the wire as strings, which would break errors.Is(err, ErrUnavailable)
 // on the client side — so shard unavailability travels as the Unavailable
-// reply flag and is rewrapped into ErrUnavailable by the client.
+// reply flag and is rewrapped into ErrUnavailable by the client.  Simulation
+// control-plane operations (FailShard, RecoverShard, LenShard, Range) do not
+// cross the wire at all: the server engine lives in-process, so they act on
+// it directly instead of growing panicking rpc paths.
 
 // WireGetArgs / WireGetReply carry a single-key read.
 type WireGetArgs struct {
@@ -77,21 +94,6 @@ type WireBatchDeleteArgs struct {
 	Keys  []uint64
 }
 
-// WireShardArgs addresses a shard for fail/recover/len/dump calls.
-type WireShardArgs struct {
-	Shard int
-}
-
-// WireLenReply returns a shard's key count.
-type WireLenReply struct {
-	Len int
-}
-
-// WireDumpReply returns a full shard snapshot (used by Range).
-type WireDumpReply struct {
-	Pairs []Pair
-}
-
 // WireNone is the empty argument/reply.
 type WireNone struct{}
 
@@ -137,55 +139,56 @@ func (s *StoreService) BatchDelete(args *WireBatchDeleteArgs, reply *WireNone) e
 	return s.engine.BatchDelete(args.Shard, args.Keys)
 }
 
-func (s *StoreService) FailShard(args *WireShardArgs, reply *WireNone) error {
-	s.engine.FailShard(args.Shard)
-	return nil
-}
-
-func (s *StoreService) RecoverShard(args *WireShardArgs, reply *WireNone) error {
-	s.engine.RecoverShard(args.Shard)
-	return nil
-}
-
-func (s *StoreService) LenShard(args *WireShardArgs, reply *WireLenReply) error {
-	reply.Len = s.engine.LenShard(args.Shard)
-	return nil
-}
-
-func (s *StoreService) Dump(args *WireShardArgs, reply *WireDumpReply) error {
-	s.engine.Range(args.Shard, func(k uint64, v []byte) bool {
-		reply.Pairs = append(reply.Pairs, Pair{Key: k, Value: append([]byte(nil), v...)})
-		return true
-	})
-	return nil
-}
+// rpcPoolSize bounds the idle connection pool.  Two idle connections cover
+// the common case (a data call concurrent with a hedged duplicate) without
+// holding sockets a one-shot store never reuses.
+const rpcPoolSize = 2
 
 // rpcBackend is the client side: it implements ShardBackend by calling the
-// loopback server and timing every round trip.
+// loopback server over pooled connections and timing every round trip.
 type rpcBackend struct {
-	engine   *memBackend // server-side engine (for Stats/Close bookkeeping)
+	engine   *memBackend // server-side engine (control plane, Stats, Close)
 	server   *rpc.Server
 	listener net.Listener
-	client   *rpc.Client
 	sockDir  string // non-empty when a unix socket file needs cleanup
+	faults   *FaultPlan
+
+	mu     sync.Mutex
+	idle   []*rpc.Client
+	live   map[*rpc.Client]struct{}
+	closed bool
+
+	serving sync.WaitGroup // accept loop + ServeConn goroutines
 
 	closeOnce sync.Once
 	closeErr  error
 
-	readOps   atomic.Int64
-	writeOps  atomic.Int64
-	wireBytes atomic.Int64
-	readNS    atomic.Int64
-	writeNS   atomic.Int64
+	dropSeq    atomic.Uint64
+	reconnects atomic.Int64
+	readOps    atomic.Int64
+	writeOps   atomic.Int64
+	wireBytes  atomic.Int64
+	readNS     atomic.Int64
+	writeNS    atomic.Int64
 }
 
+// errRPCClosed is returned by data operations on a closed rpc backend.
+var errRPCClosed = errors.New("dht: rpc backend is closed")
+
 // newRPCBackend starts a per-store net/rpc server on a loopback listener and
-// connects one client to it.  Each store gets its own rpc.Server (the package
-// default server would reject a second StoreService registration).  TCP on
-// 127.0.0.1 is preferred; when the environment forbids loopback TCP a unix
-// socket is used instead.
-func newRPCBackend(shards int, replicate bool) (*rpcBackend, error) {
-	b := &rpcBackend{engine: newMemBackend(shards, replicate), server: rpc.NewServer()}
+// opens a pooled client to it.  Each store gets its own rpc.Server (the
+// package default server would reject a second StoreService registration).
+// TCP on 127.0.0.1 is preferred; when the environment forbids loopback TCP a
+// unix socket is used instead.  A non-nil FaultPlan with PDrop > 0 makes the
+// client drop its connection before a seeded subset of calls, exercising the
+// reconnect path.
+func newRPCBackend(shards int, replicate bool, faults *FaultPlan) (*rpcBackend, error) {
+	b := &rpcBackend{
+		engine: newMemBackend(shards, replicate),
+		server: rpc.NewServer(),
+		faults: faults,
+		live:   make(map[*rpc.Client]struct{}),
+	}
 	if err := b.server.RegisterName("Store", &StoreService{engine: b.engine}); err != nil {
 		return nil, fmt.Errorf("dht: registering rpc service: %w", err)
 	}
@@ -205,32 +208,146 @@ func newRPCBackend(shards int, replicate bool) (*rpcBackend, error) {
 	b.listener = ln
 	// Hand-rolled accept loop instead of rpc.Server.Accept: Accept logs a
 	// spurious "use of closed network connection" line when Close shuts the
-	// listener down.
+	// listener down.  The loop itself holds one WaitGroup slot, so the
+	// ServeConn Adds below cannot race a Close that is already Waiting.
+	b.serving.Add(1)
 	go func() {
+		defer b.serving.Done()
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				return
 			}
-			go b.server.ServeConn(conn)
+			b.serving.Add(1)
+			go func() {
+				defer b.serving.Done()
+				b.server.ServeConn(conn)
+			}()
 		}
 	}()
-	conn, err := net.Dial(ln.Addr().Network(), ln.Addr().String())
+	c, err := b.dial()
 	if err != nil {
 		b.Close()
-		return nil, fmt.Errorf("dht: dialing rpc server: %w", err)
+		return nil, err
 	}
-	b.client = rpc.NewClient(conn)
+	b.putClient(c)
 	return b, nil
 }
 
 func (b *rpcBackend) Kind() BackendKind { return BackendRPC }
 
+// dial opens a fresh connection to the loopback server and registers the
+// client in the live set.
+func (b *rpcBackend) dial() (*rpc.Client, error) {
+	addr := b.listener.Addr()
+	conn, err := net.Dial(addr.Network(), addr.String())
+	if err != nil {
+		return nil, fmt.Errorf("dht: dialing rpc server: %w", err)
+	}
+	c := rpc.NewClient(conn)
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		c.Close()
+		return nil, errRPCClosed
+	}
+	b.live[c] = struct{}{}
+	b.mu.Unlock()
+	return c, nil
+}
+
+// getClient checks a connection out of the pool, dialing when it is empty.
+func (b *rpcBackend) getClient() (*rpc.Client, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, errRPCClosed
+	}
+	if n := len(b.idle); n > 0 {
+		c := b.idle[n-1]
+		b.idle = b.idle[:n-1]
+		b.mu.Unlock()
+		return c, nil
+	}
+	b.mu.Unlock()
+	return b.dial()
+}
+
+// putClient returns a healthy connection to the pool, closing it when the
+// pool is full or the backend has been closed.
+func (b *rpcBackend) putClient(c *rpc.Client) {
+	b.mu.Lock()
+	if !b.closed && len(b.idle) < rpcPoolSize {
+		b.idle = append(b.idle, c)
+		b.mu.Unlock()
+		return
+	}
+	delete(b.live, c)
+	b.mu.Unlock()
+	c.Close()
+}
+
+// discardClient drops a broken connection.
+func (b *rpcBackend) discardClient(c *rpc.Client) {
+	b.mu.Lock()
+	delete(b.live, c)
+	b.mu.Unlock()
+	c.Close()
+}
+
+// isConnError reports whether err is a connection-level failure (as opposed
+// to an application error returned by the remote service method): the call
+// never produced a server-side reply, so re-sending it on a fresh connection
+// is the right recovery.
+func isConnError(err error) bool {
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var netErr net.Error
+	return errors.As(err, &netErr)
+}
+
+// call invokes method over a pooled connection, reconnecting and re-sending
+// once on a connection error.  A FaultPlan with PDrop closes the checked-out
+// connection before a seeded subset of calls — the request never reaches the
+// server, so the reconnect re-send applies it exactly once.
+func (b *rpcBackend) call(method string, args, reply any) error {
+	c, err := b.getClient()
+	if err != nil {
+		return err
+	}
+	if p := b.faults; p != nil && p.PDrop > 0 {
+		if rng.UniformFloat(p.Seed^faultSaltDrop, b.dropSeq.Add(1)) < p.PDrop {
+			b.discardClient(c) // the Call below fails with ErrShutdown
+		}
+	}
+	err = c.Call(method, args, reply)
+	if err == nil {
+		b.putClient(c)
+		return nil
+	}
+	b.discardClient(c)
+	if !isConnError(err) {
+		return err
+	}
+	c2, derr := b.dial()
+	if derr != nil {
+		return fmt.Errorf("dht: rpc reconnect after %v: %w", err, derr)
+	}
+	b.reconnects.Add(1)
+	if err2 := c2.Call(method, args, reply); err2 != nil {
+		b.discardClient(c2)
+		return err2
+	}
+	b.putClient(c2)
+	return nil
+}
+
 // timeCall invokes method over the wire, accumulating the measured round trip
 // and an approximate payload size into the read or write counters.
 func (b *rpcBackend) timeCall(method string, args, reply any, read bool, payload int) error {
 	start := time.Now()
-	err := b.client.Call(method, args, reply)
+	err := b.call(method, args, reply)
 	rtt := time.Since(start)
 	if read {
 		b.readOps.Add(1)
@@ -315,41 +432,20 @@ func (b *rpcBackend) BatchDelete(shard int, keys []uint64) error {
 
 func (b *rpcBackend) Freeze() error { return nil }
 
-func (b *rpcBackend) FailShard(shard int) {
-	var reply WireNone
-	if err := b.client.Call("Store.FailShard", &WireShardArgs{Shard: shard}, &reply); err != nil {
-		panic(fmt.Sprintf("dht: rpc fail shard: %v", err))
-	}
-}
+// The simulation control plane acts on the in-process server engine
+// directly: these operations model operator actions, not client traffic, so
+// there is nothing to measure by sending them over the wire — and the direct
+// calls cannot fail the way an rpc call can, which is what let the previous
+// panicking paths be removed.
 
-func (b *rpcBackend) RecoverShard(shard int) {
-	var reply WireNone
-	if err := b.client.Call("Store.RecoverShard", &WireShardArgs{Shard: shard}, &reply); err != nil {
-		panic(fmt.Sprintf("dht: rpc recover shard: %v", err))
-	}
-}
+func (b *rpcBackend) FailShard(shard int) { b.engine.FailShard(shard) }
 
-func (b *rpcBackend) LenShard(shard int) int {
-	var reply WireLenReply
-	if err := b.client.Call("Store.LenShard", &WireShardArgs{Shard: shard}, &reply); err != nil {
-		panic(fmt.Sprintf("dht: rpc len shard: %v", err))
-	}
-	return reply.Len
-}
+func (b *rpcBackend) RecoverShard(shard int) error { return b.engine.RecoverShard(shard) }
 
-// Range fetches a full shard snapshot in one RPC and iterates it client-side;
-// a per-key RPC iteration would be quadratic in round trips.
+func (b *rpcBackend) LenShard(shard int) int { return b.engine.LenShard(shard) }
+
 func (b *rpcBackend) Range(shard int, fn func(key uint64, value []byte) bool) bool {
-	var reply WireDumpReply
-	if err := b.client.Call("Store.Dump", &WireShardArgs{Shard: shard}, &reply); err != nil {
-		panic(fmt.Sprintf("dht: rpc dump shard: %v", err))
-	}
-	for _, p := range reply.Pairs {
-		if !fn(p.Key, p.Value) {
-			return false
-		}
-	}
-	return true
+	return b.engine.Range(shard, fn)
 }
 
 func (b *rpcBackend) Stats() BackendStats {
@@ -362,19 +458,37 @@ func (b *rpcBackend) Stats() BackendStats {
 		WireBytes:     b.wireBytes.Load(),
 		WireReadTime:  time.Duration(b.readNS.Load()),
 		WireWriteTime: time.Duration(b.writeNS.Load()),
+		Reconnects:    b.reconnects.Load(),
 	}
 }
 
+// Close shuts the backend down gracefully: no new connections are accepted
+// or dialed, every pooled and checked-out connection is closed, and the
+// WaitGroup drains the accept loop and every ServeConn — including the
+// in-flight handlers net/rpc waits for — before the socket directory is
+// removed.  Close is idempotent.
 func (b *rpcBackend) Close() error {
 	b.closeOnce.Do(func() {
-		if b.client != nil {
-			b.closeErr = b.client.Close()
+		b.mu.Lock()
+		b.closed = true
+		clients := make([]*rpc.Client, 0, len(b.live))
+		for c := range b.live {
+			clients = append(clients, c)
+		}
+		b.live = make(map[*rpc.Client]struct{})
+		b.idle = nil
+		b.mu.Unlock()
+		for _, c := range clients {
+			if err := c.Close(); err != nil && b.closeErr == nil && !errors.Is(err, rpc.ErrShutdown) {
+				b.closeErr = err
+			}
 		}
 		if b.listener != nil {
 			if err := b.listener.Close(); err != nil && b.closeErr == nil {
 				b.closeErr = err
 			}
 		}
+		b.serving.Wait()
 		if b.sockDir != "" {
 			os.RemoveAll(b.sockDir)
 		}

@@ -2,6 +2,7 @@ package dht
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -171,7 +172,7 @@ func TestFreezeIsIdempotent(t *testing.T) {
 		if !s.Frozen() {
 			t.Fatal("store not frozen")
 		}
-		if err := s.Put(2, []byte("y")); err != ErrFrozen {
+		if err := s.Put(2, []byte("y")); !errors.Is(err, ErrFrozen) {
 			t.Fatalf("Put on frozen store: %v, want ErrFrozen", err)
 		}
 	}
