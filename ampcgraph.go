@@ -161,6 +161,49 @@ func ConnectedComponents(g *Graph, cfg Config) (*ConnectivityResult, error) {
 	return connectivity.Run(g, cfg)
 }
 
+// Session is a long-lived AMPC substrate — one worker pool, one set of
+// shard stores, one ownership table and one compiled-plan cache — that many
+// concurrent query jobs share.  Create one with NewSession, submit jobs with
+// Session.NewJob, and Close it when done.  The one-shot entry points above
+// (MIS, ConnectedComponents, ...) each build a private session per call;
+// the serving layer is for running many queries against one resident graph.
+type Session = ampc.Session
+
+// Runtime executes one job — one query — on a session.  The Runtime returned
+// by Session.NewJob carries the job's own statistics, modeled clock and
+// cancellation context while sharing the session's pool and stores.
+type Runtime = ampc.Runtime
+
+// NewSession creates a long-lived session for concurrent queries.
+func NewSession(cfg Config) *Session { return ampc.NewSession(cfg) }
+
+// MISShared is the resident substrate of the MIS computation: the directed
+// graph shuffled and written to the session's store once, reused by every
+// MISShared.Run job.
+type MISShared = mis.Shared
+
+// NewMISShared builds the shared MIS substrate on rt's session (typically a
+// dedicated preparation job).  Subsequent MISShared.Run calls on jobs of the
+// same session compute the exact MIS(g, cfg) set without repeating the
+// shuffle or the key-value write.
+func NewMISShared(rt *Runtime, g *Graph) (*MISShared, error) { return mis.NewShared(rt, g) }
+
+// MatchingShared is the resident substrate of the maximal matching
+// computation, mirroring MISShared.
+type MatchingShared = matching.Shared
+
+// NewMatchingShared builds the shared matching substrate on rt's session.
+func NewMatchingShared(rt *Runtime, g *Graph) (*MatchingShared, error) {
+	return matching.NewShared(rt, g)
+}
+
+// ConnectedComponentsOn computes connected components as a job of a
+// long-lived session.  The stores it opens are private to the call, so
+// concurrent connectivity jobs on one session do not interfere.
+func ConnectedComponentsOn(rt *Runtime, g *Graph) (*ConnectivityResult, error) {
+	return connectivity.RunOn(rt, g)
+}
+
 // CycleResult is the result of the 1-vs-2-Cycle computation.
 type CycleResult = cycle.Result
 

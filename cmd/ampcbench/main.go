@@ -20,8 +20,9 @@
 // engine (mem, disk or rpc), and -adaptive switches the "rebalance"
 // experiment to its adaptive arm (online ownership rebalancing between
 // pipeline segments).  An experiment whose comparison axis IS
-// one of those flags (batch, locality, rebalance, pipeline, backend, chaos)
-// rejects an explicit setting of that flag instead of silently ignoring it
+// one of those flags (batch, locality, rebalance, pipeline, backend, chaos,
+// serving) rejects an explicit setting of that flag instead of silently
+// ignoring it
 // (see bench.UnsupportedFlags).  The dedicated "batch" experiment with -json
 // writes the batched-vs-unbatched comparison as a machine-readable snapshot
 // (the BENCH_smoke.json of `make bench-smoke`).
@@ -33,6 +34,13 @@
 // and reporting the recovery overhead:
 //
 //	ampcbench -experiment chaos -datasets OK
+//
+// The "serving" experiment measures the Plan/Session/Job split: N concurrent
+// query jobs (MIS, MM, connectivity) sharing one session — one worker pool,
+// one frozen copy of each input table, one compiled-plan cache — against the
+// same queries as serialized one-shot runs, at byte-identical outputs:
+//
+//	ampcbench -experiment serving
 package main
 
 import (

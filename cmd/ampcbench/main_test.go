@@ -56,25 +56,32 @@ func TestUnsupportedFlagsNamesAreRealExperiments(t *testing.T) {
 	for _, name := range bench.AllExperiments() {
 		known[name] = true
 	}
-	want := map[string]string{
-		"batch":     "batch",
-		"locality":  "placement",
-		"rebalance": "placement",
-		"pipeline":  "pipeline",
-		"backend":   "backend",
-		"chaos":     "batch", // chaos pins batching on in both arms
+	want := map[string][]string{
+		"batch":     {"batch"},
+		"locality":  {"placement"},
+		"rebalance": {"placement"},
+		"pipeline":  {"pipeline"},
+		"backend":   {"backend"},
+		"chaos":     {"batch"},             // chaos pins batching on in both arms
+		"serving":   {"batch", "pipeline"}, // serving pins batch off, pipeline on
 	}
-	for name, axis := range want {
+	for name, axes := range want {
 		if !known[name] {
 			t.Errorf("experiment %s not in AllExperiments", name)
 		}
 		got := bench.UnsupportedFlags(name)
-		if len(got) != 1 || got[0] != axis {
-			t.Errorf("UnsupportedFlags(%s) = %v, want [%s]", name, got, axis)
+		if len(got) != len(axes) {
+			t.Errorf("UnsupportedFlags(%s) = %v, want %v", name, got, axes)
+			continue
+		}
+		for i, axis := range axes {
+			if got[i] != axis {
+				t.Errorf("UnsupportedFlags(%s) = %v, want %v", name, got, axes)
+			}
 		}
 	}
 	for _, name := range bench.AllExperiments() {
-		if want[name] == "" && bench.UnsupportedFlags(name) != nil {
+		if len(want[name]) == 0 && bench.UnsupportedFlags(name) != nil {
 			t.Errorf("experiment %s unexpectedly rejects flags: %v", name, bench.UnsupportedFlags(name))
 		}
 	}

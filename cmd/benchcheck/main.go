@@ -53,6 +53,7 @@ func main() {
 	freshLocality := make(map[string]bench.LocalitySmokeRow, len(baseline.Locality))
 	freshAdaptive := make(map[string]bench.AdaptiveRow, len(baseline.Adaptive))
 	freshChaos := make(map[string]bench.ChaosSmokeRow, len(baseline.Chaos))
+	freshServing := make(map[string]bench.ServingRow, len(baseline.Serving))
 	for attempt := 0; attempt < *runs; attempt++ {
 		fresh, _, err := bench.BatchSmoke(bench.Options{
 			Seed:     baseline.Seed,
@@ -87,9 +88,10 @@ func main() {
 		bench.MergeBestLocalityRows(freshLocality, fresh.Locality)
 		bench.MergeBestAdaptiveRows(freshAdaptive, fresh.Adaptive)
 		bench.MergeBestChaosRows(freshChaos, fresh.Chaos)
+		bench.MergeBestServingRows(freshServing, fresh.Serving)
 	}
 
-	lines, failures := bench.CheckSmoke(baseline, freshRows, freshRebalance, freshBackend, freshPipeline, freshLocality, freshAdaptive, freshChaos, *tolerance)
+	lines, failures := bench.CheckSmoke(baseline, freshRows, freshRebalance, freshBackend, freshPipeline, freshLocality, freshAdaptive, freshChaos, freshServing, *tolerance)
 	for _, line := range lines {
 		fmt.Println(line)
 	}

@@ -8,15 +8,41 @@
 //
 //   - Config: machines, ε / space budget, per-machine threads, caching, and
 //     the key-value latency model (RDMA / TCP / DRAM, for Table 4);
-//   - Runtime: creates the DHTs (D0, D1, ...), runs rounds over machine
-//     goroutines, and accounts rounds, shuffles, key-value traffic, maximum
-//     per-machine query load and both wall-clock and simulated time;
+//   - Session: the long-lived shared substrate — the persistent worker pool,
+//     the hash tables (D0, D1, ...), the ownership table, the per-machine
+//     caches and the plan cache — that many concurrent queries share;
+//   - Job: one execution against a Session, with its own simulated clock,
+//     statistics, fault budget and cancellation context;
+//   - Plan: an immutable, reusable compilation of a round sequence (the
+//     sub-round conflict analysis), cached per Session;
+//   - Runtime: one job bound to a session as a single handle.  New gives the
+//     historical one-shot pairing (private session + one job);
+//     Session.NewJob gives a job sharing a long-lived session;
 //   - Ctx: the per-machine handle through which algorithm code reads and
 //     writes the hash tables.
 //
 // Shuffles are the expensive dataflow steps of the host framework (Table 3
 // counts them); algorithms report them explicitly with RecordShuffle so that
 // the AMPC-versus-MPC comparison of the paper can be reproduced exactly.
+//
+// # Sessions, jobs and plans
+//
+// The one-shot shape — build a runtime, run one query, tear everything
+// down — is wasteful for serving: every query would respawn the pool,
+// re-shuffle the graph into fresh stores and re-derive the same conflict
+// analysis.  The three layers split those lifetimes.  A Session outlives
+// queries: its pool threads, stores (shared ones are reference-counted, see
+// OpenSharedStore), ownership table and caches persist.  A Job is one query:
+// per-job clock, Stats, fault budget and context cancellation, admitted
+// under Config.MaxJobs (FIFO beyond the limit).  Concurrent jobs interleave
+// their sub-rounds in the per-machine pool feeds instead of serializing
+// behind a global run lock; results stay byte-identical to running each job
+// alone because rounds read frozen stores and jobs write disjoint stores or
+// disjoint spans.  A Plan compiles a staged round sequence once
+// (Session.CompilePlan) and executes many times (Runtime.RunPlan), with the
+// analysis cached per (key, ownership generation) — Session.PlanCacheStats
+// reports the hit rate, and Rebalance invalidates the cache because span
+// declarations derive from ownership.
 //
 // # Batching and read coalescing
 //
@@ -54,9 +80,10 @@
 // results — only where keys live and what each access costs.
 //
 // Rounds execute on a persistent machine/worker pool (Machines x Threads
-// goroutines spawned on first use and reused by every round), and with
-// EnableCache the per-machine caches survive across rounds that read the
-// same frozen hash table.  Call Runtime.Close to release the pool.
+// goroutines spawned on first use and reused by every round of every job),
+// and with EnableCache the per-machine caches survive across rounds that
+// read the same frozen hash table.  Call Session.Close (or Runtime.Close on
+// a one-shot runtime) to release the pool.
 //
 // # Round pipelining and key-range conflict declarations
 //
@@ -64,13 +91,13 @@
 // slowest.  Rounds declare the resources they read and write as Access
 // values (Round.Reads / Round.Writes): a store plus, optionally, the key
 // spans touched — per machine when the partitioning is known (Ranged,
-// RangedBy, Runtime.OwnedRanges) — or a zero-storage scheduling Token.
+// RangedBy, Session.OwnedRanges) — or a zero-storage scheduling Token.
 // With Config.Pipeline set, sequences executed through RunPipeline (or
-// RunStaged) are scheduled at sub-round granularity: machine m's share of
-// round j waits only for the earlier sub-rounds whose declared write spans
-// conflict with the spans machine m reads or writes, so a machine finished
-// with its own partition flows past stragglers still writing ranges it
-// never touches.
+// RunStaged, or a compiled Plan) are scheduled at sub-round granularity:
+// machine m's share of round j waits only for the earlier sub-rounds whose
+// declared write spans conflict with the spans machine m reads or writes,
+// so a machine finished with its own partition flows past stragglers still
+// writing ranges it never touches.
 //
 // Migration note: before this redesign Reads/Writes were whole-store sets
 // ([]*dht.Store).  An Access whose span set is the zero value declares the
@@ -91,8 +118,6 @@ package ampc
 import (
 	"fmt"
 	"math"
-	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,7 +126,7 @@ import (
 	"ampcgraph/internal/simtime"
 )
 
-// Config configures an AMPC runtime.  The zero value is usable: it defaults
+// Config configures an AMPC session.  The zero value is usable: it defaults
 // to 4 machines, 1 thread per machine, ε = 0.5, caching disabled and the
 // RDMA latency model.
 type Config struct {
@@ -132,7 +157,7 @@ type Config struct {
 	// shard-grouped batch.  It is the transparent variant of the batching
 	// optimization: algorithm code keeps calling Lookup.
 	CoalesceReads bool
-	// Placement selects the shard placement policy of the runtime's hash
+	// Placement selects the shard placement policy of the session's hash
 	// tables.  PlacementHash (the default) hashes keys uniformly onto
 	// shards and models every access as a remote round trip, as the paper
 	// does.  PlacementOwnerAffine co-locates each key's shard with the
@@ -156,6 +181,12 @@ type Config struct {
 	// machine works when, and therefore the modeled time and straggler
 	// idle, changes.  Rounds executed through Run are unaffected.
 	Pipeline bool
+	// MaxJobs bounds the number of jobs concurrently admitted to a Session
+	// through NewJob: beyond the limit, NewJob blocks and admits waiters in
+	// FIFO order as running jobs Close (or their contexts cancel).  Zero
+	// means unlimited.  One-shot runtimes created with New are exempt —
+	// they own their private session.
+	MaxJobs int
 	// Model is the key-value store latency model.
 	Model simtime.CostModel
 	// Shards is the number of key-value store shards.
@@ -167,16 +198,16 @@ type Config struct {
 	// BackendMem (the default) keeps shards in in-memory maps, BackendDisk
 	// spills them to log-structured files so stores larger than RAM
 	// complete, and BackendRPC serves them over a loopback net/rpc
-	// transport that measures real wire costs (Runtime.MeasuredCostModel).
+	// transport that measures real wire costs (Job.MeasuredCostModel).
 	// Results are identical under every backend; only where the bytes live
 	// and what each operation really costs changes.
 	Backend string
 	// DiskDir is the parent directory for the disk backend's per-store log
-	// directories; empty uses the system temporary directory.  The runtime
+	// directories; empty uses the system temporary directory.  The session
 	// creates a private subdirectory per run and removes it on Close.
 	DiskDir string
 	// Faults installs a deterministic seeded fault-injection plan
-	// (dht.FaultPlan) in every hash table the runtime creates: transient
+	// (dht.FaultPlan) in every hash table the session creates: transient
 	// errors, latency spikes, scheduled shard crashes, torn disk tails,
 	// dropped rpc connections.  Injection is a pure function of the plan
 	// seed and each op's identity, so a faulty run paired with Retry and
@@ -191,10 +222,10 @@ type Config struct {
 	// FaultBudget enables sub-round recovery: a (round, machine) share that
 	// fails — a fatal injected fault, a retry deadline, a real backend
 	// error — is re-executed from scratch instead of failing the run, up to
-	// FaultBudget re-executions across the run (Stats.SubroundRetries
-	// counts them).  While the budget is active every Ctx write is buffered
-	// per sub-round and applied only on success (discarded before a retry),
-	// so re-execution cannot double-apply appends; round bodies must keep
+	// FaultBudget re-executions per job (Stats.SubroundRetries counts
+	// them).  While the budget is active every Ctx write is buffered per
+	// sub-round and applied only on success (discarded before a retry), so
+	// re-execution cannot double-apply appends; round bodies must keep
 	// their host-side effects idempotent under re-execution (per-item
 	// assignment is, shared accumulation is not).  Zero disables recovery
 	// and buffering: the first sub-round failure fails the run, exactly the
@@ -291,6 +322,9 @@ type PhaseStat struct {
 }
 
 // Stats aggregates everything the paper measures about an AMPC execution.
+// Round, shuffle, phase, pipeline, migration and recovery counters are per
+// job; the store-derived counters (KVReads, cache hits, backend stats, ...)
+// aggregate the session's stores, which concurrent jobs share.
 type Stats struct {
 	Rounds            int
 	Shuffles          int
@@ -349,11 +383,19 @@ type Stats struct {
 	BarrierIdle  time.Duration
 	PipelineIdle time.Duration
 	// MachineQueries is the cumulative per-machine lookup count across every
-	// round run so far (MaxMachineQueries is the per-round maximum; this is
-	// the whole-run distribution).  Its max/mean is the observed query
+	// round this job ran (MaxMachineQueries is the per-round maximum; this
+	// is the whole-job distribution).  Its max/mean is the observed query
 	// imbalance the adaptive-ownership rebalance targets; diffing snapshots
 	// isolates one pipeline segment.
 	MachineQueries []int64
+	// MachineBusy is the cumulative modeled busy time per machine across
+	// every round this job ran: compute plus thread-divided lookup latency,
+	// the same per-(round, machine) durations the pipelined scheduler packs
+	// and Sim charges the critical path of.  Because it is per job, the
+	// vectors of concurrent jobs add machine-wise: the serving experiment
+	// derives the shared-pool makespan from them
+	// (simtime.ConcurrentMakespan).
+	MachineBusy []time.Duration
 	// Rebalances counts Runtime.Rebalance calls that installed a new
 	// ownership table and migrated shard data.
 	Rebalances int
@@ -379,551 +421,11 @@ type Stats struct {
 	SubroundRetries int
 	// Backend aggregates the backend-specific counters of every hash table:
 	// disk footprint for the disk backend, measured wire costs for the rpc
-	// backend (Kind is the backend of the runtime's stores).
+	// backend (Kind is the backend of the session's stores).
 	Backend dht.BackendStats
 	Wall    time.Duration
 	Sim     time.Duration
 	Phases  []PhaseStat
-}
-
-// Runtime executes AMPC computations.
-//
-// Rounds run on a persistent machine/worker pool: Machines x Threads worker
-// goroutines are spawned on the first Run and reused by every subsequent
-// round, and with EnableCache the per-machine caches survive across rounds
-// reading the same (frozen) hash table.  Call Close when done with the
-// runtime to release the pool; the core algorithm packages do this for the
-// runtimes they create.
-type Runtime struct {
-	cfg   Config
-	clock *simtime.Clock
-
-	mu         sync.Mutex
-	stores     []*dht.Store
-	diskBase   string // per-runtime parent dir of disk-backend stores
-	stats      Stats
-	phaseStack []phaseFrame
-	started    time.Time
-	keyspace   int
-	ownership  *dht.Ownership
-	caches     map[*dht.Store][]*dht.Cache
-	// cacheFence records, per store, the store's write count observed when
-	// its per-machine caches were last known coherent.  Rounds fence every
-	// store they read against it before executing: a moved counter means
-	// the store was written since the caches were filled, and the caches
-	// are invalidated.  This replaces the implicit "everything is quiescent
-	// at the barrier" assumption with a per-store fence that stays sound
-	// when rounds overlap under pipelining.
-	cacheFence map[*dht.Store]int64
-	// machineQueries / machineLatency accumulate, per machine, the lookup
-	// count and the modeled lookup latency of every round since the last
-	// Rebalance.  They are the observed load that Rebalance re-derives the
-	// ownership boundaries from: queries are the first-order weight,
-	// latency the sampled search-cost second-order weight.
-	machineQueries []int64
-	machineLatency []int64
-	// baseWeights is the per-key weight vector last declared through
-	// SetOwnership (degrees, typically); Rebalance apportions observed
-	// per-machine load across a machine's keys proportionally to it.
-	// adaptive marks the current ownership table as rebalance-derived, so
-	// SetOwnership for the same keyspace refreshes baseWeights without
-	// clobbering the adapted table.
-	baseWeights []int
-	adaptive    bool
-	// faultBudgetUsed counts the sub-round re-executions spent against
-	// Config.FaultBudget (see consumeFaultBudget).
-	faultBudgetUsed int
-
-	// runMu serializes round execution: Run and RunPipeline hold it for
-	// their whole duration, so concurrent callers queue instead of
-	// interleaving their jobs in the machine feeds.
-	runMu sync.Mutex
-
-	// lifecycle serializes Close against in-flight Runs: every Run holds a
-	// read lock for its whole duration, so Close (write lock) waits for
-	// running rounds to drain before closing the pool and can never race a
-	// dispatch or a late pool spawn.
-	lifecycle sync.RWMutex
-	poolOnce  sync.Once
-	pool      *workerPool
-	closed    atomic.Bool
-}
-
-type phaseFrame struct {
-	name         string
-	start        time.Time
-	simStart     time.Duration
-	shuffles     int
-	shuffleBytes int64
-	kvBytes      int64
-}
-
-// New returns a runtime with the given configuration.
-func New(cfg Config) *Runtime {
-	r := &Runtime{
-		cfg:        cfg.WithDefaults(),
-		clock:      &simtime.Clock{},
-		started:    time.Now(),
-		caches:     make(map[*dht.Store][]*dht.Cache),
-		cacheFence: make(map[*dht.Store]int64),
-	}
-	r.machineQueries = make([]int64, r.cfg.Machines)
-	r.machineLatency = make([]int64, r.cfg.Machines)
-	return r
-}
-
-// Config returns the effective (defaulted) configuration.
-func (r *Runtime) Config() Config { return r.cfg }
-
-// Clock returns the simulated clock.
-func (r *Runtime) Clock() *simtime.Clock { return r.clock }
-
-// SetKeyspace declares the keyspace [0, n) of the hash tables the runtime
-// will create — usually the number of vertices.  The owner-affine placement
-// policy needs it to range-partition keys across machines; stores created
-// before the call (or without a keyspace) fall back to hash placement.  A
-// weighted ownership table previously declared through SetOwnership is kept
-// only while its keyspace matches n; declaring a different keyspace drops it
-// (partitioners and placement must never disagree on who owns a key).
-func (r *Runtime) SetKeyspace(n int) {
-	r.mu.Lock()
-	r.keyspace = n
-	if r.ownership != nil && r.ownership.Keys() != n {
-		r.ownership = nil
-		r.baseWeights = nil
-		r.adaptive = false
-	}
-	r.mu.Unlock()
-}
-
-// SetOwnership declares per-key weights (usually vertex degrees) for the
-// keyspace [0, len(weights)) and, under Config.Placement ==
-// PlacementWeighted, builds the degree-weighted ownership table that both
-// the shard placement of subsequently created stores and the ownership
-// partitioners (Owner, OwnerPartitioner, BlockOwnerPartitioner) answer
-// from.  Under any other placement it only declares the keyspace, exactly
-// like SetKeyspace — the partitioners keep using the uniform range split
-// that matches the owner-affine placement.  Either way placement never
-// changes results, only where keys live and which machine does which work.
-//
-// When the current table was derived by Rebalance for the same keyspace,
-// SetOwnership keeps the adapted table (plans declaring the same keyspace
-// must not undo an online rebalance) and only refreshes the base weights;
-// declaring a different keyspace rebuilds from scratch.
-func (r *Runtime) SetOwnership(weights []int) {
-	r.mu.Lock()
-	r.keyspace = len(weights)
-	if r.cfg.Placement == PlacementWeighted && len(weights) > 0 {
-		if !r.adaptive || r.ownership == nil || r.ownership.Keys() != len(weights) {
-			r.ownership = dht.NewOwnership(r.cfg.Machines, weights)
-			r.adaptive = false
-		}
-		r.baseWeights = append([]int(nil), weights...)
-	} else {
-		r.ownership = nil
-		r.baseWeights = nil
-		r.adaptive = false
-	}
-	r.mu.Unlock()
-}
-
-// currentOwnership returns the weighted ownership table when one is
-// declared for exactly the given keyspace, nil otherwise (callers fall back
-// to the uniform RangeOwner split, which is what the owner-affine placement
-// uses).
-func (r *Runtime) currentOwnership(keys int) *dht.Ownership {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.ownership != nil && r.ownership.Keys() == keys {
-		return r.ownership
-	}
-	return nil
-}
-
-// Close releases the runtime's persistent worker pool and the resources of
-// every store it created (log files of the disk backend, sockets of the rpc
-// backend), waiting for any in-flight round to drain first.  It is safe to
-// call more than once and on runtimes that never ran a round; statistics —
-// including the stores' operation counters — remain readable after Close.
-// Close must not be called from inside a Round body.
-func (r *Runtime) Close() {
-	r.lifecycle.Lock()
-	defer r.lifecycle.Unlock()
-	if r.closed.Swap(true) {
-		return
-	}
-	r.mu.Lock()
-	p := r.pool
-	stores := append([]*dht.Store(nil), r.stores...)
-	diskBase := r.diskBase
-	r.mu.Unlock()
-	if p != nil {
-		p.close()
-	}
-	for _, s := range stores {
-		s.Close()
-	}
-	if diskBase != "" {
-		os.RemoveAll(diskBase)
-	}
-}
-
-// workers returns the persistent pool, spawning it on first use.
-func (r *Runtime) workers() *workerPool {
-	r.poolOnce.Do(func() {
-		p := newWorkerPool(r.cfg.Machines, r.cfg.Threads)
-		r.mu.Lock()
-		r.pool = p
-		r.mu.Unlock()
-	})
-	return r.pool
-}
-
-// placement builds the dht placement policy for a new store.
-func (r *Runtime) placement() dht.Placement {
-	r.mu.Lock()
-	keys := r.keyspace
-	own := r.ownership
-	r.mu.Unlock()
-	switch {
-	case r.cfg.Placement == PlacementWeighted && own != nil:
-		return dht.OwnershipPlacement(own)
-	case r.cfg.Placement == PlacementWeighted && keys > 0:
-		// Weighted placement requested but no weights declared: the uniform
-		// range split is the weighted split for equal weights, and it keeps
-		// co-location consistent with the RangeOwner partitioners.
-		return dht.OwnerAffine(r.cfg.Machines, keys)
-	case r.cfg.Placement == PlacementOwnerAffine && keys > 0:
-		return dht.OwnerAffine(r.cfg.Machines, keys)
-	}
-	return dht.HashRandom()
-}
-
-// Owner returns the machine owning key under the runtime's contiguous
-// partition of the keyspace [0, keys): the weighted ownership table when
-// one is declared (SetOwnership under PlacementWeighted), the uniform range
-// split otherwise.  It is the machine whose co-located shards hold the key
-// under the owner-affine and weighted placements.
-func (r *Runtime) Owner(key uint64, keys int) int {
-	if own := r.currentOwnership(keys); own != nil {
-		return own.OwnerOf(key)
-	}
-	return dht.RangeOwner(key, r.cfg.Machines, keys)
-}
-
-// OwnerPartitioner returns a Round partitioner assigning work item i (a key
-// in [0, keys)) to the machine that owns it, so that lookups and writes of a
-// round's own keys stay local under the owner-affine and weighted
-// placements.  The ownership function is captured when the partitioner is
-// built: rounds built after SetOwnership partition by the same table their
-// stores were placed with.
-func (r *Runtime) OwnerPartitioner(keys int) func(int) int {
-	machines := r.cfg.Machines
-	if own := r.currentOwnership(keys); own != nil {
-		return func(item int) int { return own.OwnerOf(uint64(item)) }
-	}
-	return func(item int) int { return dht.RangeOwner(uint64(item), machines, keys) }
-}
-
-// BlockOwnerPartitioner returns a Round partitioner for lock-step block
-// rounds (see NumBlocks): block b, covering keys [b·size, (b+1)·size), is
-// assigned to the machine owning its first key.  Blocks are contiguous key
-// ranges, so all but the machine-boundary blocks are wholly owned.  Like
-// OwnerPartitioner it answers from the weighted ownership table when one is
-// declared.
-func (r *Runtime) BlockOwnerPartitioner(size, items int) func(int) int {
-	owner := r.OwnerPartitioner(items)
-	return func(block int) int {
-		lo, _ := BlockBounds(block, size, items)
-		return owner(lo)
-	}
-}
-
-// OwnedSpan returns the contiguous key span [lo, hi) that machine owns under
-// the runtime's partition of the keyspace [0, keys) — exactly the items
-// OwnerPartitioner(keys) assigns to it.  Rounds partitioned by ownership use
-// it (via OwnedRanges) to declare per-machine access spans, letting the
-// pipelined scheduler overlap sub-rounds on disjoint ranges.
-func (r *Runtime) OwnedSpan(machine, keys int) dht.Span {
-	machines := r.cfg.Machines
-	if keys <= 0 || machine < 0 || machine >= machines {
-		return dht.Span{}
-	}
-	if own := r.currentOwnership(keys); own != nil {
-		lo, hi := own.Range(machine)
-		return dht.Span{Lo: uint64(lo), Hi: uint64(hi)}
-	}
-	lo := dht.RangeOwnerStart(machine, machines, keys)
-	hi := dht.RangeOwnerStart(machine+1, machines, keys)
-	return dht.Span{Lo: uint64(lo), Hi: uint64(hi)}
-}
-
-// OwnedRanges returns, per machine, the key spans it owns in [0, keys) —
-// the per-machine access declaration matching OwnerPartitioner(keys).
-func (r *Runtime) OwnedRanges(keys int) []dht.RangeSet {
-	sets := make([]dht.RangeSet, r.cfg.Machines)
-	for m := range sets {
-		sets[m] = dht.NewRangeSet(r.OwnedSpan(m, keys))
-	}
-	return sets
-}
-
-// BlockOwnedRanges returns, per machine, the key spans covered by the
-// lock-step blocks BlockOwnerPartitioner(size, items) assigns to it — the
-// per-machine access declaration matching block-partitioned rounds.  Blocks
-// straddling an ownership boundary belong wholly to the owner of their first
-// key, so these spans can exceed the machine's owned range; declaring the
-// actual block assignment keeps the declaration exact.
-func (r *Runtime) BlockOwnedRanges(size, items int) []dht.RangeSet {
-	machines := r.cfg.Machines
-	part := r.BlockOwnerPartitioner(size, items)
-	per := make([][]dht.Span, machines)
-	for b := 0; b < NumBlocks(items, size); b++ {
-		m := part(b)
-		if m < 0 || m >= machines {
-			m = ((m % machines) + machines) % machines
-		}
-		lo, hi := BlockBounds(b, size, items)
-		per[m] = append(per[m], dht.Span{Lo: uint64(lo), Hi: uint64(hi)})
-	}
-	sets := make([]dht.RangeSet, machines)
-	for m := range sets {
-		sets[m] = dht.NewRangeSet(per[m]...)
-	}
-	return sets
-}
-
-// WriteRanges returns the per-machine spans a table-write round over items
-// keys touches under the current configuration: the block assignment when
-// batching (WriteTableRound writes whole blocks), the owned key ranges
-// otherwise.
-func (r *Runtime) WriteRanges(items int) []dht.RangeSet {
-	if r.cfg.Batch {
-		return r.BlockOwnedRanges(r.cfg.BatchSize, items)
-	}
-	return r.OwnedRanges(items)
-}
-
-// NewStore creates and registers the next distributed hash table (D0, D1, …).
-// It panics when the configured backend cannot be constructed (unknown kind,
-// unusable disk directory); callers that want to handle those errors use
-// OpenStore.
-func (r *Runtime) NewStore(name string) *dht.Store {
-	s, err := r.OpenStore(name)
-	if err != nil {
-		panic(fmt.Sprintf("ampc: creating store %q: %v", name, err))
-	}
-	return s
-}
-
-// OpenStore creates and registers the next distributed hash table, reporting
-// backend construction errors instead of panicking.
-func (r *Runtime) OpenStore(name string) (*dht.Store, error) {
-	opts := dht.Options{
-		Shards:    r.cfg.Shards,
-		Replicate: r.cfg.Replicate,
-		Placement: r.placement(),
-		Backend:   dht.BackendKind(r.cfg.Backend),
-		Faults:    r.cfg.Faults,
-		Retry:     r.cfg.Retry,
-	}
-	if opts.Backend == dht.BackendDisk {
-		dir, err := r.diskDirFor(name)
-		if err != nil {
-			return nil, err
-		}
-		opts.DiskDir = dir
-	}
-	s, err := dht.NewStore(name, opts)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	r.stores = append(r.stores, s)
-	r.mu.Unlock()
-	return s, nil
-}
-
-// diskDirFor returns a fresh per-store log directory under the runtime's
-// private disk base, creating the base on first use.  Every store gets its
-// own directory — reusing one would replay another store's logs.
-func (r *Runtime) diskDirFor(name string) (string, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.diskBase == "" {
-		base, err := os.MkdirTemp(r.cfg.DiskDir, "ampc-disk-*")
-		if err != nil {
-			return "", fmt.Errorf("ampc: creating disk base dir: %w", err)
-		}
-		r.diskBase = base
-	}
-	return filepath.Join(r.diskBase, fmt.Sprintf("%03d-%s", len(r.stores), name)), nil
-}
-
-// fenceCaches is the per-store cache fence: when store's write count has
-// moved since its per-machine caches were last validated, every machine's
-// cache for the store is invalidated.  Rounds call it for every store they
-// read before executing.
-//
-// Coherence under pipelining is primarily guaranteed structurally: the
-// dependency gates order every write round before any round reading the
-// store, and the store is frozen at its first read, so today no cached
-// store can be written after its caches fill and the invalidation branch
-// never fires on a correct schedule.  The fence is defense-in-depth — it
-// turns that invariant into a checked, per-store property instead of an
-// assumption tied to the global barrier, and it is what keeps cached reads
-// safe if a future backend or scheduler change allows writes to a store
-// after it has been cached (the regression tests pin the behavior).
-func (r *Runtime) fenceCaches(store *dht.Store) {
-	if store == nil {
-		return
-	}
-	w := store.WriteCount()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if last, ok := r.cacheFence[store]; ok && last != w {
-		for _, c := range r.caches[store] {
-			if c != nil {
-				c.Invalidate()
-			}
-		}
-	}
-	r.cacheFence[store] = w
-}
-
-// cacheFor returns machine's persistent cache in front of store, creating it
-// on first use.  Caches survive across rounds: a store is frozen the first
-// time it is read (and fenced against its write counter, see fenceCaches),
-// so entries can never go stale.
-func (r *Runtime) cacheFor(store *dht.Store, machine int) *dht.Cache {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	cs := r.caches[store]
-	if cs == nil {
-		cs = make([]*dht.Cache, r.cfg.Machines)
-		r.caches[store] = cs
-	}
-	if cs[machine] == nil {
-		cs[machine] = dht.NewCache(store)
-	}
-	return cs[machine]
-}
-
-// RecordShuffle records one shuffle of the host dataflow framework moving
-// approximately bytes bytes, charging the simulated clock for the fixed
-// shuffle overhead plus the per-byte cost.
-func (r *Runtime) RecordShuffle(name string, bytes int64) {
-	r.mu.Lock()
-	r.stats.Shuffles++
-	r.stats.ShuffleBytes += bytes
-	if n := len(r.phaseStack); n > 0 {
-		r.phaseStack[n-1].shuffles++
-		r.phaseStack[n-1].shuffleBytes += bytes
-	}
-	r.mu.Unlock()
-	r.clock.Charge(r.cfg.Model.ShuffleFixed)
-	r.clock.Charge(time.Duration(bytes) * r.cfg.Model.ShufflePerByte)
-}
-
-// Phase runs fn as a named, timed phase.  Phases may nest; statistics are
-// attributed to the innermost phase.
-func (r *Runtime) Phase(name string, fn func() error) error {
-	r.mu.Lock()
-	r.phaseStack = append(r.phaseStack, phaseFrame{
-		name:     name,
-		start:    time.Now(),
-		simStart: r.clock.Elapsed(),
-		kvBytes:  r.kvBytesLocked(),
-	})
-	r.mu.Unlock()
-
-	err := fn()
-
-	r.mu.Lock()
-	frame := r.phaseStack[len(r.phaseStack)-1]
-	r.phaseStack = r.phaseStack[:len(r.phaseStack)-1]
-	r.stats.Phases = append(r.stats.Phases, PhaseStat{
-		Name:         frame.name,
-		Wall:         time.Since(frame.start),
-		Sim:          r.clock.Elapsed() - frame.simStart,
-		Shuffles:     frame.shuffles,
-		ShuffleBytes: frame.shuffleBytes,
-		KVBytes:      r.kvBytesLocked() - frame.kvBytes,
-	})
-	r.mu.Unlock()
-	return err
-}
-
-func (r *Runtime) kvBytesLocked() int64 {
-	var total int64
-	for _, s := range r.stores {
-		total += s.TotalBytes()
-	}
-	return total
-}
-
-// Stats returns a snapshot of the execution statistics accumulated so far.
-func (r *Runtime) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	st := r.stats
-	st.Phases = append([]PhaseStat(nil), r.stats.Phases...)
-	st.MachineQueries = append([]int64(nil), r.stats.MachineQueries...)
-	for _, s := range r.stores {
-		ds := s.Stats()
-		st.KVReads += ds.Reads
-		st.KVWrites += ds.Writes
-		st.KVBytesRead += ds.BytesRead
-		st.KVBytesWritten += ds.BytesWritten
-		st.KVShardVisits += ds.ShardVisits
-		st.LocalReads += ds.LocalReads
-		st.RemoteReads += ds.RemoteReads
-		st.KVRemoteBytes += ds.RemoteBytes
-		st.KVFailovers += ds.Failovers
-		st.KVRetries += ds.Retries
-		st.KVHedges += ds.Hedges
-		st.KVDeadlineExceeded += ds.DeadlineExceeded
-		bs := s.BackendStats()
-		st.Backend.Kind = bs.Kind
-		st.Backend.DiskBytes += bs.DiskBytes
-		st.Backend.ResidentBytes += bs.ResidentBytes
-		st.Backend.WireReadOps += bs.WireReadOps
-		st.Backend.WireWriteOps += bs.WireWriteOps
-		st.Backend.WireBytes += bs.WireBytes
-		st.Backend.WireReadTime += bs.WireReadTime
-		st.Backend.WireWriteTime += bs.WireWriteTime
-		st.Backend.Reconnects += bs.Reconnects
-	}
-	st.KVBytesTotal = st.KVBytesRead + st.KVBytesWritten
-	if reads := st.LocalReads + st.RemoteReads; reads > 0 {
-		st.RemoteFrac = float64(st.RemoteReads) / float64(reads)
-	}
-	// Per-machine caches are persistent (they outlive rounds), so their
-	// counters are aggregated here rather than accumulated per round.
-	for _, cs := range r.caches {
-		for _, c := range cs {
-			if c != nil {
-				st.CacheHits += c.Hits()
-				st.CacheMisses += c.Misses()
-			}
-		}
-	}
-	st.Wall = time.Since(r.started)
-	st.Sim = r.clock.Elapsed()
-	return st
-}
-
-// MeasuredCostModel derives a cost model from the wire round trips measured
-// across all of the runtime's stores.  It reports false unless the runtime
-// uses a transport-backed backend (rpc) that has served at least one
-// operation; callers then fall back to the configured simulated model.
-func (r *Runtime) MeasuredCostModel() (simtime.CostModel, bool) {
-	bs := r.Stats().Backend
-	read, write := bs.MeasuredReadRTT(), bs.MeasuredWriteRTT()
-	if read == 0 && write == 0 {
-		return simtime.CostModel{}, false
-	}
-	return simtime.Measured(string(bs.Kind), read, write), true
 }
 
 // Ctx is the handle through which a machine accesses the hash tables during a
@@ -932,7 +434,7 @@ func (r *Runtime) MeasuredCostModel() (simtime.CostModel, bool) {
 type Ctx struct {
 	// Machine is the machine index in [0, Machines).
 	Machine int
-	rt      *Runtime
+	job     *Job
 	read    *dht.Store
 	// readView is the input store's view bound to this machine; all reads
 	// go through it so they are classified (and charged) against the
@@ -963,8 +465,8 @@ type Ctx struct {
 // machine's own memory (a cache hit).
 var dramLookupLatency = simtime.DRAM().LookupLatency
 
-// Config returns the runtime configuration (space budgets, seed, ...).
-func (c *Ctx) Config() Config { return c.rt.cfg }
+// Config returns the session configuration (space budgets, seed, ...).
+func (c *Ctx) Config() Config { return c.job.cfg }
 
 // viewFor returns out's view bound to this machine, memoized per Ctx.
 func (c *Ctx) viewFor(out *dht.Store) *dht.View {
@@ -998,7 +500,7 @@ func (c *Ctx) Lookup(key uint64) ([]byte, bool, error) {
 		// whole batch.
 		return c.coal.lookup(key)
 	}
-	readCost := int64(c.rt.cfg.Model.ReadCost(c.readView.Local(key)))
+	readCost := int64(c.job.cfg.Model.ReadCost(c.readView.Local(key)))
 	if c.cache != nil {
 		v, ok, err := c.cache.GetFrom(c.Machine, key)
 		if err != nil {
@@ -1021,7 +523,7 @@ func (c *Ctx) Lookup(key uint64) ([]byte, bool, error) {
 func (c *Ctx) Write(out *dht.Store, key uint64, value []byte) error {
 	view := c.viewFor(out)
 	c.writes.Add(1)
-	c.latency.Add(int64(c.rt.cfg.Model.WriteCost(view.Local(key))))
+	c.latency.Add(int64(c.job.cfg.Model.WriteCost(view.Local(key))))
 	if c.buffered {
 		return c.bufferWrite(out, key, value, false)
 	}
@@ -1034,7 +536,7 @@ func (c *Ctx) Write(out *dht.Store, key uint64, value []byte) error {
 func (c *Ctx) Emit(out *dht.Store, key uint64, value []byte) error {
 	view := c.viewFor(out)
 	c.writes.Add(1)
-	c.latency.Add(int64(c.rt.cfg.Model.WriteCost(view.Local(key))))
+	c.latency.Add(int64(c.job.cfg.Model.WriteCost(view.Local(key))))
 	if c.buffered {
 		return c.bufferWrite(out, key, value, true)
 	}
@@ -1130,8 +632,8 @@ type preparedRound struct {
 // round reads (the barrier path); the pipelined scheduler passes false and
 // manages freezing and fencing itself, deferring both past in-flight
 // declared writers.  Item errors are captured per job (machineJob.recordErr).
-func (r *Runtime) prepareRound(round Round, fence bool) *preparedRound {
-	cfg := r.cfg
+func (j *Job) prepareRound(round Round, fence bool) *preparedRound {
+	cfg := j.cfg
 	pr := &preparedRound{round: round}
 	if fence {
 		if round.Read != nil {
@@ -1141,22 +643,22 @@ func (r *Runtime) prepareRound(round Round, fence bool) *preparedRound {
 		}
 		for _, a := range round.readSet() {
 			if a.Store != nil {
-				r.fenceCaches(a.Store)
+				j.sess.fenceCaches(a.Store)
 			}
 		}
 	}
-	r.mu.Lock()
-	r.stats.Rounds++
-	r.mu.Unlock()
+	j.mu.Lock()
+	j.stats.Rounds++
+	j.mu.Unlock()
 
 	ctxs := make([]*Ctx, cfg.Machines)
 	for m := range ctxs {
-		ctxs[m] = &Ctx{Machine: m, rt: r, read: round.Read, buffered: cfg.FaultBudget > 0}
+		ctxs[m] = &Ctx{Machine: m, job: j, read: round.Read, buffered: cfg.FaultBudget > 0}
 		if round.Read != nil {
 			ctxs[m].readView = round.Read.View(m)
 		}
 		if cfg.EnableCache && round.Read != nil {
-			ctxs[m].cache = r.cacheFor(round.Read, m)
+			ctxs[m].cache = j.sess.cacheFor(round.Read, m)
 		}
 		if cfg.CoalesceReads && round.Read != nil {
 			ctxs[m].coal = &coalescer{ctx: ctxs[m], window: cfg.BatchSize}
@@ -1191,6 +693,7 @@ func (r *Runtime) prepareRound(round Round, fence bool) *preparedRound {
 			if len(items) == 0 {
 				continue
 			}
+			items := items
 			jobs[m] = &machineJob{
 				name:       round.Name,
 				machine:    m,
@@ -1209,15 +712,15 @@ func (r *Runtime) prepareRound(round Round, fence bool) *preparedRound {
 // machineDuration returns the modeled busy time of one machine in a round:
 // compute plus key-value latency divided by the thread count (threads
 // overlap lookups but not computation).
-func (r *Runtime) machineDuration(ctx *Ctx) time.Duration {
-	compute := time.Duration(ctx.compute.Load()) * r.cfg.Model.ComputePerItem
-	lat := time.Duration(ctx.latency.Load()) / time.Duration(r.cfg.Threads)
+func (j *Job) machineDuration(ctx *Ctx) time.Duration {
+	compute := time.Duration(ctx.compute.Load()) * j.cfg.Model.ComputePerItem
+	lat := time.Duration(ctx.latency.Load()) / time.Duration(j.cfg.Threads)
 	return compute + lat
 }
 
 // absorbRoundStats folds a finished round's per-context counters into the
-// runtime statistics.
-func (r *Runtime) absorbRoundStats(ctxs []*Ctx) {
+// job statistics and the session's observed-load accumulators.
+func (j *Job) absorbRoundStats(ctxs []*Ctx) {
 	var maxQueries int64
 	var batches, batchedKeys, visitsSaved int64
 	for _, ctx := range ctxs {
@@ -1228,100 +731,36 @@ func (r *Runtime) absorbRoundStats(ctxs []*Ctx) {
 		batchedKeys += ctx.batchedKeys.Load()
 		visitsSaved += ctx.visitsSaved.Load()
 	}
-	r.mu.Lock()
-	if maxQueries > r.stats.MaxMachineQueries {
-		r.stats.MaxMachineQueries = maxQueries
+	j.mu.Lock()
+	if maxQueries > j.stats.MaxMachineQueries {
+		j.stats.MaxMachineQueries = maxQueries
 	}
-	r.stats.BatchesIssued += batches
-	r.stats.BatchedKeys += batchedKeys
-	r.stats.ShardVisitsSaved += visitsSaved
-	if r.stats.MachineQueries == nil {
-		r.stats.MachineQueries = make([]int64, r.cfg.Machines)
+	j.stats.BatchesIssued += batches
+	j.stats.BatchedKeys += batchedKeys
+	j.stats.ShardVisitsSaved += visitsSaved
+	if j.stats.MachineQueries == nil {
+		j.stats.MachineQueries = make([]int64, j.cfg.Machines)
+	}
+	if j.stats.MachineBusy == nil {
+		j.stats.MachineBusy = make([]time.Duration, j.cfg.Machines)
 	}
 	for _, ctx := range ctxs {
-		if ctx.Machine < 0 || ctx.Machine >= r.cfg.Machines {
+		if ctx.Machine < 0 || ctx.Machine >= j.cfg.Machines {
 			continue
 		}
-		q, lat := ctx.queries.Load(), ctx.latency.Load()
-		r.stats.MachineQueries[ctx.Machine] += q
-		r.machineQueries[ctx.Machine] += q
-		r.machineLatency[ctx.Machine] += lat
+		j.stats.MachineQueries[ctx.Machine] += ctx.queries.Load()
+		j.stats.MachineBusy[ctx.Machine] += j.machineDuration(ctx)
 	}
-	r.mu.Unlock()
-}
+	j.mu.Unlock()
 
-// Run executes one AMPC round on the persistent worker pool.  Work item i is
-// assigned to machine i mod Machines (or Partitioner(i) when set); each
-// machine processes its items with Threads concurrent workers sharing one
-// Ctx.  The simulated duration of the round is the maximum over machines of
-// (compute + key-value latency / Threads), modeling the fact that
-// multithreading hides lookup latency but not computation.
-func (r *Runtime) Run(round Round) error {
-	r.runMu.Lock()
-	defer r.runMu.Unlock()
-	return r.runBarrier(round)
-}
-
-// runBarrier is Run without the serialization lock (held by the caller).
-func (r *Runtime) runBarrier(round Round) error {
-	// Hold the lifecycle read lock for the whole round so a concurrent
-	// Close cannot tear the pool down mid-dispatch (it waits instead).
-	r.lifecycle.RLock()
-	defer r.lifecycle.RUnlock()
-	if r.closed.Load() {
-		return fmt.Errorf("ampc: round %q: runtime is closed", round.Name)
-	}
-
-	pr := r.prepareRound(round, true)
-	if pr.err != nil {
-		return pr.err
-	}
-
-	// Dispatch-and-recover loop.  Each pass runs the pending sub-rounds to
-	// the barrier; a failed share is discarded and re-dispatched while the
-	// fault budget lasts (see recover.go), a successful one flushes its
-	// buffered writes.  With FaultBudget 0 the buffers are pass-throughs,
-	// every sub-round runs exactly once, and the first failure (lowest
-	// machine index, deterministically) is the round's error.
-	var firstErr error
-	pending := pr.jobs
-	for len(pending) > 0 && firstErr == nil {
-		r.workers().dispatch(pending)
-		var retry []*machineJob
-		for _, job := range pending {
-			if job == nil {
-				continue
-			}
-			if !job.failed.Load() {
-				if err := job.ctx.flushWrites(); err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("ampc: round %q: flushing machine %d writes: %w",
-						round.Name, job.machine, err)
-				}
-				continue
-			}
-			if r.consumeFaultBudget() {
-				job.ctx.discardWrites()
-				job.reset()
-				retry = append(retry, job)
-				continue
-			}
-			if err := job.takeErr(); err != nil && firstErr == nil {
-				firstErr = err
-			}
+	s := j.sess
+	s.mu.Lock()
+	for _, ctx := range ctxs {
+		if ctx.Machine < 0 || ctx.Machine >= j.cfg.Machines {
+			continue
 		}
-		pending = retry
+		s.machineQueries[ctx.Machine] += ctx.queries.Load()
+		s.machineLatency[ctx.Machine] += ctx.latency.Load()
 	}
-
-	// Simulated round time: slowest machine plus the round-spawn overhead.
-	// Re-executed shares accumulate their counters across attempts, so
-	// recovery overhead lands in the modeled duration.
-	var slowest time.Duration
-	for _, ctx := range pr.ctxs {
-		if d := r.machineDuration(ctx); d > slowest {
-			slowest = d
-		}
-	}
-	r.absorbRoundStats(pr.ctxs)
-	r.clock.Charge(slowest + r.cfg.Model.RoundOverhead)
-	return firstErr
+	s.mu.Unlock()
 }

@@ -65,7 +65,7 @@ func (c *Ctx) ReadMany(keys []uint64) ([][]byte, []bool, error) {
 		return nil, nil, err
 	}
 	c.recordBatch(len(missKeys), visits.Total())
-	c.latency.Add(int64(c.rt.cfg.Model.BatchReadCostSplit(visits.Local, visits.Remote, len(missKeys))))
+	c.latency.Add(int64(c.job.cfg.Model.BatchReadCostSplit(visits.Local, visits.Remote, len(missKeys))))
 	if missPos == nil {
 		copy(vals, mv)
 		copy(oks, mo)
@@ -113,7 +113,7 @@ func (c *Ctx) WriteMany(out *dht.Store, pairs []dht.Pair) error {
 	}
 	c.writes.Add(int64(len(pairs)))
 	c.recordBatch(len(pairs), visits.Total())
-	c.latency.Add(int64(c.rt.cfg.Model.BatchWriteCostSplit(visits.Local, visits.Remote, len(pairs))))
+	c.latency.Add(int64(c.job.cfg.Model.BatchWriteCostSplit(visits.Local, visits.Remote, len(pairs))))
 	return nil
 }
 
@@ -131,7 +131,7 @@ func (c *Ctx) EmitMany(out *dht.Store, pairs []dht.Pair) error {
 	}
 	c.writes.Add(int64(len(pairs)))
 	c.recordBatch(len(pairs), visits.Total())
-	c.latency.Add(int64(c.rt.cfg.Model.BatchWriteCostSplit(visits.Local, visits.Remote, len(pairs))))
+	c.latency.Add(int64(c.job.cfg.Model.BatchWriteCostSplit(visits.Local, visits.Remote, len(pairs))))
 	return nil
 }
 
@@ -169,7 +169,7 @@ func BlockBounds(block, size, items int) (lo, hi int) {
 // WriteTable runs one round that stores value(i) under key i for every work
 // item i in [0, items), reading nothing.  See WriteTableRound.
 func (r *Runtime) WriteTable(name string, store *dht.Store, items, computePerItem int, value func(int) []byte) error {
-	return r.Run(r.WriteTableRound(name, store, items, computePerItem, value))
+	return r.Job.Run(r.Session.WriteTableRound(name, store, items, computePerItem, value))
 }
 
 // WriteTableRound builds (without running) the round that stores value(i)
@@ -183,25 +183,25 @@ func (r *Runtime) WriteTable(name string, store *dht.Store, items, computePerIte
 // shards — and the write declaration carries those per-machine spans
 // (WriteRanges), so the pipelined scheduler can overlap later sub-rounds
 // that only touch other machines' ranges.
-func (r *Runtime) WriteTableRound(name string, store *dht.Store, items, computePerItem int, value func(int) []byte) Round {
-	if !r.cfg.Batch {
+func (s *Session) WriteTableRound(name string, store *dht.Store, items, computePerItem int, value func(int) []byte) Round {
+	if !s.cfg.Batch {
 		return Round{
 			Name:        name,
 			Items:       items,
-			Writes:      []Access{RangedBy(store, r.WriteRanges(items))},
-			Partitioner: r.OwnerPartitioner(items),
+			Writes:      []Access{RangedBy(store, s.WriteRanges(items))},
+			Partitioner: s.OwnerPartitioner(items),
 			Body: func(ctx *Ctx, item int) error {
 				ctx.ChargeCompute(computePerItem)
 				return ctx.Write(store, uint64(item), value(item))
 			},
 		}
 	}
-	size := r.cfg.BatchSize
+	size := s.cfg.BatchSize
 	return Round{
 		Name:        name,
 		Items:       NumBlocks(items, size),
-		Writes:      []Access{RangedBy(store, r.WriteRanges(items))},
-		Partitioner: r.BlockOwnerPartitioner(size, items),
+		Writes:      []Access{RangedBy(store, s.WriteRanges(items))},
+		Partitioner: s.BlockOwnerPartitioner(size, items),
 		Body: func(ctx *Ctx, block int) error {
 			lo, hi := BlockBounds(block, size, items)
 			pairs := make([]dht.Pair, 0, hi-lo)
@@ -292,7 +292,7 @@ func (co *coalescer) flush() {
 	vals, oks, visits, err := co.ctx.readView.BatchGet(keys)
 	if err == nil {
 		co.ctx.recordBatch(len(keys), visits.Total())
-		co.ctx.latency.Add(int64(co.ctx.rt.cfg.Model.BatchReadCostSplit(visits.Local, visits.Remote, len(keys))))
+		co.ctx.latency.Add(int64(co.ctx.job.cfg.Model.BatchReadCostSplit(visits.Local, visits.Remote, len(keys))))
 		if co.ctx.cache != nil {
 			// Fill once per unique key; waiters sharing a key are the
 			// equivalent of a cache hit, not a second miss.

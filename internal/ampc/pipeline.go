@@ -40,7 +40,7 @@ import (
 // since the machine's cache was last fenced (dht.Cache.InvalidateRange), so
 // disjoint-range sub-rounds no longer thrash caches that cannot hold stale
 // entries; when the segment drains, the remaining dirty spans are applied
-// and the whole-store fence point (Runtime.cacheFence) is recorded so later
+// and the whole-store fence point (Session.cacheFence) is recorded so later
 // barrier rounds see coherent caches.  Because a sub-round's reads begin
 // only after every write overlapping its declared spans has completed —
 // and reads outside the declared spans are a contract violation — the
@@ -50,6 +50,11 @@ import (
 // per-sub-round critical-path max (simtime.SubroundSchedule) instead of a
 // sum of per-round maxima — changes.  The old barrier accounting is
 // preserved in Stats.BarrierSim so the two can be compared on the same run.
+//
+// Concurrent jobs interleave at the same granularity: each job's scheduler
+// submits its sub-rounds into the shared per-machine pool feeds, which keep
+// FIFO order per machine, so one job's straggler sub-round overlaps with
+// another job's independent work on other machines.
 
 // subroundDeps returns, for every sub-round (j, m), its scheduling
 // predecessors: every round i < j whose (i, m') share conflicts with (j, m),
@@ -60,6 +65,10 @@ import (
 // conflicting rounds done".  The redundant edges cost nothing in the modeled
 // schedule — simtime.SubroundSchedule already serializes a machine's shares
 // in program order, so the extra edges are dominated.
+//
+// This analysis is the expensive part of scheduling a segment; compiled
+// plans (Session.CompilePlan) cache its result per (key, ownership
+// generation) and pass it back in through runPipelined's deps parameter.
 func subroundDeps(rounds []Round, machines int) [][][]simtime.SubDep {
 	reads := make([][]Access, len(rounds))
 	for i := range rounds {
@@ -116,21 +125,21 @@ func subroundsConflict(a Round, aReads []Access, am int, b Round, bReads []Acces
 // round must declare its full access sets via Read/Reads and Writes.  The
 // first item error of any round is returned after the whole segment has
 // drained.
-func (r *Runtime) RunPipeline(rounds []Round) error {
+func (j *Job) RunPipeline(rounds []Round) error {
 	if len(rounds) == 0 {
 		return nil
 	}
-	r.runMu.Lock()
-	defer r.runMu.Unlock()
-	if !r.cfg.Pipeline || len(rounds) == 1 {
+	j.runMu.Lock()
+	defer j.runMu.Unlock()
+	if !j.cfg.Pipeline || len(rounds) == 1 {
 		for i := range rounds {
-			if err := r.runBarrier(rounds[i]); err != nil {
+			if err := j.runBarrier(rounds[i]); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	return r.runPipelined(rounds)
+	return j.runPipelined(rounds, nil)
 }
 
 // pipeDone is one (round, machine) completion event.
@@ -144,13 +153,29 @@ type dirtyLog struct {
 	fenced []int          // per machine: log prefix already applied
 }
 
-func (r *Runtime) runPipelined(rounds []Round) error {
-	cfg := r.cfg
-	r.lifecycle.RLock()
-	defer r.lifecycle.RUnlock()
-	if r.closed.Load() {
-		return fmt.Errorf("ampc: pipeline %q: runtime is closed", rounds[0].Name)
+// runPipelined runs one dependency-scheduled segment.  deps is the sub-round
+// conflict analysis to schedule under; nil computes it fresh (RunPipeline),
+// non-nil reuses a compiled plan's cached analysis (RunPlan).  Caller holds
+// j.runMu.
+//
+// Job cancellation is honored between sub-rounds: once j.ctx is done the
+// scheduler stops submitting new sub-rounds and stops spending fault budget
+// on retries, drains the in-flight ones (their writes still flush, keeping
+// the stores consistent for other jobs sharing them), and returns the
+// context error.  The session stays fully usable.
+func (j *Job) runPipelined(rounds []Round, deps [][][]simtime.SubDep) error {
+	cfg := j.cfg
+	s := j.sess
+	s.lifecycle.RLock()
+	defer s.lifecycle.RUnlock()
+	if s.closed.Load() || j.closed.Load() {
+		return fmt.Errorf("ampc: pipeline %q: %w", rounds[0].Name, ErrClosed)
 	}
+	if err := j.ctx.Err(); err != nil {
+		return fmt.Errorf("ampc: pipeline %q: job cancelled: %w", rounds[0].Name, err)
+	}
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
 
 	var firstErr error
 	var errMu sync.Mutex
@@ -167,9 +192,17 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 
 	k := len(rounds)
 	machines := cfg.Machines
-	deps := subroundDeps(rounds, machines)
+	if deps == nil {
+		deps = subroundDeps(rounds, machines)
+	}
 	prepared := make([]*preparedRound, k)
+	// All busy rows are allocated up front: a cancelled segment never
+	// prepares its tail rounds, but the schedule computation below still
+	// wants a rectangular matrix (unrun sub-rounds contribute zero).
 	busy := make([][]time.Duration, k)
+	for i := range busy {
+		busy[i] = make([]time.Duration, machines)
+	}
 
 	// writersLeft counts, per store, the declared write sub-rounds still
 	// outstanding; a store freezes — and its whole-store fence point can be
@@ -184,26 +217,32 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 	}
 	pendingFreeze := make(map[*dht.Store]bool)
 	logs := make(map[*dht.Store]*dirtyLog)
-	logFor := func(s *dht.Store) *dirtyLog {
-		lg := logs[s]
+	logFor := func(st *dht.Store) *dirtyLog {
+		lg := logs[st]
 		if lg == nil {
 			lg = &dirtyLog{fenced: make([]int, machines)}
-			logs[s] = lg
+			logs[st] = lg
 		}
 		return lg
 	}
 
-	// Every (round, machine) pair produces exactly one event, so the
-	// buffered channel never blocks a sender.
+	// Every submitted (round, machine) pair produces exactly one event, so
+	// the buffered channel never blocks a sender.
 	events := make(chan pipeDone, k*machines)
 	doneSub := make([][]bool, k)
-	for j := range doneSub {
-		doneSub[j] = make([]bool, machines)
+	for i := range doneSub {
+		doneSub[i] = make([]bool, machines)
 	}
 	nextRound := make([]int, machines) // next round to enqueue, per machine
 
-	ready := func(j, m int) bool {
-		for _, dep := range deps[j][m] {
+	// submitted counts sub-rounds handed to the pool (or completed inline);
+	// received counts their completion events consumed.  Cancellation stops
+	// submitting, so the drain loop waits for exactly the outstanding gap.
+	submitted, received := 0, 0
+	cancelled := false
+
+	ready := func(rj, m int) bool {
+		for _, dep := range deps[rj][m] {
 			if !doneSub[dep.Round][dep.Machine] {
 				return false
 			}
@@ -211,38 +250,37 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 		return true
 	}
 
-	// prepare partitions round j the first time any machine reaches it.
+	// prepare partitions round rj the first time any machine reaches it.
 	// Freezing the input store must wait for its stragglers: with declared
 	// write sub-rounds still in flight the freeze (and the legacy
 	// whole-store fence) is deferred to the last writer's completion, and
 	// the caches are instead fenced range-exactly at sub-round dispatch.
-	prepare := func(j int) {
-		prepared[j] = r.prepareRound(rounds[j], false)
-		recordErr(prepared[j].err)
-		busy[j] = make([]time.Duration, machines)
-		if s := rounds[j].Read; s != nil {
-			if writersLeft[s] == 0 {
-				if err := s.Freeze(); err != nil {
-					recordErr(fmt.Errorf("ampc: round %q: freezing input store: %w", rounds[j].Name, err))
+	prepare := func(rj int) {
+		prepared[rj] = j.prepareRound(rounds[rj], false)
+		recordErr(prepared[rj].err)
+		if st := rounds[rj].Read; st != nil {
+			if writersLeft[st] == 0 {
+				if err := st.Freeze(); err != nil {
+					recordErr(fmt.Errorf("ampc: round %q: freezing input store: %w", rounds[rj].Name, err))
 				}
 			} else {
-				pendingFreeze[s] = true
+				pendingFreeze[st] = true
 			}
 		}
-		for _, a := range rounds[j].readSet() {
+		for _, a := range rounds[rj].readSet() {
 			if a.Store != nil && writersLeft[a.Store] == 0 && logs[a.Store] == nil {
 				// No declared writer pending and none completed in this
 				// segment: fence against writes from before the segment.
-				r.fenceCaches(a.Store)
+				s.fenceCaches(a.Store)
 			}
 		}
 	}
 
 	// fenceSub applies, to machine m's caches, the dirty spans completed
-	// write sub-rounds have logged for round j's read stores since m was
+	// write sub-rounds have logged for round rj's read stores since m was
 	// last fenced.
-	fenceSub := func(j, m int) {
-		for _, a := range rounds[j].readSet() {
+	fenceSub := func(rj, m int) {
+		for _, a := range rounds[rj].readSet() {
 			lg := logs[a.Store]
 			if a.Store == nil || lg == nil || lg.fenced[m] >= len(lg.spans) {
 				continue
@@ -252,30 +290,37 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 				set = set.Union(spans)
 			}
 			lg.fenced[m] = len(lg.spans)
-			r.invalidateMachineCache(a.Store, m, set)
+			s.invalidateMachineCache(a.Store, m, set)
 		}
 	}
 
 	// pump enqueues, for every machine, each next round whose predecessor
 	// sub-rounds have all finished.  The per-machine feeds keep program
-	// order, so enqueueing ahead of the machine's current work is safe.
+	// order, so enqueueing ahead of the machine's current work is safe —
+	// and safe across jobs, since each feed keeps every job's shares in its
+	// own program order.  After cancellation pump stops submitting; the
+	// in-flight sub-rounds drain through the event loop.
 	pump := func() {
+		if cancelled {
+			return
+		}
 		for m := 0; m < machines; m++ {
 			for nextRound[m] < k && ready(nextRound[m], m) {
-				j := nextRound[m]
+				rj := nextRound[m]
 				nextRound[m]++
-				if prepared[j] == nil {
-					prepare(j)
+				if prepared[rj] == nil {
+					prepare(rj)
 				}
-				fenceSub(j, m)
-				job := prepared[j].jobs[m]
+				fenceSub(rj, m)
+				submitted++
+				job := prepared[rj].jobs[m]
 				if job == nil {
 					// No items for this machine: complete immediately.
-					events <- pipeDone{j, m}
+					events <- pipeDone{rj, m}
 					continue
 				}
-				job.done = func(*machineJob) { events <- pipeDone{j, m} }
-				r.workers().submit(m, job)
+				job.done = func(*machineJob) { events <- pipeDone{rj, m} }
+				s.workers().submit(m, job)
 			}
 		}
 	}
@@ -289,30 +334,32 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 		for _, a := range rd.readSet() {
 			if a.Store != nil && writersLeft[a.Store] > 0 && !fencedUpfront[a.Store] {
 				fencedUpfront[a.Store] = true
-				r.fenceCaches(a.Store)
+				s.fenceCaches(a.Store)
 			}
 		}
 	}
 
 	pump()
-	for remaining := k * machines; remaining > 0; {
+	for received < submitted {
 		ev := <-events
 		// Only machine ev.machine's threads ever touched this context, and
 		// they are all done with it, so its counters are final.
 		job := prepared[ev.round].jobs[ev.machine]
 		if job != nil && job.failed.Load() {
-			if r.consumeFaultBudget() {
+			if !cancelled && j.consumeFaultBudget() {
 				// Re-execute just this sub-round: drop the failed attempt's
 				// buffered writes, re-fence the machine's caches against any
 				// spans dirtied since dispatch, and resubmit.  Conflicting
 				// later sub-rounds are still gated on doneSub, which is only
 				// set after a successful flush, so the retry is invisible to
 				// the rest of the schedule — except in the modeled time,
-				// where the re-executed share's counters land twice.
+				// where the re-executed share's counters land twice.  The
+				// completion event is still outstanding, so received is not
+				// advanced.
 				job.ctx.discardWrites()
 				job.reset()
 				fenceSub(ev.round, ev.machine)
-				r.workers().submit(ev.machine, job)
+				s.workers().submit(ev.machine, job)
 				continue
 			}
 			recordErr(job.takeErr())
@@ -322,8 +369,8 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 					rounds[ev.round].Name, ev.machine, err))
 			}
 		}
-		remaining--
-		busy[ev.round][ev.machine] = r.machineDuration(prepared[ev.round].ctxs[ev.machine])
+		received++
+		busy[ev.round][ev.machine] = j.machineDuration(prepared[ev.round].ctxs[ev.machine])
 		doneSub[ev.round][ev.machine] = true
 		for _, w := range rounds[ev.round].Writes {
 			if w.Store == nil {
@@ -339,7 +386,13 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 				delete(pendingFreeze, w.Store)
 			}
 		}
+		if !cancelled && j.ctx.Err() != nil {
+			cancelled = true
+		}
 		pump()
+	}
+	if cancelled {
+		recordErr(fmt.Errorf("ampc: pipeline %q: job cancelled: %w", rounds[0].Name, j.ctx.Err()))
 	}
 
 	// Segment-end fence finalization: apply the dirty spans each machine has
@@ -347,7 +400,7 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 	// points — a later barrier round fences by write count, and without the
 	// recorded point it would mistake this segment's writes for coherent
 	// cache state.
-	for s, lg := range logs {
+	for st, lg := range logs {
 		for m := 0; m < machines; m++ {
 			if lg.fenced[m] >= len(lg.spans) {
 				continue
@@ -357,16 +410,18 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 				set = set.Union(spans)
 			}
 			lg.fenced[m] = len(lg.spans)
-			r.invalidateMachineCache(s, m, set)
+			s.invalidateMachineCache(st, m, set)
 		}
-		w := s.WriteCount()
-		r.mu.Lock()
-		r.cacheFence[s] = w
-		r.mu.Unlock()
+		w := st.WriteCount()
+		s.mu.Lock()
+		s.cacheFence[st] = w
+		s.mu.Unlock()
 	}
 
 	for _, pr := range prepared {
-		r.absorbRoundStats(pr.ctxs)
+		if pr != nil {
+			j.absorbRoundStats(pr.ctxs)
+		}
 	}
 
 	// Modeled time: the critical-path makespan of the range-gated sub-round
@@ -375,29 +430,16 @@ func (r *Runtime) runPipelined(rounds []Round) error {
 	overhead := time.Duration(k) * cfg.Model.RoundOverhead
 	pipe := simtime.SubroundSchedule(busy, deps)
 	barrier := simtime.BarrierSchedule(busy)
-	r.clock.Charge(pipe.Makespan + overhead)
-	r.mu.Lock()
-	r.stats.PipelineSegments++
-	r.stats.PipelinedRounds += k
-	r.stats.PipelineSim += pipe.Makespan + overhead
-	r.stats.BarrierSim += barrier.Makespan + overhead
-	r.stats.PipelineIdle += pipe.Idle
-	r.stats.BarrierIdle += barrier.Idle
-	r.mu.Unlock()
+	j.clock.Charge(pipe.Makespan + overhead)
+	j.mu.Lock()
+	j.stats.PipelineSegments++
+	j.stats.PipelinedRounds += k
+	j.stats.PipelineSim += pipe.Makespan + overhead
+	j.stats.BarrierSim += barrier.Makespan + overhead
+	j.stats.PipelineIdle += pipe.Idle
+	j.stats.BarrierIdle += barrier.Idle
+	j.mu.Unlock()
 	return firstErr
-}
-
-// invalidateMachineCache range-fences one machine's cache for store.
-func (r *Runtime) invalidateMachineCache(store *dht.Store, machine int, set dht.RangeSet) {
-	r.mu.Lock()
-	var c *dht.Cache
-	if cs := r.caches[store]; machine < len(cs) {
-		c = cs[machine]
-	}
-	r.mu.Unlock()
-	if c != nil {
-		c.InvalidateRange(set)
-	}
 }
 
 // StagedRound couples a Round with the Phase it runs under when the sequence
@@ -418,17 +460,17 @@ type StagedRound struct {
 // single phase combining the stage names, so a machine done with its share
 // of one stage flows into the next stage's independent work instead of
 // idling at the barrier.
-func (r *Runtime) RunStaged(stages []StagedRound) error {
-	if !r.cfg.Pipeline {
+func (j *Job) RunStaged(stages []StagedRound) error {
+	if !j.cfg.Pipeline {
 		for _, st := range stages {
 			run := st.Round
 			if st.Phase == "" {
-				if err := r.Run(run); err != nil {
+				if err := j.Run(run); err != nil {
 					return err
 				}
 				continue
 			}
-			if err := r.Phase(st.Phase, func() error { return r.Run(run) }); err != nil {
+			if err := j.Phase(st.Phase, func() error { return j.Run(run) }); err != nil {
 				return err
 			}
 		}
@@ -443,7 +485,7 @@ func (r *Runtime) RunStaged(stages []StagedRound) error {
 		}
 	}
 	if len(names) == 0 {
-		return r.RunPipeline(rounds)
+		return j.RunPipeline(rounds)
 	}
-	return r.Phase(strings.Join(names, "+"), func() error { return r.RunPipeline(rounds) })
+	return j.Phase(strings.Join(names, "+"), func() error { return j.RunPipeline(rounds) })
 }

@@ -1,6 +1,7 @@
 package ampc
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -443,8 +444,8 @@ func TestCloseDuringInFlightPipeline(t *testing.T) {
 		t.Fatalf("Close returned before the pipeline drained: %d/16 items", got)
 	}
 	err := r.RunPipeline([]Round{{Name: "late", Items: 2, Body: func(ctx *Ctx, item int) error { return nil }}})
-	if err == nil || !strings.Contains(err.Error(), "closed") {
-		t.Fatalf("RunPipeline after Close: %v, want closed error", err)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("RunPipeline after Close: %v, want ErrClosed", err)
 	}
 }
 

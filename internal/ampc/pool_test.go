@@ -1,9 +1,9 @@
 package ampc
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -92,8 +92,8 @@ func TestCloseStopsPoolAndRejectsRounds(t *testing.T) {
 	r.Close()
 	r.Close() // idempotent
 	err := r.Run(Round{Name: "late", Items: 4, Body: func(ctx *Ctx, item int) error { return nil }})
-	if err == nil || !strings.Contains(err.Error(), "closed") {
-		t.Fatalf("Run after Close: %v, want closed error", err)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close: %v, want ErrClosed", err)
 	}
 	// Stats stay readable.
 	if r.Stats().Rounds != 1 {

@@ -13,7 +13,7 @@ import (
 // the keyspace by declared per-key weights (degrees) before any round runs.
 // Observed load can disagree with it — search rounds walk far past the keys
 // a machine owns, and caches shift where lookups actually land — so between
-// pipeline segments the runtime can re-derive the boundaries from what the
+// pipeline segments the session can re-derive the boundaries from what the
 // finished segment measured.  Rebalance folds the per-machine query counts
 // (first-order) and modeled lookup latency (a sampled search-cost
 // second-order weight) into a per-key cost vector, rebuilds the prefix-sum
@@ -32,7 +32,7 @@ type RebalanceStats struct {
 	// the last rebalance, or the re-derived boundaries were unchanged.
 	Moved bool
 	// MigratedKeys / MigratedBytes total the shard data moved across all of
-	// the runtime's weighted-placed stores.
+	// the session's weighted-placed stores.
 	MigratedKeys  int64
 	MigratedBytes int64
 	// Changed is the set of key spans whose owner changed — exactly the
@@ -42,33 +42,27 @@ type RebalanceStats struct {
 	Cost time.Duration
 }
 
-// Rebalance re-derives the weighted ownership boundaries from the load
-// observed since the last rebalance (or since New) and migrates shard data
-// accordingly.  It is meant to be called between pipeline segments: it takes
-// the same run lock as Run and RunPipeline, so concurrent callers queue and
-// the migration never interleaves with an in-flight round.  Partitioners and
-// stores built after the call answer from the updated table.
-//
-// Under any placement other than PlacementWeighted, or before any ownership
-// table and observed load exist, Rebalance is a documented no-op that
-// returns zero stats and a nil error — callers can run the same adaptive
-// arm against every placement without branching.
-func (r *Runtime) Rebalance() (RebalanceStats, error) {
+// rebalance is the session half of Runtime.Rebalance: the caller (holding
+// the job's run lock) passes the job the migration is charged to.  It takes
+// the session's exclusive execution lock, so every other job's in-flight
+// rounds drain first and none starts until the migration is installed —
+// rounds take the lock shared.
+func (s *Session) rebalance(j *Job) (RebalanceStats, error) {
 	var st RebalanceStats
-	r.runMu.Lock()
-	defer r.runMu.Unlock()
-	r.lifecycle.RLock()
-	defer r.lifecycle.RUnlock()
-	if r.closed.Load() {
-		return st, fmt.Errorf("ampc: rebalance: runtime is closed")
+	s.lifecycle.RLock()
+	defer s.lifecycle.RUnlock()
+	if s.closed.Load() || j.closed.Load() {
+		return st, fmt.Errorf("ampc: rebalance: %w", ErrClosed)
 	}
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
 
-	r.mu.Lock()
-	old := r.ownership
-	base := r.baseWeights
-	load := r.observedLoadLocked()
-	r.mu.Unlock()
-	if r.cfg.Placement != PlacementWeighted || old == nil || load == nil {
+	s.mu.Lock()
+	old := s.ownership
+	base := s.baseWeights
+	load := s.observedLoadLocked()
+	s.mu.Unlock()
+	if s.cfg.Placement != PlacementWeighted || old == nil || load == nil {
 		return st, nil
 	}
 
@@ -78,12 +72,12 @@ func (r *Runtime) Rebalance() (RebalanceStats, error) {
 	// The observation window closes here whether or not the boundaries
 	// moved: the next segment's load is measured against the table it
 	// actually runs under.
-	r.mu.Lock()
-	for i := range r.machineQueries {
-		r.machineQueries[i] = 0
-		r.machineLatency[i] = 0
+	s.mu.Lock()
+	for i := range s.machineQueries {
+		s.machineQueries[i] = 0
+		s.machineLatency[i] = 0
 	}
-	r.mu.Unlock()
+	s.mu.Unlock()
 	if changed.Empty() {
 		return st, nil
 	}
@@ -94,42 +88,47 @@ func (r *Runtime) Rebalance() (RebalanceStats, error) {
 	// operations without touching the stores' write counters, so the cache
 	// fences recorded at segment ends stay valid; the migrated spans are
 	// invalidated explicitly instead.
-	r.mu.Lock()
-	r.ownership = next
-	r.adaptive = true
-	stores := append([]*dht.Store(nil), r.stores...)
-	r.mu.Unlock()
+	s.mu.Lock()
+	s.ownership = next
+	s.adaptive = true
+	stores := append([]*dht.Store(nil), s.stores...)
+	s.mu.Unlock()
 
 	place := dht.OwnershipPlacement(next)
-	for _, s := range stores {
-		if s.Placement().Name() != place.Name() {
+	for _, store := range stores {
+		if store.Placement().Name() != place.Name() {
 			continue
 		}
-		ms, err := s.Rebalance(place)
+		ms, err := store.Rebalance(place)
 		if err != nil {
 			return st, fmt.Errorf("ampc: rebalance: %w", err)
 		}
 		st.MigratedKeys += ms.KeysMoved
 		st.MigratedBytes += ms.BytesMoved
-		r.mu.Lock()
-		for _, c := range r.caches[s] {
+		s.mu.Lock()
+		for _, c := range s.caches[store] {
 			if c != nil {
 				c.InvalidateRange(changed)
 			}
 		}
-		r.mu.Unlock()
+		s.mu.Unlock()
 	}
+
+	// The ownership generation moves and every compiled plan dies with it:
+	// plans embed span declarations derived from the old boundaries.
+	s.ownGen.Add(1)
+	s.planCache.invalidate()
 
 	st.Moved = true
 	st.Changed = changed
-	st.Cost = r.cfg.Model.MigrateCost(st.MigratedBytes)
-	r.clock.Charge(st.Cost)
-	r.mu.Lock()
-	r.stats.Rebalances++
-	r.stats.MigratedKeys += st.MigratedKeys
-	r.stats.MigratedBytes += st.MigratedBytes
-	r.stats.MigrationSim += st.Cost
-	r.mu.Unlock()
+	st.Cost = s.cfg.Model.MigrateCost(st.MigratedBytes)
+	j.clock.Charge(st.Cost)
+	j.mu.Lock()
+	j.stats.Rebalances++
+	j.stats.MigratedKeys += st.MigratedKeys
+	j.stats.MigratedBytes += st.MigratedBytes
+	j.stats.MigrationSim += st.Cost
+	j.mu.Unlock()
 	return st, nil
 }
 
@@ -137,22 +136,22 @@ func (r *Runtime) Rebalance() (RebalanceStats, error) {
 // latency accumulated since the last rebalance into one load vector for
 // RederiveBoundaries.  Each signal is normalized to its own total so neither
 // unit dominates, averaged, and scaled to integers.  Returns nil when
-// nothing was observed.  Caller holds r.mu.
-func (r *Runtime) observedLoadLocked() []int64 {
+// nothing was observed.  Caller holds s.mu.
+func (s *Session) observedLoadLocked() []int64 {
 	var qTotal, lTotal int64
-	for i := range r.machineQueries {
-		qTotal += r.machineQueries[i]
-		lTotal += r.machineLatency[i]
+	for i := range s.machineQueries {
+		qTotal += s.machineQueries[i]
+		lTotal += s.machineLatency[i]
 	}
 	if qTotal <= 0 {
 		return nil
 	}
 	const scale = 1 << 20
-	load := make([]int64, len(r.machineQueries))
+	load := make([]int64, len(s.machineQueries))
 	for i := range load {
-		f := float64(r.machineQueries[i]) / float64(qTotal)
+		f := float64(s.machineQueries[i]) / float64(qTotal)
 		if lTotal > 0 {
-			f = (f + float64(r.machineLatency[i])/float64(lTotal)) / 2
+			f = (f + float64(s.machineLatency[i])/float64(lTotal)) / 2
 		}
 		load[i] = int64(f * scale)
 	}

@@ -2,6 +2,7 @@ package ampc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -220,7 +221,7 @@ func TestCloseDuringRebalance(t *testing.T) {
 		wg.Add(2)
 		go func() {
 			defer wg.Done()
-			if _, err := r.Rebalance(); err != nil && err.Error() != "ampc: rebalance: runtime is closed" {
+			if _, err := r.Rebalance(); err != nil && !errors.Is(err, ErrClosed) {
 				t.Errorf("rebalance during close: %v", err)
 			}
 		}()

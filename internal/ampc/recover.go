@@ -108,7 +108,7 @@ func (c *Ctx) flushWrites() error {
 			return err
 		}
 		c.recordBatch(len(w.pairs), visits.Total())
-		c.latency.Add(int64(c.rt.cfg.Model.BatchWriteCostSplit(visits.Local, visits.Remote, len(w.pairs))))
+		c.latency.Add(int64(c.job.cfg.Model.BatchWriteCostSplit(visits.Local, visits.Remote, len(w.pairs))))
 	}
 	return nil
 }
@@ -122,14 +122,15 @@ func (c *Ctx) discardWrites() {
 
 // consumeFaultBudget reserves one sub-round re-execution.  It reports false
 // once Config.FaultBudget re-executions have been spent — the scheduler then
-// surfaces the failure as the run's error.
-func (r *Runtime) consumeFaultBudget() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.faultBudgetUsed >= r.cfg.FaultBudget {
+// surfaces the failure as the run's error.  The budget is per job, so one
+// fault-heavy query cannot starve the recovery of its session neighbors.
+func (j *Job) consumeFaultBudget() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.faultBudgetUsed >= j.cfg.FaultBudget {
 		return false
 	}
-	r.faultBudgetUsed++
-	r.stats.SubroundRetries++
+	j.faultBudgetUsed++
+	j.stats.SubroundRetries++
 	return true
 }

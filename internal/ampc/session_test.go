@@ -1,0 +1,470 @@
+package ampc
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Session/Job layer tests: admission gating, job cancellation, shared
+// stores, the compiled-plan cache, and concurrent jobs interleaving on one
+// pool.  Run with -race (make race) these double as the data-race proof for
+// the serving layer.
+
+// jobStoreRounds builds a write round filling a job-private store with a
+// recognizable value per key and a read round verifying every key, both
+// partitioned by ownership.  salt varies the values between jobs so a
+// cross-job mixup cannot verify.
+func jobStoreRounds(rt *Runtime, n int, salt uint64) (Round, Round, error) {
+	store, err := rt.OpenStore(fmt.Sprintf("data-%d", salt))
+	if err != nil {
+		return Round{}, Round{}, err
+	}
+	write := Round{
+		Name:        "write",
+		Items:       n,
+		Writes:      []Access{{Store: store}},
+		Partitioner: rt.OwnerPartitioner(n),
+		Body: func(ctx *Ctx, item int) error {
+			var v [8]byte
+			binary.LittleEndian.PutUint64(v[:], uint64(item)*7+salt)
+			return ctx.Write(store, uint64(item), v[:])
+		},
+	}
+	read := Round{
+		Name:        "read",
+		Items:       n,
+		Read:        store,
+		Partitioner: rt.OwnerPartitioner(n),
+		Body: func(ctx *Ctx, item int) error {
+			v, ok, err := ctx.Lookup(uint64(item))
+			if err != nil || !ok {
+				return fmt.Errorf("key %d: ok=%v err=%v", item, ok, err)
+			}
+			if got := binary.LittleEndian.Uint64(v); got != uint64(item)*7+salt {
+				return fmt.Errorf("key %d: value %d, want %d", item, got, uint64(item)*7+salt)
+			}
+			return nil
+		},
+	}
+	return write, read, nil
+}
+
+// TestConcurrentJobsInterleaveOnOnePool runs several pipelined jobs at once
+// against one session: every job must complete, verify its own store's
+// contents, and observe only its own rounds in its per-job statistics.
+func TestConcurrentJobsInterleaveOnOnePool(t *testing.T) {
+	const n, jobs = 200, 6
+	s := NewSession(Config{Machines: 4, Threads: 2, Pipeline: true, Seed: 1})
+	defer s.Close()
+	s.SetKeyspace(n)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs*2)
+	for jid := 0; jid < jobs; jid++ {
+		wg.Add(1)
+		go func(jid int) {
+			defer wg.Done()
+			rt, err := s.NewJob()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer rt.Close()
+			write, read, err := jobStoreRounds(rt, n, uint64(jid))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := rt.RunPipeline([]Round{write, read}); err != nil {
+				errs <- err
+				return
+			}
+			st := rt.Stats()
+			if st.Rounds != 2 {
+				errs <- fmt.Errorf("job %d: %d rounds in per-job stats, want 2", jid, st.Rounds)
+			}
+			if len(st.MachineBusy) != 4 {
+				errs <- fmt.Errorf("job %d: MachineBusy has %d machines, want 4", jid, len(st.MachineBusy))
+				return
+			}
+			var busy time.Duration
+			for _, d := range st.MachineBusy {
+				busy += d
+			}
+			if busy <= 0 {
+				errs <- fmt.Errorf("job %d: no machine busy time recorded", jid)
+			}
+		}(jid)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxJobsAdmissionFIFO pins the admission gate: with MaxJobs=1 a second
+// job blocks until the first closes, and queued jobs are admitted in arrival
+// order.
+func TestMaxJobsAdmissionFIFO(t *testing.T) {
+	s := NewSession(Config{Machines: 2, Threads: 1, MaxJobs: 1, Seed: 1})
+	defer s.Close()
+
+	waitForWaiters := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			s.admitMu.Lock()
+			got := len(s.waiters)
+			s.admitMu.Unlock()
+			if got >= want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("admission queue never reached %d waiters", want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	first, err := s.NewJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan int, 2)
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rt, err := s.NewJob()
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			admitted <- i
+			rt.Close()
+		}(i)
+		waitForWaiters(i) // waiter i is queued before waiter i+1 starts
+	}
+
+	select {
+	case got := <-admitted:
+		t.Fatalf("waiter %d admitted while the slot was held", got)
+	case <-time.After(20 * time.Millisecond):
+	}
+	first.Close()
+	if got := <-admitted; got != 1 {
+		t.Fatalf("waiter %d admitted first, want FIFO order", got)
+	}
+	if got := <-admitted; got != 2 {
+		t.Fatalf("waiter %d admitted second, want FIFO order", got)
+	}
+	wg.Wait()
+}
+
+// TestAdmissionCancellation pins the gate's context behavior: a waiter whose
+// context is cancelled stops waiting with an admission error, and the held
+// slot is unaffected.
+func TestAdmissionCancellation(t *testing.T) {
+	s := NewSession(Config{Machines: 2, Threads: 1, MaxJobs: 1, Seed: 1})
+	defer s.Close()
+	first, err := s.NewJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.NewJobContext(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled admission wait: %v, want context.Canceled", err)
+	}
+
+	// The session stays usable: after the slot frees, jobs are admitted.
+	first.Close()
+	rt, err := s.NewJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+}
+
+// TestJobCancelMidPipelineLeavesSessionReusable cancels a job's context from
+// inside its first round: the pipelined scheduler must drain and return the
+// context error — not hang, not run the dependent round — and the session
+// must stay fully usable for the next job.
+func TestJobCancelMidPipelineLeavesSessionReusable(t *testing.T) {
+	const n = 64
+	s := NewSession(Config{Machines: 2, Threads: 1, Pipeline: true, Seed: 1})
+	defer s.Close()
+	s.SetKeyspace(n)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rt, err := s.NewJobContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := rt.OpenStore("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var readRan sync.Once
+	reached := false
+	write := Round{
+		Name:        "write",
+		Items:       n,
+		Writes:      []Access{{Store: store}},
+		Partitioner: rt.OwnerPartitioner(n),
+		Body: func(c *Ctx, item int) error {
+			cancel() // cancel mid-flight: the scheduler must drain, not hang
+			return c.Write(store, uint64(item), []byte{1})
+		},
+	}
+	read := Round{
+		Name:        "read",
+		Items:       n,
+		Read:        store,
+		Partitioner: rt.OwnerPartitioner(n),
+		Body: func(c *Ctx, item int) error {
+			readRan.Do(func() { reached = true })
+			return nil
+		},
+	}
+	err = rt.RunPipeline([]Round{write, read})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled pipeline: %v, want context.Canceled", err)
+	}
+	if reached {
+		t.Fatal("dependent round ran after cancellation")
+	}
+	// Every later round of the cancelled job fails fast with the same error.
+	if err := rt.Run(read); !errors.Is(err, context.Canceled) {
+		t.Fatalf("round on cancelled job: %v, want context.Canceled", err)
+	}
+	rt.Close()
+
+	// The session is untouched: a fresh job runs a full pipeline and
+	// verifies its own data.
+	rt2, err := s.NewJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	write2, read2, err := jobStoreRounds(rt2, n, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.RunPipeline([]Round{write2, read2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenSharedStoreSharedAcrossJobs pins the shared-store registry: one
+// store per name, retained per extra open, unaffected by job closes.
+func TestOpenSharedStoreSharedAcrossJobs(t *testing.T) {
+	s := NewSession(Config{Machines: 2, Threads: 1, Seed: 1})
+	defer s.Close()
+
+	st1, err := s.OpenSharedStore("graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := s.OpenSharedStore("graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatal("OpenSharedStore returned distinct stores for one name")
+	}
+	if got, ok := s.SharedStore("graph"); !ok || got != st1 {
+		t.Fatal("SharedStore does not find the registered store")
+	}
+	if _, ok := s.SharedStore("absent"); ok {
+		t.Fatal("SharedStore invented a store")
+	}
+	other, err := s.OpenSharedStore("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == st1 {
+		t.Fatal("distinct names share a store")
+	}
+
+	// Closing a job must not close session stores.
+	rt, err := s.NewJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+	if err := st1.Put(1, []byte("x")); err != nil {
+		t.Fatalf("shared store unusable after a job closed: %v", err)
+	}
+}
+
+// TestPlanCacheHitsAndOwnershipInvalidation pins the compiled-plan cache: a
+// repeated key hits, re-declaring identical ownership weights neither bumps
+// the generation nor invalidates, and changed weights do both.
+func TestPlanCacheHitsAndOwnershipInvalidation(t *testing.T) {
+	const n = 120
+	s := NewSession(Config{Machines: 4, Threads: 2, Pipeline: true, Placement: PlacementWeighted, Seed: 1})
+	defer s.Close()
+	weights := make([]int, n)
+	for i := range weights {
+		weights[i] = 1 + i%3
+	}
+	s.SetOwnership(weights)
+	rt, err := s.NewJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Shared input table, written once and frozen — the serving shape.
+	store, err := s.OpenSharedStore("graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := Round{
+		Name:        "fill",
+		Items:       n,
+		Writes:      []Access{{Store: store}},
+		Partitioner: rt.OwnerPartitioner(n),
+		Body: func(c *Ctx, item int) error {
+			var v [8]byte
+			binary.LittleEndian.PutUint64(v[:], uint64(item)*3+1)
+			return c.Write(store, uint64(item), v[:])
+		},
+	}
+	if err := rt.Run(fill); err != nil {
+		t.Fatal(err)
+	}
+	store.Freeze()
+
+	// Per-query rounds: a range-confined local read stage ordered before a
+	// spill stage by a token — the same conflict pattern the core drivers
+	// compile.
+	query := func() []StagedRound {
+		spans := rt.OwnedRanges(n)
+		tok := NewToken("q-local")
+		local := Round{
+			Name:        "local",
+			Items:       n,
+			Read:        store,
+			Reads:       []Access{RangedBy(store, spans)},
+			Writes:      []Access{{Token: tok}},
+			Partitioner: rt.OwnerPartitioner(n),
+			Body: func(c *Ctx, item int) error {
+				v, ok, err := c.Lookup(uint64(item))
+				if err != nil || !ok || binary.LittleEndian.Uint64(v) != uint64(item)*3+1 {
+					return fmt.Errorf("key %d: ok=%v err=%v", item, ok, err)
+				}
+				return nil
+			},
+		}
+		spill := Round{
+			Name:        "spill",
+			Items:       n,
+			Read:        store,
+			Reads:       []Access{{Token: tok}},
+			Partitioner: rt.OwnerPartitioner(n),
+			Body:        func(c *Ctx, item int) error { return nil },
+		}
+		return []StagedRound{{Phase: "local", Round: local}, {Phase: "spill", Round: spill}}
+	}
+
+	p1 := rt.CompilePlan("query", query())
+	if p1.Cached {
+		t.Fatal("first compilation reported a cache hit")
+	}
+	if err := rt.RunPlan(p1); err != nil {
+		t.Fatal(err)
+	}
+	p2 := rt.CompilePlan("query", query())
+	if !p2.Cached {
+		t.Fatal("second compilation missed the plan cache")
+	}
+	if err := rt.RunPlan(p2); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.PlanCacheStats(); st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("plan cache stats %+v, want 1 hit / 1 miss / size 1", st)
+	}
+
+	// Identical weights: the fast path must keep the generation, so the next
+	// compilation still hits.
+	gen := s.ownGen.Load()
+	s.SetOwnership(weights)
+	if got := s.ownGen.Load(); got != gen {
+		t.Fatalf("re-declaring identical weights bumped the ownership generation %d -> %d", gen, got)
+	}
+	if p := rt.CompilePlan("query", query()); !p.Cached {
+		t.Fatal("compilation after an identical SetOwnership missed")
+	}
+
+	// Changed weights: new generation, so the compiled analysis is stale and
+	// the same key misses.
+	weights[0] += 10
+	s.SetOwnership(weights)
+	if got := s.ownGen.Load(); got == gen {
+		t.Fatal("changed weights did not bump the ownership generation")
+	}
+	if p := rt.CompilePlan("query", query()); p.Cached {
+		t.Fatal("compilation after an ownership change hit a stale plan")
+	}
+}
+
+// TestCompilePlanBarrierMode pins the non-pipelined degenerate case: the
+// plan records the stages and RunPlan executes them at barriers.
+func TestCompilePlanBarrierMode(t *testing.T) {
+	const n = 50
+	s := NewSession(Config{Machines: 2, Threads: 1, Seed: 1})
+	defer s.Close()
+	s.SetKeyspace(n)
+	rt, err := s.NewJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	write, read, err := jobStoreRounds(rt, n, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rt.CompilePlan("barrier-query", []StagedRound{
+		{Phase: "write", Round: write},
+		{Phase: "read", Round: read},
+	})
+	if p.Cached {
+		t.Fatal("barrier-mode plan reported a cache hit")
+	}
+	if err := rt.RunPlan(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Rounds()); got != 2 {
+		t.Fatalf("plan has %d rounds, want 2", got)
+	}
+	if st := s.PlanCacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("barrier-mode compilation touched the plan cache: %+v", st)
+	}
+}
+
+// TestNewJobOnClosedSession pins the post-Close contract.
+func TestNewJobOnClosedSession(t *testing.T) {
+	s := NewSession(Config{Machines: 2, Threads: 1, Seed: 1})
+	s.Close()
+	if _, err := s.NewJob(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("NewJob on closed session: %v, want ErrClosed", err)
+	}
+}

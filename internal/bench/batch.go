@@ -131,6 +131,12 @@ type Smoke struct {
 	// jobs, every recovery tier must stay exercised, and the recovery
 	// overhead is gated by a variance-derived ceiling.
 	Chaos []ChaosSmokeRow `json:"chaos,omitempty"`
+	// Serving tracks the Plan/Session/Job serving layer on the hub-heavy
+	// CW/HL stand-ins (see ServingSmoke): N concurrent query jobs on one
+	// warm session must stay byte-identical to the serialized one-shot runs
+	// while beating them on modeled throughput, with the session plan cache
+	// scoring hits; the throughput gate is a variance-derived floor.
+	Serving []ServingRow `json:"serving,omitempty"`
 }
 
 // BatchSmoke runs the batched-vs-unbatched comparison for the snapshot and
@@ -179,6 +185,12 @@ func BatchSmoke(opts Options) (Smoke, Report, error) {
 	if err != nil {
 		return Smoke{}, rep, err
 	}
+	servingOpts := opts
+	servingOpts.Datasets = nil // ServingSmoke pins CW+HL
+	servingRows, err := ServingSmoke(servingOpts)
+	if err != nil {
+		return Smoke{}, rep, err
+	}
 	return Smoke{
 		Seed:      opts.Seed,
 		Datasets:  opts.Datasets,
@@ -192,6 +204,7 @@ func BatchSmoke(opts Options) (Smoke, Report, error) {
 		Locality:  localityRows,
 		Adaptive:  adaptiveRows,
 		Chaos:     chaosRows,
+		Serving:   servingRows,
 	}, rep, nil
 }
 

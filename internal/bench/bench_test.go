@@ -245,7 +245,7 @@ func TestRunByName(t *testing.T) {
 	if _, err := RunByName("nope", quickOpts()); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if len(AllExperiments()) != 18 {
+	if len(AllExperiments()) != 19 {
 		t.Fatalf("experiment registry %v", AllExperiments())
 	}
 }

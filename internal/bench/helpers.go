@@ -65,6 +65,7 @@ func AllExperiments() []string {
 		"table2", "table3", "figure3", "figure4", "figure5", "figure6",
 		"figure7", "figure8", "figure9", "table4", "cycle", "connectivity",
 		"batch", "locality", "pipeline", "rebalance", "backend", "chaos",
+		"serving",
 	}
 }
 
@@ -72,9 +73,11 @@ func AllExperiments() []string {
 // internally because they are its comparison axis: the "batch" experiment
 // runs batching off and on itself, "locality" and "rebalance" sweep the
 // placement policies, "pipeline" runs barrier and pipelined schedules,
-// "backend" sweeps the storage engines, and "chaos" pins batching on in both
-// of its arms (hedged batch reads are part of the recovery stack under
-// test).  cmd/ampcbench rejects an explicitly set flag from this list
+// "backend" sweeps the storage engines, "chaos" pins batching on in both of
+// its arms (hedged batch reads are part of the recovery stack under test),
+// and "serving" pins batching off and pipelining on in both of its arms (the
+// compiled-plan cache under test caches pipelined conflict analyses).
+// cmd/ampcbench rejects an explicitly set flag from this list
 // instead of silently ignoring it.  Every other experiment accepts the full
 // shared flag set and returns nil.
 func UnsupportedFlags(name string) []string {
@@ -89,6 +92,8 @@ func UnsupportedFlags(name string) []string {
 		return []string{"backend"}
 	case "chaos":
 		return []string{"batch"}
+	case "serving":
+		return []string{"batch", "pipeline"}
 	}
 	return nil
 }
@@ -152,6 +157,9 @@ func RunByName(name string, opts Options) (Report, error) {
 		return rep, err
 	case "chaos":
 		_, rep, err := ChaosComparison(opts)
+		return rep, err
+	case "serving":
+		_, rep, err := ServingComparison(opts)
 		return rep, err
 	default:
 		return Report{}, errUnknownExperiment(name)

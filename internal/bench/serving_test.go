@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"ampcgraph/internal/ampc"
+	"ampcgraph/internal/core/connectivity"
+	"ampcgraph/internal/core/matching"
+	"ampcgraph/internal/core/mis"
+	"ampcgraph/internal/gen"
+)
+
+// TestServingComparisonSmall runs the serving experiment on the small OK
+// stand-in and checks its acceptance properties: byte-identical outputs in
+// every concurrent job, positive plan-cache hits, and a throughput factor
+// above serialized parity.
+func TestServingComparisonSmall(t *testing.T) {
+	rows, _, err := ServingComparison(Options{Datasets: []string{"OK"}, Machines: 4, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	row := rows[0]
+	if !row.Identical {
+		t.Error("concurrent jobs diverged from the one-shot references")
+	}
+	if row.PlanCacheHits <= 0 {
+		t.Errorf("plan cache hits = %d, want > 0", row.PlanCacheHits)
+	}
+	if row.Jobs != len(servingMix) {
+		t.Errorf("jobs = %d, want %d", row.Jobs, len(servingMix))
+	}
+	if row.ThroughputX <= 1 {
+		t.Errorf("throughput = %.2fx, want > 1x", row.ThroughputX)
+	}
+	if row.GateFloorX > row.ThroughputMeanX {
+		t.Errorf("gate floor %.2f above the mean %.2f", row.GateFloorX, row.ThroughputMeanX)
+	}
+	if row.SerializedSim <= 0 || row.ConcurrentSim <= 0 || row.PrepSim <= 0 {
+		t.Errorf("non-positive modeled times: serialized=%v concurrent=%v prep=%v",
+			row.SerializedSim, row.ConcurrentSim, row.PrepSim)
+	}
+}
+
+// TestServingSmokeMeetsAcceptance pins the headline acceptance number of the
+// serving layer on the smoke configuration: four concurrent query jobs on
+// one warm session must beat the serialized one-shot runs by at least 1.5x
+// on both hub-heavy stand-ins, at byte-identical outputs.
+func TestServingSmokeMeetsAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full CW/HL serving comparison")
+	}
+	rows, err := ServingSmoke(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want CW and HL", len(rows))
+	}
+	for _, row := range rows {
+		if !row.Identical {
+			t.Errorf("%s: concurrent jobs diverged from the one-shot references", row.Graph)
+		}
+		if row.PlanCacheHits <= 0 {
+			t.Errorf("%s: plan cache hits = %d, want > 0", row.Graph, row.PlanCacheHits)
+		}
+		if row.ThroughputX < 1.5 {
+			t.Errorf("%s: throughput = %.2fx, want >= 1.5x", row.Graph, row.ThroughputX)
+		}
+	}
+}
+
+// TestConcurrentJobsByteIdenticalAcrossBackends is the serving-layer stress
+// matrix: N concurrent query jobs per session, across every storage backend
+// and both placement policies, must each reproduce the one-shot reference
+// outputs exactly.  Sharing a session changes where shards live and which
+// machine does which work — never what is computed.
+func TestConcurrentJobsByteIdenticalAcrossBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs concurrent job batches once per backend and placement")
+	}
+	base := ampc.Config{Machines: 4, Threads: 2, Pipeline: true, Seed: 1}
+	g := gen.Datasets()[0].Build(1, base.Seed) // OK stand-in
+
+	ref := base
+	ref.Backend = ampc.BackendMem
+	ref.Placement = ampc.PlacementHash
+	misRef, err := mis.Run(g, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmRef, err := matching.Run(g, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccRef, err := connectivity.Run(g, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, backend := range benchBackends(t) {
+		for _, placement := range []string{ampc.PlacementHash, ampc.PlacementWeighted} {
+			t.Run(backend+"/"+placement, func(t *testing.T) {
+				cfg := base
+				cfg.Backend = backend
+				cfg.Placement = placement
+				s := ampc.NewSession(cfg)
+				defer s.Close()
+
+				prep, err := s.NewJob()
+				if err != nil {
+					t.Fatal(err)
+				}
+				misShared, err := mis.NewShared(prep, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mmShared, err := matching.NewShared(prep, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prep.Close()
+
+				var wg sync.WaitGroup
+				errs := make([]error, 2*len(servingMix))
+				for i, q := range append(append([]string(nil), servingMix...), servingMix...) {
+					wg.Add(1)
+					go func(i int, q string) {
+						defer wg.Done()
+						rt, err := s.NewJob()
+						if err != nil {
+							errs[i] = err
+							return
+						}
+						defer rt.Close()
+						switch q {
+						case "mis":
+							r, err := misShared.Run(rt)
+							if err == nil && !reflect.DeepEqual(r.InMIS, misRef.InMIS) {
+								err = errMismatch("mis")
+							}
+							errs[i] = err
+						case "mm":
+							r, err := mmShared.Run(rt)
+							if err == nil && !reflect.DeepEqual(r.Matching.Mate, mmRef.Matching.Mate) {
+								err = errMismatch("mm")
+							}
+							errs[i] = err
+						case "cc":
+							r, err := connectivity.RunOn(rt, g)
+							if err == nil && !reflect.DeepEqual(r.Components, ccRef.Components) {
+								err = errMismatch("cc")
+							}
+							errs[i] = err
+						}
+					}(i, q)
+				}
+				wg.Wait()
+				for i, err := range errs {
+					if err != nil {
+						t.Errorf("job %d (%s): %v", i, servingMix[i%len(servingMix)], err)
+					}
+				}
+			})
+		}
+	}
+}
+
+type errMismatch string
+
+func (e errMismatch) Error() string {
+	return string(e) + ": concurrent job output differs from the one-shot reference"
+}

@@ -127,6 +127,33 @@ func MergeBestChaosRows(best map[string]ChaosSmokeRow, rows []ChaosSmokeRow) {
 	}
 }
 
+// MergeBestServingRows folds one run's serving rows into best, keeping per
+// graph the run with the best steady-state throughput mean.  Identical must
+// hold — and the plan cache must score hits — in every run, so those fold
+// with AND and min respectively.
+func MergeBestServingRows(best map[string]ServingRow, rows []ServingRow) {
+	for _, row := range rows {
+		cur, seen := best[row.Graph]
+		if !seen {
+			best[row.Graph] = row
+			continue
+		}
+		if row.ThroughputMeanX > cur.ThroughputMeanX {
+			cur.ThroughputMeanX = row.ThroughputMeanX
+			cur.ThroughputStdX = row.ThroughputStdX
+			cur.ThroughputX = row.ThroughputX
+			cur.SerializedSim = row.SerializedSim
+			cur.ConcurrentSim = row.ConcurrentSim
+			cur.PrepSim = row.PrepSim
+		}
+		if row.PlanCacheHits < cur.PlanCacheHits {
+			cur.PlanCacheHits = row.PlanCacheHits
+		}
+		cur.Identical = cur.Identical && row.Identical
+		best[row.Graph] = cur
+	}
+}
+
 // CheckSmoke compares the freshly measured rows against the committed
 // baseline with the given fractional tolerance (0.10 = a metric may fall to
 // 90% of its committed value).  It returns one human-readable line per
@@ -179,7 +206,14 @@ func MergeBestChaosRows(best map[string]ChaosSmokeRow, rows []ChaosSmokeRow) {
 // tier), or when the fresh recovery-overhead mean rose above the committed
 // variance-derived ceiling (baseline mean + 3 x std) — a ceiling, not a
 // floor, because for overhead smaller is better.
-func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[string]RebalanceSmokeRow, freshBackend map[string]BackendSmokeRow, freshPipeline map[string]PipelineRow, freshLocality map[string]LocalitySmokeRow, freshAdaptive map[string]AdaptiveRow, freshChaos map[string]ChaosSmokeRow, tolerance float64) (lines []string, failures int) {
+//
+// freshServing carries the serving-layer rows (keyed by graph); a baseline
+// serving row fails when it is missing from the fresh run, when a concurrent
+// job's output stopped being byte-identical to the one-shot references, when
+// the session's plan cache stopped scoring hits, or when the fresh
+// throughput mean fell below the committed variance-derived floor (baseline
+// mean - 3 x std), mirroring the pipeline section.
+func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[string]RebalanceSmokeRow, freshBackend map[string]BackendSmokeRow, freshPipeline map[string]PipelineRow, freshLocality map[string]LocalitySmokeRow, freshAdaptive map[string]AdaptiveRow, freshChaos map[string]ChaosSmokeRow, freshServing map[string]ServingRow, tolerance float64) (lines []string, failures int) {
 	floor := 1 - tolerance
 	lines = append(lines, fmt.Sprintf("%-10s %-22s %10s %10s %8s", "row", "metric", "baseline", "fresh", "ratio"))
 	for _, want := range baseline.Rows {
@@ -346,6 +380,31 @@ func CheckSmoke(baseline Smoke, fresh map[string]BatchRow, freshRebalance map[st
 		}
 		lines = append(lines, fmt.Sprintf("%-10s %-22s %10.3f %10.3f %8s%s",
 			key, "overhead_mean_pct", want.GateCeilingPct, got.OverheadMeanPct, "(ceil)", status))
+	}
+	for _, want := range baseline.Serving {
+		key := want.Graph + "/serving"
+		got, ok := freshServing[want.Graph]
+		if !ok {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s missing from fresh run", key))
+			continue
+		}
+		if !got.Identical {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s concurrent job outputs differ from the one-shot runs", key))
+		}
+		if got.PlanCacheHits <= 0 {
+			failures++
+			lines = append(lines, fmt.Sprintf("%-10s plan cache scored no hits (repeated queries must reuse compiled plans)", key))
+		}
+		status := ""
+		failed := got.ThroughputMeanX < want.GateFloorX
+		if failed {
+			failures++
+			status = "  REGRESSED"
+		}
+		lines = append(lines, fmt.Sprintf("%-10s %-22s %10.3f %10.3f %8s%s",
+			key, "throughput_mean_x", want.GateFloorX, got.ThroughputMeanX, "(floor)", status))
 	}
 	return lines, failures
 }

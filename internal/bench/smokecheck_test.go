@@ -20,7 +20,7 @@ func TestCheckSmokeZeroBaselineNeverFails(t *testing.T) {
 	// whatever the fresh run measures, the gate must not fail on it.
 	base := smokeWith(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 0, SimSpeedup: 0})
 	fresh := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 0, SimSpeedup: 0})
-	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, 0.10)
+	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, nil, 0.10)
 	if failures != 0 {
 		t.Fatalf("zero-baseline metrics failed the gate: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -32,7 +32,7 @@ func TestCheckSmokeMissingRowFails(t *testing.T) {
 		BatchRow{Graph: "TW", Algo: "MM", Identical: true, VisitReduction: 2, SimSpeedup: 1.5},
 	)
 	fresh := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5})
-	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, 0.10)
+	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 {
 		t.Fatalf("missing row: %d failures, want 1\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -47,11 +47,11 @@ func TestCheckSmokeExactlyAtThresholdPasses(t *testing.T) {
 	// landing exactly on the floor must pass, one epsilon below must fail.
 	base := smokeWith(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2.0, SimSpeedup: 1.0})
 	atFloor := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 1.8, SimSpeedup: 0.9})
-	if lines, failures := CheckSmoke(base, atFloor, nil, nil, nil, nil, nil, nil, 0.10); failures != 0 {
+	if lines, failures := CheckSmoke(base, atFloor, nil, nil, nil, nil, nil, nil, nil, 0.10); failures != 0 {
 		t.Fatalf("exactly-at-threshold failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
 	}
 	below := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 1.79, SimSpeedup: 0.9})
-	lines, failures := CheckSmoke(base, below, nil, nil, nil, nil, nil, nil, 0.10)
+	lines, failures := CheckSmoke(base, below, nil, nil, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 {
 		t.Fatalf("below-threshold regression not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -63,7 +63,7 @@ func TestCheckSmokeExactlyAtThresholdPasses(t *testing.T) {
 func TestCheckSmokeNonIdenticalFails(t *testing.T) {
 	base := smokeWith(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5})
 	fresh := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: false, VisitReduction: 2, SimSpeedup: 1.5})
-	_, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, 0.10)
+	_, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 {
 		t.Fatalf("non-identical row: %d failures, want 1", failures)
 	}
@@ -100,11 +100,11 @@ func TestCheckSmokeRebalanceGate(t *testing.T) {
 
 	// At the floor (0.90 x baseline) passes; below fails.
 	ok := map[string]RebalanceSmokeRow{"CW": rebalanceRow("CW", 1.8, 0)}
-	if lines, failures := CheckSmoke(base, fresh, ok, nil, nil, nil, nil, nil, 0.10); failures != 0 {
+	if lines, failures := CheckSmoke(base, fresh, ok, nil, nil, nil, nil, nil, nil, 0.10); failures != 0 {
 		t.Fatalf("at-floor rebalance row failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
 	}
 	regressed := map[string]RebalanceSmokeRow{"CW": rebalanceRow("CW", 1.79, 0)}
-	lines, failures := CheckSmoke(base, fresh, regressed, nil, nil, nil, nil, nil, 0.10)
+	lines, failures := CheckSmoke(base, fresh, regressed, nil, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 {
 		t.Fatalf("regressed rebalance row: %d failures, want 1\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -114,13 +114,13 @@ func TestCheckSmokeRebalanceGate(t *testing.T) {
 
 	// A zero-key machine is an outright failure, whatever the reduction.
 	starved := map[string]RebalanceSmokeRow{"CW": rebalanceRow("CW", 3.0, 1)}
-	lines, failures = CheckSmoke(base, fresh, starved, nil, nil, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, starved, nil, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "zero keys") {
 		t.Fatalf("zero-key machine not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// A baseline rebalance row missing from the fresh computation fails.
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "CW/rebalance") {
 		t.Fatalf("missing rebalance row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -138,7 +138,7 @@ func TestCheckSmokeBackendGate(t *testing.T) {
 		"OK/disk": {Graph: "OK", Backend: "disk", Identical: true, SpillRatio: 1.8},
 		"OK/rpc":  {Graph: "OK", Backend: "rpc", Identical: true},
 	}
-	if lines, failures := CheckSmoke(base, fresh, nil, ok, nil, nil, nil, nil, 0.10); failures != 0 {
+	if lines, failures := CheckSmoke(base, fresh, nil, ok, nil, nil, nil, nil, nil, 0.10); failures != 0 {
 		t.Fatalf("healthy backend rows failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
 	}
 
@@ -148,7 +148,7 @@ func TestCheckSmokeBackendGate(t *testing.T) {
 		"OK/disk": {Graph: "OK", Backend: "disk", Identical: true, SpillRatio: 2.0},
 		"OK/rpc":  {Graph: "OK", Backend: "rpc", Identical: false},
 	}
-	lines, failures := CheckSmoke(base, fresh, nil, diverged, nil, nil, nil, nil, 0.10)
+	lines, failures := CheckSmoke(base, fresh, nil, diverged, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "differ from the in-memory reference") {
 		t.Fatalf("diverged backend not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -158,13 +158,13 @@ func TestCheckSmokeBackendGate(t *testing.T) {
 		"OK/disk": {Graph: "OK", Backend: "disk", Identical: true, SpillRatio: 1.0},
 		"OK/rpc":  {Graph: "OK", Backend: "rpc", Identical: true},
 	}
-	lines, failures = CheckSmoke(base, fresh, nil, collapsed, nil, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, collapsed, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "spill_ratio") {
 		t.Fatalf("collapsed spill ratio not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// A baseline backend row missing from the fresh run fails.
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, nil, 0.10)
 	if failures != 2 || !strings.Contains(strings.Join(lines, "\n"), "OK/disk") {
 		t.Fatalf("missing backend rows not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -190,20 +190,20 @@ func TestCheckSmokePipelineGate(t *testing.T) {
 	// A fresh mean at (or above) the committed floor (mean - 3 x std = 34)
 	// passes, whatever the fractional tolerance would say.
 	ok := map[string]PipelineRow{"CW": pipelineSmokeRow("CW", 34, 3, 4)}
-	if lines, failures := CheckSmoke(base, fresh, nil, nil, ok, nil, nil, nil, 0.10); failures != 0 {
+	if lines, failures := CheckSmoke(base, fresh, nil, nil, ok, nil, nil, nil, nil, 0.10); failures != 0 {
 		t.Fatalf("at-floor pipeline row failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// Below the variance-derived floor fails, even within 10% of the mean.
 	regressed := map[string]PipelineRow{"CW": pipelineSmokeRow("CW", 33.9, 3, 4)}
-	lines, failures := CheckSmoke(base, fresh, nil, nil, regressed, nil, nil, nil, 0.10)
+	lines, failures := CheckSmoke(base, fresh, nil, nil, regressed, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "ranged_idle_mean_pct") {
 		t.Fatalf("below-floor pipeline row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// Losing the ranged-over-whole advantage fails.
 	lost := map[string]PipelineRow{"CW": pipelineSmokeRow("CW", 40, 2, 0)}
-	lines, failures = CheckSmoke(base, fresh, nil, nil, lost, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, lost, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "advantage") {
 		t.Fatalf("lost advantage not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -211,13 +211,13 @@ func TestCheckSmokePipelineGate(t *testing.T) {
 	// A fused run whose outputs diverged fails, whatever the metrics say.
 	diverged := pipelineSmokeRow("CW", 40, 2, 5)
 	diverged.Identical = false
-	lines, failures = CheckSmoke(base, fresh, nil, nil, map[string]PipelineRow{"CW": diverged}, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, map[string]PipelineRow{"CW": diverged}, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "differ") {
 		t.Fatalf("diverged pipeline row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// A baseline pipeline row missing from the fresh run fails.
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "CW/pipeline") {
 		t.Fatalf("missing pipeline row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -254,11 +254,11 @@ func TestCheckSmokeLocalityGate(t *testing.T) {
 
 	// At the fractional floor (0.90 x baseline) passes; below fails.
 	ok := map[string]LocalitySmokeRow{"OK/MIS": localitySmokeRow("OK", "MIS", 1.8)}
-	if lines, failures := CheckSmoke(base, fresh, nil, nil, nil, ok, nil, nil, 0.10); failures != 0 {
+	if lines, failures := CheckSmoke(base, fresh, nil, nil, nil, ok, nil, nil, nil, 0.10); failures != 0 {
 		t.Fatalf("at-floor locality row failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
 	}
 	regressed := map[string]LocalitySmokeRow{"OK/MIS": localitySmokeRow("OK", "MIS", 1.79)}
-	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, regressed, nil, nil, 0.10)
+	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, regressed, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "remote_reduction") {
 		t.Fatalf("regressed locality row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -266,13 +266,13 @@ func TestCheckSmokeLocalityGate(t *testing.T) {
 	// Divergent hash-vs-owner outputs fail, whatever the reduction says.
 	diverged := localitySmokeRow("OK", "MIS", 2.0)
 	diverged.Identical = false
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, map[string]LocalitySmokeRow{"OK/MIS": diverged}, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, map[string]LocalitySmokeRow{"OK/MIS": diverged}, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "differ") {
 		t.Fatalf("diverged locality row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// A baseline locality row missing from the fresh run fails.
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "OK/MIS/loc") {
 		t.Fatalf("missing locality row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -297,11 +297,11 @@ func TestCheckSmokeAdaptiveGate(t *testing.T) {
 	// A fresh improvement at (or above) the committed variance floor
 	// (mean - 3 x std = 48) passes; below it fails even within 10%.
 	ok := map[string]AdaptiveRow{"CW": adaptiveSmokeRow("CW", 48, 5)}
-	if lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, ok, nil, 0.10); failures != 0 {
+	if lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, ok, nil, nil, 0.10); failures != 0 {
 		t.Fatalf("at-floor adaptive row failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
 	}
 	regressed := map[string]AdaptiveRow{"CW": adaptiveSmokeRow("CW", 47.9, 5)}
-	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, regressed, nil, 0.10)
+	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, regressed, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "improvement_mean_pct") {
 		t.Fatalf("below-floor adaptive row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -309,13 +309,13 @@ func TestCheckSmokeAdaptiveGate(t *testing.T) {
 	// Adaptive outputs diverging from the static run fail outright.
 	diverged := adaptiveSmokeRow("CW", 60, 4)
 	diverged.Identical = false
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, map[string]AdaptiveRow{"CW": diverged}, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, map[string]AdaptiveRow{"CW": diverged}, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "differ") {
 		t.Fatalf("diverged adaptive row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// A baseline adaptive row missing from the fresh run fails.
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "CW/adaptive") {
 		t.Fatalf("missing adaptive row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -359,11 +359,11 @@ func TestCheckSmokeChaosGate(t *testing.T) {
 	// The chaos gate is a ceiling: a fresh overhead mean at (or below) the
 	// committed mean + 3 x std + 1 = 15 passes; above it fails.
 	ok := map[string]ChaosSmokeRow{"OK": chaosSmokeRow("OK", 15, 3)}
-	if lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, ok, 0.10); failures != 0 {
+	if lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, ok, nil, 0.10); failures != 0 {
 		t.Fatalf("at-ceiling chaos row failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
 	}
 	regressed := map[string]ChaosSmokeRow{"OK": chaosSmokeRow("OK", 15.1, 3)}
-	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, regressed, 0.10)
+	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, regressed, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "overhead_mean_pct") {
 		t.Fatalf("above-ceiling chaos row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -371,7 +371,7 @@ func TestCheckSmokeChaosGate(t *testing.T) {
 	// Chaotic outputs diverging from the clean run fail outright.
 	diverged := chaosSmokeRow("OK", 8, 2)
 	diverged.Identical = false
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, map[string]ChaosSmokeRow{"OK": diverged}, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, map[string]ChaosSmokeRow{"OK": diverged}, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "differ") {
 		t.Fatalf("diverged chaos row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -379,7 +379,7 @@ func TestCheckSmokeChaosGate(t *testing.T) {
 	// A failed algorithm run under chaos fails the gate.
 	failedRun := chaosSmokeRow("OK", 8, 2)
 	failedRun.FailedRuns = 1
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, map[string]ChaosSmokeRow{"OK": failedRun}, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, map[string]ChaosSmokeRow{"OK": failedRun}, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "failed under chaos") {
 		t.Fatalf("failed chaos run not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -387,13 +387,13 @@ func TestCheckSmokeChaosGate(t *testing.T) {
 	// A recovery tier going unexercised (zero counter) fails the gate.
 	unexercised := chaosSmokeRow("OK", 8, 2)
 	unexercised.SubroundRetries = 0
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, map[string]ChaosSmokeRow{"OK": unexercised}, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, map[string]ChaosSmokeRow{"OK": unexercised}, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "subround_retries = 0") {
 		t.Fatalf("unexercised recovery tier not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
 
 	// A baseline chaos row missing from the fresh run fails.
-	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, 0.10)
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, nil, 0.10)
 	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "OK/chaos") {
 		t.Fatalf("missing chaos row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
 	}
@@ -413,5 +413,79 @@ func TestMergeBestChaosRowsKeepsLowestOverhead(t *testing.T) {
 	MergeBestChaosRows(best, []ChaosSmokeRow{bad})
 	if best["OK"].Identical || best["OK"].FailedRuns != 1 {
 		t.Fatal("a non-identical or failed run did not poison the merged row")
+	}
+}
+
+func servingSmokeRow(graph string, mean, std float64) ServingRow {
+	return ServingRow{
+		Graph:           graph,
+		Jobs:            4,
+		Identical:       true,
+		Repeats:         servingRepeats,
+		ThroughputMeanX: mean,
+		ThroughputStdX:  std,
+		ThroughputX:     mean,
+		PlanCacheHits:   7,
+		PlanCacheMisses: 2,
+		GateFloorX:      mean - 3*std,
+	}
+}
+
+func TestCheckSmokeServingGate(t *testing.T) {
+	base := smokeWith(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5})
+	base.Serving = []ServingRow{servingSmokeRow("CW", 2.0, 0.1)}
+	fresh := freshMap(BatchRow{Graph: "OK", Algo: "MIS", Identical: true, VisitReduction: 2, SimSpeedup: 1.5})
+
+	// The serving gate is an absolute variance-derived floor: a fresh
+	// throughput mean at (or above) the committed mean - 3 x std = 1.7
+	// passes; below it fails.
+	ok := map[string]ServingRow{"CW": servingSmokeRow("CW", 1.7, 0.2)}
+	if lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, ok, 0.10); failures != 0 {
+		t.Fatalf("at-floor serving row failed the gate: %d\n%s", failures, strings.Join(lines, "\n"))
+	}
+	regressed := map[string]ServingRow{"CW": servingSmokeRow("CW", 1.69, 0.2)}
+	lines, failures := CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, regressed, 0.10)
+	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "throughput_mean_x") {
+		t.Fatalf("below-floor serving row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
+	}
+
+	// Concurrent outputs diverging from the one-shot runs fail outright.
+	diverged := servingSmokeRow("CW", 2.0, 0.1)
+	diverged.Identical = false
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, map[string]ServingRow{"CW": diverged}, 0.10)
+	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "differ") {
+		t.Fatalf("diverged serving row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
+	}
+
+	// A plan cache that stopped scoring hits fails the gate.
+	cold := servingSmokeRow("CW", 2.0, 0.1)
+	cold.PlanCacheHits = 0
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, map[string]ServingRow{"CW": cold}, 0.10)
+	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "plan cache") {
+		t.Fatalf("hitless plan cache not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
+	}
+
+	// A baseline serving row missing from the fresh run fails.
+	lines, failures = CheckSmoke(base, fresh, nil, nil, nil, nil, nil, nil, nil, 0.10)
+	if failures != 1 || !strings.Contains(strings.Join(lines, "\n"), "CW/serving") {
+		t.Fatalf("missing serving row not caught: %d failures\n%s", failures, strings.Join(lines, "\n"))
+	}
+}
+
+func TestMergeBestServingRowsKeepsBestThroughput(t *testing.T) {
+	best := make(map[string]ServingRow)
+	MergeBestServingRows(best, []ServingRow{servingSmokeRow("CW", 1.8, 0.3)})
+	MergeBestServingRows(best, []ServingRow{servingSmokeRow("CW", 2.2, 0.1)})
+	got := best["CW"]
+	if got.ThroughputMeanX != 2.2 || got.ThroughputStdX != 0.1 {
+		t.Fatalf("best throughput not kept with its std: %+v", got)
+	}
+	// Identical must hold — and the cache must hit — in EVERY run.
+	bad := servingSmokeRow("CW", 2.5, 0.1)
+	bad.Identical = false
+	bad.PlanCacheHits = 0
+	MergeBestServingRows(best, []ServingRow{bad})
+	if best["CW"].Identical || best["CW"].PlanCacheHits != 0 {
+		t.Fatal("a non-identical or hitless run did not poison the merged row")
 	}
 }

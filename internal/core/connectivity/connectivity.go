@@ -43,6 +43,15 @@ type Result struct {
 func Run(g *graph.Graph, cfg ampc.Config) (*Result, error) {
 	rt := ampc.New(cfg)
 	defer rt.Close()
+	return RunOn(rt, g)
+}
+
+// RunOn computes the connected components of g on an existing runtime — a
+// job of a long-lived session, typically.  Every store it opens is private
+// to the call (session store names are labels, not unique keys), so
+// concurrent connectivity jobs on one session do not interfere; the returned
+// Stats are rt's job-level statistics.
+func RunOn(rt *ampc.Runtime, g *graph.Graph) (*Result, error) {
 	cfgD := rt.Config()
 	n := g.NumNodes()
 	// Degree-proportional placement weights (the MSF pipeline below declares

@@ -48,6 +48,20 @@ func Run(g *graph.Graph, cfg ampc.Config) (*Result, error) {
 // RunWithProbability is Run with an explicit sampling probability, exposed
 // for the sampling-rate ablation.
 func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, error) {
+	rt := ampc.New(cfg)
+	defer rt.Close()
+	return runOn(rt, g, p)
+}
+
+// RunOn decides 1-vs-2-Cycle on an existing runtime — a job of a long-lived
+// session, typically.  The adjacency store it opens is private to the call,
+// so concurrent cycle jobs on one session do not interfere; the returned
+// Stats are rt's job-level statistics.
+func RunOn(rt *ampc.Runtime, g *graph.Graph) (*Result, error) {
+	return runOn(rt, g, SampleProbability)
+}
+
+func runOn(rt *ampc.Runtime, g *graph.Graph, p float64) (*Result, error) {
 	n := g.NumNodes()
 	for v := 0; v < n; v++ {
 		if g.Degree(graph.NodeID(v)) != 2 {
@@ -57,8 +71,6 @@ func RunWithProbability(g *graph.Graph, cfg ampc.Config, p float64) (*Result, er
 	if p <= 0 || p > 1 {
 		return nil, fmt.Errorf("cycle: sampling probability %v out of (0,1]", p)
 	}
-	rt := ampc.New(cfg)
-	defer rt.Close()
 	cfgD := rt.Config()
 	// Every vertex has degree 2, so the degree-weighted partition reduces to
 	// the uniform range split; declaring it keeps the five algorithms on one

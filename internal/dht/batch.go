@@ -62,15 +62,9 @@ func (s *Store) BatchGet(keys []uint64) (vals [][]byte, oks []bool, shardVisits 
 	return vals, oks, visits.Total(), err
 }
 
-// BatchGetFrom is BatchGet performed by the given machine: visits to shards
-// co-located with the machine are classified (and charged) as local.  A
-// negative machine is an anonymous, always-remote caller.
-//
-// Deprecated: use Store.View(machine).BatchGet instead.
-func (s *Store) BatchGetFrom(machine int, keys []uint64) (vals [][]byte, oks []bool, visits Visits, err error) {
-	return s.batchGetFrom(machine, keys)
-}
-
+// batchGetFrom is BatchGet performed by the given machine (via Store.View):
+// visits to shards co-located with the machine are classified (and charged)
+// as local.  A negative machine is an anonymous, always-remote caller.
 func (s *Store) batchGetFrom(machine int, keys []uint64) (vals [][]byte, oks []bool, visits Visits, err error) {
 	vals = make([][]byte, len(keys))
 	oks = make([]bool, len(keys))
@@ -162,26 +156,11 @@ func (s *Store) BatchPut(pairs []Pair) (shardVisits int, err error) {
 	return visits.Total(), err
 }
 
-// BatchPutFrom is BatchPut performed by the given machine (see BatchGetFrom).
-//
-// Deprecated: use Store.View(machine).BatchPut instead.
-func (s *Store) BatchPutFrom(machine int, pairs []Pair) (Visits, error) {
-	return s.batchWrite(machine, pairs, false)
-}
-
 // BatchAppend appends every pair's value to the existing entry for its key
 // (multi-value semantics), visiting each shard once.
 func (s *Store) BatchAppend(pairs []Pair) (shardVisits int, err error) {
 	visits, err := s.batchWrite(-1, pairs, true)
 	return visits.Total(), err
-}
-
-// BatchAppendFrom is BatchAppend performed by the given machine (see
-// BatchGetFrom).
-//
-// Deprecated: use Store.View(machine).BatchAppend instead.
-func (s *Store) BatchAppendFrom(machine int, pairs []Pair) (Visits, error) {
-	return s.batchWrite(machine, pairs, true)
 }
 
 func (s *Store) batchWrite(machine int, pairs []Pair, appendMode bool) (Visits, error) {

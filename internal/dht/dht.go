@@ -135,6 +135,11 @@ type Store struct {
 	viewMu sync.Mutex
 	views  map[int]*View
 
+	// refs counts the logical owners of the store (see Retain): Close only
+	// releases the backend once the last owner has closed.  Stores shared
+	// between concurrent jobs — ampc's OpenSharedStore — retain once per
+	// additional opener, so the store survives until the session tears down.
+	refs      atomic.Int32
 	closed    atomic.Bool
 	finalKeys int64 // Len snapshot taken by Close
 }
@@ -199,6 +204,7 @@ func NewStore(name string, opts Options) (*Store, error) {
 	for i := range s.shardMachine {
 		s.shardMachine[i] = opts.Placement.MachineFor(i, opts.Shards)
 	}
+	s.refs.Store(1)
 	return s, nil
 }
 
@@ -266,17 +272,10 @@ func (s *Store) Put(key uint64, value []byte) error {
 	return s.putFrom(-1, key, value)
 }
 
-// PutFrom is Put performed by the given machine; a write to a shard
-// co-located with the machine is charged the local latency and excluded from
-// the remote-byte count.  A negative machine is an anonymous (always remote)
-// caller.
-//
-// Deprecated: use Store.View(machine).Put instead; the View API replaces the
-// per-method caller-machine parameter.
-func (s *Store) PutFrom(machine int, key uint64, value []byte) error {
-	return s.putFrom(machine, key, value)
-}
-
+// putFrom is Put performed by the given machine (via Store.View): a write to
+// a shard co-located with the machine is charged the local latency and
+// excluded from the remote-byte count.  A negative machine is an anonymous
+// (always remote) caller.
 func (s *Store) putFrom(machine int, key uint64, value []byte) error {
 	if s.frozen.Load() {
 		return ErrFrozen
@@ -303,13 +302,7 @@ func (s *Store) Append(key uint64, value []byte) error {
 	return s.appendFrom(-1, key, value)
 }
 
-// AppendFrom is Append performed by the given machine (see PutFrom).
-//
-// Deprecated: use Store.View(machine).Append instead.
-func (s *Store) AppendFrom(machine int, key uint64, value []byte) error {
-	return s.appendFrom(machine, key, value)
-}
-
+// appendFrom is Append performed by the given machine (see putFrom).
 func (s *Store) appendFrom(machine int, key uint64, value []byte) error {
 	if s.frozen.Load() {
 		return ErrFrozen
@@ -334,15 +327,10 @@ func (s *Store) Get(key uint64) ([]byte, bool, error) {
 	return s.getFrom(-1, key)
 }
 
-// GetFrom is Get performed by the given machine; a read served by a shard
-// co-located with the machine counts as a local read and is charged the
-// local latency.  A negative machine is an anonymous (always remote) caller.
-//
-// Deprecated: use Store.View(machine).Get instead.
-func (s *Store) GetFrom(machine int, key uint64) ([]byte, bool, error) {
-	return s.getFrom(machine, key)
-}
-
+// getFrom is Get performed by the given machine (via Store.View): a read
+// served by a shard co-located with the machine counts as a local read and is
+// charged the local latency.  A negative machine is an anonymous (always
+// remote) caller.
 func (s *Store) getFrom(machine int, key uint64) ([]byte, bool, error) {
 	local := s.LocalTo(machine, key)
 	idx := s.shardIndexFor(key)
@@ -496,11 +484,26 @@ func (s *Store) MeasuredCostModel() (simtime.CostModel, bool) {
 	return simtime.Measured(string(bs.Kind), read, write), true
 }
 
-// Close releases the backend's resources (files, sockets).  Operation
-// counters and Stats stay readable; data operations on a closed store are
-// undefined.  Close is idempotent.
+// Retain adds one logical owner to the store: the next Close releases that
+// reference instead of the backend.  It lets several handles share one store
+// (each pairing its open with a Close) without coordinating who closes last.
+// Retaining an already-closed store is a no-op — the backend is gone.
+func (s *Store) Retain() {
+	if s.closed.Load() {
+		return
+	}
+	s.refs.Add(1)
+}
+
+// Close releases one reference to the store; the last Close releases the
+// backend's resources (files, sockets).  Operation counters and Stats stay
+// readable; data operations on a closed store are undefined.  Extra Close
+// calls after the last reference are no-ops.
 func (s *Store) Close() error {
 	if s.closed.Load() {
+		return nil
+	}
+	if s.refs.Add(-1) > 0 {
 		return nil
 	}
 	s.finalKeys = int64(s.Len())

@@ -7,10 +7,11 @@ import (
 	"testing"
 )
 
-// The View API binds a machine once instead of threading it through the
-// *From methods; these tests pin the contract — views are cached per
-// machine, their operations match the deprecated *From wrappers call for
-// call, and the accounting (local/remote classification) is identical.
+// The View API binds a machine once instead of threading it through a
+// per-call machine parameter; these tests pin the contract — views are
+// cached per machine, their operations match the store's internal
+// machine-classified path call for call, and the accounting (local/remote
+// classification) is identical.
 
 func TestViewIsCachedPerMachine(t *testing.T) {
 	s := MustStore("d0", Options{Shards: 4, Placement: OwnerAffine(2, 1<<10)})
@@ -29,13 +30,13 @@ func TestViewIsCachedPerMachine(t *testing.T) {
 	}
 }
 
-func TestViewOperationsMatchDeprecatedFromWrappers(t *testing.T) {
+func TestViewOperationsMatchMachineClassifiedPath(t *testing.T) {
 	// Two stores with identical options, one driven through Views, the
-	// other through the deprecated *From wrappers: contents and every
-	// counter must come out identical.
+	// other through the internal machine-classified operations the views
+	// delegate to: contents and every counter must come out identical.
 	opts := Options{Shards: 8, Placement: OwnerAffine(4, 1<<10)}
 	viaView := MustStore("d0", opts)
-	viaFrom := MustStore("d0", opts)
+	direct := MustStore("d0", opts)
 	// Machine 0 owns the low key range under the owner-affine placement, so
 	// the small keys below classify as local and exercise both splits.
 	const machine = 0
@@ -45,40 +46,40 @@ func TestViewOperationsMatchDeprecatedFromWrappers(t *testing.T) {
 		if err := v.Put(k, []byte{byte(k)}); err != nil {
 			t.Fatal(err)
 		}
-		if err := viaFrom.PutFrom(machine, k, []byte{byte(k)}); err != nil {
+		if err := direct.putFrom(machine, k, []byte{byte(k)}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := v.Append(3, []byte("xy")); err != nil {
 		t.Fatal(err)
 	}
-	if err := viaFrom.AppendFrom(machine, 3, []byte("xy")); err != nil {
+	if err := direct.appendFrom(machine, 3, []byte("xy")); err != nil {
 		t.Fatal(err)
 	}
 	pairs := []Pair{{Key: 100, Value: []byte("a")}, {Key: 101, Value: []byte("b")}}
 	if _, err := v.BatchPut(pairs); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := viaFrom.BatchPutFrom(machine, pairs); err != nil {
+	if _, err := direct.batchWrite(machine, pairs, false); err != nil {
 		t.Fatal(err)
 	}
 	apps := []Pair{{Key: 100, Value: []byte("+")}, {Key: 102, Value: []byte("c")}}
 	if _, err := v.BatchAppend(apps); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := viaFrom.BatchAppendFrom(machine, apps); err != nil {
+	if _, err := direct.batchWrite(machine, apps, true); err != nil {
 		t.Fatal(err)
 	}
 
 	keys := []uint64{0, 3, 7, 100, 101, 102, 999}
 	for _, k := range keys {
 		gotV, okV, errV := v.Get(k)
-		gotF, okF, errF := viaFrom.GetFrom(machine, k)
-		if okV != okF || (errV == nil) != (errF == nil) || !bytes.Equal(gotV, gotF) {
-			t.Fatalf("key %d: view read (%v,%v,%v) != wrapper read (%v,%v,%v)",
-				k, gotV, okV, errV, gotF, okF, errF)
+		gotD, okD, errD := direct.getFrom(machine, k)
+		if okV != okD || (errV == nil) != (errD == nil) || !bytes.Equal(gotV, gotD) {
+			t.Fatalf("key %d: view read (%v,%v,%v) != direct read (%v,%v,%v)",
+				k, gotV, okV, errV, gotD, okD, errD)
 		}
-		if v.Local(k) != viaFrom.LocalTo(machine, k) {
+		if v.Local(k) != direct.LocalTo(machine, k) {
 			t.Fatalf("key %d: view locality disagrees with LocalTo", k)
 		}
 	}
@@ -86,19 +87,49 @@ func TestViewOperationsMatchDeprecatedFromWrappers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	valsF, oksF, visitsF, err := viaFrom.BatchGetFrom(machine, keys)
+	valsD, oksD, visitsD, err := direct.batchGetFrom(machine, keys)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(valsV, valsF) || !reflect.DeepEqual(oksV, oksF) || visitsV != visitsF {
-		t.Fatal("batched view reads differ from the deprecated wrapper")
+	if !reflect.DeepEqual(valsV, valsD) || !reflect.DeepEqual(oksV, oksD) || visitsV != visitsD {
+		t.Fatal("batched view reads differ from the machine-classified path")
 	}
 
-	if viaView.Stats() != viaFrom.Stats() {
-		t.Fatalf("counter divergence:\nview:    %+v\nwrapper: %+v", viaView.Stats(), viaFrom.Stats())
+	if viaView.Stats() != direct.Stats() {
+		t.Fatalf("counter divergence:\nview:   %+v\ndirect: %+v", viaView.Stats(), direct.Stats())
 	}
 	if viaView.Stats().LocalReads == 0 {
 		t.Fatal("no local reads: the machine binding did not reach the accounting")
+	}
+}
+
+// TestStoreRetainRefcount pins the shared-open protocol: a retained store
+// survives one Close per additional owner and releases its backend only on
+// the last, with later Closes and Retains being no-ops.
+func TestStoreRetainRefcount(t *testing.T) {
+	s := MustStore("d0", Options{Shards: 2})
+	if err := s.Put(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Retain()
+	s.Retain()
+	for i := 0; i < 2; i++ {
+		if err := s.Close(); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+		if err := s.Put(uint64(2+i), []byte("y")); err != nil {
+			t.Fatalf("put after non-final close %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("final close: %v", err)
+	}
+	s.Retain() // retain after the last close must not resurrect the store
+	if err := s.Close(); err != nil {
+		t.Fatalf("extra close: %v", err)
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len after close = %d, want the pre-close snapshot 3", got)
 	}
 }
 

@@ -1,0 +1,46 @@
+package simtime
+
+import "time"
+
+// Concurrent-job accounting.
+//
+// A serving session runs many jobs against one machine pool at once: every
+// machine interleaves sub-rounds of all in-flight jobs, so the modeled
+// wall-clock of the batch is no longer the sum of per-job makespans.  Two
+// lower bounds constrain any interleaving: machine m cannot finish before it
+// has executed the busy time every job assigned to it, and the batch cannot
+// finish before its longest single job — whose own modeled time already
+// includes that job's dependency stalls — has run end to end.  A
+// work-conserving pool approaches the larger of the two, which is what
+// ConcurrentMakespan reports; the serving benchmark compares it against the
+// serialized sum of per-job times to measure the sharing win.
+
+// ConcurrentMakespan models the wall-clock of jobs executing concurrently on
+// one shared machine pool.  busy[j][m] is job j's total busy time on machine
+// m (ampc.Stats.MachineBusy); rows may be ragged.  sims[j] is job j's own
+// end-to-end modeled time.  The result is
+//
+//	max( max_m Σ_j busy[j][m] , max_j sims[j] )
+//
+// — the makespan of an ideal work-conserving interleaving of the jobs.
+func ConcurrentMakespan(busy [][]time.Duration, sims []time.Duration) time.Duration {
+	machines := scheduleWidth(busy)
+	load := make([]time.Duration, machines)
+	for _, job := range busy {
+		for m := 0; m < machines; m++ {
+			load[m] += durAt(job, m)
+		}
+	}
+	var span time.Duration
+	for _, l := range load {
+		if l > span {
+			span = l
+		}
+	}
+	for _, s := range sims {
+		if s > span {
+			span = s
+		}
+	}
+	return span
+}

@@ -1,0 +1,50 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConcurrentMakespanLoadBound(t *testing.T) {
+	// Machine 1 carries the aggregate load: 3+4 = 7 exceeds every job's own
+	// modeled time, so the machine-load bound decides the makespan.
+	busy := [][]time.Duration{
+		{2, 3},
+		{1, 4},
+	}
+	sims := []time.Duration{5, 6}
+	if got := ConcurrentMakespan(busy, sims); got != 7 {
+		t.Fatalf("ConcurrentMakespan = %v, want 7 (machine 1 aggregate load)", got)
+	}
+}
+
+func TestConcurrentMakespanJobBound(t *testing.T) {
+	// One job's end-to-end time (stalls included) dominates every machine's
+	// aggregate load, so the job bound decides.
+	busy := [][]time.Duration{
+		{2, 1},
+		{1, 2},
+	}
+	sims := []time.Duration{10, 3}
+	if got := ConcurrentMakespan(busy, sims); got != 10 {
+		t.Fatalf("ConcurrentMakespan = %v, want 10 (slowest job)", got)
+	}
+}
+
+func TestConcurrentMakespanRaggedAndEmpty(t *testing.T) {
+	if got := ConcurrentMakespan(nil, nil); got != 0 {
+		t.Fatalf("empty makespan = %v, want 0", got)
+	}
+	// Ragged rows: missing machines contribute zero busy time.
+	busy := [][]time.Duration{
+		{5},
+		{1, 2, 3},
+	}
+	if got := ConcurrentMakespan(busy, nil); got != 6 {
+		t.Fatalf("ragged makespan = %v, want 6 (machine 0: 5+1)", got)
+	}
+	// A single job degenerates to max(its own load peak, its sim).
+	if got := ConcurrentMakespan([][]time.Duration{{1, 2}}, []time.Duration{9}); got != 9 {
+		t.Fatalf("single-job makespan = %v, want the job sim 9", got)
+	}
+}
